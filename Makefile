@@ -1,0 +1,26 @@
+# Convenience targets; see README.md for details.
+
+.PHONY: install test bench experiments examples all
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper table/figure at the default preset.
+experiments:
+	python -m repro experiment all --preset small
+
+examples:
+	python examples/quickstart.py
+	python examples/characterize_giraph.py small
+	python examples/find_sync_bug.py small
+	python examples/compare_systems.py pr small
+	python examples/characterize_dataflow.py
+	python examples/infer_rules.py small
+
+all: test bench

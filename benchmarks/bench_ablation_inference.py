@@ -1,0 +1,95 @@
+"""Ablation: expert rules vs. automatically inferred rules (paper §V).
+
+The paper's ongoing-work section proposes inferring attribution rules
+instead of hand-tuning them for a week per framework.  This ablation
+quantifies the idea on the Giraph simulation: upsampling error (the
+Table II metric, ratio 8x) under
+
+* the **untuned** model (implicit Variable 1x — zero effort),
+* rules **inferred** by NNLS from a single calibration run
+  (:mod:`repro.core.inference` — zero expert effort),
+* the hand-written **tuned** model (a week of expert effort in the paper).
+
+Expected shape: inferred lands between untuned and tuned, much closer to
+tuned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import BENCH_PRESET, emit
+
+from repro.adapters import (
+    giraph_resource_model,
+    giraph_tuned_rules,
+    giraph_untuned_rules,
+    parse_execution_trace,
+)
+from repro.core.demand import estimate_demand
+from repro.core.inference import infer_rules
+from repro.core.timeline import TimeGrid
+from repro.core.upsample import relative_sampling_error, upsample
+from repro.viz import format_table
+from repro.workloads import WorkloadSpec, run_workload
+
+RATIO = 8
+
+
+def run_ablation():
+    run = run_workload(WorkloadSpec("giraph", "graph500", "pr", preset=BENCH_PRESET)).system_run
+    resources = giraph_resource_model(run.config, run.machine_names)
+    trace = parse_execution_trace(run.log, include_gc_phases=True)
+
+    calibration = run.recorder.sample(0.1, t_end=run.makespan)
+    inference = infer_rules(trace, calibration, resources)
+
+    grid = TimeGrid.covering(0.0, run.makespan, 0.05)
+    coarse = run.recorder.sample(0.05 * RATIO, t_end=grid.t_end)
+    cpu = [n for n in resources.consumable if n.startswith("cpu@")]
+    gt = np.concatenate([run.recorder.rate_on_grid(n, grid) for n in cpu])
+
+    def error(rules) -> float:
+        demand = estimate_demand(trace, resources, rules, grid)
+        up = upsample(coarse, demand, grid)
+        est = np.concatenate(
+            [up[n].rate if n in up else np.zeros(grid.n_slices) for n in cpu]
+        )
+        return relative_sampling_error(est, gt)
+
+    errors = {
+        "untuned (zero effort)": error(giraph_untuned_rules()),
+        "inferred (one calibration run)": error(inference.rules),
+        "tuned (expert)": error(giraph_tuned_rules(run.config)),
+    }
+    rows = [[k, f"{v:.2f}"] for k, v in errors.items()]
+    text = format_table(
+        ["model", f"error % at {RATIO}x"],
+        rows,
+        title="Ablation — rule inference vs. expert tuning (Table II metric)",
+    )
+    key_cells = {
+        c.phase_path: type(c.rule).__name__
+        for c in inference.cells
+        if c.resource_class == "cpu"
+    }
+    text += "\ninferred CPU rules: " + ", ".join(
+        f"{p.rsplit('/', 1)[-1]}={k}" for p, k in sorted(key_cells.items())
+    ) + "\n"
+    return text, errors, inference
+
+
+def test_ablation_rule_inference(benchmark, bench_output_dir):
+    text, errors, inference = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    emit(bench_output_dir, "ablation_inference.txt", text)
+
+    untuned = errors["untuned (zero effort)"]
+    inferred = errors["inferred (one calibration run)"]
+    tuned = errors["tuned (expert)"]
+    # Ordering: tuned <= inferred < untuned.
+    assert tuned <= inferred + 1e-9
+    assert inferred < untuned
+    # Inference recovers most of the expert model's advantage.
+    assert (untuned - inferred) > 0.5 * (untuned - tuned)
+    # And it identifies the compute threads' exact-one-core rule.
+    cell = inference.cell("/Execute/Superstep/Compute/ComputeThread", "cpu")
+    assert type(cell.rule).__name__ == "ExactRule"

@@ -1,0 +1,88 @@
+"""Ablation: the accuracy-vs-monitoring-overhead frontier (§IV-B's 8x rule).
+
+The paper "conservatively recommends upsampling by up to 8x to achieve a
+good balance between accuracy and reduced monitoring overhead".  This
+ablation reconstructs the frontier behind that recommendation: for each
+upsampling ratio, the Grade10 upsampling error (Table II metric) against
+the monitoring data volume — error should stay near-flat out to moderate
+ratios while data volume drops by the ratio, making ~8x the knee where
+further coarsening keeps saving little data for growing risk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import BENCH_PRESET, emit
+
+from repro.adapters import (
+    giraph_resource_model,
+    giraph_tuned_rules,
+    parse_execution_trace,
+)
+from repro.cluster.overhead import estimate_overhead
+from repro.core.demand import estimate_demand
+from repro.core.timeline import TimeGrid
+from repro.core.upsample import relative_sampling_error, upsample
+from repro.viz import format_table
+from repro.workloads import UPSAMPLING_RATIOS, WorkloadSpec, run_workload
+
+GROUND_TRUTH = 0.05
+
+
+def run_ablation():
+    run = run_workload(WorkloadSpec("giraph", "graph500", "pr", preset=BENCH_PRESET)).system_run
+    resources = giraph_resource_model(run.config, run.machine_names)
+    rules = giraph_tuned_rules(run.config)
+    trace = parse_execution_trace(run.log, include_gc_phases=True)
+    grid = TimeGrid.covering(0.0, run.makespan, GROUND_TRUTH)
+    cpu = [n for n in resources.consumable if n.startswith("cpu@")]
+    gt = np.concatenate([run.recorder.rate_on_grid(n, grid) for n in cpu])
+    demand = estimate_demand(trace, resources, rules, grid)
+
+    rows = []
+    results = []
+    for ratio in (1,) + UPSAMPLING_RATIOS:
+        interval = GROUND_TRUTH * ratio
+        coarse = run.recorder.sample(interval, t_end=grid.t_end)
+        up = upsample(coarse, demand, grid)
+        est = np.concatenate(
+            [up[n].rate if n in up else np.zeros(grid.n_slices) for n in cpu]
+        )
+        error = relative_sampling_error(est, gt)
+        cost = estimate_overhead(
+            run.recorder,
+            interval,
+            run_duration=run.makespan,
+            total_cores=run.config.n_machines * run.config.threads_per_machine,
+        )
+        rows.append(
+            [
+                f"{ratio}x",
+                f"{interval * 1000:.0f}ms",
+                f"{error:.2f}",
+                f"{cost.data_bytes / 1e3:.1f} kB",
+                f"{cost.cpu_fraction:.3%}",
+            ]
+        )
+        results.append((ratio, error, cost.data_bytes))
+    text = format_table(
+        ["ratio", "interval", "error %", "data volume", "monitor CPU"],
+        rows,
+        title="Ablation — accuracy vs. monitoring overhead (Giraph tuned)",
+    )
+    return text, results
+
+
+def test_ablation_overhead_frontier(benchmark, bench_output_dir):
+    text, results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    emit(bench_output_dir, "ablation_overhead.txt", text)
+
+    by_ratio = {r: (err, data) for r, err, data in results}
+    # Data volume shrinks with the ratio (that is the point of upsampling).
+    assert by_ratio[8][1] < by_ratio[1][1] / 4
+    assert by_ratio[64][1] < by_ratio[8][1]
+    # Accuracy holds out to 8x: error within a modest factor of the 1x error
+    # (the paper's "up to 8x" recommendation).
+    assert by_ratio[8][0] < max(3.0 * max(by_ratio[1][0], 1.0), by_ratio[1][0] + 10.0)
+    # Error never *decreases* dramatically with coarser data (sanity).
+    assert by_ratio[64][0] >= by_ratio[1][0] - 1e-6

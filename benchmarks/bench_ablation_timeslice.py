@@ -1,0 +1,69 @@
+"""Ablation: timeslice duration sensitivity (§III-C's key parameter).
+
+The timeslice duration controls how fine-grained Grade10's analysis is;
+the paper sets it to tens of milliseconds.  This ablation sweeps it and
+checks the pipeline's conclusions are stable: total attributed
+consumption is conserved at every granularity, and the headline
+bottleneck impact varies smoothly rather than flipping.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_PRESET, emit
+
+from repro.viz import format_table
+from repro.workloads import WorkloadSpec, characterize_run, run_workload
+
+SLICE_SWEEP = (0.005, 0.01, 0.02, 0.05, 0.1)
+
+
+def run_ablation():
+    run = run_workload(WorkloadSpec("giraph", "graph500", "pr", preset=BENCH_PRESET))
+    rows = []
+    results = []
+    for slice_duration in SLICE_SWEEP:
+        profile = characterize_run(run, tuned=True, slice_duration=slice_duration)
+        cpu_resources = [r for r in profile.upsampled.resources() if r.startswith("cpu@")]
+        consumed = sum(
+            float(profile.upsampled[r].rate.sum() * profile.grid.slice_duration)
+            for r in cpu_resources
+        )
+        best = max((i.improvement for i in profile.issues), default=0.0)
+        sat_time = sum(
+            b.duration
+            for b in profile.bottlenecks
+            if b.resource.startswith("cpu@") and b.slices is not None
+        )
+        rows.append(
+            [
+                f"{slice_duration * 1000:.0f}ms",
+                profile.grid.n_slices,
+                f"{consumed:.1f}",
+                f"{sat_time:.2f}s",
+                f"{best:.1%}",
+            ]
+        )
+        results.append((slice_duration, consumed, sat_time, best))
+    text = format_table(
+        ["timeslice", "slices", "CPU core-seconds", "cpu bottleneck time", "best issue"],
+        rows,
+        title="Ablation — timeslice duration sensitivity",
+    )
+    return text, results
+
+
+def test_ablation_timeslice_sensitivity(benchmark, bench_output_dir):
+    text, results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    emit(bench_output_dir, "ablation_timeslice.txt", text)
+
+    consumed = [r[1] for r in results]
+    # Conservation: attributed consumption is granularity-independent.
+    for c in consumed[1:]:
+        assert abs(c - consumed[0]) < 0.02 * consumed[0]
+    # The headline issue impact is stable across a 20x granularity range.
+    impacts = [r[3] for r in results]
+    assert max(impacts) - min(impacts) < 0.25
+    # CPU bottleneck time does not explode or vanish at the extremes.
+    sat = [r[2] for r in results]
+    assert min(sat) > 0.0
+    assert max(sat) < 10 * max(min(sat), 0.1)

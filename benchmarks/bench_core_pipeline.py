@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the Grade10 core pipeline stages.
+
+Not a paper artifact — these measure the per-stage cost of the analysis
+itself (demand estimation, upsampling, attribution, bottleneck detection,
+trace replay) on a realistic profile, so performance regressions in the
+core are visible in CI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.attribution import attribute
+from repro.core.bottlenecks import find_bottlenecks
+from repro.core.demand import estimate_demand
+from repro.core.simulation import ReplaySimulator
+from repro.core.timeline import TimeGrid, rasterize_intervals
+from repro.core.upsample import upsample
+from repro.workloads import WorkloadSpec, run_workload
+from repro.workloads.runner import characterize_run
+
+
+@pytest.fixture(scope="module")
+def giraph_artifacts():
+    """One finished small Giraph run plus its parsed Grade10 inputs."""
+    from repro.adapters import (
+        giraph_execution_model,
+        giraph_resource_model,
+        giraph_tuned_rules,
+        parse_execution_trace,
+    )
+
+    run = run_workload(WorkloadSpec("giraph", "graph500", "pr", preset="small")).system_run
+    model = giraph_execution_model()
+    resources = giraph_resource_model(run.config, run.machine_names)
+    rules = giraph_tuned_rules(run.config)
+    trace = parse_execution_trace(run.log, include_gc_phases=True)
+    rtrace = run.recorder.sample(0.4, t_end=run.makespan)
+    grid = trace.grid(0.01)
+    return model, resources, rules, trace, rtrace, grid
+
+
+def test_bench_rasterize_intervals(benchmark):
+    rng = np.random.default_rng(0)
+    starts = rng.uniform(0, 95, size=10_000)
+    ends = starts + rng.uniform(0, 5, size=10_000)
+    weights = rng.uniform(0.1, 2.0, size=10_000)
+    grid = TimeGrid(0.0, 0.01, 10_000)
+    result = benchmark(rasterize_intervals, grid, starts, ends, weights)
+    assert result.shape == (10_000,)
+
+
+def test_bench_demand_estimation(benchmark, giraph_artifacts):
+    model, resources, rules, trace, rtrace, grid = giraph_artifacts
+    est = benchmark(estimate_demand, trace, resources, rules, grid)
+    assert est.resources()
+
+
+def test_bench_upsample(benchmark, giraph_artifacts):
+    model, resources, rules, trace, rtrace, grid = giraph_artifacts
+    demand = estimate_demand(trace, resources, rules, grid)
+    up = benchmark(upsample, rtrace, demand, grid)
+    assert up.resources()
+
+
+def test_bench_attribution(benchmark, giraph_artifacts):
+    model, resources, rules, trace, rtrace, grid = giraph_artifacts
+    demand = estimate_demand(trace, resources, rules, grid)
+    up = upsample(rtrace, demand, grid)
+    attr = benchmark(attribute, up, demand, trace)
+    assert attr.resources()
+
+
+def test_bench_bottleneck_detection(benchmark, giraph_artifacts):
+    model, resources, rules, trace, rtrace, grid = giraph_artifacts
+    demand = estimate_demand(trace, resources, rules, grid)
+    up = upsample(rtrace, demand, grid)
+    attr = attribute(up, demand, trace)
+    report = benchmark(find_bottlenecks, trace, up, attr)
+    assert len(report) > 0
+
+
+def test_bench_replay_simulation(benchmark, giraph_artifacts):
+    model, resources, rules, trace, rtrace, grid = giraph_artifacts
+    sim = ReplaySimulator(trace, model)
+    result = benchmark(sim.simulate, None)
+    assert result.makespan > 0
+
+
+def test_bench_full_characterization(benchmark):
+    run = run_workload(WorkloadSpec("giraph", "graph500", "pr", preset="small"))
+    profile = benchmark.pedantic(
+        lambda: characterize_run(run, tuned=True), rounds=3, iterations=1
+    )
+    assert profile.makespan > 0

@@ -1,0 +1,92 @@
+"""Extension bench: bottleneck shift under scale-out.
+
+Not a paper artifact, but the kind of study Grade10 exists to support:
+run the same Giraph workload on 2/4/8 machines and watch the bottleneck
+*move*.  Scaling out divides compute across more workers but raises the
+edge-cut fraction (hash partitioning cuts ~(1 - 1/M) of edges), so
+per-machine network traffic shrinks slower than compute — the
+communication subsystem takes over as the limiter, which Grade10's
+per-class impact estimates make visible.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.adapters import giraph_execution_model
+from repro.algorithms import pagerank
+from repro.core.issues import detect_bottleneck_issues
+from repro.graph import rmat
+from repro.systems import GiraphConfig, run_giraph
+from repro.viz import format_table
+from repro.workloads.runner import characterize_run
+
+MACHINE_SWEEP = (2, 4, 8)
+
+
+def class_impacts(run) -> dict[str, float]:
+    """Figure-4-style class-grouped bottleneck impacts for one run."""
+    profile = characterize_run(run, tuned=True)
+    seen = {b.resource for b in profile.bottlenecks}
+    groups = {
+        cls: [r for r in seen if r.startswith(f"{cls}@")]
+        for cls in ("cpu", "net", "gc", "queue")
+        if any(r.startswith(f"{cls}@") for r in seen)
+    }
+    issues = detect_bottleneck_issues(
+        profile.execution_trace,
+        giraph_execution_model(),
+        profile.bottlenecks,
+        profile.upsampled,
+        profile.attribution,
+        min_improvement=0.0,
+        resource_groups=groups,
+    )
+    return {i.subject: i.improvement for i in issues}
+
+
+def run_sweep():
+    graph = rmat(13, edge_factor=16, seed=21)
+    pr = pagerank(graph, iterations=8)
+    rows = []
+    results = []
+    for m in MACHINE_SWEEP:
+        # A tightly provisioned network (as clusters grow, per-node
+        # bandwidth rarely grows with them) makes the shift observable.
+        cfg = GiraphConfig(
+            n_machines=m, net_bandwidth=35e6, queue_capacity_bytes=0.5e6
+        )
+        run = run_giraph(graph, pr, cfg)
+        impacts = class_impacts(run)
+        cut = run.partition.cut_fraction()
+        rows.append(
+            [
+                m,
+                f"{run.makespan:.2f}s",
+                f"{cut:.2f}",
+                f"{impacts.get('cpu', 0.0):.1%}",
+                f"{impacts.get('queue', 0.0) + impacts.get('net', 0.0):.1%}",
+                f"{run.queue_stall_time:.2f}s",
+            ]
+        )
+        results.append((m, run.makespan, cut, impacts, run.queue_stall_time))
+    text = format_table(
+        ["machines", "makespan", "cut fraction", "cpu impact", "net+queue impact", "stalls"],
+        rows,
+        title="Extension — bottleneck shift under scale-out (Giraph, PageRank)",
+    )
+    return text, results
+
+
+def test_extension_scalability(benchmark, bench_output_dir):
+    text, results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit(bench_output_dir, "extension_scalability.txt", text)
+
+    by_m = {m: (span, cut, impacts, stalls) for m, span, cut, impacts, stalls in results}
+    # Scale-out reduces the makespan (compute divides across machines).
+    assert by_m[8][0] < by_m[2][0]
+    # The cut fraction grows with machine count.
+    assert by_m[8][1] > by_m[2][1]
+    # The communication side's share of the remaining headroom grows as
+    # compute shrinks: queue stalls are worst at the largest scale.
+    assert by_m[8][3] >= by_m[2][3]

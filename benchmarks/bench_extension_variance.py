@@ -1,0 +1,56 @@
+"""Extension bench: seed-to-seed stability of Grade10's conclusions.
+
+The paper argues low-overhead characterization makes it feasible to
+profile *many* jobs and find sporadic issues.  For that workflow the
+analysis must be stable: the same workload under different placement
+seeds should yield consistent headline conclusions, while identical seeds
+must reproduce bit-identically (the repository's determinism contract).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.viz import format_table
+from repro.workloads import WorkloadSpec, characterize_run, run_workload
+
+SEEDS = (0, 1, 2, 3)
+
+
+def run_study():
+    rows = []
+    makespans = []
+    cpu_impacts = []
+    for seed in SEEDS:
+        run = run_workload(WorkloadSpec("giraph", "graph500", "pr", preset="small", seed=seed))
+        profile = characterize_run(run, tuned=True)
+        best = max((i.improvement for i in profile.issues), default=0.0)
+        sat = sum(
+            b.duration for b in profile.bottlenecks if b.resource.startswith("cpu@")
+        )
+        rows.append([seed, f"{run.makespan:.3f}s", f"{sat:.2f}s", f"{best:.1%}"])
+        makespans.append(run.makespan)
+        cpu_impacts.append(best)
+    text = format_table(
+        ["seed", "makespan", "cpu bottleneck time", "best issue impact"],
+        rows,
+        title="Extension — seed-to-seed stability of conclusions",
+    )
+    cv = float(np.std(makespans) / np.mean(makespans))
+    text += f"\nmakespan coefficient of variation: {cv:.1%}\n"
+    return text, makespans, cpu_impacts, cv
+
+
+def test_extension_seed_variance(benchmark, bench_output_dir):
+    text, makespans, cpu_impacts, cv = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    emit(bench_output_dir, "extension_variance.txt", text)
+
+    # Placement seeds perturb the runs only mildly...
+    assert cv < 0.10
+    # ...and every seed reaches the same qualitative conclusion (there is a
+    # substantial issue to fix).
+    assert all(v > 0.02 for v in cpu_impacts)
+    # Exact determinism per seed.
+    rerun = run_workload(WorkloadSpec("giraph", "graph500", "pr", preset="small", seed=0))
+    assert rerun.makespan == makespans[0]

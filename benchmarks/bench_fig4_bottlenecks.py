@@ -1,0 +1,64 @@
+"""Regenerates **Figure 4**: resource bottlenecks across the workload grid.
+
+For the 2-datasets × 4-algorithms grid on both systems, the optimistic
+makespan reduction from eliminating each resource-class bottleneck
+(compute / network / GC / message queues).
+
+Paper shapes this bench must reproduce:
+
+* Giraph is dominated by compute bottlenecks (20-69.9 % in the paper),
+  with garbage collection and message-queue bottlenecks also present;
+* PowerGraph has **no** GC or queue bottlenecks (C++, different comms);
+* PowerGraph's network bottlenecks are minor (≤ 5.5 % in the paper) and
+  its compute rarely saturates.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_PRESET, emit
+
+from repro.viz import format_table
+from repro.workloads import experiment_fig4
+from repro.workloads.experiments import RESOURCE_CLASSES
+
+
+def render(cells) -> str:
+    grid: dict[tuple[str, str, str], dict[str, float]] = {}
+    for c in cells:
+        grid.setdefault((c.system, c.dataset, c.algorithm), {})[c.resource_class] = c.improvement
+    rows = [
+        [f"{system}/{dataset}/{algorithm}"] + [f"{vals.get(cls, 0.0):.1%}" for cls in RESOURCE_CLASSES]
+        for (system, dataset, algorithm), vals in grid.items()
+    ]
+    return format_table(
+        ["workload"] + list(RESOURCE_CLASSES),
+        rows,
+        title="Figure 4 — optimistic impact of removing each bottleneck class",
+    )
+
+
+def test_fig4_bottleneck_impact(benchmark, bench_output_dir):
+    cells = benchmark.pedantic(lambda: experiment_fig4(BENCH_PRESET), rounds=1, iterations=1)
+    emit(bench_output_dir, "fig4.txt", render(cells))
+
+    by = {(c.system, c.dataset, c.algorithm, c.resource_class): c.improvement for c in cells}
+
+    giraph_cpu = [v for (s, _, _, cls), v in by.items() if s == "giraph" and cls == "cpu"]
+    pg_cpu = [v for (s, _, _, cls), v in by.items() if s == "powergraph" and cls == "cpu"]
+    pg_net = [v for (s, _, _, cls), v in by.items() if s == "powergraph" and cls == "net"]
+
+    # Giraph: compute dominates, in the paper's 20-70 % band for most cells.
+    assert max(giraph_cpu) > 0.2
+    assert all(v < 0.75 for v in giraph_cpu)
+    # Giraph shows GC bottlenecks on the heavy (non-traversal) workloads.
+    giraph_gc = [
+        v for (s, _, a, cls), v in by.items() if s == "giraph" and cls == "gc" and a != "bfs"
+    ]
+    assert max(giraph_gc) > 0.02
+    # PowerGraph: no GC or queue bottlenecks at all (architecture contrast).
+    for (system, _, _, cls), v in by.items():
+        if system == "powergraph" and cls in ("gc", "queue"):
+            assert v == 0.0
+    # PowerGraph's network impact is minor, its compute never saturates.
+    assert max(pg_net) <= 0.12
+    assert max(pg_cpu) <= max(giraph_cpu)

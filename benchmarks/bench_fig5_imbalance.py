@@ -1,0 +1,56 @@
+"""Regenerates **Figure 5**: workload imbalance in PowerGraph.
+
+For the eight PowerGraph jobs (2 datasets × 4 algorithms), the estimated
+makespan reduction from perfectly balancing each of five key phase types
+(LoadWorker, Gather, Apply, Scatter, Sync).
+
+Paper shapes this bench must reproduce:
+
+* imbalance accounts for a significant part of execution time (the paper's
+  worst job loses up to 43.7 %);
+* Gather-step imbalance in the CDLP jobs is among the most impactful
+  (38.3-42.7 % in the paper).
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_PRESET, emit
+
+from repro.viz import format_table
+from repro.workloads import experiment_fig5
+from repro.workloads.experiments import FIG5_PHASES
+
+
+def render(cells) -> str:
+    jobs: dict[tuple[str, str], dict[str, float]] = {}
+    for c in cells:
+        jobs.setdefault((c.dataset, c.algorithm), {})[c.phase] = c.improvement
+    short = {p: p.rsplit("/", 1)[-1] for p in FIG5_PHASES}
+    rows = [
+        [f"{dataset}/{algorithm}"] + [f"{vals.get(p, 0.0):.1%}" for p in FIG5_PHASES]
+        for (dataset, algorithm), vals in jobs.items()
+    ]
+    return format_table(
+        ["job"] + [short[p] for p in FIG5_PHASES],
+        rows,
+        title="Figure 5 — imbalance impact per phase type (PowerGraph)",
+    )
+
+
+def test_fig5_imbalance(benchmark, bench_output_dir):
+    cells = benchmark.pedantic(lambda: experiment_fig5(BENCH_PRESET), rounds=1, iterations=1)
+    emit(bench_output_dir, "fig5.txt", render(cells))
+
+    by = {(c.dataset, c.algorithm, c.phase): c.improvement for c in cells}
+    gather = "/Execute/Iteration/Gather"
+
+    # Imbalance is a significant fraction of execution time somewhere.
+    assert max(c.improvement for c in cells) > 0.05
+    # CDLP Gather imbalance is present on both datasets (the paper's
+    # headline finding) and Gather is CDLP's most impactful phase type.
+    for dataset in ("graph500", "datagen"):
+        cdlp = {p: by[(dataset, "cdlp", p)] for p in FIG5_PHASES}
+        assert cdlp[gather] > 0.0
+        assert cdlp[gather] == max(cdlp.values())
+    # Nothing exceeds the paper's plausible band.
+    assert all(c.improvement < 0.6 for c in cells)

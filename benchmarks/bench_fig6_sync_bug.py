@@ -1,0 +1,77 @@
+"""Regenerates **Figure 6** and the §IV-D statistics: the PowerGraph sync bug.
+
+CDLP on the PowerGraph simulation with the barrier synchronization bug
+enabled: per-thread Gather durations of the first iteration, plus the
+aggregate outlier statistics, against a clean (bug-disabled) baseline.
+
+Paper shapes this bench must reproduce:
+
+* with the bug, a noticeable fraction of non-trivial steps contains a
+  same-worker straggler (the paper: ~20 %);
+* straggler-induced step slowdowns fall in the paper's 1.10-2.50x band;
+* with the bug disabled, no outliers are detected (the ablation).
+"""
+
+from __future__ import annotations
+
+from statistics import median
+
+from conftest import BENCH_PRESET, emit
+
+from repro.viz import bar_chart
+from repro.workloads import experiment_fig6
+
+
+def render(bugged, clean) -> str:
+    lines = ["Figure 6 — per-thread Gather durations, first iteration (bug enabled)", ""]
+    for worker, durs in sorted(bugged.thread_durations.items()):
+        med = median(durs)
+        pretty = " ".join(
+            f"{d * 1000:.0f}ms" + ("*" if med > 0 and d > 1.5 * med else "")
+            for d in sorted(durs)
+        )
+        lines.append(f"  {worker}: {pretty}")
+    lines.append("  (* = straggler: > 1.5x its worker's median)")
+    lines.append("")
+    lines.append("Sec. IV-D statistics            bug on      bug off   [paper]")
+    lines.append(
+        f"  affected non-trivial steps    {bugged.affected_fraction:>7.0%}  "
+        f"{clean.affected_fraction:>10.0%}   [~20%]"
+    )
+    if bugged.slowdowns:
+        lines.append(
+            f"  slowdown range                {min(bugged.slowdowns):.2f}x-"
+            f"{max(bugged.slowdowns):.2f}x          -   [1.10x-2.50x]"
+        )
+    lines.append(f"  injections                    {bugged.bug_injections:>7d}  "
+                 f"{clean.bug_injections:>10d}")
+    lines.append("")
+    if bugged.slowdowns:
+        lines.append("Slowdown distribution of affected steps:")
+        lines.append(
+            bar_chart(
+                {f"{s:.2f}x": s - 1.0 for s in bugged.slowdowns},
+                width=30,
+                fmt="{:+.0%}",
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def test_fig6_sync_bug(benchmark, bench_output_dir):
+    bugged = benchmark.pedantic(
+        lambda: experiment_fig6(BENCH_PRESET, bug_enabled=True), rounds=1, iterations=1
+    )
+    clean = experiment_fig6(BENCH_PRESET, bug_enabled=False)
+    emit(bench_output_dir, "fig6.txt", render(bugged, clean))
+
+    # The bug fires and produces detectable stragglers.
+    assert bugged.bug_injections > 0
+    assert 0.05 <= bugged.affected_fraction <= 0.6  # paper: ~20 %
+    # Slowdowns fall in (or near) the paper's 1.10-2.50x band.
+    assert bugged.slowdowns
+    assert min(bugged.slowdowns) >= 1.05
+    assert max(bugged.slowdowns) <= 3.0
+    # Ablation: the clean run has no injections and no affected steps.
+    assert clean.bug_injections == 0
+    assert clean.affected_fraction == 0.0

@@ -1,0 +1,60 @@
+"""Regenerates **Table II**: accuracy of the upsampling process.
+
+Relative sampling error (sum of |upsampled - ground truth| as a percentage
+of total CPU consumption) at upsampling ratios 2..64x, for three model
+configurations — Giraph untuned, Giraph tuned, PowerGraph tuned — each
+compared against the constant-rate strawman.
+
+Paper shapes this bench must reproduce:
+
+* Grade10's error is below the constant strawman's at every ratio;
+* the tuned Giraph model beats the untuned one (GC modeling);
+* the tuned PowerGraph model is the most accurate of the three;
+* the constant strawman degrades sharply toward 64x (83-99 % in the paper).
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_PRESET, emit
+
+from repro.workloads import UPSAMPLING_RATIOS, experiment_table2
+from repro.viz import format_table
+
+
+def render(rows) -> str:
+    by_config: dict[str, dict[int, tuple[float, float]]] = {}
+    for r in rows:
+        by_config.setdefault(r.config, {})[r.ratio] = (r.grade10_error, r.constant_error)
+    table_rows = []
+    for config, by_ratio in by_config.items():
+        for method_idx, method in enumerate(("grade10", "constant")):
+            table_rows.append(
+                [config if method_idx == 0 else "", method]
+                + [f"{by_ratio[r][method_idx]:.2f}" for r in UPSAMPLING_RATIOS]
+            )
+    headers = ["config", "method"] + [f"{r}x ({int(r * 50)}ms)" for r in UPSAMPLING_RATIOS]
+    return format_table(headers, table_rows, title="Table II — relative sampling error (%)")
+
+
+def test_table2_upsampling_error(benchmark, bench_output_dir):
+    rows = benchmark.pedantic(
+        lambda: experiment_table2(BENCH_PRESET), rounds=1, iterations=1
+    )
+    emit(bench_output_dir, "table2.txt", render(rows))
+
+    by_key = {(r.config, r.ratio): r for r in rows}
+    for r in rows:
+        # Grade10 never loses to the strawman.
+        assert r.grade10_error <= r.constant_error + 1e-9
+    for ratio in UPSAMPLING_RATIOS:
+        tuned = by_key[("giraph-tuned", ratio)].grade10_error
+        untuned = by_key[("giraph-untuned", ratio)].grade10_error
+        assert tuned <= untuned
+        # PowerGraph's comprehensive model is the best of the three.
+        assert by_key[("powergraph-tuned", ratio)].grade10_error <= untuned
+    # The strawman degrades sharply at coarse ratios (paper: 83-99 % at 64x).
+    assert by_key[("giraph-tuned", 64)].constant_error > 60.0
+    assert (
+        by_key[("giraph-tuned", 64)].constant_error
+        > by_key[("giraph-tuned", 2)].constant_error + 15.0
+    )

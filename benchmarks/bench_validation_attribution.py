@@ -1,0 +1,86 @@
+"""Validation bench: per-phase attribution against per-phase ground truth.
+
+The paper validates upsampling against a machine-level ground truth but
+notes (§IV-B): *"we are not able to compare to a ground truth at timeslice
+granularity broken down per phase"*.  The simulated engine removes that
+limitation: it can record each compute thread's actual CPU consumption,
+per instance, as it happens.
+
+This bench compares Grade10's per-phase attributed usage (from coarse
+0.4 s monitoring) against that ground truth for every ComputeThread
+instance — the validation the paper could not run:
+
+* the tuned model's per-phase relative error is small;
+* the untuned model's is several times larger (it spreads consumption
+  over every active phase);
+* the tuned attribution error per phase is of the same order as the
+  machine-level Table II error, supporting the paper's assumption that
+  machine-level validation is a reasonable proxy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.algorithms import pagerank
+from repro.graph import rmat
+from repro.systems import GiraphConfig, run_giraph
+from repro.viz import format_table
+from repro.workloads.runner import characterize_run
+
+
+def per_phase_error(run, thread_path: str, *, tuned: bool) -> float:
+    """Sum |attributed − truth| over all thread instances of one type, as a
+    percentage of total true consumption (the Table II metric, per phase)."""
+    profile = characterize_run(run, tuned=tuned)
+    grid = profile.grid
+    truth = run.truth_recorder
+    abs_err = 0.0
+    total_true = 0.0
+    for inst in profile.execution_trace.instances(thread_path):
+        true_rate = truth.rate_on_grid(inst.instance_id, grid)
+        attributed = profile.attribution.usage(inst, f"cpu@{inst.machine}")
+        abs_err += float(np.abs(attributed - true_rate).sum())
+        total_true += float(true_rate.sum())
+    return abs_err / total_true * 100.0 if total_true > 0 else 0.0
+
+
+def run_validation():
+    from repro.systems import PowerGraphConfig, run_powergraph
+
+    graph = rmat(13, edge_factor=16, seed=42)
+    pr = pagerank(graph, iterations=10)
+
+    giraph = run_giraph(graph, pr, GiraphConfig(record_per_phase_truth=True))
+    pg = run_powergraph(graph, pr, PowerGraphConfig(record_per_phase_truth=True))
+    thread = "/Execute/Superstep/Compute/ComputeThread"
+    gather = "/Execute/Iteration/Gather"
+    errors = {
+        "giraph tuned": per_phase_error(giraph, thread, tuned=True),
+        "giraph untuned": per_phase_error(giraph, thread, tuned=False),
+        "powergraph tuned": per_phase_error(pg, gather, tuned=True),
+        "powergraph untuned": per_phase_error(pg, gather, tuned=False),
+    }
+    text = format_table(
+        ["model", "per-phase attribution error (%)"],
+        [[k, f"{v:.2f}"] for k, v in errors.items()],
+        title=(
+            "Validation — per-phase attributed CPU vs. per-phase ground truth "
+            "(the comparison Sec. IV-B says the paper could not run)"
+        ),
+    )
+    return text, errors
+
+
+def test_validation_per_phase_attribution(benchmark, bench_output_dir):
+    text, errors = benchmark.pedantic(run_validation, rounds=1, iterations=1)
+    emit(bench_output_dir, "validation_attribution.txt", text)
+
+    # The tuned models attribute each thread close to its true usage.
+    assert errors["giraph tuned"] < 25.0
+    assert errors["powergraph tuned"] < 25.0
+    # The untuned models are far worse per phase — the Figure 3 story,
+    # quantified against a ground truth the paper did not have.
+    assert errors["giraph untuned"] > 2 * errors["giraph tuned"]
+    assert errors["powergraph untuned"] > errors["powergraph tuned"]

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper.
+Besides the timing numbers pytest-benchmark reports, each bench renders
+the paper's rows/series and both prints them (visible with ``-s``) and
+persists them under ``benchmarks/output/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: Dataset/run size used by the experiment benches.  "small" keeps the whole
+#: harness under a couple of minutes; switch to "full" for larger runs.
+BENCH_PRESET = "small"
+
+
+@pytest.fixture(scope="session")
+def bench_output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def emit(output_dir: Path, name: str, text: str) -> None:
+    """Print a rendered artifact and persist it for the experiment log."""
+    print(f"\n{text}")
+    (output_dir / name).write_text(text)

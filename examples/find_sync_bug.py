@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Discover the PowerGraph synchronization bug with Grade10 (§IV-D).
+
+Runs CDLP on the simulated PowerGraph engine with the barrier sync bug
+enabled, then uses Grade10's automated imbalance and outlier analyses to
+find it — exactly the paper's debugging story:
+
+1. the imbalance detector flags Gather steps as high-impact (Figure 5);
+2. drilling into one iteration shows per-worker thread durations with a
+   single straggler (Figure 6);
+3. the outlier statistics match the paper's: a fraction of non-trivial
+   steps slowed down by 1.1-2.5x, one thread still draining messages
+   while its siblings idle at the barrier.
+
+Run:  python examples/find_sync_bug.py [tiny|small|full]
+"""
+
+import sys
+
+from statistics import median
+
+from repro.adapters import powergraph_execution_model
+from repro.core.issues import detect_imbalance_issues
+from repro.systems import PowerGraphConfig, SyncBug
+from repro.viz import bar_chart
+from repro.workloads import WorkloadSpec, characterize_run, experiment_fig6, run_workload
+
+
+def main(preset: str = "small") -> None:
+    print(f"Running CDLP on PowerGraph-sim with the sync bug enabled (preset={preset}) ...")
+    cfg = PowerGraphConfig(sync_bug=SyncBug(enabled=True, probability=0.2, seed=5))
+    run = run_workload(
+        WorkloadSpec("powergraph", "graph500", "cdlp", preset=preset), powergraph_config=cfg
+    )
+    print(f"  makespan {run.makespan:.2f}s, {run.system_run.bug_injections} bug injections\n")
+
+    profile = characterize_run(run, tuned=True)
+
+    print("Step 1 — imbalance impact per phase type (Figure 5 view):")
+    issues = detect_imbalance_issues(
+        profile.execution_trace, powergraph_execution_model(), min_improvement=0.0
+    )
+    print(bar_chart({i.subject: i.improvement for i in issues}, width=40))
+
+    print("Step 2 — thread durations, first Gather step (Figure 6 view):")
+    fig6 = experiment_fig6(preset, bug_enabled=True)
+    for worker, durs in sorted(fig6.thread_durations.items()):
+        med = median(durs)
+        marks = " ".join(
+            f"{d * 1000:.0f}ms" + ("*" if med > 0 and d > 1.5 * med else "")
+            for d in sorted(durs)
+        )
+        print(f"  {worker}: {marks}")
+    print("  (* = straggler: > 1.5x its worker's median)\n")
+
+    print("Step 2b — imbalance-cause decomposition (cross-worker vs. within-worker):")
+    from repro.core.skew import decompose_imbalance
+    from repro.adapters import parse_execution_trace
+
+    skew = decompose_imbalance(
+        parse_execution_trace(run.system_run.log), powergraph_execution_model()
+    )
+    for phase, (cross, within) in sorted(skew.by_phase_type().items()):
+        total = cross + within
+        if total > 0:
+            print(
+                f"  {phase.rsplit('/', 1)[-1]}: {cross:.2f}s cross-worker, "
+                f"{within:.2f}s within-worker ({within / total:.0%} within)"
+            )
+    print(
+        f"  overall within-worker share: {skew.total_within_worker_share():.0%} — a high\n"
+        f"  share on a well-partitioned job points at a runtime defect, not partitioning\n"
+    )
+
+    print("Step 3 — aggregate outlier statistics (§IV-D):")
+    print(f"  non-trivial steps affected: {fig6.affected_fraction:.0%}  [paper: ~20%]")
+    if fig6.slowdowns:
+        print(
+            f"  slowdowns: {min(fig6.slowdowns):.2f}x – {max(fig6.slowdowns):.2f}x  "
+            f"[paper: 1.10x – 2.50x]"
+        )
+        print(f"  worst straggler ran {fig6.worst_outlier_factor:.2f}x its peers' median")
+    print(
+        "\nDiagnosis: one thread keeps draining a late message stream while its\n"
+        "siblings idle at the barrier — PowerGraph's cross-thread barrier bug.\n"
+    )
+
+    print("Step 4 — verify the fix (bug disabled) with a profile diff:")
+    from repro.core.diff import compare_profiles, render_diff
+
+    fixed_run = run_workload(WorkloadSpec("powergraph", "graph500", "cdlp", preset=preset))
+    fixed_profile = characterize_run(fixed_run, tuned=True)
+    print(render_diff(compare_profiles(profile, fixed_profile), top=3))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "small")

@@ -1,0 +1,27 @@
+"""repro — a reproduction of Grade10 (CLUSTER 2020).
+
+Grade10 is a framework for fine-grained performance characterization of
+distributed graph processing workloads.  This package contains:
+
+* :mod:`repro.core` — the Grade10 pipeline itself (execution/resource
+  models, resource attribution with upsampling, bottleneck identification,
+  performance-issue detection);
+* :mod:`repro.graph` — graph data structures, generators, partitioners;
+* :mod:`repro.algorithms` — vectorized graph algorithms with per-partition
+  work statistics;
+* :mod:`repro.cluster` — a discrete-event simulated cluster with
+  ground-truth metrics and a sampling monitor;
+* :mod:`repro.systems` — Giraph-like (BSP) and PowerGraph-like (GAS)
+  engine simulations that emit execution logs and monitoring data;
+* :mod:`repro.adapters` — parsers and expert models that connect the
+  simulated systems to the Grade10 core;
+* :mod:`repro.workloads` — datasets and experiment drivers for the paper's
+  evaluation (Table II, Figures 3-6);
+* :mod:`repro.viz` — plain-text visualization of profiles.
+"""
+
+from .core import Grade10, PerformanceProfile
+
+__version__ = "0.1.0"
+
+__all__ = ["Grade10", "PerformanceProfile", "__version__"]

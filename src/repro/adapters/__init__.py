@@ -1,0 +1,42 @@
+"""Adapters connecting the simulated systems to the Grade10 core.
+
+Parsers turn JSONL logs and monitoring CSVs into Grade10 traces; the
+model modules are the paper's "expert input": execution models, resource
+models, and tuned/untuned attribution rules for both engines.
+"""
+
+from .giraph_model import (
+    build_giraph_models,
+    giraph_execution_model,
+    giraph_resource_model,
+    giraph_tuned_rules,
+    giraph_untuned_rules,
+)
+from .parsing import (
+    GC_PHASE_PATH,
+    merge_blocking_into_resource_trace,
+    parse_execution_trace,
+)
+from .powergraph_model import (
+    build_powergraph_models,
+    powergraph_execution_model,
+    powergraph_resource_model,
+    powergraph_tuned_rules,
+    powergraph_untuned_rules,
+)
+
+__all__ = [
+    "build_giraph_models",
+    "giraph_execution_model",
+    "giraph_resource_model",
+    "giraph_tuned_rules",
+    "giraph_untuned_rules",
+    "GC_PHASE_PATH",
+    "merge_blocking_into_resource_trace",
+    "parse_execution_trace",
+    "build_powergraph_models",
+    "powergraph_execution_model",
+    "powergraph_resource_model",
+    "powergraph_tuned_rules",
+    "powergraph_untuned_rules",
+]

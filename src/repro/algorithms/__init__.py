@@ -1,0 +1,38 @@
+"""Graph algorithms (the Graphalytics kernel set) with work statistics.
+
+Each algorithm returns an :class:`~repro.algorithms.base.AlgorithmResult`
+whose per-iteration active masks feed the system simulators.  ``ALGORITHMS``
+maps Graphalytics short names to callables taking a graph (and keyword
+parameters).
+"""
+
+from .base import AlgorithmResult, IterationStats
+from .bfs import bfs
+from .cdlp import cdlp
+from .lcc import lcc
+from .pagerank import pagerank
+from .sssp import default_weights, sssp
+from .wcc import wcc
+
+#: Graphalytics short-name registry.
+ALGORITHMS = {
+    "bfs": bfs,
+    "pr": pagerank,
+    "wcc": wcc,
+    "cdlp": cdlp,
+    "sssp": sssp,
+    "lcc": lcc,
+}
+
+__all__ = [
+    "AlgorithmResult",
+    "IterationStats",
+    "bfs",
+    "pagerank",
+    "wcc",
+    "cdlp",
+    "sssp",
+    "lcc",
+    "default_weights",
+    "ALGORITHMS",
+]

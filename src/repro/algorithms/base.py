@@ -1,0 +1,57 @@
+"""Common result types for graph algorithms.
+
+Every algorithm returns, besides its output values, a per-iteration record
+of *which vertices were active*.  The system simulators derive per-machine,
+per-thread work from these masks and the graph partitioning — that is what
+makes the simulated execution traces carry the real irregularity of the
+real algorithm on the real graph (frontier explosions in BFS, uniform heavy
+work in PageRank, skewed label churn in CDLP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["IterationStats", "AlgorithmResult"]
+
+
+@dataclass
+class IterationStats:
+    """Work statistics of one iteration (superstep) of an algorithm.
+
+    ``active`` is the boolean mask of vertices that executed this iteration;
+    ``edges_processed`` counts edge traversals; ``messages`` counts values
+    sent between vertices (≈ network traffic in a distributed run).
+    """
+
+    iteration: int
+    active: np.ndarray
+    edges_processed: int
+    messages: int
+
+    @property
+    def active_count(self) -> int:
+        return int(np.count_nonzero(self.active))
+
+
+@dataclass
+class AlgorithmResult:
+    """Output of an algorithm run plus its per-iteration work profile."""
+
+    name: str
+    values: np.ndarray
+    iterations: list[IterationStats] = field(default_factory=list)
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.iterations)
+
+    def total_edges_processed(self) -> int:
+        """Total edge traversals across all iterations."""
+        return sum(it.edges_processed for it in self.iterations)
+
+    def total_messages(self) -> int:
+        """Total messages sent across all iterations."""
+        return sum(it.messages for it in self.iterations)

@@ -1,0 +1,82 @@
+"""Community detection by label propagation (Graphalytics CDLP).
+
+Every vertex adopts the label most frequent among its incoming neighbors,
+breaking ties toward the smallest label, for a fixed number of iterations
+(the Graphalytics/Raghavan et al. formulation).  All vertices are active
+every iteration and each iteration scans every edge — CDLP is the
+heaviest of the paper's four algorithms, and its Gather-step imbalance on
+PowerGraph is the centerpiece of the paper's Figure 5/6 case study.
+
+The per-iteration mode computation is vectorized as a lexsort +
+run-length reduction over (destination, label) pairs: ``O(E log E)`` with
+no Python loop over edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+from .base import AlgorithmResult, IterationStats
+
+__all__ = ["cdlp"]
+
+
+def _mode_per_vertex(dst: np.ndarray, labels_in: np.ndarray, n: int) -> np.ndarray:
+    """For each destination vertex, the most frequent incoming label.
+
+    Ties break toward the smaller label.  Vertices with no incoming edge
+    get label ``-1`` (caller keeps their old label).
+    """
+    if dst.size == 0:
+        return np.full(n, -1, dtype=np.int64)
+    order = np.lexsort((labels_in, dst))
+    d = dst[order]
+    l = labels_in[order]
+    # Run boundaries of identical (dst, label) pairs.
+    boundary = np.empty(d.size, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = (d[1:] != d[:-1]) | (l[1:] != l[:-1])
+    run_starts = np.nonzero(boundary)[0]
+    run_counts = np.diff(np.append(run_starts, d.size))
+    run_dst = d[run_starts]
+    run_label = l[run_starts]
+    # Within each destination pick the run with the highest count; ties
+    # resolve to the smallest label because runs are label-sorted and
+    # argmax keeps the first maximum.
+    out = np.full(n, -1, dtype=np.int64)
+    # Order runs by (dst, count desc, label asc) and keep the first run of
+    # each destination: that run is the mode with smallest-label tiebreak.
+    order2 = np.lexsort((run_label, -run_counts, run_dst))
+    rd = run_dst[order2]
+    first = np.empty(rd.size, dtype=bool)
+    first[0] = True
+    first[1:] = rd[1:] != rd[:-1]
+    out[rd[first]] = run_label[order2][first]
+    return out
+
+
+def cdlp(graph: Graph, *, iterations: int = 10) -> AlgorithmResult:
+    """Community detection by label propagation; values are final labels."""
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    n = graph.n_vertices
+    src, dst = graph.edges()
+    labels = np.arange(n, dtype=np.int64)
+    result = AlgorithmResult("cdlp", labels)
+    all_active = np.ones(n, dtype=bool)
+
+    for it in range(iterations):
+        incoming = _mode_per_vertex(dst, labels[src], n)
+        new_labels = np.where(incoming >= 0, incoming, labels)
+        labels = new_labels
+        result.iterations.append(
+            IterationStats(
+                iteration=it,
+                active=all_active,
+                edges_processed=graph.n_edges,
+                messages=graph.n_edges,
+            )
+        )
+    result.values = labels
+    return result

@@ -1,0 +1,246 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+``run``
+    Execute one workload on a simulated system and print the Grade10
+    report (optionally exporting the profile as JSON):
+    ``python -m repro run giraph graph500 pr --preset small --json out.json``
+
+``experiment``
+    Regenerate one of the paper's evaluation artifacts:
+    ``python -m repro experiment table2|fig3|fig4|fig5|fig6 --preset small``
+
+``datasets``
+    List the available datasets and their preset sizes.
+
+``systems``
+    List the simulated systems and algorithms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from statistics import median
+
+from .algorithms import ALGORITHMS
+from .core import render_report
+from .core.export import write_profile_json
+from .viz import format_table, sparkline
+from .workloads import (
+    UPSAMPLING_RATIOS,
+    WorkloadSpec,
+    characterize_run,
+    dataset_names,
+    experiment_fig3,
+    experiment_fig4,
+    experiment_fig5,
+    experiment_fig6,
+    experiment_table2,
+    get_dataset,
+    run_workload,
+)
+from .workloads.experiments import FIG5_PHASES, RESOURCE_CLASSES
+from .workloads.runner import SYSTEMS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Grade10 reproduction: characterize simulated graph-processing runs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run a workload and print its Grade10 profile")
+    p_run.add_argument("system", choices=SYSTEMS)
+    p_run.add_argument("dataset", choices=dataset_names())
+    p_run.add_argument("algorithm", choices=sorted(ALGORITHMS))
+    p_run.add_argument("--preset", default="small", choices=("tiny", "small", "full"))
+    p_run.add_argument("--untuned", action="store_true", help="use the untuned model")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--json", metavar="PATH", help="export the profile summary as JSON")
+    p_run.add_argument(
+        "--archive", metavar="DIR", help="persist the run's artifacts for offline analysis"
+    )
+    p_run.add_argument(
+        "--extended", action="store_true",
+        help="include the phase tree and utilization heatmap in the report",
+    )
+
+    p_an = sub.add_parser("analyze", help="characterize an archived run directory")
+    p_an.add_argument("directory")
+    p_an.add_argument("--untuned", action="store_true")
+    p_an.add_argument("--slice", type=float, default=0.01, help="timeslice duration (s)")
+    p_an.add_argument(
+        "--extended", action="store_true",
+        help="include the phase tree, heatmap, and recommendations",
+    )
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p_exp.add_argument(
+        "artifact", choices=("table2", "fig3", "fig4", "fig5", "fig6", "all")
+    )
+    p_exp.add_argument("--preset", default="small", choices=("tiny", "small", "full"))
+
+    p_suite = sub.add_parser("suite", help="run the Graphalytics-style benchmark grid")
+    p_suite.add_argument("--preset", default="small", choices=("tiny", "small", "full"))
+    p_suite.add_argument(
+        "--systems", default="giraph,powergraph", help="comma-separated system list"
+    )
+
+    sub.add_parser("datasets", help="list datasets")
+    sub.add_parser("systems", help="list systems and algorithms")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = WorkloadSpec(args.system, args.dataset, args.algorithm, preset=args.preset,
+                        seed=args.seed)
+    print(f"running {spec.label} (preset={args.preset}) ...", file=sys.stderr)
+    run = run_workload(spec)
+    profile = characterize_run(run, tuned=not args.untuned)
+    print(render_report(profile, extended=args.extended))
+    if args.json:
+        write_profile_json(profile, args.json)
+        print(f"profile exported to {args.json}", file=sys.stderr)
+    if args.archive:
+        from .workloads.archive import save_run
+
+        save_run(run.system_run, args.archive)
+        print(f"run archived to {args.archive}", file=sys.stderr)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .workloads.archive import characterize_archive
+
+    profile = characterize_archive(
+        args.directory, slice_duration=args.slice, tuned=not args.untuned
+    )
+    print(render_report(profile, extended=args.extended))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.artifact == "all":
+        import argparse as _argparse
+
+        for artifact in ("table2", "fig3", "fig4", "fig5", "fig6"):
+            print(f"\n=== {artifact} ===")
+            _cmd_experiment(
+                _argparse.Namespace(artifact=artifact, preset=args.preset)
+            )
+        return 0
+    if args.artifact == "table2":
+        rows = experiment_table2(args.preset)
+        by_config: dict[str, dict[int, tuple[float, float]]] = {}
+        for r in rows:
+            by_config.setdefault(r.config, {})[r.ratio] = (r.grade10_error, r.constant_error)
+        out = []
+        for config, data in by_config.items():
+            for idx, method in enumerate(("grade10", "constant")):
+                out.append([config if idx == 0 else "", method]
+                           + [f"{data[k][idx]:.2f}" for k in UPSAMPLING_RATIOS])
+        print(format_table(
+            ["config", "method"] + [f"{r}x" for r in UPSAMPLING_RATIOS], out,
+            title="Table II — relative sampling error (%)",
+        ))
+    elif args.artifact == "fig3":
+        for s in experiment_fig3(args.preset):
+            cap = float(s.n_threads)
+            print(f"[{s.config}]")
+            print(f"  usage  {sparkline(s.attributed_cpu, max_value=cap)}")
+            print(f"  demand {sparkline(s.estimated_demand, max_value=cap)}")
+    elif args.artifact == "fig4":
+        cells = experiment_fig4(args.preset)
+        grid: dict[str, dict[str, float]] = {}
+        for c in cells:
+            grid.setdefault(f"{c.system}/{c.dataset}/{c.algorithm}", {})[
+                c.resource_class
+            ] = c.improvement
+        print(format_table(
+            ["workload"] + list(RESOURCE_CLASSES),
+            [[w] + [f"{v.get(k, 0):.1%}" for k in RESOURCE_CLASSES] for w, v in grid.items()],
+            title="Figure 4 — bottleneck impact",
+        ))
+    elif args.artifact == "fig5":
+        cells = experiment_fig5(args.preset)
+        jobs: dict[str, dict[str, float]] = {}
+        for c in cells:
+            jobs.setdefault(f"{c.dataset}/{c.algorithm}", {})[c.phase] = c.improvement
+        print(format_table(
+            ["job"] + [p.rsplit("/", 1)[-1] for p in FIG5_PHASES],
+            [[j] + [f"{v.get(p, 0):.1%}" for p in FIG5_PHASES] for j, v in jobs.items()],
+            title="Figure 5 — imbalance impact",
+        ))
+    else:  # fig6
+        res = experiment_fig6(args.preset, bug_enabled=True)
+        print("Figure 6 — per-thread Gather durations, first iteration")
+        for worker, durs in sorted(res.thread_durations.items()):
+            med = median(durs)
+            marks = " ".join(
+                f"{d * 1000:.0f}ms" + ("*" if med > 0 and d > 1.5 * med else "")
+                for d in sorted(durs)
+            )
+            print(f"  {worker}: {marks}")
+        print(f"affected non-trivial steps: {res.affected_fraction:.0%}")
+        if res.slowdowns:
+            print(f"slowdowns: {min(res.slowdowns):.2f}x - {max(res.slowdowns):.2f}x")
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from .workloads.graphalytics import run_suite
+
+    systems = tuple(s.strip() for s in args.systems.split(",") if s.strip())
+    result = run_suite(preset=args.preset, systems=systems)
+    rows = [
+        [e.label, f"{e.makespan:.2f}s", f"{e.processing_time:.2f}s",
+         f"{e.evps / 1e6:.2f}M", e.n_iterations]
+        for e in result
+    ]
+    print(format_table(
+        ["workload", "makespan", "Tproc", "EVPS", "iterations"],
+        rows,
+        title=f"Benchmark suite ({args.preset})",
+    ))
+    return 0
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    rows = []
+    for name in dataset_names():
+        d = get_dataset(name)
+        tiny = d.graph("tiny")
+        small = d.graph("small")
+        rows.append([name, d.family, f"{tiny.n_edges}", f"{small.n_edges}", d.description])
+    print(format_table(["name", "family", "tiny |E|", "small |E|", "description"], rows))
+    return 0
+
+
+def _cmd_systems(_: argparse.Namespace) -> int:
+    print("systems:    " + ", ".join(SYSTEMS))
+    print("algorithms: " + ", ".join(sorted(ALGORITHMS)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "analyze": _cmd_analyze,
+        "experiment": _cmd_experiment,
+        "suite": _cmd_suite,
+        "datasets": _cmd_datasets,
+        "systems": _cmd_systems,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,19 @@
+"""Simulated cluster: event engine, machines, metrics, monitoring."""
+
+from .events import Barrier, Event, Process, Simulator
+from .machine import Cluster, Machine
+from .metrics import MetricsRecorder
+from .monitor import MonitoringAgent, read_monitoring_csv, write_monitoring_csv
+
+__all__ = [
+    "Barrier",
+    "Event",
+    "Process",
+    "Simulator",
+    "Cluster",
+    "Machine",
+    "MetricsRecorder",
+    "MonitoringAgent",
+    "read_monitoring_csv",
+    "write_monitoring_csv",
+]

@@ -1,0 +1,179 @@
+"""A minimal discrete-event simulation engine (SimPy-style).
+
+The system simulations (:mod:`repro.systems`) are written as generator
+processes that ``yield`` events:
+
+* ``yield sim.timeout(dt)`` — resume after ``dt`` simulated seconds;
+* ``yield event`` — resume when the event is triggered;
+* ``yield barrier.arrive()`` — resume when all parties have arrived.
+
+The engine is deterministic: simultaneous events fire in schedule order
+(a monotone sequence number breaks time ties), so every run with the same
+seed produces byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterator
+
+__all__ = ["Event", "Simulator", "Barrier", "Process"]
+
+
+class Event:
+    """A one-shot event that processes can wait on."""
+
+    __slots__ = ("sim", "_callbacks", "triggered", "value")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._callbacks: list[Callable[[Event], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event now; waiting processes resume immediately
+        (still in deterministic schedule order)."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        for cb in self._callbacks:
+            self.sim._schedule_callback(cb, self)
+        self._callbacks.clear()
+        return self
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Invoke ``cb(event)`` once the event triggers (immediately if it has)."""
+        if self.triggered:
+            self.sim._schedule_callback(cb, self)
+        else:
+            self._callbacks.append(cb)
+
+
+class Process:
+    """A generator-based process; itself an awaitable event that triggers
+    when the generator returns."""
+
+    __slots__ = ("sim", "_gen", "done", "_done_event")
+
+    def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any]) -> None:
+        self.sim = sim
+        self._gen = gen
+        self.done = False
+        self._done_event = Event(sim)
+        sim._schedule_callback(self._resume, None)
+
+    @property
+    def completion(self) -> Event:
+        """Event triggered (with the generator's return value) at exit."""
+        return self._done_event
+
+    def _resume(self, event: Event | None) -> None:
+        try:
+            value = event.value if event is not None else None
+            target = self._gen.send(value)
+        except StopIteration as stop:
+            self.done = True
+            self._done_event.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process yielded {type(target).__name__}, expected an Event"
+            )
+        target.add_callback(self._resume)
+
+
+class Barrier:
+    """A reusable synchronization barrier for ``n_parties`` processes.
+
+    Each participant yields the event returned by :meth:`arrive`; when the
+    last party arrives, the whole generation is released and the barrier
+    resets for the next generation.
+    """
+
+    def __init__(self, sim: "Simulator", n_parties: int) -> None:
+        if n_parties <= 0:
+            raise ValueError(f"n_parties must be > 0, got {n_parties}")
+        self.sim = sim
+        self.n_parties = n_parties
+        self._waiting = 0
+        self._event = Event(sim)
+
+    def arrive(self) -> Event:
+        """Register arrival; yield the returned event to wait for release."""
+        self._waiting += 1
+        event = self._event
+        if self._waiting >= self.n_parties:
+            self._waiting = 0
+            self._event = Event(self.sim)
+            event.succeed()
+        return event
+
+
+class Simulator:
+    """The event loop: a time-ordered heap of pending callbacks."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Callable[[Event | None], None], Event | None]] = []
+        self._seq: Iterator[int] = iter(range(1 << 62))
+
+    # ------------------------------------------------------------------ #
+    # Construction of awaitables
+    # ------------------------------------------------------------------ #
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that triggers ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        ev = Event(self)
+        ev.value = value
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), _fire, ev))
+        return ev
+
+    def process(self, gen: Generator[Event, Any, Any]) -> Process:
+        """Start a generator as a process."""
+        return Process(self, gen)
+
+    def barrier(self, n_parties: int) -> Barrier:
+        """A reusable barrier for ``n_parties`` processes."""
+        return Barrier(self, n_parties)
+
+    # ------------------------------------------------------------------ #
+    # Scheduling internals
+    # ------------------------------------------------------------------ #
+    def _schedule_callback(self, cb: Callable[[Event | None], None], event: Event | None) -> None:
+        heapq.heappush(self._heap, (self.now, next(self._seq), cb, event))
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self, until: float | None = None) -> float:
+        """Run until the event queue drains (or simulated time ``until``).
+
+        Returns the final simulated time.
+        """
+        while self._heap:
+            t, _, cb, ev = self._heap[0]
+            if until is not None and t > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = t
+            cb(ev)
+        return self.now
+
+
+def _fire(event: Event | None) -> None:
+    """Deliver a timeout: mark triggered and run registered callbacks."""
+    assert event is not None
+    if event.triggered:  # defensively tolerate a user succeed() racing us
+        return
+    event.triggered = True
+    for cb in event._callbacks:
+        event.sim._schedule_callback(cb, event)
+    event._callbacks.clear()

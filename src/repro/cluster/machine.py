@@ -1,0 +1,139 @@
+"""Simulated cluster machines: cores and NICs.
+
+A :class:`Machine` gives system simulations two primitives:
+
+* :meth:`work` — occupy one core for a duration (records CPU usage);
+* :meth:`send` — push bytes through the machine's egress NIC, a FIFO
+  served at fixed bandwidth (records network usage and returns the event
+  that fires when the transfer completes — which is how network backpressure
+  propagates into compute threads).
+
+Every activity is recorded into the shared
+:class:`~repro.cluster.metrics.MetricsRecorder` under per-machine resource
+names (``cpu@<machine>``, ``net@<machine>``), matching the per-instance
+resource naming the Grade10 models use.
+"""
+
+from __future__ import annotations
+
+from .events import Event, Simulator
+from .metrics import MetricsRecorder
+
+__all__ = ["Machine", "Cluster"]
+
+
+class Machine:
+    """One simulated machine with ``n_cores`` cores and one egress NIC."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        recorder: MetricsRecorder,
+        name: str,
+        *,
+        n_cores: int = 8,
+        net_bandwidth: float = 1.25e9,
+    ) -> None:
+        if n_cores <= 0:
+            raise ValueError(f"n_cores must be > 0, got {n_cores}")
+        if net_bandwidth <= 0:
+            raise ValueError(f"net_bandwidth must be > 0, got {net_bandwidth}")
+        self.sim = sim
+        self.recorder = recorder
+        self.name = name
+        self.n_cores = n_cores
+        self.net_bandwidth = net_bandwidth
+        self._nic_free_at = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Resource names
+    # ------------------------------------------------------------------ #
+    @property
+    def cpu_resource(self) -> str:
+        return f"cpu@{self.name}"
+
+    @property
+    def net_resource(self) -> str:
+        return f"net@{self.name}"
+
+    # ------------------------------------------------------------------ #
+    # Primitives
+    # ------------------------------------------------------------------ #
+    def work(self, duration: float, *, cpu_rate: float = 1.0) -> Event:
+        """Occupy one core for ``duration`` seconds; returns the timeout event.
+
+        ``cpu_rate`` is the effective core utilization the monitoring
+        counters observe (< 1.0 when the thread stalls on memory): real
+        threads do not burn exactly one core, which is precisely the model
+        mismatch that gives upsampling a non-zero error (Table II).
+
+        The simulations assign at most ``n_cores`` concurrently working
+        threads per machine, so cores are modeled without a queue; the
+        recorder simply accumulates ``cpu_rate`` per working thread.
+        """
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration}")
+        if not 0.0 <= cpu_rate <= 1.0:
+            raise ValueError(f"cpu_rate must be in [0, 1], got {cpu_rate}")
+        now = self.sim.now
+        if duration > 0 and cpu_rate > 0:
+            self.recorder.record(self.cpu_resource, now, now + duration, cpu_rate)
+        return self.sim.timeout(duration)
+
+    def send(self, n_bytes: float) -> Event:
+        """Enqueue ``n_bytes`` on the egress NIC; event fires at completion.
+
+        The NIC is a work-conserving FIFO at fixed bandwidth: a transfer
+        starts when all earlier transfers have drained, runs at full line
+        rate, and its completion time is what a blocked producer waits on.
+        """
+        if n_bytes < 0:
+            raise ValueError(f"n_bytes must be >= 0, got {n_bytes}")
+        now = self.sim.now
+        if n_bytes == 0:
+            return self.sim.timeout(0.0)
+        start = max(now, self._nic_free_at)
+        duration = n_bytes / self.net_bandwidth
+        end = start + duration
+        self._nic_free_at = end
+        self.recorder.record(self.net_resource, start, end, self.net_bandwidth)
+        return self.sim.timeout(end - now)
+
+    def nic_backlog(self) -> float:
+        """Seconds of queued transfers not yet drained."""
+        return max(0.0, self._nic_free_at - self.sim.now)
+
+
+class Cluster:
+    """A set of machines sharing one simulator and one metrics recorder."""
+
+    def __init__(
+        self,
+        n_machines: int,
+        *,
+        n_cores: int = 8,
+        net_bandwidth: float = 1.25e9,
+    ) -> None:
+        if n_machines <= 0:
+            raise ValueError(f"n_machines must be > 0, got {n_machines}")
+        self.sim = Simulator()
+        self.recorder = MetricsRecorder()
+        self.machines = [
+            Machine(
+                self.sim,
+                self.recorder,
+                f"m{k}",
+                n_cores=n_cores,
+                net_bandwidth=net_bandwidth,
+            )
+            for k in range(n_machines)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.machines)
+
+    def __getitem__(self, k: int) -> Machine:
+        return self.machines[k]
+
+    def __iter__(self):
+        return iter(self.machines)

@@ -1,0 +1,98 @@
+"""Monitoring agent: periodic sampling plus CSV persistence.
+
+Real deployments run a cluster monitor (Ganglia, Graphite) that samples
+resource gauges on a period and ships them to storage; Grade10 consumes
+that storage.  :class:`MonitoringAgent` plays that role for the simulated
+cluster: it downsamples the recorder's ground truth at a configurable
+interval and reads/writes the flat CSV format the adapters parse
+(``resource,t_start,t_end,value`` per row).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from ..core.traces import ResourceTrace
+from .metrics import MetricsRecorder
+
+__all__ = ["MonitoringAgent", "write_monitoring_csv", "read_monitoring_csv"]
+
+_HEADER = ["resource", "t_start", "t_end", "value"]
+
+
+class MonitoringAgent:
+    """Samples a recorder at a fixed interval, like a cluster monitor.
+
+    ``jitter`` and ``drop_rate`` model collector imperfections (seeded),
+    forwarded to :meth:`MetricsRecorder.sample`.
+    """
+
+    def __init__(
+        self,
+        recorder: MetricsRecorder,
+        *,
+        interval: float = 0.4,
+        jitter: float = 0.0,
+        drop_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.recorder = recorder
+        self.interval = interval
+        self.jitter = jitter
+        self.drop_rate = drop_rate
+        self.seed = seed
+
+    def collect(self, *, t0: float = 0.0, t_end: float | None = None) -> ResourceTrace:
+        """Produce the coarse monitoring trace of the whole run."""
+        return self.recorder.sample(
+            self.interval,
+            t0=t0,
+            t_end=t_end,
+            jitter=self.jitter,
+            drop_rate=self.drop_rate,
+            seed=self.seed,
+        )
+
+    def collect_to_csv(self, path: str | Path, *, t0: float = 0.0, t_end: float | None = None) -> None:
+        """Sample and persist to the monitoring CSV format."""
+        write_monitoring_csv(self.collect(t0=t0, t_end=t_end), path)
+
+
+def write_monitoring_csv(trace: ResourceTrace, path: str | Path | io.TextIOBase) -> None:
+    """Write a resource trace's measurements as CSV rows."""
+    own = isinstance(path, (str, Path))
+    fh = open(path, "w", newline="") if own else path
+    try:
+        writer = csv.writer(fh)
+        writer.writerow(_HEADER)
+        for resource in trace.measured_resources():
+            for m in trace.measurements(resource):
+                writer.writerow([m.resource, repr(m.t_start), repr(m.t_end), repr(m.value)])
+    finally:
+        if own:
+            fh.close()
+
+
+def read_monitoring_csv(path: str | Path | io.TextIOBase) -> ResourceTrace:
+    """Parse a monitoring CSV back into a :class:`ResourceTrace`."""
+    own = isinstance(path, (str, Path))
+    fh = open(path, "r", newline="") if own else path
+    trace = ResourceTrace()
+    try:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header is not None and header != _HEADER:
+            raise ValueError(f"unexpected monitoring CSV header: {header}")
+        for row in reader:
+            if not row:
+                continue
+            resource, t_start, t_end, value = row
+            trace.add_measurement(resource, float(t_start), float(t_end), float(value))
+    finally:
+        if own:
+            fh.close()
+    return trace

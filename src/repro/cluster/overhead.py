@@ -1,0 +1,84 @@
+"""Monitoring overhead model (requirement R4).
+
+The paper's central trade-off: fine-grained monitoring is accurate but
+expensive; coarse monitoring is cheap but blurry — and Grade10's upsampling
+lets you run coarse *and* analyze fine.  Its recommendation is to upsample
+by up to 8× "to achieve a good balance between accuracy and reduced
+monitoring overhead".
+
+This module quantifies the overhead side of that trade-off for a run:
+
+* **data volume** — one sample per (resource, window), at a configurable
+  record size, matching how Ganglia-style collectors scale;
+* **collection CPU cost** — a fixed per-sample cost on the monitored node
+  (reading counters, serializing, shipping), expressed as a fraction of
+  the run's total CPU budget.
+
+Combining these with the Table II error curve yields the
+accuracy-vs-overhead frontier the recommendation is read from
+(``bench_ablation_overhead``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .metrics import MetricsRecorder
+
+__all__ = ["MonitoringOverhead", "estimate_overhead"]
+
+#: Bytes per monitoring record: resource id + window + value, serialized.
+DEFAULT_RECORD_BYTES = 64
+#: CPU-seconds per sample on the monitored node (counter read + ship).
+DEFAULT_CPU_PER_SAMPLE = 50e-6
+
+
+@dataclass(frozen=True)
+class MonitoringOverhead:
+    """Monitoring cost of one run at one sampling interval."""
+
+    interval: float
+    n_resources: int
+    n_samples: int
+    data_bytes: float
+    cpu_seconds: float
+    run_duration: float
+    total_cpu_capacity_seconds: float
+
+    @property
+    def samples_per_second(self) -> float:
+        return self.n_samples / self.run_duration if self.run_duration > 0 else 0.0
+
+    @property
+    def cpu_fraction(self) -> float:
+        """Monitoring CPU as a fraction of the cluster's CPU budget."""
+        if self.total_cpu_capacity_seconds <= 0:
+            return 0.0
+        return self.cpu_seconds / self.total_cpu_capacity_seconds
+
+
+def estimate_overhead(
+    recorder: MetricsRecorder,
+    interval: float,
+    *,
+    run_duration: float | None = None,
+    total_cores: int = 16,
+    record_bytes: float = DEFAULT_RECORD_BYTES,
+    cpu_per_sample: float = DEFAULT_CPU_PER_SAMPLE,
+) -> MonitoringOverhead:
+    """Estimate the monitoring cost of sampling ``recorder`` at ``interval``."""
+    if interval <= 0:
+        raise ValueError(f"interval must be > 0, got {interval}")
+    duration = run_duration if run_duration is not None else recorder.t_end
+    n_resources = len(recorder.resources())
+    n_windows = int(max(duration, 0.0) / interval) + (1 if duration > 0 else 0)
+    n_samples = n_resources * n_windows
+    return MonitoringOverhead(
+        interval=interval,
+        n_resources=n_resources,
+        n_samples=n_samples,
+        data_bytes=n_samples * record_bytes,
+        cpu_seconds=n_samples * cpu_per_sample,
+        run_duration=duration,
+        total_cpu_capacity_seconds=duration * total_cores,
+    )

@@ -1,0 +1,167 @@
+"""Profile comparison: quantify the effect of a change between two runs.
+
+The paper's debugging story ends where most performance work begins again:
+a fix gets made, and someone must verify it helped.  This module compares
+two characterized runs of the same workload — before and after a change —
+and reports
+
+* the makespan delta,
+* per-phase-type total-duration deltas (which operations got faster),
+* per-resource bottleneck-time deltas (which bottlenecks shrank),
+* outlier-statistics deltas (did the stragglers go away?).
+
+Phase matching is by *type*, not instance, so the two runs may differ in
+instance counts (e.g. a fix that changes iteration counts still compares).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from io import StringIO
+
+from .profile import PerformanceProfile
+
+__all__ = ["PhaseDelta", "ProfileDiff", "compare_profiles", "render_diff"]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class PhaseDelta:
+    """Duration change of one phase type between two runs."""
+
+    phase_path: str
+    before_total: float
+    after_total: float
+    before_instances: int
+    after_instances: int
+
+    @property
+    def delta(self) -> float:
+        return self.after_total - self.before_total
+
+    @property
+    def ratio(self) -> float:
+        if self.before_total <= _EPS:
+            return float("inf") if self.after_total > _EPS else 1.0
+        return self.after_total / self.before_total
+
+
+@dataclass
+class ProfileDiff:
+    """Structured comparison of two profiles of the same workload."""
+
+    makespan_before: float
+    makespan_after: float
+    phases: list[PhaseDelta] = field(default_factory=list)
+    bottleneck_before: dict[str, float] = field(default_factory=dict)
+    bottleneck_after: dict[str, float] = field(default_factory=dict)
+    outlier_fraction_before: float = 0.0
+    outlier_fraction_after: float = 0.0
+    worst_slowdown_before: float = 1.0
+    worst_slowdown_after: float = 1.0
+
+    @property
+    def speedup(self) -> float:
+        if self.makespan_after <= _EPS:
+            return float("inf")
+        return self.makespan_before / self.makespan_after
+
+    def phase(self, phase_path: str) -> PhaseDelta:
+        """The delta of one phase type (``KeyError`` if absent from both runs)."""
+        for p in self.phases:
+            if p.phase_path == phase_path:
+                return p
+        raise KeyError(f"no delta for phase {phase_path!r}")
+
+    def improved_phases(self, *, min_delta: float = 0.0) -> list[PhaseDelta]:
+        """Phase types whose total duration shrank, most-improved first."""
+        return sorted(
+            (p for p in self.phases if p.delta < -min_delta), key=lambda p: p.delta
+        )
+
+    def regressed_phases(self, *, min_delta: float = 0.0) -> list[PhaseDelta]:
+        """Phase types whose total duration grew, most-regressed first."""
+        return sorted(
+            (p for p in self.phases if p.delta > min_delta), key=lambda p: -p.delta
+        )
+
+
+def _phase_totals(profile: PerformanceProfile) -> dict[str, tuple[float, int]]:
+    out: dict[str, tuple[float, int]] = {}
+    for inst in profile.execution_trace.instances():
+        total, count = out.get(inst.phase_path, (0.0, 0))
+        out[inst.phase_path] = (total + inst.duration, count + 1)
+    return out
+
+
+def compare_profiles(before: PerformanceProfile, after: PerformanceProfile) -> ProfileDiff:
+    """Compare two profiles of the same workload (before → after)."""
+    tb, ta = _phase_totals(before), _phase_totals(after)
+    phases = [
+        PhaseDelta(
+            phase_path=path,
+            before_total=tb.get(path, (0.0, 0))[0],
+            after_total=ta.get(path, (0.0, 0))[0],
+            before_instances=tb.get(path, (0.0, 0))[1],
+            after_instances=ta.get(path, (0.0, 0))[1],
+        )
+        for path in sorted(set(tb) | set(ta))
+    ]
+
+    def worst_slowdown(profile: PerformanceProfile) -> float:
+        slowdowns = profile.outliers.slowdowns()
+        return max(slowdowns) if slowdowns else 1.0
+
+    return ProfileDiff(
+        makespan_before=before.makespan,
+        makespan_after=after.makespan,
+        phases=phases,
+        bottleneck_before=before.bottlenecks.bottleneck_time_by_resource(),
+        bottleneck_after=after.bottlenecks.bottleneck_time_by_resource(),
+        outlier_fraction_before=before.outliers.affected_fraction,
+        outlier_fraction_after=after.outliers.affected_fraction,
+        worst_slowdown_before=worst_slowdown(before),
+        worst_slowdown_after=worst_slowdown(after),
+    )
+
+
+def render_diff(diff: ProfileDiff, *, top: int = 8) -> str:
+    """Human-readable before/after comparison."""
+    out = StringIO()
+    out.write("Profile comparison (before → after)\n")
+    out.write("===================================\n")
+    out.write(
+        f"makespan: {diff.makespan_before:.3f}s → {diff.makespan_after:.3f}s "
+        f"({diff.speedup:.2f}x)\n"
+    )
+    improved = diff.improved_phases()[:top]
+    if improved:
+        out.write("\nimproved phases:\n")
+        for p in improved:
+            out.write(
+                f"  {p.phase_path}: {p.before_total:.3f}s → {p.after_total:.3f}s "
+                f"({p.ratio:.2f}x)\n"
+            )
+    regressed = diff.regressed_phases()[:top]
+    if regressed:
+        out.write("\nregressed phases:\n")
+        for p in regressed:
+            out.write(
+                f"  {p.phase_path}: {p.before_total:.3f}s → {p.after_total:.3f}s "
+                f"({p.ratio:.2f}x)\n"
+            )
+    resources = sorted(set(diff.bottleneck_before) | set(diff.bottleneck_after))
+    if resources:
+        out.write("\nbottleneck time by resource:\n")
+        for r in resources:
+            b = diff.bottleneck_before.get(r, 0.0)
+            a = diff.bottleneck_after.get(r, 0.0)
+            out.write(f"  {r}: {b:.3f}s → {a:.3f}s\n")
+    out.write(
+        f"\noutlier-affected steps: {diff.outlier_fraction_before:.0%} → "
+        f"{diff.outlier_fraction_after:.0%}; "
+        f"worst step slowdown: {diff.worst_slowdown_before:.2f}x → "
+        f"{diff.worst_slowdown_after:.2f}x\n"
+    )
+    return out.getvalue()

@@ -1,0 +1,114 @@
+"""Time-window drill-down into a performance profile.
+
+The hierarchical summaries aggregate over the whole run; analysts usually
+want the opposite next: "what happened *during superstep 7*?".  A
+:class:`WindowView` restricts a profile to a time interval (or to one
+phase instance's lifetime) and reports, for just that window,
+
+* per-resource consumption, average utilization, and saturation time,
+* the phase instances active in the window with their overlap,
+* blocked time per blocking resource.
+
+Everything is computed from the profile's existing per-slice arrays — no
+re-characterization — so drilling is instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from io import StringIO
+
+import numpy as np
+
+from .bottlenecks import SATURATION_THRESHOLD
+from .profile import PerformanceProfile
+from .traces import PhaseInstance
+
+__all__ = ["WindowView", "drill_down", "drill_into_instance"]
+
+
+@dataclass
+class WindowView:
+    """Profile statistics restricted to ``[t_start, t_end)``."""
+
+    t_start: float
+    t_end: float
+    #: resource -> (consumption in unit-seconds, mean utilization, saturated seconds)
+    resources: dict[str, tuple[float, float, float]] = field(default_factory=dict)
+    #: instances overlapping the window, with their overlap in seconds
+    active: list[tuple[PhaseInstance, float]] = field(default_factory=list)
+    #: blocking resource -> blocked seconds within the window
+    blocked: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    def render(self, *, top: int = 12) -> str:
+        """Plain-text summary of the window."""
+        out = StringIO()
+        out.write(f"window [{self.t_start:.3f}s, {self.t_end:.3f}s) — {self.duration:.3f}s\n")
+        out.write("resources:\n")
+        for name, (consumed, util, saturated) in sorted(
+            self.resources.items(), key=lambda kv: -kv[1][1]
+        ):
+            line = f"  {name}: mean util {util:.0%}"
+            if saturated > 0:
+                line += f", saturated {saturated:.3f}s"
+            out.write(line + "\n")
+        out.write("active phases (by overlap):\n")
+        for inst, overlap in sorted(self.active, key=lambda p: -p[1])[:top]:
+            out.write(f"  {inst.phase_path} [{inst.instance_id}]: {overlap:.3f}s\n")
+        if self.blocked:
+            out.write("blocked time:\n")
+            for resource, dur in sorted(self.blocked.items(), key=lambda kv: -kv[1]):
+                out.write(f"  {resource}: {dur:.3f}s\n")
+        return out.getvalue()
+
+
+def drill_down(
+    profile: PerformanceProfile,
+    t_start: float,
+    t_end: float,
+    *,
+    saturation_threshold: float = SATURATION_THRESHOLD,
+) -> WindowView:
+    """Restrict ``profile`` to a time window."""
+    if t_end <= t_start:
+        raise ValueError(f"window must have positive length: {t_start} .. {t_end}")
+    grid = profile.grid
+    lo, hi = grid.slice_range(t_start, t_end)
+    view = WindowView(t_start=t_start, t_end=t_end)
+
+    for name in profile.upsampled.resources():
+        ur = profile.upsampled[name]
+        rates = ur.rate[lo:hi]
+        if rates.size == 0:
+            view.resources[name] = (0.0, 0.0, 0.0)
+            continue
+        util = rates / ur.capacity
+        view.resources[name] = (
+            float(rates.sum() * grid.slice_duration),
+            float(util.mean()),
+            float(np.count_nonzero(util >= saturation_threshold) * grid.slice_duration),
+        )
+
+    for inst in profile.execution_trace.instances():
+        overlap = min(inst.t_end, t_end) - max(inst.t_start, t_start)
+        if overlap > 0:
+            view.active.append((inst, overlap))
+            for ev in inst.blocking:
+                b = min(ev.t_end, t_end) - max(ev.t_start, t_start)
+                if b > 0:
+                    view.blocked[ev.resource] = view.blocked.get(ev.resource, 0.0) + b
+    return view
+
+
+def drill_into_instance(profile: PerformanceProfile, instance: PhaseInstance | str) -> WindowView:
+    """Restrict ``profile`` to one phase instance's lifetime."""
+    inst = (
+        profile.execution_trace[instance] if isinstance(instance, str) else instance
+    )
+    if inst.duration <= 0:
+        raise ValueError(f"instance {inst.instance_id!r} has zero duration")
+    return drill_down(profile, inst.t_start, inst.t_end)

@@ -1,0 +1,123 @@
+"""JSON export of performance profiles.
+
+Profiles hold numpy arrays and object graphs; downstream tooling (plotting
+notebooks, dashboards, regression tracking) wants a stable, serializable
+summary.  :func:`profile_to_dict` flattens a profile into plain dicts and
+lists; :func:`write_profile_json` persists it.
+
+The export is a *summary*, not a lossless dump: per-slice matrices are
+reduced to per-phase-type and per-resource totals plus the per-slice
+utilization series of each resource (which is small and what plots need).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .bottlenecks import BottleneckKind
+from .profile import PerformanceProfile
+
+__all__ = ["profile_to_dict", "write_profile_json"]
+
+
+def profile_to_dict(profile: PerformanceProfile, *, series: bool = True) -> dict[str, Any]:
+    """Flatten a profile into JSON-serializable structures.
+
+    With ``series=False``, the per-slice utilization arrays are omitted
+    (totals only), which keeps exports of long runs tiny.
+    """
+    grid = profile.grid
+    trace = profile.execution_trace
+
+    phase_types: dict[str, dict[str, Any]] = {}
+    for inst in trace.instances():
+        agg = phase_types.setdefault(
+            inst.phase_path,
+            {"instances": 0, "total_duration": 0.0, "blocked_time": 0.0},
+        )
+        agg["instances"] += 1
+        agg["total_duration"] += inst.duration
+        agg["blocked_time"] += sum(iv[1] - iv[0] for iv in inst.blocked_intervals())
+
+    resources: dict[str, dict[str, Any]] = {}
+    for name in profile.upsampled.resources():
+        ur = profile.upsampled[name]
+        entry: dict[str, Any] = {
+            "capacity": ur.capacity,
+            "total_consumption": float(ur.rate.sum() * grid.slice_duration),
+            "peak_utilization": float(ur.utilization.max()) if ur.rate.size else 0.0,
+            "unexplained_consumption": float(ur.unexplained.sum() * grid.slice_duration),
+        }
+        if series:
+            entry["utilization"] = [round(float(u), 6) for u in ur.utilization]
+        resources[name] = entry
+
+    bottlenecks = [
+        {
+            "kind": b.kind.value,
+            "instance": b.instance_id,
+            "phase": b.phase_path,
+            "resource": b.resource,
+            "duration": b.duration,
+        }
+        for b in profile.bottlenecks
+    ]
+    bottleneck_totals = {
+        kind.value: {
+            res: dur
+            for res, dur in sorted(
+                _totals_by_resource(profile, kind).items(), key=lambda kv: -kv[1]
+            )
+        }
+        for kind in BottleneckKind
+    }
+
+    issues = [
+        {
+            "kind": i.kind,
+            "subject": i.subject,
+            "makespan_reduction": i.makespan_reduction,
+            "improvement": i.improvement,
+            "affected_instances": len(i.affected_instances),
+        }
+        for i in profile.issues.top(len(profile.issues.issues))
+    ]
+
+    outliers = {
+        "nontrivial_groups": len(profile.outliers.nontrivial_groups()),
+        "affected_groups": len(profile.outliers.affected_groups()),
+        "affected_fraction": profile.outliers.affected_fraction,
+        "slowdowns": profile.outliers.slowdowns(),
+    }
+
+    return {
+        "makespan": profile.makespan,
+        "grid": {
+            "t0": grid.t0,
+            "slice_duration": grid.slice_duration,
+            "n_slices": grid.n_slices,
+        },
+        "phase_types": phase_types,
+        "resources": resources,
+        "bottlenecks": bottlenecks,
+        "bottleneck_totals": bottleneck_totals,
+        "issues": issues,
+        "baseline_makespan": profile.issues.baseline_makespan,
+        "outliers": outliers,
+    }
+
+
+def _totals_by_resource(profile: PerformanceProfile, kind: BottleneckKind) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for b in profile.bottlenecks.for_kind(kind):
+        out[b.resource] = out.get(b.resource, 0.0) + b.duration
+    return out
+
+
+def write_profile_json(
+    profile: PerformanceProfile, path: str | Path, *, series: bool = True
+) -> None:
+    """Serialize a profile summary to a JSON file."""
+    Path(path).write_text(json.dumps(profile_to_dict(profile, series=series), indent=2))

@@ -1,0 +1,131 @@
+"""Hierarchical performance summaries (paper §III-B's upward propagation).
+
+Grade10 characterizes performance by "first relating system-level
+performance to fine-grained, low-level phases, and then propagating
+performance data up the hierarchy to characterize the performance of
+high-level phases".  This module materializes that propagation: a
+:class:`PhaseSummary` tree mirroring the execution model, where every node
+aggregates — over all instances of its phase type —
+
+* instance counts and total/mean/max durations,
+* blocked time per blocking resource,
+* attributed consumption per consumable resource (roll-up of descendants),
+* bottlenecked time per resource.
+
+:func:`summarize` builds the tree from a profile;
+:func:`render_phase_tree` draws it as an indented text tree, the
+hierarchical view analysts start from before drilling into timeslices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from io import StringIO
+
+from .profile import PerformanceProfile
+
+__all__ = ["PhaseSummary", "summarize", "render_phase_tree"]
+
+
+@dataclass
+class PhaseSummary:
+    """Aggregated performance data of one phase type (one tree node)."""
+
+    phase_path: str
+    n_instances: int = 0
+    total_duration: float = 0.0
+    max_duration: float = 0.0
+    blocked_time: dict[str, float] = field(default_factory=dict)
+    resource_usage: dict[str, float] = field(default_factory=dict)  # unit-seconds
+    bottleneck_time: dict[str, float] = field(default_factory=dict)
+    children: dict[str, "PhaseSummary"] = field(default_factory=dict)
+
+    @property
+    def mean_duration(self) -> float:
+        return self.total_duration / self.n_instances if self.n_instances else 0.0
+
+    @property
+    def total_blocked(self) -> float:
+        return sum(self.blocked_time.values())
+
+    def walk(self):
+        """Depth-first iteration over (depth, node)."""
+        stack = [(0, self)]
+        while stack:
+            depth, node = stack.pop()
+            yield depth, node
+            for child in reversed(list(node.children.values())):
+                stack.append((depth + 1, child))
+
+    def find(self, phase_path: str) -> "PhaseSummary":
+        """Locate the summary node for one phase type (``KeyError`` if absent)."""
+        for _, node in self.walk():
+            if node.phase_path == phase_path:
+                return node
+        raise KeyError(f"no summary node for {phase_path!r}")
+
+
+def summarize(profile: PerformanceProfile) -> PhaseSummary:
+    """Build the phase-type summary tree from a characterized run."""
+    trace = profile.execution_trace
+    root = PhaseSummary(phase_path="/")
+
+    def node_for(path: str) -> PhaseSummary:
+        node = root
+        parts = [p for p in path.split("/") if p]
+        built = ""
+        for part in parts:
+            built += "/" + part
+            if part not in node.children:
+                node.children[part] = PhaseSummary(phase_path=built)
+            node = node.children[part]
+        return node
+
+    for inst in trace.instances():
+        node = node_for(inst.phase_path)
+        node.n_instances += 1
+        node.total_duration += inst.duration
+        node.max_duration = max(node.max_duration, inst.duration)
+        for ev in inst.blocking:
+            node.blocked_time[ev.resource] = node.blocked_time.get(ev.resource, 0.0) + ev.duration
+        for resource in profile.attribution.resources():
+            used = profile.attribution.total_usage(inst, resource)
+            if used > 0.0:
+                node.resource_usage[resource] = node.resource_usage.get(resource, 0.0) + used
+
+    for b in profile.bottlenecks:
+        node = node_for(b.phase_path)
+        node.bottleneck_time[b.resource] = node.bottleneck_time.get(b.resource, 0.0) + b.duration
+
+    return root
+
+
+def _fmt_seconds(s: float) -> str:
+    if s >= 100.0:
+        return f"{s:,.0f}s"
+    if s >= 1.0:
+        return f"{s:.2f}s"
+    return f"{s * 1000.0:.0f}ms"
+
+
+def render_phase_tree(root: PhaseSummary, *, max_depth: int | None = None) -> str:
+    """Indented text rendering of the summary tree."""
+    out = StringIO()
+    out.write("phase tree (instances, total / mean duration, blocked)\n")
+    for depth, node in root.walk():
+        if node.phase_path == "/":
+            continue
+        if max_depth is not None and depth > max_depth:
+            continue
+        indent = "  " * (depth - 1)
+        name = node.phase_path.rsplit("/", 1)[-1]
+        line = (
+            f"{indent}{name}: n={node.n_instances}, "
+            f"total={_fmt_seconds(node.total_duration)}, "
+            f"mean={_fmt_seconds(node.mean_duration)}"
+        )
+        if node.total_blocked > 0:
+            worst = max(node.blocked_time, key=node.blocked_time.get)
+            line += f", blocked={_fmt_seconds(node.total_blocked)} (mostly {worst})"
+        out.write(line + "\n")
+    return out.getvalue()

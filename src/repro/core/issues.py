@@ -1,0 +1,292 @@
+"""Performance-issue detection (paper §III-F).
+
+For each candidate issue Grade10 determines how fixing it would change the
+durations of a specific set of phases, replays the trace with the adjusted
+durations (:mod:`repro.core.simulation`), and reports the difference between
+the optimistic makespan and the baseline simulated makespan — an upper
+bound on the achievable improvement.  Issues below a minimum improvement
+threshold are suppressed.
+
+Two issue classes are implemented, matching the paper:
+
+* **Extensive resource bottlenecks** — for each resource, estimate how much
+  shorter each bottlenecked phase could become *until another resource
+  becomes the bottleneck*: a slice bottlenecked on resource ``r`` can only
+  compress until the busiest other resource used by the phase saturates.
+  Blocking-resource bottlenecks compress by the full blocked time.
+
+* **Imbalanced execution** — sets of concurrent phases of the same type
+  (same parent) are assumed to have interchangeable work; the what-if
+  scenario gives every phase in the set the mean duration (total duration
+  preserved) and replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .attribution import AttributionResult
+from .bottlenecks import BottleneckKind, BottleneckReport
+from .phases import ExecutionModel
+from .simulation import ReplaySimulator
+from .traces import ExecutionTrace
+from .upsample import UpsampledTrace
+
+__all__ = [
+    "PerformanceIssue",
+    "IssueReport",
+    "detect_bottleneck_issues",
+    "detect_imbalance_issues",
+    "detect_issues",
+    "DEFAULT_MIN_IMPROVEMENT",
+]
+
+#: Issues improving the makespan by less than this fraction are suppressed.
+DEFAULT_MIN_IMPROVEMENT = 0.01
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class PerformanceIssue:
+    """One detected issue with its optimistic impact estimate.
+
+    ``makespan_reduction`` is in seconds; ``improvement`` is the fractional
+    reduction relative to the baseline simulated makespan.
+    """
+
+    kind: str
+    subject: str
+    description: str
+    affected_instances: tuple[str, ...]
+    baseline_makespan: float
+    optimistic_makespan: float
+
+    @property
+    def makespan_reduction(self) -> float:
+        return self.baseline_makespan - self.optimistic_makespan
+
+    @property
+    def improvement(self) -> float:
+        if self.baseline_makespan <= _EPS:
+            return 0.0
+        return self.makespan_reduction / self.baseline_makespan
+
+
+@dataclass
+class IssueReport:
+    """All performance issues detected in one run, sorted by impact."""
+
+    baseline_makespan: float
+    issues: list[PerformanceIssue] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.issues)
+
+    def __len__(self) -> int:
+        return len(self.issues)
+
+    def top(self, n: int = 10) -> list[PerformanceIssue]:
+        """The ``n`` highest-impact issues, by absolute makespan reduction."""
+        return sorted(self.issues, key=lambda i: i.makespan_reduction, reverse=True)[:n]
+
+    def by_kind(self, kind: str) -> list[PerformanceIssue]:
+        """Issues of one kind (``resource-bottleneck`` / ``imbalance``)."""
+        return [i for i in self.issues if i.kind == kind]
+
+    def by_subject(self, subject: str) -> list[PerformanceIssue]:
+        """Issues about one subject (a resource name or phase path)."""
+        return [i for i in self.issues if i.subject == subject]
+
+
+def _bottleneck_reductions(
+    resource: str,
+    trace: ExecutionTrace,
+    report: BottleneckReport,
+    upsampled: UpsampledTrace,
+    attribution: AttributionResult | None,
+) -> dict[str, float]:
+    """Per-instance duration reductions from removing bottlenecks on ``resource``.
+
+    For blocking resources, a phase recovers its full blocked time.  For
+    consumable resources, each bottlenecked slice compresses until the
+    busiest *other* resource the phase uses would saturate: a slice where
+    another resource runs at utilization ``u`` can shrink to ``u`` of its
+    width, recovering ``(1 - u) × slice_duration``.
+    """
+    grid = report.grid
+    reductions: dict[str, float] = {}
+    for b in report.for_resource(resource):
+        if b.kind == BottleneckKind.BLOCKING:
+            reductions[b.instance_id] = reductions.get(b.instance_id, 0.0) + b.duration
+            continue
+        if b.slices is None:
+            continue
+        # Utilization of the other resources this instance uses, per slice.
+        next_util = np.zeros(grid.n_slices)
+        if attribution is not None:
+            for other in upsampled.resources():
+                if other == resource or other not in attribution:
+                    continue
+                dem = attribution.demand_of(b.instance_id, other)
+                used = dem > _EPS
+                if not np.any(used):
+                    continue
+                util = upsampled[other].utilization
+                np.maximum(next_util, np.where(used, util, 0.0), out=next_util)
+        recovered = float(np.sum((1.0 - np.minimum(next_util[b.slices], 1.0)))) * grid.slice_duration
+        if recovered > 0.0:
+            reductions[b.instance_id] = reductions.get(b.instance_id, 0.0) + recovered
+    # A phase can never shrink below zero.
+    for iid, red in list(reductions.items()):
+        reductions[iid] = min(red, trace[iid].duration)
+    return reductions
+
+
+def detect_bottleneck_issues(
+    trace: ExecutionTrace,
+    model: ExecutionModel | None,
+    report: BottleneckReport,
+    upsampled: UpsampledTrace,
+    attribution: AttributionResult | None = None,
+    *,
+    min_improvement: float = DEFAULT_MIN_IMPROVEMENT,
+    simulator: ReplaySimulator | None = None,
+    resource_groups: dict[str, list[str]] | None = None,
+) -> IssueReport:
+    """Estimate the impact of removing all bottlenecks on each resource.
+
+    ``resource_groups`` evaluates named groups of resources jointly instead
+    of single resources — e.g. ``{"compute": ["cpu@m0", "cpu@m1", ...]}``
+    simulates eliminating *all* CPU bottlenecks cluster-wide, which is how
+    Figure 4 reports bottleneck impact per resource class.
+    """
+    sim = simulator or ReplaySimulator(trace, model)
+    baseline = sim.baseline().makespan
+    issues: list[PerformanceIssue] = []
+
+    if resource_groups is None:
+        groups: dict[str, list[str]] = {r: [r] for r in sorted({b.resource for b in report})}
+    else:
+        groups = dict(resource_groups)
+
+    for subject, members in groups.items():
+        reductions: dict[str, float] = {}
+        for resource in members:
+            for iid, red in _bottleneck_reductions(
+                resource, trace, report, upsampled, attribution
+            ).items():
+                reductions[iid] = reductions.get(iid, 0.0) + red
+        if not reductions:
+            continue
+        durations = {
+            iid: max(trace[iid].duration - red, 0.0) for iid, red in reductions.items()
+        }
+        optimistic = sim.simulate(durations).makespan
+        issue = PerformanceIssue(
+            kind="resource-bottleneck",
+            subject=subject,
+            description=(
+                f"Removing all bottlenecks on {subject!r} could reduce the makespan by "
+                f"{baseline - optimistic:.3f}s ({(baseline - optimistic) / max(baseline, _EPS):.1%})"
+            ),
+            affected_instances=tuple(sorted(reductions)),
+            baseline_makespan=baseline,
+            optimistic_makespan=optimistic,
+        )
+        if issue.improvement >= min_improvement:
+            issues.append(issue)
+    return IssueReport(baseline_makespan=baseline, issues=issues)
+
+
+def detect_imbalance_issues(
+    trace: ExecutionTrace,
+    model: ExecutionModel | None,
+    *,
+    min_improvement: float = DEFAULT_MIN_IMPROVEMENT,
+    min_group_size: int = 2,
+    simulator: ReplaySimulator | None = None,
+) -> IssueReport:
+    """Estimate the impact of perfectly balancing concurrent same-type phases.
+
+    Groups are (parent instance, phase type) sets; only groups whose phase
+    type is marked ``concurrent`` in the model (or any group when no model
+    is given) are considered, and only work within one group is treated as
+    interchangeable — e.g. compute phases of one superstep, never across
+    supersteps.  Issues are reported per phase *type*, rebalancing all of
+    that type's groups at once, which is how Figure 5 aggregates them.
+    """
+    sim = simulator or ReplaySimulator(trace, model)
+    baseline = sim.baseline().makespan
+    issues: list[PerformanceIssue] = []
+
+    # Collect candidate groups per phase type.
+    groups_by_type: dict[str, list[list[str]]] = {}
+    for (parent_id, phase_path), insts in trace.concurrent_groups().items():
+        if len(insts) < min_group_size:
+            continue
+        if model is not None:
+            try:
+                node = model[phase_path]
+            except KeyError:
+                continue
+            if not node.concurrent or not node.balanceable:
+                continue
+        groups_by_type.setdefault(phase_path, []).append([i.instance_id for i in insts])
+
+    for phase_path, groups in sorted(groups_by_type.items()):
+        durations: dict[str, float] = {}
+        affected: list[str] = []
+        for group in groups:
+            mean = float(np.mean([trace[iid].duration for iid in group]))
+            for iid in group:
+                inst = trace[iid]
+                kids = trace.children_of(inst)
+                if not kids:
+                    durations[iid] = mean
+                else:
+                    # Inner instance (e.g. a per-worker Compute wrapping its
+                    # threads): equalize by scaling every leaf descendant —
+                    # "perfectly balanced" across workers while leaf totals
+                    # shrink/grow proportionally.
+                    scale = mean / inst.duration if inst.duration > 0 else 1.0
+                    for desc in trace.descendants_of(inst):
+                        if not trace.children_of(desc):
+                            durations[desc.instance_id] = desc.duration * scale
+                affected.append(iid)
+        optimistic = sim.simulate(durations).makespan
+        issue = PerformanceIssue(
+            kind="imbalance",
+            subject=phase_path,
+            description=(
+                f"Perfectly balancing {len(affected)} {phase_path!r} phases across "
+                f"{len(groups)} group(s) could reduce the makespan by "
+                f"{baseline - optimistic:.3f}s ({(baseline - optimistic) / max(baseline, _EPS):.1%})"
+            ),
+            affected_instances=tuple(affected),
+            baseline_makespan=baseline,
+            optimistic_makespan=optimistic,
+        )
+        if issue.improvement >= min_improvement:
+            issues.append(issue)
+    return IssueReport(baseline_makespan=baseline, issues=issues)
+
+
+def detect_issues(
+    trace: ExecutionTrace,
+    model: ExecutionModel | None,
+    report: BottleneckReport,
+    upsampled: UpsampledTrace,
+    attribution: AttributionResult | None = None,
+    *,
+    min_improvement: float = DEFAULT_MIN_IMPROVEMENT,
+) -> IssueReport:
+    """Run all issue detectors and merge their reports."""
+    sim = ReplaySimulator(trace, model)
+    b = detect_bottleneck_issues(
+        trace, model, report, upsampled, attribution,
+        min_improvement=min_improvement, simulator=sim,
+    )
+    i = detect_imbalance_issues(trace, model, min_improvement=min_improvement, simulator=sim)
+    return IssueReport(baseline_makespan=b.baseline_makespan, issues=b.issues + i.issues)

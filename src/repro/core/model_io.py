@@ -1,0 +1,226 @@
+"""Serialization of expert models to/from JSON.
+
+Execution models, resource models, and rule matrices are written once per
+framework and reused by many users (paper §III-B) — which means they need
+a durable, shareable format.  This module round-trips all three through
+plain JSON documents, so a framework's model can live in its repository as
+a config file and be loaded without writing Python.
+
+Schema (one document holds any subset of the three):
+
+.. code-block:: json
+
+   {
+     "execution_model": {
+       "name": "giraph-sim",
+       "phases": [
+         {"path": "/Load"},
+         {"path": "/Execute", "after": ["Load"]},
+         {"path": "/Execute/Superstep", "repeatable": true},
+         {"path": "/Execute/Superstep/Compute", "concurrent": true}
+       ]
+     },
+     "resource_model": {
+       "name": "cluster",
+       "consumable": [{"name": "cpu@m0", "capacity": 16, "unit": "cores"}],
+       "blocking": [{"name": "gc@m0"}]
+     },
+     "rules": {
+       "implicit": {"kind": "variable", "weight": 1.0},
+       "entries": [
+         {"phase": "/Execute/Superstep/Compute", "resource": "cpu@{machine}",
+          "kind": "exact", "proportion": 0.0625}
+       ]
+     }
+   }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .phases import ExecutionModel, parent_path, split_path
+from .resources import ResourceModel
+from .rules import ExactRule, NoneRule, Rule, RuleMatrix, VariableRule
+
+__all__ = [
+    "execution_model_to_dict",
+    "execution_model_from_dict",
+    "resource_model_to_dict",
+    "resource_model_from_dict",
+    "rules_to_dict",
+    "rules_from_dict",
+    "save_models",
+    "load_models",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Execution model
+# ---------------------------------------------------------------------- #
+
+
+def execution_model_to_dict(model: ExecutionModel) -> dict[str, Any]:
+    """Serialize an execution model to the documented JSON schema."""
+    phases: list[dict[str, Any]] = []
+    # Reconstruct each phase's predecessors from the parent's successor map.
+    for path, node in model.root.walk():
+        parts = split_path(path)
+        parent = model.root if len(parts) == 1 else model[parent_path(path)]
+        preds = sorted(
+            pred for pred, succs in parent.successors.items() if node.name in succs
+        )
+        entry: dict[str, Any] = {"path": path}
+        if preds:
+            entry["after"] = preds
+        for flag in ("repeatable", "concurrent", "wait"):
+            if getattr(node, flag):
+                entry[flag] = True
+        if not node.balanceable:
+            entry["balanceable"] = False
+        if node.description:
+            entry["description"] = node.description
+        phases.append(entry)
+    return {"name": model.name, "description": model.description, "phases": phases}
+
+
+def execution_model_from_dict(data: dict[str, Any]) -> ExecutionModel:
+    """Rebuild (and validate) an execution model from its JSON form."""
+    model = ExecutionModel(data["name"], data.get("description", ""))
+    for entry in data.get("phases", ()):
+        model.add_phase(
+            entry["path"],
+            after=tuple(entry.get("after", ())),
+            repeatable=entry.get("repeatable", False),
+            concurrent=entry.get("concurrent", False),
+            balanceable=entry.get("balanceable", True),
+            wait=entry.get("wait", False),
+            description=entry.get("description", ""),
+        )
+    model.validate()
+    return model
+
+
+# ---------------------------------------------------------------------- #
+# Resource model
+# ---------------------------------------------------------------------- #
+
+
+def resource_model_to_dict(model: ResourceModel) -> dict[str, Any]:
+    """Serialize a resource model to the documented JSON schema."""
+    return {
+        "name": model.name,
+        "description": model.description,
+        "consumable": [
+            {"name": r.name, "capacity": r.capacity, "unit": r.unit,
+             "description": r.description}
+            for r in model.consumable.values()
+        ],
+        "blocking": [
+            {"name": r.name, "unit": r.unit, "description": r.description}
+            for r in model.blocking.values()
+        ],
+    }
+
+
+def resource_model_from_dict(data: dict[str, Any]) -> ResourceModel:
+    """Rebuild a resource model from its JSON form."""
+    model = ResourceModel(data["name"], data.get("description", ""))
+    for r in data.get("consumable", ()):
+        model.add_consumable(
+            r["name"], r["capacity"], unit=r.get("unit", ""),
+            description=r.get("description", ""),
+        )
+    for r in data.get("blocking", ()):
+        model.add_blocking(r["name"], unit=r.get("unit", "s"),
+                           description=r.get("description", ""))
+    return model
+
+
+# ---------------------------------------------------------------------- #
+# Rule matrix
+# ---------------------------------------------------------------------- #
+
+
+def _rule_to_dict(rule: Rule) -> dict[str, Any]:
+    if isinstance(rule, NoneRule):
+        return {"kind": "none"}
+    if isinstance(rule, ExactRule):
+        return {"kind": "exact", "proportion": rule.proportion}
+    if isinstance(rule, VariableRule):
+        return {"kind": "variable", "weight": rule.weight}
+    raise TypeError(f"unknown rule type {type(rule).__name__}")
+
+
+def _rule_from_dict(data: dict[str, Any]) -> Rule:
+    kind = data["kind"]
+    if kind == "none":
+        return NoneRule()
+    if kind == "exact":
+        return ExactRule(data["proportion"])
+    if kind == "variable":
+        return VariableRule(data.get("weight", 1.0))
+    raise ValueError(f"unknown rule kind {kind!r}")
+
+
+def rules_to_dict(rules: RuleMatrix) -> dict[str, Any]:
+    """Serialize a rule matrix to the documented JSON schema."""
+    return {
+        "implicit": _rule_to_dict(rules.implicit_rule),
+        "entries": [
+            {
+                "phase": e.phase_path,
+                "resource": e.resource_pattern,
+                **_rule_to_dict(e.rule),
+            }
+            for e in rules._entries
+        ],
+    }
+
+
+def rules_from_dict(data: dict[str, Any]) -> RuleMatrix:
+    """Rebuild a rule matrix from its JSON form."""
+    rules = RuleMatrix(implicit_rule=_rule_from_dict(data.get("implicit", {"kind": "variable"})))
+    for e in data.get("entries", ()):
+        rules.set_rule(e["phase"], e["resource"], _rule_from_dict(e))
+    return rules
+
+
+# ---------------------------------------------------------------------- #
+# Combined documents
+# ---------------------------------------------------------------------- #
+
+
+def save_models(
+    path: str | Path,
+    *,
+    execution_model: ExecutionModel | None = None,
+    resource_model: ResourceModel | None = None,
+    rules: RuleMatrix | None = None,
+) -> None:
+    """Write any subset of the three model kinds into one JSON document."""
+    doc: dict[str, Any] = {}
+    if execution_model is not None:
+        doc["execution_model"] = execution_model_to_dict(execution_model)
+    if resource_model is not None:
+        doc["resource_model"] = resource_model_to_dict(resource_model)
+    if rules is not None:
+        doc["rules"] = rules_to_dict(rules)
+    Path(path).write_text(json.dumps(doc, indent=2))
+
+
+def load_models(
+    path: str | Path,
+) -> tuple[ExecutionModel | None, ResourceModel | None, RuleMatrix | None]:
+    """Load whichever model kinds the document contains."""
+    doc = json.loads(Path(path).read_text())
+    execution_model = (
+        execution_model_from_dict(doc["execution_model"]) if "execution_model" in doc else None
+    )
+    resource_model = (
+        resource_model_from_dict(doc["resource_model"]) if "resource_model" in doc else None
+    )
+    rules = rules_from_dict(doc["rules"]) if "rules" in doc else None
+    return execution_model, resource_model, rules

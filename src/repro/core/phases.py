@@ -1,0 +1,268 @@
+"""Execution models: hierarchical DAGs of phase types (paper §III-B).
+
+An *execution model* describes the kinds of operations ("phases") a graph
+processing framework performs when executing any workload, independent of a
+particular run.  It is a nested, hierarchical directed acyclic graph:
+
+* nodes are :class:`PhaseType`\\ s — single logical operations;
+* directed edges give the order of execution among siblings;
+* a node may itself contain a DAG of child phase types, decomposing a
+  high-level phase into lower-level ones.
+
+For example a Giraph application is three sequential top-level phases —
+``Load``, ``Execute``, ``Store`` — where ``Execute`` decomposes into repeated
+``Superstep`` phases, each of which contains ``Prepare``, ``Compute`` (with
+per-thread ``ComputeThread`` children) and ``Barrier``.
+
+Phase types are identified by *paths* like ``"/Execute/Superstep/Compute"``.
+A concrete run instantiates phase types into :class:`~repro.core.traces.PhaseInstance`\\ s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["PhaseType", "ExecutionModel", "PATH_SEPARATOR", "split_path", "parent_path"]
+
+PATH_SEPARATOR = "/"
+
+
+def split_path(path: str) -> tuple[str, ...]:
+    """Split a phase path into its component names.
+
+    The root path ``"/"`` splits into an empty tuple.
+    """
+    if not path.startswith(PATH_SEPARATOR):
+        raise ValueError(f"phase path must start with '{PATH_SEPARATOR}': {path!r}")
+    parts = tuple(p for p in path.split(PATH_SEPARATOR) if p)
+    return parts
+
+
+def parent_path(path: str) -> str:
+    """Path of the parent phase type (``"/"`` for top-level phases)."""
+    parts = split_path(path)
+    if not parts:
+        raise ValueError("root path has no parent")
+    return PATH_SEPARATOR + PATH_SEPARATOR.join(parts[:-1])
+
+
+@dataclass
+class PhaseType:
+    """A node in the execution-model hierarchy.
+
+    Parameters
+    ----------
+    name:
+        Name of this phase type, unique among its siblings.  Must not
+        contain the path separator.
+    repeatable:
+        Whether a single parent instance may contain multiple sequential
+        instances of this phase type (e.g. supersteps of an iterative
+        algorithm).
+    concurrent:
+        Whether multiple instances of this phase type may be active at the
+        same time under one parent instance (e.g. per-worker or per-thread
+        phases).  Concurrent same-type phases are the unit of the paper's
+        imbalance analysis (§III-F).
+    balanceable:
+        Whether the work of concurrent instances is interchangeable for the
+        imbalance analysis.  Pure wait phases (barrier waits) are
+        concurrent but carry no redistributable work; set this to ``False``
+        to exclude them.
+    wait:
+        Whether instances of this type merely wait on other phases (barrier
+        waits).  The replay simulator treats wait phases as *elastic*: they
+        contribute dependencies but no duration, since their recorded length
+        is an artifact of the synchronization being replayed.
+    description:
+        Free-form documentation shown in reports.
+    """
+
+    name: str
+    repeatable: bool = False
+    concurrent: bool = False
+    balanceable: bool = True
+    wait: bool = False
+    description: str = ""
+    children: dict[str, "PhaseType"] = field(default_factory=dict)
+    # Successor names among siblings: edges of the (sibling-level) DAG.
+    successors: dict[str, set[str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if PATH_SEPARATOR in self.name:
+            raise ValueError(f"phase name may not contain {PATH_SEPARATOR!r}: {self.name!r}")
+        if not self.name:
+            raise ValueError("phase name may not be empty")
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_child(self, child: "PhaseType", after: str | tuple[str, ...] = ()) -> "PhaseType":
+        """Add ``child`` under this phase, optionally ordered after siblings.
+
+        ``after`` names sibling phase types that must complete before the
+        child can start.  Returns the child for chaining.
+        """
+        if child.name in self.children:
+            raise ValueError(f"duplicate child phase {child.name!r} under {self.name!r}")
+        preds = (after,) if isinstance(after, str) else tuple(after)
+        for pred in preds:
+            if pred not in self.children:
+                raise ValueError(f"unknown predecessor {pred!r} for child {child.name!r}")
+        self.children[child.name] = child
+        self.successors.setdefault(child.name, set())
+        for pred in preds:
+            self.successors.setdefault(pred, set()).add(child.name)
+        return child
+
+    def child(
+        self,
+        name: str,
+        *,
+        after: str | tuple[str, ...] = (),
+        repeatable: bool = False,
+        concurrent: bool = False,
+        balanceable: bool = True,
+        wait: bool = False,
+        description: str = "",
+    ) -> "PhaseType":
+        """Create and add a child phase type in one call."""
+        return self.add_child(
+            PhaseType(
+                name,
+                repeatable=repeatable,
+                concurrent=concurrent,
+                balanceable=balanceable,
+                wait=wait,
+                description=description,
+            ),
+            after=after,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Traversal
+    # ------------------------------------------------------------------ #
+    def walk(self, prefix: str = "") -> Iterator[tuple[str, "PhaseType"]]:
+        """Depth-first iteration over ``(path, phase_type)`` of all descendants."""
+        for name, child in self.children.items():
+            path = f"{prefix}{PATH_SEPARATOR}{name}"
+            yield path, child
+            yield from child.walk(path)
+
+    def topological_child_order(self) -> list[str]:
+        """Children names in a topological order of the sibling DAG.
+
+        Raises :class:`ValueError` when the sibling edges contain a cycle.
+        """
+        indeg = {name: 0 for name in self.children}
+        for _, succs in self.successors.items():
+            for s in succs:
+                indeg[s] += 1
+        ready = sorted(name for name, d in indeg.items() if d == 0)
+        order: list[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            for s in sorted(self.successors.get(name, ())):
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    ready.append(s)
+        if len(order) != len(self.children):
+            raise ValueError(f"cycle in sibling ordering under phase {self.name!r}")
+        return order
+
+
+class ExecutionModel:
+    """A complete hierarchical execution model for one framework.
+
+    The model owns an implicit root; top-level phases are children of the
+    root.  Instances are looked up by path, e.g.
+    ``model["/Execute/Superstep/Compute"]``.
+    """
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._root = PhaseType("__root__")
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @property
+    def root(self) -> PhaseType:
+        """The implicit root node (its children are the top-level phases)."""
+        return self._root
+
+    def add_phase(
+        self,
+        path: str,
+        *,
+        after: str | tuple[str, ...] = (),
+        repeatable: bool = False,
+        concurrent: bool = False,
+        balanceable: bool = True,
+        wait: bool = False,
+        description: str = "",
+    ) -> PhaseType:
+        """Add a phase type at ``path``; all ancestors must already exist."""
+        parts = split_path(path)
+        if not parts:
+            raise ValueError("cannot add the root phase")
+        node = self._root
+        for part in parts[:-1]:
+            if part not in node.children:
+                raise ValueError(f"ancestor {part!r} of {path!r} does not exist")
+            node = node.children[part]
+        return node.child(
+            parts[-1],
+            after=after,
+            repeatable=repeatable,
+            concurrent=concurrent,
+            balanceable=balanceable,
+            wait=wait,
+            description=description,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def __getitem__(self, path: str) -> PhaseType:
+        node = self._root
+        for part in split_path(path):
+            try:
+                node = node.children[part]
+            except KeyError:
+                raise KeyError(f"no phase type at path {path!r}") from None
+        return node
+
+    def __contains__(self, path: str) -> bool:
+        try:
+            self[path]
+        except (KeyError, ValueError):
+            return False
+        return True
+
+    def paths(self) -> list[str]:
+        """All phase-type paths in depth-first order."""
+        return [path for path, _ in self._root.walk()]
+
+    def leaf_paths(self) -> list[str]:
+        """Paths of phase types without children."""
+        return [path for path, node in self._root.walk() if not node.children]
+
+    def depth_of(self, path: str) -> int:
+        """Nesting depth of ``path`` (top-level phases have depth 1)."""
+        return len(split_path(path))
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check all sibling DAGs are acyclic; raise :class:`ValueError` otherwise."""
+        self._root.topological_child_order()
+        for _, node in self._root.walk():
+            node.topological_child_order()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExecutionModel({self.name!r}, phases={len(self.paths())})"

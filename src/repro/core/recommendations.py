@@ -1,0 +1,157 @@
+"""Actionable recommendations from a performance profile.
+
+The paper phrases Grade10's output as advice: a saturated resource means
+"providing more of R3 would help both phases"; a capped Exact phase means
+"configure P2 to use 100 % of R3 instead of 80 %"; heavy Gather imbalance
+means "improving load balancing during Gather could reduce the runtime by
+up to 42.7 %".  This module renders the detector outputs in exactly that
+voice, ranked by their optimistic impact, so the profile ends in a
+prioritized to-do list rather than a pile of matrices.
+
+Recommendation kinds:
+
+* ``provision``   — a saturated consumable resource: add capacity or reduce
+  demand (from saturation bottlenecks + the bottleneck-removal estimate);
+* ``reconfigure`` — an Exact-capped phase: raise its allowance (from
+  exact-cap bottlenecks);
+* ``unblock``     — heavy blocking on a blocking resource: tune the service
+  (GC sizing, queue capacity) (from blocking bottlenecks);
+* ``rebalance``   — imbalanced concurrent phases: better partitioning or
+  scheduling (from imbalance issues);
+* ``investigate`` — same-worker stragglers: a runtime defect, not a
+  distribution problem (from the outlier report + skew decomposition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .bottlenecks import BottleneckKind
+from .profile import PerformanceProfile
+
+__all__ = ["Recommendation", "recommend", "render_recommendations"]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One piece of ranked advice derived from the profile."""
+
+    kind: str
+    subject: str
+    advice: str
+    impact: float  # estimated fractional makespan reduction (0 when unknown)
+
+    def __str__(self) -> str:
+        pct = f" (up to {self.impact:.1%} of the makespan)" if self.impact > 0 else ""
+        return f"[{self.kind}] {self.advice}{pct}"
+
+
+def recommend(profile: PerformanceProfile, *, min_impact: float = 0.01) -> list[Recommendation]:
+    """Derive ranked recommendations from a characterized run."""
+    recs: list[Recommendation] = []
+    issue_by_subject = {i.subject: i.improvement for i in profile.issues}
+
+    # --- provision: saturated consumable resources. ---------------------- #
+    saturated_resources: dict[str, float] = {}
+    for b in profile.bottlenecks.for_kind(BottleneckKind.SATURATION):
+        saturated_resources[b.resource] = saturated_resources.get(b.resource, 0.0) + b.duration
+    for resource, bottleneck_time in sorted(saturated_resources.items(), key=lambda kv: -kv[1]):
+        impact = issue_by_subject.get(resource, 0.0)
+        recs.append(
+            Recommendation(
+                kind="provision",
+                subject=resource,
+                advice=(
+                    f"{resource} saturates for {bottleneck_time:.2f} phase-seconds; "
+                    f"providing more of it, or reducing demand on it, would help every "
+                    f"phase competing for it"
+                ),
+                impact=impact,
+            )
+        )
+
+    # --- reconfigure: Exact-capped phases. ------------------------------- #
+    capped: dict[tuple[str, str], float] = {}
+    for b in profile.bottlenecks.for_kind(BottleneckKind.EXACT_CAP):
+        key = (b.phase_path, b.resource)
+        capped[key] = capped.get(key, 0.0) + b.duration
+    for (phase_path, resource), dur in sorted(capped.items(), key=lambda kv: -kv[1]):
+        recs.append(
+            Recommendation(
+                kind="reconfigure",
+                subject=phase_path,
+                advice=(
+                    f"{phase_path} runs at its configured share of {resource} for "
+                    f"{dur:.2f} phase-seconds while the resource has headroom; raising "
+                    f"its allowance would likely improve performance"
+                ),
+                impact=issue_by_subject.get(resource, 0.0),
+            )
+        )
+
+    # --- unblock: blocking resources. ------------------------------------ #
+    blocking: dict[str, float] = {}
+    for b in profile.bottlenecks.for_kind(BottleneckKind.BLOCKING):
+        blocking[b.resource] = blocking.get(b.resource, 0.0) + b.duration
+    for resource, dur in sorted(blocking.items(), key=lambda kv: -kv[1]):
+        recs.append(
+            Recommendation(
+                kind="unblock",
+                subject=resource,
+                advice=(
+                    f"phases spend {dur:.2f}s blocked on {resource}; tuning the "
+                    f"underlying service (heap sizing for GC, capacity for queues) "
+                    f"would recover part of it"
+                ),
+                impact=issue_by_subject.get(resource, 0.0),
+            )
+        )
+
+    # --- rebalance: imbalance issues. ------------------------------------ #
+    for issue in profile.issues.by_kind("imbalance"):
+        recs.append(
+            Recommendation(
+                kind="rebalance",
+                subject=issue.subject,
+                advice=(
+                    f"work in {issue.subject} phases is imbalanced; better "
+                    f"partitioning or finer-grained scheduling could reduce the "
+                    f"makespan by {issue.makespan_reduction:.2f}s"
+                ),
+                impact=issue.improvement,
+            )
+        )
+
+    # --- investigate: same-worker stragglers. ----------------------------- #
+    affected = profile.outliers.affected_groups()
+    if affected:
+        worst = max(affected, key=lambda g: g.slowdown)
+        recs.append(
+            Recommendation(
+                kind="investigate",
+                subject=worst.phase_path,
+                advice=(
+                    f"{len(affected)} step(s) contain same-worker stragglers "
+                    f"(worst: a {worst.phase_path} step slowed {worst.slowdown:.2f}x "
+                    f"by one thread); this pattern points at a runtime defect "
+                    f"rather than workload distribution"
+                ),
+                impact=max(0.0, 1.0 - 1.0 / worst.slowdown) * 0.1,
+            )
+        )
+
+    ranked = sorted(recs, key=lambda r: -r.impact)
+    return [r for r in ranked if r.impact >= min_impact or r.kind == "investigate"]
+
+
+def render_recommendations(recs: list[Recommendation]) -> str:
+    """Numbered plain-text rendering."""
+    if not recs:
+        return "No recommendations above threshold.\n"
+    lines = ["Recommendations (ranked by optimistic impact)",
+             "----------------------------------------------"]
+    for k, rec in enumerate(recs, 1):
+        lines.append(f"{k}. {rec}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,131 @@
+"""Human-readable rendering of performance profiles (paper Fig. 1, step 10).
+
+Turns the structured results of the pipeline into plain-text reports an
+analyst can read in a terminal: bottleneck summaries, issue rankings, and
+per-phase resource usage tables.  The heavier ASCII timeline/bar rendering
+lives in :mod:`repro.viz`; this module focuses on tabular summaries.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from .bottlenecks import BottleneckKind
+from .profile import PerformanceProfile
+
+__all__ = ["render_report", "render_bottleneck_summary", "render_issue_summary"]
+
+
+def _fmt_seconds(s: float) -> str:
+    if s >= 100.0:
+        return f"{s:,.0f}s"
+    if s >= 1.0:
+        return f"{s:.2f}s"
+    return f"{s * 1000.0:.1f}ms"
+
+
+def render_bottleneck_summary(profile: PerformanceProfile) -> str:
+    """Per-resource bottleneck totals, split by detection kind."""
+    out = StringIO()
+    out.write("Resource bottlenecks\n")
+    out.write("--------------------\n")
+    rows: list[tuple[str, str, float]] = []
+    for kind in BottleneckKind:
+        per_resource: dict[str, float] = {}
+        for b in profile.bottlenecks.for_kind(kind):
+            per_resource[b.resource] = per_resource.get(b.resource, 0.0) + b.duration
+        for res, dur in sorted(per_resource.items(), key=lambda kv: -kv[1]):
+            rows.append((res, kind.value, dur))
+    if not rows:
+        out.write("  (none detected)\n")
+        return out.getvalue()
+    width = max(len(r[0]) for r in rows)
+    for res, kind, dur in rows:
+        out.write(f"  {res:<{width}}  {kind:<10}  {_fmt_seconds(dur):>10}\n")
+    return out.getvalue()
+
+
+def render_issue_summary(profile: PerformanceProfile, *, top: int = 10) -> str:
+    """The highest-impact performance issues with optimistic estimates."""
+    out = StringIO()
+    out.write("Performance issues (optimistic impact)\n")
+    out.write("--------------------------------------\n")
+    issues = profile.issues.top(top)
+    if not issues:
+        out.write("  (none above threshold)\n")
+        return out.getvalue()
+    for issue in issues:
+        out.write(
+            f"  [{issue.kind}] {issue.subject}: "
+            f"-{_fmt_seconds(issue.makespan_reduction)} ({issue.improvement:.1%})\n"
+        )
+    return out.getvalue()
+
+
+def render_outlier_summary(profile: PerformanceProfile) -> str:
+    """Straggler statistics over non-trivial concurrent groups."""
+    out = StringIO()
+    out.write("Outlier phases (stragglers)\n")
+    out.write("---------------------------\n")
+    rep = profile.outliers
+    nontrivial = rep.nontrivial_groups()
+    affected = rep.affected_groups()
+    out.write(
+        f"  non-trivial groups: {len(nontrivial)}, affected: {len(affected)} "
+        f"({rep.affected_fraction:.0%})\n"
+    )
+    for g in sorted(affected, key=lambda g: g.slowdown, reverse=True)[:10]:
+        worst = g.outliers[0]
+        out.write(
+            f"  {g.phase_path}: slowdown {g.slowdown:.2f}x "
+            f"(worst thread {worst.factor:.2f}x its worker median)\n"
+        )
+    return out.getvalue()
+
+
+def render_utilization_heatmap(profile: PerformanceProfile, *, width: int = 64) -> str:
+    """Per-resource utilization over time (machine × time heatmap)."""
+    from ..viz import heatmap  # local import: viz depends on nothing heavy
+
+    out = StringIO()
+    out.write("Resource utilization over time\n")
+    out.write("------------------------------\n")
+    rows = {
+        name: profile.upsampled[name].utilization for name in profile.upsampled.resources()
+    }
+    if not rows:
+        out.write("  (no monitored resources)\n")
+        return out.getvalue()
+    out.write(heatmap(rows, max_value=1.0, width=width))
+    return out.getvalue()
+
+
+def render_report(profile: PerformanceProfile, *, extended: bool = False) -> str:
+    """Full plain-text report for one characterized run.
+
+    With ``extended=True``, also includes the hierarchical phase tree and
+    the per-resource utilization heatmap.
+    """
+    out = StringIO()
+    out.write("Grade10 performance profile\n")
+    out.write("===========================\n")
+    out.write(f"makespan: {_fmt_seconds(profile.makespan)}, ")
+    out.write(f"timeslice: {profile.grid.slice_duration * 1000:.0f}ms, ")
+    out.write(f"slices: {profile.grid.n_slices}, ")
+    out.write(f"phase instances: {len(profile.execution_trace)}\n\n")
+    out.write(render_bottleneck_summary(profile))
+    out.write("\n")
+    out.write(render_issue_summary(profile))
+    out.write("\n")
+    out.write(render_outlier_summary(profile))
+    if extended:
+        from .hierarchy import render_phase_tree, summarize
+        from .recommendations import recommend, render_recommendations
+
+        out.write("\n")
+        out.write(render_utilization_heatmap(profile))
+        out.write("\n")
+        out.write(render_phase_tree(summarize(profile)))
+        out.write("\n")
+        out.write(render_recommendations(recommend(profile)))
+    return out.getvalue()

@@ -1,0 +1,149 @@
+"""Resource models: consumable and blocking resources (paper §III-B).
+
+Grade10 uses "resource" broadly: hardware (CPU, network, storage), software
+(locks, queues) and runtime services (garbage collection).  Two archetypes
+are modeled:
+
+* **Consumable resources** have a capacity.  Demand beyond capacity slows
+  the workload down (e.g. CPU cores, NIC bandwidth).
+* **Blocking resources** do not affect a phase while available, but block
+  its execution while unavailable (e.g. a full message queue, a
+  stop-the-world GC pause).  They are represented in traces as sequences of
+  blocking events.
+
+Resources are *per-instance*: each machine's CPU is a distinct resource
+(``cpu@node1``).  The :class:`ResourceModel` is typically written once per
+framework/infrastructure pair by a domain expert and reused across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ResourceKind", "ConsumableResource", "BlockingResource", "ResourceModel"]
+
+
+class ResourceKind:
+    """String constants for the two resource archetypes."""
+
+    CONSUMABLE = "consumable"
+    BLOCKING = "blocking"
+
+
+@dataclass(frozen=True)
+class ConsumableResource:
+    """A capacity-limited resource.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier, conventionally ``kind@scope`` (e.g. ``cpu@node0``).
+    capacity:
+        Maximum sustainable consumption rate, in ``unit``\\ s.  For a CPU this
+        is the number of cores; for a NIC, bytes/second.
+    unit:
+        Human-readable unit for reports.
+    description:
+        Free-form documentation.
+    """
+
+    name: str
+    capacity: float
+    unit: str = ""
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0.0:
+            raise ValueError(f"capacity of {self.name!r} must be > 0, got {self.capacity}")
+
+    @property
+    def kind(self) -> str:
+        return ResourceKind.CONSUMABLE
+
+
+@dataclass(frozen=True)
+class BlockingResource:
+    """A resource that halts phases while unavailable.
+
+    Blocking resources have no capacity; their effect on a run is fully
+    described by the blocking events recorded in the resource trace.
+    """
+
+    name: str
+    unit: str = "s"
+    description: str = ""
+
+    @property
+    def kind(self) -> str:
+        return ResourceKind.BLOCKING
+
+
+class ResourceModel:
+    """The set of resources available in a system under test."""
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._consumable: dict[str, ConsumableResource] = {}
+        self._blocking: dict[str, BlockingResource] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_consumable(
+        self, name: str, capacity: float, *, unit: str = "", description: str = ""
+    ) -> ConsumableResource:
+        """Register a consumable resource; names must be globally unique."""
+        self._check_unique(name)
+        res = ConsumableResource(name, capacity, unit, description)
+        self._consumable[name] = res
+        return res
+
+    def add_blocking(self, name: str, *, unit: str = "s", description: str = "") -> BlockingResource:
+        """Register a blocking resource; names must be globally unique."""
+        self._check_unique(name)
+        res = BlockingResource(name, unit, description)
+        self._blocking[name] = res
+        return res
+
+    def _check_unique(self, name: str) -> None:
+        if name in self._consumable or name in self._blocking:
+            raise ValueError(f"duplicate resource name {name!r}")
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    @property
+    def consumable(self) -> dict[str, ConsumableResource]:
+        return dict(self._consumable)
+
+    @property
+    def blocking(self) -> dict[str, BlockingResource]:
+        return dict(self._blocking)
+
+    def __getitem__(self, name: str) -> ConsumableResource | BlockingResource:
+        if name in self._consumable:
+            return self._consumable[name]
+        if name in self._blocking:
+            return self._blocking[name]
+        raise KeyError(f"no resource named {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._consumable or name in self._blocking
+
+    def names(self) -> list[str]:
+        """All resource names, consumables first, insertion-ordered."""
+        return list(self._consumable) + list(self._blocking)
+
+    def capacity_of(self, name: str) -> float:
+        """Capacity of a consumable resource (raises for blocking resources)."""
+        res = self[name]
+        if not isinstance(res, ConsumableResource):
+            raise TypeError(f"resource {name!r} is blocking and has no capacity")
+        return res.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResourceModel({self.name!r}, consumable={len(self._consumable)}, "
+            f"blocking={len(self._blocking)})"
+        )

@@ -1,0 +1,171 @@
+"""Decomposition of imbalance into its causes (paper §IV-D).
+
+Figure 6's analysis distinguishes two *causes* of the imbalance that the
+issue detector quantifies in aggregate:
+
+* **cross-worker imbalance** — median thread durations differ between
+  workers (6.4-20.5 s in the paper's example): poor workload distribution,
+  fixable by better partitioning;
+* **within-worker outliers** — some threads take far longer than their
+  same-worker siblings (the sync bug): a runtime defect, invisible to
+  partitioning metrics.
+
+:func:`decompose_imbalance` separates the two for every concurrent
+same-type group: the group's imbalance cost (slowest phase minus the
+balanced mean) splits into the part explained by worker medians and the
+residual within workers.  A high within-worker share on an otherwise
+well-partitioned job is the §IV-D bug signature the paper's debugging
+story turns on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+
+from .phases import ExecutionModel
+from .traces import ExecutionTrace, PhaseInstance
+
+__all__ = ["GroupSkew", "SkewReport", "decompose_imbalance", "imbalance_timeline"]
+
+_EPS = 1e-12
+
+
+@dataclass
+class GroupSkew:
+    """Imbalance decomposition of one concurrent same-type group."""
+
+    phase_path: str
+    parent_id: str | None
+    n_phases: int
+    n_workers: int
+    mean_duration: float
+    longest: float
+    #: slowest worker median minus the overall mean: distribution skew
+    cross_worker_cost: float
+    #: slowest phase minus its own worker's median: runtime outlier skew
+    within_worker_cost: float
+
+    @property
+    def imbalance_cost(self) -> float:
+        """Seconds the group loses to imbalance (slowest vs. balanced mean)."""
+        return max(self.longest - self.mean_duration, 0.0)
+
+    @property
+    def within_worker_share(self) -> float:
+        """Fraction of the imbalance cost attributable to same-worker outliers."""
+        total = self.cross_worker_cost + self.within_worker_cost
+        if total <= _EPS:
+            return 0.0
+        return self.within_worker_cost / total
+
+
+@dataclass
+class SkewReport:
+    """Imbalance-cause decomposition across all groups of a run."""
+
+    groups: list[GroupSkew] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.groups)
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def by_phase_type(self) -> dict[str, tuple[float, float]]:
+        """Per phase type: total (cross-worker, within-worker) seconds."""
+        out: dict[str, tuple[float, float]] = {}
+        for g in self.groups:
+            cross, within = out.get(g.phase_path, (0.0, 0.0))
+            out[g.phase_path] = (cross + g.cross_worker_cost, within + g.within_worker_cost)
+        return out
+
+    def total_within_worker_share(self) -> float:
+        """Run-wide fraction of imbalance cost caused by same-worker outliers."""
+        cross = sum(g.cross_worker_cost for g in self.groups)
+        within = sum(g.within_worker_cost for g in self.groups)
+        if cross + within <= _EPS:
+            return 0.0
+        return within / (cross + within)
+
+
+def _worker_of(inst: PhaseInstance) -> str:
+    return inst.worker or inst.machine or "?"
+
+
+def imbalance_timeline(
+    trace: ExecutionTrace,
+    model: ExecutionModel | None,
+    phase_path: str,
+    *,
+    min_group_size: int = 2,
+) -> list[tuple[float, float]]:
+    """Per-occurrence imbalance of one phase type over the run.
+
+    Returns ``(group_start_time, imbalance_cost_seconds)`` for every
+    concurrent group of ``phase_path`` (one per superstep/iteration),
+    sorted by time — how the imbalance evolves as the algorithm progresses
+    (e.g. BFS gather imbalance spikes with the frontier bulge; a sporadic
+    sync-bug injection shows up as an isolated spike).
+    """
+    points: list[tuple[float, float]] = []
+    for (_, path), insts in trace.concurrent_groups().items():
+        if path != phase_path or len(insts) < min_group_size:
+            continue
+        durations = [i.duration for i in insts]
+        mean = sum(durations) / len(durations)
+        cost = max(max(durations) - mean, 0.0)
+        points.append((min(i.t_start for i in insts), cost))
+    return sorted(points)
+
+
+def decompose_imbalance(
+    trace: ExecutionTrace,
+    model: ExecutionModel | None = None,
+    *,
+    min_group_size: int = 4,
+) -> SkewReport:
+    """Split every concurrent group's imbalance into its two causes."""
+    report = SkewReport()
+    for (parent_id, phase_path), insts in sorted(
+        trace.concurrent_groups().items(), key=lambda kv: (str(kv[0][0]), kv[0][1])
+    ):
+        if len(insts) < min_group_size:
+            continue
+        if model is not None:
+            try:
+                node = model[phase_path]
+            except KeyError:
+                continue
+            if not node.concurrent or not node.balanceable:
+                continue
+
+        by_worker: dict[str, list[float]] = {}
+        for inst in insts:
+            by_worker.setdefault(_worker_of(inst), []).append(inst.duration)
+        durations = [i.duration for i in insts]
+        mean = sum(durations) / len(durations)
+        longest = max(durations)
+        medians = {w: median(ds) for w, ds in by_worker.items()}
+        slowest_worker_median = max(medians.values())
+
+        # Cross-worker: how much the slowest worker's *typical* thread
+        # exceeds the balanced mean.  Within-worker: how much the slowest
+        # thread exceeds its own worker's typical thread.
+        cross = max(slowest_worker_median - mean, 0.0)
+        slowest_inst = max(insts, key=lambda i: i.duration)
+        within = max(slowest_inst.duration - medians[_worker_of(slowest_inst)], 0.0)
+
+        report.groups.append(
+            GroupSkew(
+                phase_path=phase_path,
+                parent_id=parent_id,
+                n_phases=len(insts),
+                n_workers=len(by_worker),
+                mean_duration=mean,
+                longest=longest,
+                cross_worker_cost=cross,
+                within_worker_cost=within,
+            )
+        )
+    return report

@@ -1,0 +1,392 @@
+"""Execution and resource traces (paper §III-C).
+
+Traces describe *one particular run* of a workload, as opposed to the models
+which describe the framework:
+
+* The **execution trace** is the set of phase instances observed in the run —
+  each a concrete occurrence of an execution-model phase type with a start
+  and end time, a location (machine / worker / thread), and the blocking
+  events that interrupted it.
+* The **resource trace** holds, per consumable resource, the coarse-grained
+  monitoring measurements (average consumption rate over multi-timeslice
+  windows), and per blocking resource the list of blocking events.
+
+The two traces deliberately have different granularity: execution logs are
+cheap to produce at fine granularity, monitoring is not.  The resource
+attribution stage (:mod:`repro.core.attribution`) bridges the gap by
+upsampling.
+"""
+
+from __future__ import annotations
+
+import itertools
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .phases import PATH_SEPARATOR
+from .timeline import TimeGrid, rasterize_intervals
+
+__all__ = [
+    "BlockingEvent",
+    "PhaseInstance",
+    "ExecutionTrace",
+    "ResourceMeasurement",
+    "ResourceTrace",
+]
+
+
+@dataclass(frozen=True)
+class BlockingEvent:
+    """An interval during which a blocking resource halted a phase instance."""
+
+    resource: str
+    t_start: float
+    t_end: float
+
+    def __post_init__(self) -> None:
+        if self.t_end < self.t_start:
+            raise ValueError(f"blocking event ends before it starts: {self}")
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass
+class PhaseInstance:
+    """One concrete execution of a phase type.
+
+    Parameters
+    ----------
+    instance_id:
+        Unique identifier within the trace.
+    phase_path:
+        Path of the phase type in the execution model.
+    t_start, t_end:
+        Wall-clock interval of the instance (seconds).
+    parent_id:
+        Identifier of the enclosing instance, or ``None`` for top-level
+        phases.
+    machine, worker, thread:
+        Location attributes; used for rule placeholders, locality
+        constraints in the replay simulator, and imbalance grouping.
+    blocking:
+        Blocking events that interrupted this instance.  A phase is *active*
+        when started, not yet ended, and not blocked.
+    depends_on:
+        Explicit instance-level predecessors, for systems whose dependency
+        structure is per-instance rather than per-type (e.g. the stage DAG
+        of a Spark-like dataflow job, the paper's §V extension target).
+        These are honoured by the replay simulator in addition to the
+        execution model's type-level sibling DAG.
+    """
+
+    instance_id: str
+    phase_path: str
+    t_start: float
+    t_end: float
+    parent_id: str | None = None
+    machine: str | None = None
+    worker: str | None = None
+    thread: str | None = None
+    blocking: list[BlockingEvent] = field(default_factory=list)
+    depends_on: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.t_end < self.t_start:
+            raise ValueError(
+                f"phase instance {self.instance_id!r} ends before it starts "
+                f"({self.t_start} .. {self.t_end})"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    @property
+    def phase_name(self) -> str:
+        return self.phase_path.rsplit(PATH_SEPARATOR, 1)[-1]
+
+    def blocked_time(self, resource: str | None = None) -> float:
+        """Total time this instance spent blocked (optionally on one resource).
+
+        Overlapping blocking events on *different* resources are counted once
+        per resource; callers computing "any blocked" time should use
+        :meth:`blocked_intervals`.
+        """
+        return sum(b.duration for b in self.blocking if resource is None or b.resource == resource)
+
+    def blocked_intervals(self) -> list[tuple[float, float]]:
+        """Union of all blocking intervals, merged and clipped to the instance."""
+        ivs = sorted(
+            (max(b.t_start, self.t_start), min(b.t_end, self.t_end))
+            for b in self.blocking
+            if b.t_end > self.t_start and b.t_start < self.t_end
+        )
+        merged: list[tuple[float, float]] = []
+        for s, e in ivs:
+            if merged and s <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], e))
+            else:
+                merged.append((s, e))
+        return merged
+
+    def active_intervals(self) -> list[tuple[float, float]]:
+        """Sub-intervals of ``[t_start, t_end)`` during which the phase is active."""
+        out: list[tuple[float, float]] = []
+        cursor = self.t_start
+        for s, e in self.blocked_intervals():
+            if s > cursor:
+                out.append((cursor, s))
+            cursor = max(cursor, e)
+        if self.t_end > cursor:
+            out.append((cursor, self.t_end))
+        return out
+
+    def add_blocking(self, resource: str, t_start: float, t_end: float) -> None:
+        """Record a blocking interval on ``resource`` for this instance."""
+        self.blocking.append(BlockingEvent(resource, t_start, t_end))
+
+
+class ExecutionTrace:
+    """The set of phase instances observed in one run."""
+
+    def __init__(self) -> None:
+        self._instances: dict[str, PhaseInstance] = {}
+        self._children: dict[str | None, list[str]] = {}
+        self._id_counter = itertools.count()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add(self, instance: PhaseInstance) -> PhaseInstance:
+        """Add a fully built instance (parents must be added first)."""
+        if instance.instance_id in self._instances:
+            raise ValueError(f"duplicate instance id {instance.instance_id!r}")
+        if instance.parent_id is not None and instance.parent_id not in self._instances:
+            raise ValueError(
+                f"parent {instance.parent_id!r} of {instance.instance_id!r} not in trace"
+            )
+        self._instances[instance.instance_id] = instance
+        self._children.setdefault(instance.parent_id, []).append(instance.instance_id)
+        return instance
+
+    def record(
+        self,
+        phase_path: str,
+        t_start: float,
+        t_end: float,
+        *,
+        parent: PhaseInstance | str | None = None,
+        machine: str | None = None,
+        worker: str | None = None,
+        thread: str | None = None,
+        instance_id: str | None = None,
+        depends_on: list[str] | None = None,
+    ) -> PhaseInstance:
+        """Create, add, and return a new phase instance."""
+        parent_id = parent.instance_id if isinstance(parent, PhaseInstance) else parent
+        if instance_id is None:
+            instance_id = f"{phase_path}#{next(self._id_counter)}"
+        return self.add(
+            PhaseInstance(
+                instance_id=instance_id,
+                phase_path=phase_path,
+                t_start=t_start,
+                t_end=t_end,
+                parent_id=parent_id,
+                machine=machine,
+                worker=worker,
+                thread=thread,
+                depends_on=list(depends_on) if depends_on else [],
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def __getitem__(self, instance_id: str) -> PhaseInstance:
+        return self._instances[instance_id]
+
+    def __contains__(self, instance_id: str) -> bool:
+        return instance_id in self._instances
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def instances(self, phase_path: str | None = None) -> list[PhaseInstance]:
+        """All instances, optionally filtered to one phase type."""
+        if phase_path is None:
+            return list(self._instances.values())
+        return [i for i in self._instances.values() if i.phase_path == phase_path]
+
+    def children_of(self, instance: PhaseInstance | str | None) -> list[PhaseInstance]:
+        """Direct child instances (pass ``None`` for top-level instances)."""
+        key = instance.instance_id if isinstance(instance, PhaseInstance) else instance
+        return [self._instances[i] for i in self._children.get(key, [])]
+
+    def roots(self) -> list[PhaseInstance]:
+        """Top-level instances (no parent)."""
+        return self.children_of(None)
+
+    def descendants_of(self, instance: PhaseInstance | str) -> list[PhaseInstance]:
+        """All transitive descendants, depth-first."""
+        out: list[PhaseInstance] = []
+        stack = list(reversed(self.children_of(instance)))
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            stack.extend(reversed(self.children_of(node)))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def t_start(self) -> float:
+        if not self._instances:
+            return 0.0
+        return min(i.t_start for i in self._instances.values())
+
+    @property
+    def t_end(self) -> float:
+        if not self._instances:
+            return 0.0
+        return max(i.t_end for i in self._instances.values())
+
+    @property
+    def makespan(self) -> float:
+        return self.t_end - self.t_start
+
+    def grid(self, slice_duration: float) -> TimeGrid:
+        """The timeslice grid covering this trace."""
+        return TimeGrid.covering(self.t_start, self.t_end, slice_duration)
+
+    def activity_fraction(self, instance: PhaseInstance, grid: TimeGrid) -> np.ndarray:
+        """Per-slice fraction of each slice during which ``instance`` is active."""
+        ivs = instance.active_intervals()
+        if not ivs:
+            return np.zeros(grid.n_slices)
+        arr = np.asarray(ivs, dtype=np.float64)
+        return rasterize_intervals(grid, arr[:, 0], arr[:, 1])
+
+    def attributable_instances(self, grid: TimeGrid) -> list[tuple[PhaseInstance, np.ndarray]]:
+        """Instances that receive direct resource attribution, with activity.
+
+        An instance is attributable during the parts of its lifetime when
+        none of its children are active: inner phases' resource usage is the
+        roll-up of their descendants, so attributing to both a parent and
+        its running child would double-count.  Returns
+        ``(instance, active_fraction_per_slice)`` pairs with any strictly
+        positive activity.
+        """
+        out: list[tuple[PhaseInstance, np.ndarray]] = []
+        for inst in self._instances.values():
+            frac = self.activity_fraction(inst, grid)
+            kids = self.children_of(inst)
+            if kids:
+                child_activity = np.zeros(grid.n_slices)
+                for kid in kids:
+                    child_activity += self.activity_fraction(kid, grid)
+                frac = np.clip(frac - child_activity, 0.0, 1.0)
+            if np.any(frac > 0.0):
+                out.append((inst, frac))
+        return out
+
+    def concurrent_groups(self) -> dict[tuple[str | None, str], list[PhaseInstance]]:
+        """Group instances by (parent, phase type).
+
+        These groups are the unit of the paper's imbalance analysis: only
+        work performed by concurrent phases of the same type under the same
+        parent is considered interchangeable (§III-F).
+        """
+        groups: dict[tuple[str | None, str], list[PhaseInstance]] = {}
+        for inst in self._instances.values():
+            groups.setdefault((inst.parent_id, inst.phase_path), []).append(inst)
+        return groups
+
+
+@dataclass(frozen=True)
+class ResourceMeasurement:
+    """One monitoring sample: average consumption rate over a window.
+
+    ``value`` is the mean rate of consumption of the resource over
+    ``[t_start, t_end)``, in the resource's units (e.g. cores for a CPU
+    resource, bytes/s for a NIC).
+    """
+
+    resource: str
+    t_start: float
+    t_end: float
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.t_end <= self.t_start:
+            raise ValueError(f"measurement window must have positive length: {self}")
+        if self.value < 0.0:
+            raise ValueError(f"measurement value must be >= 0: {self}")
+
+    @property
+    def total(self) -> float:
+        """Total amount consumed during the window (rate × duration)."""
+        return self.value * (self.t_end - self.t_start)
+
+
+class ResourceTrace:
+    """Monitoring data for one run: measurements and blocking events."""
+
+    def __init__(self) -> None:
+        self._measurements: dict[str, list[ResourceMeasurement]] = {}
+        self._blocking_events: dict[str, list[BlockingEvent]] = {}
+        self._sorted: set[str] = set()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_measurement(self, resource: str, t_start: float, t_end: float, value: float) -> None:
+        """Record one monitoring sample (average rate over the window)."""
+        self._measurements.setdefault(resource, []).append(
+            ResourceMeasurement(resource, t_start, t_end, value)
+        )
+        self._sorted.discard(resource)
+
+    def add_blocking_event(self, resource: str, t_start: float, t_end: float) -> None:
+        """Record one blocking interval on a blocking resource."""
+        self._blocking_events.setdefault(resource, []).append(
+            BlockingEvent(resource, t_start, t_end)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def measured_resources(self) -> list[str]:
+        """Names of resources with at least one measurement."""
+        return list(self._measurements)
+
+    def measurements(self, resource: str) -> list[ResourceMeasurement]:
+        """Measurements for ``resource``, sorted by window start."""
+        if resource not in self._sorted:
+            self._measurements.setdefault(resource, []).sort(key=lambda m: m.t_start)
+            self._sorted.add(resource)
+        return self._measurements.get(resource, [])
+
+    def blocking_events(self, resource: str | None = None) -> list[BlockingEvent]:
+        """Blocking events, optionally filtered to one resource."""
+        if resource is not None:
+            return list(self._blocking_events.get(resource, []))
+        return [e for evs in self._blocking_events.values() for e in evs]
+
+    def value_at(self, resource: str, t: float) -> float:
+        """Measured average rate at time ``t`` (0.0 outside any window)."""
+        ms = self.measurements(resource)
+        starts = [m.t_start for m in ms]
+        i = bisect_right(starts, t) - 1
+        if i >= 0 and ms[i].t_start <= t < ms[i].t_end:
+            return ms[i].value
+        return 0.0
+
+    def total_consumption(self, resource: str) -> float:
+        """Total consumption over all measurement windows (rate × duration)."""
+        return sum(m.total for m in self.measurements(resource))

@@ -1,0 +1,173 @@
+"""Model-trace conformance checking.
+
+Execution models are written once by an expert; traces are produced by a
+framework's instrumentation.  When the two drift apart — a renamed phase,
+a log emitted under the wrong parent, overlapping instances of a
+sequential phase type — attribution silently degrades (unknown phases get
+the implicit rule; mis-parented phases skew the hierarchy roll-up).
+
+:func:`validate_trace` checks a trace against a model and reports every
+violation, so drift is caught loudly at ingest instead of quietly in the
+numbers:
+
+* **unknown-phase** — an instance's path has no phase type in the model;
+* **wrong-parent** — an instance's parent instance is not of the parent
+  phase type (instances of top-level types must have no parent);
+* **ordering** — an instance started before a sibling-DAG predecessor
+  instance ended;
+* **overlap** — two instances of a non-``concurrent`` type under the same
+  parent overlap in time;
+* **repeat** — multiple sequential instances of a non-``repeatable`` type
+  under one parent.
+
+Violations are advisory (the pipeline runs regardless); severity is
+encoded by kind so callers can choose what to enforce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .phases import ExecutionModel, parent_path, split_path
+from .traces import ExecutionTrace, PhaseInstance
+
+__all__ = ["Violation", "ValidationReport", "validate_trace"]
+
+_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One conformance violation."""
+
+    kind: str  # unknown-phase | wrong-parent | ordering | overlap | repeat
+    instance_id: str
+    message: str
+
+
+@dataclass
+class ValidationReport:
+    """All violations found in one trace."""
+
+    violations: list[Violation] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.violations)
+
+    def __len__(self) -> int:
+        return len(self.violations)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def by_kind(self, kind: str) -> list[Violation]:
+        """Violations of one kind."""
+        return [v for v in self.violations if v.kind == kind]
+
+    def summary(self) -> dict[str, int]:
+        """Violation counts per kind."""
+        out: dict[str, int] = {}
+        for v in self.violations:
+            out[v.kind] = out.get(v.kind, 0) + 1
+        return out
+
+
+def validate_trace(trace: ExecutionTrace, model: ExecutionModel) -> ValidationReport:
+    """Check every instance of ``trace`` against ``model``."""
+    report = ValidationReport()
+
+    def add(kind: str, inst: PhaseInstance, message: str) -> None:
+        report.violations.append(Violation(kind, inst.instance_id, message))
+
+    # --- Path and parent conformance. ---------------------------------- #
+    for inst in trace.instances():
+        if inst.phase_path not in model:
+            add("unknown-phase", inst, f"no phase type at {inst.phase_path!r}")
+            continue
+        expected_parent = parent_path(inst.phase_path) if split_path(inst.phase_path) else "/"
+        if expected_parent == "/":
+            if inst.parent_id is not None:
+                add(
+                    "wrong-parent",
+                    inst,
+                    f"top-level type {inst.phase_path!r} has parent {inst.parent_id!r}",
+                )
+        else:
+            if inst.parent_id is None:
+                add("wrong-parent", inst, f"{inst.phase_path!r} requires a parent instance")
+            else:
+                actual = trace[inst.parent_id].phase_path
+                if actual != expected_parent:
+                    add(
+                        "wrong-parent",
+                        inst,
+                        f"parent is {actual!r}, expected {expected_parent!r}",
+                    )
+
+    # --- Sibling constraints per (parent, type). ------------------------ #
+    for (parent_id, phase_path), insts in trace.concurrent_groups().items():
+        if phase_path not in model:
+            continue
+        node = model[phase_path]
+        insts = sorted(insts, key=lambda i: (i.t_start, i.t_end))
+
+        if not node.concurrent:
+            for a, b in zip(insts, insts[1:]):
+                if b.t_start < a.t_end - _TOLERANCE:
+                    add(
+                        "overlap",
+                        b,
+                        f"overlaps sibling {a.instance_id!r} of non-concurrent type",
+                    )
+        if not node.repeatable and not node.concurrent and len(insts) > 1:
+            add(
+                "repeat",
+                insts[1],
+                f"{len(insts)} instances of non-repeatable type under one parent",
+            )
+
+        # Ordering against sibling-DAG predecessors.
+        parent_type = "/" if parent_id is None else trace[parent_id].phase_path
+        parent_node = model.root if parent_type == "/" else (
+            model[parent_type] if parent_type in model else None
+        )
+        if parent_node is None:
+            continue
+        name = phase_path.rsplit("/", 1)[-1]
+        pred_names = {
+            pred for pred, succs in parent_node.successors.items() if name in succs
+        }
+        if not pred_names:
+            continue
+        siblings = trace.children_of(parent_id)
+        pred_paths = {
+            (parent_type.rstrip("/") if parent_type != "/" else "") + "/" + p
+            for p in pred_names
+        }
+        pred_end = max(
+            (s.t_end for s in siblings if s.phase_path in pred_paths), default=None
+        )
+        if pred_end is None:
+            continue
+        for inst in insts:
+            if inst.t_start < pred_end - _TOLERANCE:
+                # Per-machine pipelines may legitimately start before other
+                # machines' predecessors end; only flag when the instance
+                # starts before its own location's predecessors end.
+                local_end = max(
+                    (
+                        s.t_end
+                        for s in siblings
+                        if s.phase_path in pred_paths and s.machine == inst.machine
+                    ),
+                    default=None,
+                )
+                bound = local_end if local_end is not None else pred_end
+                if inst.t_start < bound - _TOLERANCE:
+                    add(
+                        "ordering",
+                        inst,
+                        f"starts at {inst.t_start:.6f} before predecessor end {bound:.6f}",
+                    )
+    return report

@@ -1,0 +1,42 @@
+"""Graph substrate: CSR graphs, generators, partitioners, and I/O."""
+
+from .generators import (
+    complete_graph,
+    grid_graph,
+    ldbc_like,
+    path_graph,
+    rmat,
+    star_graph,
+    uniform_random,
+)
+from .graph import Graph
+from .io import read_edge_list, write_edge_list
+from .partition import (
+    EdgeCutPartition,
+    VertexCutPartition,
+    grid_vertex_cut,
+    greedy_vertex_cut,
+    hash_edge_cut,
+    random_vertex_cut,
+    range_edge_cut,
+)
+
+__all__ = [
+    "Graph",
+    "rmat",
+    "ldbc_like",
+    "uniform_random",
+    "path_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_graph",
+    "read_edge_list",
+    "write_edge_list",
+    "EdgeCutPartition",
+    "VertexCutPartition",
+    "hash_edge_cut",
+    "range_edge_cut",
+    "random_vertex_cut",
+    "grid_vertex_cut",
+    "greedy_vertex_cut",
+]

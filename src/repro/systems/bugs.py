@@ -1,0 +1,60 @@
+"""Injectable performance bugs.
+
+The paper's §IV-D case study finds a synchronization bug in PowerGraph:
+each worker thread interleaves computation with message handling; at the
+end of a step all threads synchronize on a barrier — but occasionally one
+thread discovers a late-arriving message stream after its siblings have
+already passed the no-pending-messages check, and keeps draining messages
+alone while every other thread idles at the barrier.  Affected steps slow
+down by 1.10–2.50×, hitting ~20 % of non-trivial processing steps.
+
+:class:`SyncBug` reproduces that behaviour as a seeded injection: with a
+per-(machine, step) probability, one thread of the step receives an extra
+solo message-draining stint sized relative to the step's normal thread
+durations.  The injection is off by default and enabled per run, so every
+experiment can ablate it (Figure 6 vs. a clean baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SyncBug"]
+
+
+@dataclass
+class SyncBug:
+    """Configuration and decision logic for the barrier sync bug."""
+
+    enabled: bool = False
+    probability: float = 0.15
+    min_factor: float = 0.3
+    max_factor: float = 1.6
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if not 0.0 < self.min_factor <= self.max_factor:
+            raise ValueError(
+                f"need 0 < min_factor <= max_factor, got {self.min_factor}, {self.max_factor}"
+            )
+        self._rng = np.random.default_rng(self.seed)
+
+    def draw(self, n_threads: int, typical_duration: float) -> tuple[int, float] | None:
+        """Decide whether this step on this machine triggers the bug.
+
+        Returns ``(victim_thread_index, extra_seconds)`` or ``None``.  The
+        extra stint is a uniform multiple of the step's typical (median)
+        thread duration, so slowdowns land in the paper's 1.1–2.5× band
+        regardless of absolute scale.
+        """
+        if not self.enabled or n_threads <= 1 or typical_duration <= 0.0:
+            return None
+        if self._rng.random() >= self.probability:
+            return None
+        victim = int(self._rng.integers(0, n_threads))
+        factor = float(self._rng.uniform(self.min_factor, self.max_factor))
+        return victim, factor * typical_duration

@@ -1,0 +1,148 @@
+"""Structured execution logging for the simulated systems.
+
+The simulated frameworks emit the same artifact a real instrumented
+framework would: a JSON-lines event log with timestamps for performance
+critical events (paper §III-C).  Event kinds:
+
+* ``phase_start`` / ``phase_end`` — with phase path, instance id, parent
+  instance id, and location attributes (machine / worker / thread);
+* ``block_start`` / ``block_end`` — a phase instance blocked on a blocking
+  resource (message queue, GC);
+* ``gc`` — a stop-the-world collection on a machine (interval + machine),
+  from which a *tuned* model derives GC phases and blocking events.
+
+:class:`EventLog` is the in-memory collector; :func:`write_jsonl` /
+:func:`read_jsonl` persist it.  The adapters in :mod:`repro.adapters`
+parse these events into Grade10 traces — the same decoupling the real tool
+has from the systems it measures.
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = ["PhaseHandle", "EventLog", "write_jsonl", "read_jsonl"]
+
+
+@dataclass(frozen=True)
+class PhaseHandle:
+    """Opaque reference to an open phase instance in the log."""
+
+    instance_id: str
+    phase_path: str
+
+
+@dataclass
+class EventLog:
+    """In-memory structured event log."""
+
+    events: list[dict[str, Any]] = field(default_factory=list)
+    _counter: itertools.count = field(default_factory=itertools.count, repr=False)
+
+    # ------------------------------------------------------------------ #
+    # Emission
+    # ------------------------------------------------------------------ #
+    def start_phase(
+        self,
+        path: str,
+        t: float,
+        *,
+        parent: PhaseHandle | None = None,
+        machine: str | None = None,
+        worker: str | None = None,
+        thread: str | None = None,
+        depends_on: list[PhaseHandle] | None = None,
+    ) -> PhaseHandle:
+        """Open a phase instance; returns the handle used to close/block it."""
+        instance_id = f"{path}#{next(self._counter)}"
+        event = {
+            "event": "phase_start",
+            "path": path,
+            "id": instance_id,
+            "parent": parent.instance_id if parent else None,
+            "machine": machine,
+            "worker": worker,
+            "thread": thread,
+            "t": t,
+        }
+        if depends_on:
+            event["depends_on"] = [h.instance_id for h in depends_on]
+        self.events.append(event)
+        return PhaseHandle(instance_id, path)
+
+    def end_phase(self, handle: PhaseHandle, t: float) -> None:
+        """Close an open phase instance at time ``t``."""
+        self.events.append({"event": "phase_end", "id": handle.instance_id, "t": t})
+
+    def block(self, handle: PhaseHandle, resource: str, t_start: float, t_end: float) -> None:
+        """Record a blocking interval of an open phase on a resource."""
+        self.events.append(
+            {
+                "event": "block_start",
+                "id": handle.instance_id,
+                "resource": resource,
+                "t": t_start,
+            }
+        )
+        self.events.append(
+            {
+                "event": "block_end",
+                "id": handle.instance_id,
+                "resource": resource,
+                "t": t_end,
+            }
+        )
+
+    def gc_event(self, machine: str, t_start: float, t_end: float) -> None:
+        """Record a stop-the-world collection interval on ``machine``."""
+        self.events.append({"event": "gc", "machine": machine, "t": t_start, "t_end": t_end})
+
+    def custom(self, **fields: Any) -> None:
+        """Emit an arbitrary event (extension point for new systems)."""
+        if "event" not in fields:
+            raise ValueError("custom events need an 'event' field")
+        self.events.append(fields)
+
+    # ------------------------------------------------------------------ #
+    # Queries (mostly for tests)
+    # ------------------------------------------------------------------ #
+    def of_kind(self, kind: str) -> list[dict[str, Any]]:
+        """All events of one kind, in emission order."""
+        return [e for e in self.events if e["event"] == kind]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def write_jsonl(log: EventLog | Iterable[dict[str, Any]], path: str | Path | io.TextIOBase) -> None:
+    """Persist events as JSON lines."""
+    events = log.events if isinstance(log, EventLog) else log
+    own = isinstance(path, (str, Path))
+    fh = open(path, "w") if own else path
+    try:
+        for event in events:
+            fh.write(json.dumps(event, separators=(",", ":")) + "\n")
+    finally:
+        if own:
+            fh.close()
+
+
+def read_jsonl(path: str | Path | io.TextIOBase) -> EventLog:
+    """Load a JSON-lines event log."""
+    own = isinstance(path, (str, Path))
+    fh = open(path, "r") if own else path
+    log = EventLog()
+    try:
+        for line in fh:
+            line = line.strip()
+            if line:
+                log.events.append(json.loads(line))
+    finally:
+        if own:
+            fh.close()
+    return log

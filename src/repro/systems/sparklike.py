@@ -1,0 +1,310 @@
+"""Spark-like DAG dataflow engine simulation (paper §V extension).
+
+The paper's discussion section reports ongoing work extending Grade10 from
+graph processing to broader DAG-based data processing systems such as
+Spark.  This module provides that target: a deterministic simulation of a
+stage/task dataflow engine with the characteristics that matter for
+performance characterization:
+
+* a **job** is a DAG of **stages**; a stage runs when all its parents have
+  finished (instance-level dependencies — carried in the logs via
+  ``depends_on`` and honoured by Grade10's replay simulator);
+* each stage fans out into **tasks** executed by a fixed pool of executor
+  cores per machine; tasks within a stage have skewed durations (seeded
+  Zipf-like skew, the classic straggler source);
+* **shuffle** edges ship each machine's stage output through its NIC
+  before child tasks may start (the shuffle wall), producing the network
+  phases Grade10 attributes;
+* tasks never migrate between machines once queued (locality constraint).
+
+A small workload library (:func:`wordcount_job`, :func:`join_job`,
+:func:`etl_job`) builds representative jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.machine import Cluster
+from ..cluster.metrics import MetricsRecorder
+from .logging import EventLog, PhaseHandle
+
+__all__ = [
+    "StageSpec",
+    "SparkLikeJob",
+    "SparkLikeConfig",
+    "SparkLikeRun",
+    "run_sparklike",
+    "wordcount_job",
+    "join_job",
+    "etl_job",
+]
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One stage of a dataflow job.
+
+    ``work`` is the stage's total compute demand in core-seconds, divided
+    over ``n_tasks`` with multiplicative skew ``skew`` (1.0 = perfectly
+    uniform; 3.0 means the heaviest task gets ~3× the mean).  ``shuffle_mb``
+    is the per-machine output shipped over the network to children.
+    """
+
+    name: str
+    n_tasks: int
+    work: float
+    parents: tuple[str, ...] = ()
+    shuffle_mb: float = 0.0
+    skew: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.n_tasks <= 0:
+            raise ValueError(f"stage {self.name!r}: n_tasks must be > 0")
+        if self.work < 0 or self.shuffle_mb < 0:
+            raise ValueError(f"stage {self.name!r}: work/shuffle must be >= 0")
+        if self.skew < 1.0:
+            raise ValueError(f"stage {self.name!r}: skew must be >= 1.0")
+
+
+@dataclass
+class SparkLikeJob:
+    """A named DAG of stages."""
+
+    name: str
+    stages: list[StageSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [s.name for s in self.stages]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate stage names")
+        known = set(names)
+        for s in self.stages:
+            for p in s.parents:
+                if p not in known:
+                    raise ValueError(f"stage {s.name!r} depends on unknown stage {p!r}")
+        self._toposort()
+
+    def _toposort(self) -> list[StageSpec]:
+        by_name = {s.name: s for s in self.stages}
+        indeg = {s.name: len(s.parents) for s in self.stages}
+        children: dict[str, list[str]] = {s.name: [] for s in self.stages}
+        for s in self.stages:
+            for p in s.parents:
+                children[p].append(s.name)
+        ready = sorted(n for n, d in indeg.items() if d == 0)
+        order: list[StageSpec] = []
+        while ready:
+            n = ready.pop(0)
+            order.append(by_name[n])
+            for c in sorted(children[n]):
+                indeg[c] -= 1
+                if indeg[c] == 0:
+                    ready.append(c)
+        if len(order) != len(self.stages):
+            raise ValueError("cycle in stage DAG")
+        return order
+
+    @property
+    def topological_stages(self) -> list[StageSpec]:
+        return self._toposort()
+
+
+@dataclass
+class SparkLikeConfig:
+    """Deployment constants of the simulated dataflow engine."""
+
+    n_machines: int = 4
+    cores_per_machine: int = 4
+    net_bandwidth: float = 100e6
+    scheduler_delay: float = 0.002  # per-task launch overhead
+    cpu_efficiency_min: float = 0.93
+    cpu_efficiency_max: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_machines <= 0 or self.cores_per_machine <= 0:
+            raise ValueError("n_machines and cores_per_machine must be > 0")
+
+
+@dataclass
+class SparkLikeRun:
+    """Artifacts of one simulated dataflow job."""
+
+    config: SparkLikeConfig
+    job: SparkLikeJob
+    log: EventLog
+    recorder: MetricsRecorder
+    makespan: float
+    machine_names: list[str] = field(default_factory=list)
+
+
+def _task_durations(spec: StageSpec, rng: np.random.Generator) -> np.ndarray:
+    """Skewed per-task durations summing to ``spec.work`` core-seconds."""
+    weights = rng.pareto(2.5, size=spec.n_tasks) * (spec.skew - 1.0) + 1.0
+    return spec.work * weights / weights.sum()
+
+
+def run_sparklike(
+    job: SparkLikeJob,
+    config: SparkLikeConfig | None = None,
+    *,
+    seed: int = 0,
+) -> SparkLikeRun:
+    """Simulate a dataflow job; emits the same artifact kinds as the graph engines."""
+    cfg = config or SparkLikeConfig()
+    cluster = Cluster(cfg.n_machines, n_cores=cfg.cores_per_machine, net_bandwidth=cfg.net_bandwidth)
+    sim, recorder = cluster.sim, cluster.recorder
+    log = EventLog()
+    rng = np.random.default_rng(seed)
+
+    stage_durations = {s.name: _task_durations(s, rng) for s in job.stages}
+    # Tasks round-robin over machines (fixed at submission: no migration).
+    stage_task_machine = {
+        s.name: np.arange(s.n_tasks) % cfg.n_machines for s in job.stages
+    }
+
+    stage_done: dict[str, object] = {}
+    stage_handles: dict[str, PhaseHandle] = {}
+    state = {"makespan": 0.0}
+    # Cores are exclusive: concurrent stages queue for them FIFO.  Each
+    # (machine, core) holds the completion event of its current occupant.
+    core_locks: dict[tuple[int, int], object] = {}
+
+    def executor_core(machine_idx: int, core: int, stage: StageSpec, tasks: list[int],
+                      parent: PhaseHandle):
+        machine = cluster[machine_idx]
+        key = (machine_idx, core)
+        prev = core_locks.get(key)
+        done = sim.event()
+        core_locks[key] = done
+        if prev is not None and not prev.triggered:  # type: ignore[union-attr]
+            yield prev
+        for t_idx in tasks:
+            yield sim.timeout(cfg.scheduler_delay)
+            handle = log.start_phase(
+                "/Job/Stage/Task",
+                sim.now,
+                parent=parent,
+                machine=machine.name,
+                worker=machine.name,
+                thread=f"{machine.name}-c{core}",
+            )
+            eff = rng.uniform(cfg.cpu_efficiency_min, cfg.cpu_efficiency_max)
+            yield machine.work(float(stage_durations[stage.name][t_idx]), cpu_rate=eff)
+            log.end_phase(handle, sim.now)
+        done.succeed()
+
+    def run_stage(stage: StageSpec, job_handle: PhaseHandle):
+        # Wait for parents.
+        for p in stage.parents:
+            yield stage_done[p]
+        handle = log.start_phase(
+            "/Job/Stage",
+            sim.now,
+            parent=job_handle,
+            depends_on=[stage_handles[p] for p in stage.parents],
+        )
+        stage_handles[stage.name] = handle
+
+        # Schedule tasks: per machine, per core, a FIFO share of the tasks.
+        machines_tasks: dict[int, list[int]] = {}
+        for t_idx, m in enumerate(stage_task_machine[stage.name]):
+            machines_tasks.setdefault(int(m), []).append(t_idx)
+        procs = []
+        for m, tasks in machines_tasks.items():
+            for core in range(cfg.cores_per_machine):
+                share = tasks[core :: cfg.cores_per_machine]
+                if share:
+                    procs.append(sim.process(executor_core(m, core, stage, share, handle)))
+        for p in procs:
+            yield p.completion
+
+        # Shuffle output: each machine ships its partition before children run.
+        if stage.shuffle_mb > 0:
+            sends = []
+            for m in machines_tasks:
+                sh = log.start_phase(
+                    "/Job/Stage/Shuffle",
+                    sim.now,
+                    parent=handle,
+                    machine=cluster[m].name,
+                    worker=cluster[m].name,
+                )
+                ev = cluster[m].send(stage.shuffle_mb * 1e6 / len(machines_tasks))
+                sends.append((sh, ev))
+            for sh, ev in sends:
+                yield ev
+                log.end_phase(sh, sim.now)
+        log.end_phase(handle, sim.now)
+        stage_done[stage.name].succeed()  # type: ignore[attr-defined]
+
+    def driver():
+        job_handle = log.start_phase("/Job", sim.now)
+        for s in job.stages:
+            stage_done[s.name] = sim.event()
+        for s in job.topological_stages:
+            sim.process(run_stage(s, job_handle))
+        for s in job.stages:
+            yield stage_done[s.name]
+        log.end_phase(job_handle, sim.now)
+        state["makespan"] = sim.now
+
+    sim.process(driver())
+    sim.run()
+    return SparkLikeRun(
+        config=cfg,
+        job=job,
+        log=log,
+        recorder=recorder,
+        makespan=float(state["makespan"]),
+        machine_names=[m.name for m in cluster],
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Workload library
+# ---------------------------------------------------------------------- #
+
+
+def wordcount_job(*, scale: float = 1.0) -> SparkLikeJob:
+    """map → reduce with one shuffle (the canonical two-stage job)."""
+    return SparkLikeJob(
+        "wordcount",
+        [
+            StageSpec("map", n_tasks=32, work=8.0 * scale, shuffle_mb=64 * scale, skew=2.0),
+            StageSpec("reduce", n_tasks=16, work=3.0 * scale, parents=("map",), skew=1.3),
+        ],
+    )
+
+
+def join_job(*, scale: float = 1.0) -> SparkLikeJob:
+    """Two scans feeding a shuffled join, then an aggregate — a diamond DAG."""
+    return SparkLikeJob(
+        "join",
+        [
+            StageSpec("scan_a", n_tasks=24, work=5.0 * scale, shuffle_mb=48 * scale, skew=1.5),
+            StageSpec("scan_b", n_tasks=24, work=4.0 * scale, shuffle_mb=40 * scale, skew=1.5),
+            StageSpec(
+                "join", n_tasks=32, work=10.0 * scale, parents=("scan_a", "scan_b"),
+                shuffle_mb=32 * scale, skew=3.0,
+            ),
+            StageSpec("agg", n_tasks=8, work=1.5 * scale, parents=("join",), skew=1.2),
+        ],
+    )
+
+
+def etl_job(*, scale: float = 1.0) -> SparkLikeJob:
+    """A longer pipeline with two independent branches merged at the end."""
+    return SparkLikeJob(
+        "etl",
+        [
+            StageSpec("extract", n_tasks=16, work=4.0 * scale, shuffle_mb=32 * scale),
+            StageSpec("clean", n_tasks=16, work=6.0 * scale, parents=("extract",), skew=2.5),
+            StageSpec("features", n_tasks=16, work=5.0 * scale, parents=("clean",),
+                      shuffle_mb=24 * scale),
+            StageSpec("stats", n_tasks=8, work=2.0 * scale, parents=("extract",)),
+            StageSpec("load", n_tasks=8, work=2.0 * scale, parents=("features", "stats")),
+        ],
+    )

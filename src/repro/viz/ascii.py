@@ -1,0 +1,126 @@
+"""Plain-text visualization primitives.
+
+The benchmark harness and examples render the paper's figures as terminal
+graphics: horizontal bar charts (Figures 4-6), sparkline-style time series
+(Figure 3), and phase timelines.  Everything returns strings, so output is
+testable and redirectable.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["bar_chart", "sparkline", "timeline", "histogram", "heatmap"]
+
+#: Eight-level block characters for sparklines.
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def bar_chart(
+    items: Mapping[str, float] | Iterable[tuple[str, float]],
+    *,
+    width: int = 50,
+    max_value: float | None = None,
+    fmt: str = "{:.1%}",
+    bar_char: str = "█",
+) -> str:
+    """Horizontal bar chart: one labelled row per item."""
+    pairs = list(items.items()) if isinstance(items, Mapping) else list(items)
+    if not pairs:
+        return "(no data)\n"
+    label_w = max(len(k) for k, _ in pairs)
+    peak = max_value if max_value is not None else max((v for _, v in pairs), default=0.0)
+    out = StringIO()
+    for label, value in pairs:
+        n = 0 if peak <= 0 else int(round(width * min(value, peak) / peak))
+        out.write(f"{label:<{label_w}} |{bar_char * n:<{width}}| {fmt.format(value)}\n")
+    return out.getvalue()
+
+
+def sparkline(values: Sequence[float] | np.ndarray, *, max_value: float | None = None) -> str:
+    """One-line block-character series."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    peak = max_value if max_value is not None else float(arr.max())
+    if peak <= 0:
+        return _BLOCKS[0] * arr.size
+    idx = np.clip((arr / peak) * (len(_BLOCKS) - 1), 0, len(_BLOCKS) - 1).astype(int)
+    return "".join(_BLOCKS[i] for i in idx)
+
+
+def timeline(
+    intervals: Iterable[tuple[str, float, float]],
+    *,
+    t0: float,
+    t1: float,
+    width: int = 72,
+) -> str:
+    """Gantt-style timeline: each (label, start, end) renders as one row."""
+    rows = list(intervals)
+    if not rows or t1 <= t0:
+        return "(no data)\n"
+    label_w = max(len(r[0]) for r in rows)
+    span = t1 - t0
+    out = StringIO()
+    for label, s, e in rows:
+        a = int(np.clip((s - t0) / span * width, 0, width))
+        b = int(np.clip((e - t0) / span * width, 0, width))
+        b = max(b, a + 1)
+        out.write(f"{label:<{label_w}} |{' ' * a}{'▆' * (b - a)}{' ' * (width - b)}|\n")
+    return out.getvalue()
+
+
+def heatmap(
+    rows: Mapping[str, Sequence[float] | np.ndarray],
+    *,
+    max_value: float | None = None,
+    width: int | None = None,
+) -> str:
+    """Row-labelled heatmap: one sparkline row per series, shared scale.
+
+    The canonical use is machine × time utilization (one row per machine's
+    CPU or NIC), which makes load imbalance and idle tails visible at a
+    glance.  ``width`` downsamples long series by block-averaging.
+    """
+    if not rows:
+        return "(no data)\n"
+    arrays = {k: np.asarray(v, dtype=np.float64) for k, v in rows.items()}
+    peak = max_value
+    if peak is None:
+        peak = max((float(a.max()) for a in arrays.values() if a.size), default=0.0)
+    label_w = max(len(k) for k in arrays)
+    out = StringIO()
+    for label, arr in arrays.items():
+        if width is not None and arr.size > width:
+            # Block-average down to the display width.
+            edges = np.linspace(0, arr.size, width + 1).astype(int)
+            arr = np.array([
+                arr[a:b].mean() if b > a else 0.0 for a, b in zip(edges[:-1], edges[1:])
+            ])
+        out.write(f"{label:<{label_w}} {sparkline(arr, max_value=peak)}\n")
+    return out.getvalue()
+
+
+def histogram(
+    values: Sequence[float] | np.ndarray,
+    *,
+    bins: int = 10,
+    width: int = 40,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Vertical-label histogram of a value distribution."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return "(no data)\n"
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = counts.max()
+    out = StringIO()
+    for k in range(bins):
+        n = 0 if peak == 0 else int(round(width * counts[k] / peak))
+        lo, hi = fmt.format(edges[k]), fmt.format(edges[k + 1])
+        out.write(f"[{lo}, {hi}) |{'█' * n:<{width}}| {counts[k]}\n")
+    return out.getvalue()

@@ -1,0 +1,45 @@
+"""Formatted plain-text tables for benchmark output."""
+
+from __future__ import annotations
+
+from io import StringIO
+from typing import Any, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+    align_right: set[int] | None = None,
+) -> str:
+    """Render rows as an aligned text table.
+
+    ``align_right`` holds the indices of right-aligned (numeric) columns;
+    by default every column after the first is right-aligned.
+    """
+    if align_right is None:
+        align_right = set(range(1, len(headers)))
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    out = StringIO()
+    if title:
+        out.write(title + "\n")
+        out.write("=" * len(title) + "\n")
+    for k, row in enumerate(cells):
+        line = "  ".join(
+            f"{cell:>{w}}" if i in align_right else f"{cell:<{w}}"
+            for i, (cell, w) in enumerate(zip(row, widths))
+        )
+        out.write(line.rstrip() + "\n")
+        if k == 0:
+            out.write("  ".join("-" * w for w in widths) + "\n")
+    return out.getvalue()
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

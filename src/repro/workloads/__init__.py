@@ -1,0 +1,48 @@
+"""Workloads: datasets, the end-to-end runner, and experiment drivers."""
+
+from .datasets import DATASETS, Dataset, dataset_names, get_dataset, traversal_source
+from .experiments import (
+    EVALUATION_GRID,
+    GROUND_TRUTH_INTERVAL,
+    UPSAMPLING_RATIOS,
+    Fig3Series,
+    Fig4Cell,
+    Fig5Cell,
+    Fig6Result,
+    Table2Row,
+    experiment_fig3,
+    experiment_fig4,
+    experiment_fig5,
+    experiment_fig6,
+    experiment_table2,
+)
+from .graphalytics import SuiteEntry, SuiteResult, run_suite
+from .runner import WorkloadRun, WorkloadSpec, characterize_run, run_workload
+
+__all__ = [
+    "DATASETS",
+    "Dataset",
+    "dataset_names",
+    "get_dataset",
+    "traversal_source",
+    "EVALUATION_GRID",
+    "GROUND_TRUTH_INTERVAL",
+    "UPSAMPLING_RATIOS",
+    "Fig3Series",
+    "Fig4Cell",
+    "Fig5Cell",
+    "Fig6Result",
+    "Table2Row",
+    "experiment_fig3",
+    "experiment_fig4",
+    "experiment_fig5",
+    "experiment_fig6",
+    "experiment_table2",
+    "SuiteEntry",
+    "SuiteResult",
+    "run_suite",
+    "WorkloadRun",
+    "WorkloadSpec",
+    "characterize_run",
+    "run_workload",
+]

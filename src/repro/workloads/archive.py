@@ -1,0 +1,133 @@
+"""Run archival: persist and reload a run's artifacts for offline analysis.
+
+Grade10's decoupling from the system under test is file-based: the
+framework writes logs and the cluster monitor writes samples; the analysis
+runs later, elsewhere, possibly many times with refined models.  This
+module materializes that workflow for the simulated systems:
+
+* :func:`save_run` writes a run directory::
+
+      <dir>/
+        events.jsonl        execution log
+        monitoring.csv      coarse monitoring samples
+        ground_truth.csv    fine samples (for Table II-style validation)
+        models.json         the tuned expert models for this run
+        meta.json           system, config snapshot, makespan
+
+* :func:`load_run` reads it back into the traces + models Grade10 needs;
+* :func:`characterize_archive` is the one-call offline analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from ..adapters import (
+    build_giraph_models,
+    build_powergraph_models,
+    merge_blocking_into_resource_trace,
+    parse_execution_trace,
+)
+from ..cluster.monitor import read_monitoring_csv, write_monitoring_csv
+from ..core import Grade10, PerformanceProfile
+from ..core.model_io import load_models, save_models
+from ..core.traces import ExecutionTrace, ResourceTrace
+from ..systems import GiraphRun, PowerGraphRun, read_jsonl, write_jsonl
+from ..systems.sparklike import SparkLikeRun
+
+__all__ = ["save_run", "load_run", "characterize_archive"]
+
+_EVENTS = "events.jsonl"
+_MONITORING = "monitoring.csv"
+_GROUND_TRUTH = "ground_truth.csv"
+_MODELS = "models.json"
+_META = "meta.json"
+
+
+def _models_for(run) -> tuple:
+    if isinstance(run, GiraphRun):
+        return build_giraph_models(run)
+    if isinstance(run, PowerGraphRun):
+        return build_powergraph_models(run)
+    if isinstance(run, SparkLikeRun):
+        from ..adapters.sparklike_model import build_sparklike_models
+
+        return build_sparklike_models(run)
+    raise TypeError(f"unknown run type {type(run).__name__}")
+
+
+def save_run(
+    run,
+    directory: str | Path,
+    *,
+    monitoring_interval: float = 0.4,
+    ground_truth_interval: float = 0.05,
+) -> Path:
+    """Persist one run's artifacts; returns the directory path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    write_jsonl(run.log, directory / _EVENTS)
+    write_monitoring_csv(
+        run.recorder.sample(monitoring_interval, t_end=run.makespan),
+        directory / _MONITORING,
+    )
+    write_monitoring_csv(
+        run.recorder.sample(ground_truth_interval, t_end=run.makespan),
+        directory / _GROUND_TRUTH,
+    )
+    model, resources, rules = _models_for(run)
+    save_models(
+        directory / _MODELS,
+        execution_model=model,
+        resource_model=resources,
+        rules=rules,
+    )
+    config = asdict(run.config) if hasattr(run, "config") else {}
+    config.pop("sync_bug", None)  # nested dataclass; not needed offline
+    meta = {
+        "system": type(run).__name__,
+        "makespan": run.makespan,
+        "machines": run.machine_names,
+        "monitoring_interval": monitoring_interval,
+        "ground_truth_interval": ground_truth_interval,
+        "config": {k: v for k, v in config.items() if isinstance(v, (int, float, str, bool))},
+    }
+    (directory / _META).write_text(json.dumps(meta, indent=2))
+    return directory
+
+
+def load_run(
+    directory: str | Path,
+    *,
+    tuned: bool = True,
+) -> tuple[ExecutionTrace, ResourceTrace, tuple, dict]:
+    """Load an archived run: traces, (model, resources, rules), metadata."""
+    directory = Path(directory)
+    meta = json.loads((directory / _META).read_text())
+    log = read_jsonl(directory / _EVENTS)
+    execution_trace = parse_execution_trace(
+        log, include_blocking=True, include_gc_phases=tuned
+    )
+    resource_trace = read_monitoring_csv(directory / _MONITORING)
+    merge_blocking_into_resource_trace(log, resource_trace)
+    models = load_models(directory / _MODELS)
+    return execution_trace, resource_trace, models, meta
+
+
+def characterize_archive(
+    directory: str | Path,
+    *,
+    slice_duration: float = 0.01,
+    tuned: bool = True,
+) -> PerformanceProfile:
+    """One-call offline analysis of an archived run."""
+    execution_trace, resource_trace, (model, resources, rules), _ = load_run(
+        directory, tuned=tuned
+    )
+    if model is None or resources is None:
+        raise ValueError(f"archive at {directory} has no models.json content")
+    g10 = Grade10(model, resources, rules, slice_duration=slice_duration)
+    return g10.characterize(execution_trace, resource_trace)

@@ -1,0 +1,88 @@
+"""Dataset registry for the evaluation workloads.
+
+The paper evaluates on two datasets (a Graph500-style synthetic and an
+LDBC Datagen social network) at cluster scale.  We reproduce both families
+with the seeded generators, at three size presets so tests stay fast while
+benchmarks run at a meaningful scale:
+
+* ``tiny``  — hundreds of vertices, for unit tests;
+* ``small`` — tens of thousands of edges, for quick experiments;
+* ``full``  — ≈0.5–1 M edges, the default for the benchmark harness.
+
+BFS/SSSP need a source vertex; per Graphalytics practice we pick the
+highest-out-degree vertex so traversals cover most of the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..graph import Graph, ldbc_like, rmat
+
+__all__ = ["Dataset", "DATASETS", "get_dataset", "dataset_names", "traversal_source"]
+
+#: Size presets: generator parameters per preset.
+_PRESETS = ("tiny", "small", "full")
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A named dataset: a seeded generator plus metadata."""
+
+    name: str
+    family: str
+    build: Callable[[str], Graph]
+    description: str = ""
+
+    def graph(self, preset: str = "small") -> Graph:
+        """Build (deterministically) the graph at the given size preset."""
+        if preset not in _PRESETS:
+            raise ValueError(f"unknown preset {preset!r}; choose from {_PRESETS}")
+        return self.build(preset)
+
+
+def _graph500(preset: str) -> Graph:
+    scale = {"tiny": 8, "small": 13, "full": 15}[preset]
+    return rmat(scale, edge_factor=16, seed=42)
+
+
+def _datagen(preset: str) -> Graph:
+    n = {"tiny": 300, "small": 8_000, "full": 40_000}[preset]
+    return ldbc_like(n, avg_degree=14.0, intra_fraction=0.8, seed=42)
+
+
+DATASETS: dict[str, Dataset] = {
+    "graph500": Dataset(
+        name="graph500",
+        family="rmat",
+        build=_graph500,
+        description="Graph500-style R-MAT synthetic (heavy-tailed degrees)",
+    ),
+    "datagen": Dataset(
+        name="datagen",
+        family="ldbc",
+        build=_datagen,
+        description="LDBC-Datagen-like social network (community structure)",
+    ),
+}
+
+
+def get_dataset(name: str) -> Dataset:
+    """Look up a dataset by name (raises ``KeyError`` for unknown names)."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(DATASETS)}") from None
+
+
+def dataset_names() -> list[str]:
+    """Sorted names of the available datasets."""
+    return sorted(DATASETS)
+
+
+def traversal_source(graph: Graph) -> int:
+    """Graphalytics-style source selection: the max-out-degree vertex."""
+    return int(np.argmax(graph.out_degree()))

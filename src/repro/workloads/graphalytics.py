@@ -1,0 +1,113 @@
+"""Graphalytics-style benchmark suite driver.
+
+The paper's workloads come from LDBC Graphalytics (its Figure 1's
+component 2).  This module provides the suite-level view Graphalytics
+reports — per-workload makespans, processing time, and EVPS (edges+vertices
+per second, Graphalytics' throughput metric) — on the simulated systems,
+plus an optional Grade10 characterization of every job.
+
+It doubles as the "run many jobs cheaply and characterize them all"
+workflow the paper credits for finding the sync bug: Grade10's low
+overhead makes it feasible to profile entire benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import PerformanceProfile
+from .datasets import get_dataset
+from .experiments import EVALUATION_GRID
+from .runner import WorkloadSpec, characterize_run, run_workload
+
+__all__ = ["SuiteResult", "SuiteEntry", "run_suite"]
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One benchmark job's suite-level metrics."""
+
+    spec: WorkloadSpec
+    makespan: float
+    processing_time: float  # the algorithm-execution part (Graphalytics Tproc)
+    evps: float  # (|V| + |E|) / processing_time
+    n_iterations: int
+    profile: PerformanceProfile | None = None
+
+    @property
+    def label(self) -> str:
+        return self.spec.label
+
+
+@dataclass
+class SuiteResult:
+    """All jobs of one suite sweep."""
+
+    entries: list[SuiteEntry] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def entry(self, system: str, dataset: str, algorithm: str) -> SuiteEntry:
+        """Look up one job's entry (``KeyError`` if absent)."""
+        for e in self.entries:
+            s = e.spec
+            if (s.system, s.dataset, s.algorithm) == (system, dataset, algorithm):
+                return e
+        raise KeyError(f"no suite entry for {system}/{dataset}/{algorithm}")
+
+    def speedup(self, dataset: str, algorithm: str) -> float:
+        """PowerGraph-over-Giraph processing-time ratio for one workload."""
+        g = self.entry("giraph", dataset, algorithm)
+        p = self.entry("powergraph", dataset, algorithm)
+        if p.processing_time <= 0:
+            return float("inf")
+        return g.processing_time / p.processing_time
+
+
+def _processing_time(run) -> float:
+    """The Execute phase's duration, from the run's own log."""
+    starts = {e["id"]: e for e in run.log.of_kind("phase_start")}
+    ends = {e["id"]: e["t"] for e in run.log.of_kind("phase_end")}
+    for iid, ev in starts.items():
+        if ev["path"] == "/Execute":
+            return float(ends.get(iid, run.makespan)) - float(ev["t"])
+    return run.makespan
+
+
+def run_suite(
+    *,
+    preset: str = "small",
+    systems: tuple[str, ...] = ("giraph", "powergraph"),
+    grid: tuple[tuple[str, str], ...] = EVALUATION_GRID,
+    characterize: bool = False,
+    seed: int = 0,
+) -> SuiteResult:
+    """Run the benchmark grid on the requested systems.
+
+    With ``characterize=True`` every job also gets a Grade10 profile
+    (the low-overhead sweep workflow of §IV-D).
+    """
+    result = SuiteResult()
+    for system in systems:
+        for dataset, algorithm in grid:
+            spec = WorkloadSpec(system, dataset, algorithm, preset=preset, seed=seed)
+            run = run_workload(spec)
+            graph = get_dataset(dataset).graph(preset)
+            t_proc = _processing_time(run.system_run)
+            evps = (graph.n_vertices + graph.n_edges) / t_proc if t_proc > 0 else 0.0
+            profile = characterize_run(run, tuned=True) if characterize else None
+            result.entries.append(
+                SuiteEntry(
+                    spec=spec,
+                    makespan=run.makespan,
+                    processing_time=t_proc,
+                    evps=evps,
+                    n_iterations=run.algorithm.n_iterations,
+                    profile=profile,
+                )
+            )
+    return result

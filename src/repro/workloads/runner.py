@@ -1,0 +1,160 @@
+"""End-to-end workload runner: generate → execute → characterize.
+
+``run_workload`` executes one (system, dataset, algorithm) combination on
+the simulated cluster; ``characterize_run`` feeds the run's artifacts —
+and nothing else — through Grade10 with either the tuned or the untuned
+expert model, mirroring how the real tool is applied to a finished job's
+logs and monitoring data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..adapters import (
+    giraph_execution_model,
+    giraph_resource_model,
+    giraph_tuned_rules,
+    giraph_untuned_rules,
+    merge_blocking_into_resource_trace,
+    parse_execution_trace,
+    powergraph_execution_model,
+    powergraph_resource_model,
+    powergraph_tuned_rules,
+    powergraph_untuned_rules,
+)
+from ..algorithms import ALGORITHMS, AlgorithmResult
+from ..core import Grade10, PerformanceProfile
+from ..core.traces import ResourceTrace
+from ..graph import Graph
+from ..systems import (
+    GiraphConfig,
+    GiraphRun,
+    PowerGraphConfig,
+    PowerGraphRun,
+    run_giraph,
+    run_powergraph,
+)
+from .datasets import get_dataset, traversal_source
+
+__all__ = ["WorkloadSpec", "WorkloadRun", "run_workload", "characterize_run"]
+
+SYSTEMS = ("giraph", "powergraph")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One cell of the paper's evaluation grid."""
+
+    system: str
+    dataset: str
+    algorithm: str
+    preset: str = "small"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.system not in SYSTEMS:
+            raise ValueError(f"unknown system {self.system!r}; choose from {SYSTEMS}")
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; available: {sorted(ALGORITHMS)}"
+            )
+
+    @property
+    def label(self) -> str:
+        return f"{self.system}/{self.dataset}/{self.algorithm}"
+
+
+@dataclass
+class WorkloadRun:
+    """A completed workload execution and everything it produced."""
+
+    spec: WorkloadSpec
+    graph: Graph
+    algorithm: AlgorithmResult
+    system_run: GiraphRun | PowerGraphRun
+
+    @property
+    def makespan(self) -> float:
+        return self.system_run.makespan
+
+
+def _run_algorithm(spec: WorkloadSpec, graph: Graph) -> AlgorithmResult:
+    fn = ALGORITHMS[spec.algorithm]
+    if spec.algorithm in ("bfs", "sssp"):
+        return fn(graph, traversal_source(graph))
+    if spec.algorithm == "pr":
+        iters = {"tiny": 5, "small": 10, "full": 15}[spec.preset]
+        return fn(graph, iterations=iters)
+    if spec.algorithm == "cdlp":
+        iters = {"tiny": 4, "small": 8, "full": 10}[spec.preset]
+        return fn(graph, iterations=iters)
+    return fn(graph)
+
+
+def run_workload(
+    spec: WorkloadSpec,
+    *,
+    giraph_config: GiraphConfig | None = None,
+    powergraph_config: PowerGraphConfig | None = None,
+) -> WorkloadRun:
+    """Execute one workload on the simulated cluster."""
+    graph = get_dataset(spec.dataset).graph(spec.preset)
+    algorithm = _run_algorithm(spec, graph)
+    if spec.system == "giraph":
+        system_run = run_giraph(graph, algorithm, giraph_config, seed=spec.seed)
+    else:
+        cfg = powergraph_config if powergraph_config is not None else PowerGraphConfig()
+        if spec.algorithm == "cdlp" and not cfg.gather_superlinear:
+            # CDLP's gather builds neighbor-label histograms: superlinear in
+            # degree, the amplifier behind the paper's Figure 5/6 imbalance.
+            cfg = replace(cfg, gather_superlinear=True)
+        system_run = run_powergraph(graph, algorithm, cfg, seed=spec.seed)
+    return WorkloadRun(spec=spec, graph=graph, algorithm=algorithm, system_run=system_run)
+
+
+def characterize_run(
+    run: WorkloadRun | GiraphRun | PowerGraphRun,
+    *,
+    tuned: bool = True,
+    slice_duration: float = 0.01,
+    monitoring_interval: float = 0.4,
+    min_phase_duration: float = 0.05,
+) -> PerformanceProfile:
+    """Run the Grade10 pipeline on a finished workload's artifacts.
+
+    ``tuned`` selects the expert model variant: the tuned model includes
+    attribution rules and first-class GC phases; the untuned model has no
+    rules (implicit Variable 1×) and no GC modeling, as in §IV-B.
+    """
+    system_run = run.system_run if isinstance(run, WorkloadRun) else run
+
+    if isinstance(system_run, GiraphRun):
+        model = giraph_execution_model()
+        resources = giraph_resource_model(system_run.config, system_run.machine_names)
+        rules = giraph_tuned_rules(system_run.config) if tuned else giraph_untuned_rules()
+    elif isinstance(system_run, PowerGraphRun):
+        model = powergraph_execution_model()
+        resources = powergraph_resource_model(system_run.config, system_run.machine_names)
+        rules = powergraph_tuned_rules(system_run.config) if tuned else powergraph_untuned_rules()
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unknown run type {type(system_run).__name__}")
+
+    execution_trace = parse_execution_trace(
+        system_run.log,
+        include_blocking=True,
+        include_gc_phases=tuned,
+    )
+    resource_trace: ResourceTrace = system_run.recorder.sample(
+        monitoring_interval, t_end=system_run.makespan
+    )
+    merge_blocking_into_resource_trace(system_run.log, resource_trace)
+
+    g10 = Grade10(
+        model,
+        resources,
+        rules,
+        slice_duration=slice_duration,
+        min_phase_duration=min_phase_duration,
+    )
+    return g10.characterize(execution_trace, resource_trace)

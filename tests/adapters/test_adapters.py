@@ -1,0 +1,148 @@
+"""Tests for log parsing and the expert models."""
+
+import pytest
+
+from repro.adapters import (
+    GC_PHASE_PATH,
+    giraph_execution_model,
+    giraph_resource_model,
+    giraph_tuned_rules,
+    giraph_untuned_rules,
+    merge_blocking_into_resource_trace,
+    parse_execution_trace,
+    powergraph_execution_model,
+    powergraph_resource_model,
+    powergraph_tuned_rules,
+)
+from repro.core.rules import ExactRule, NoneRule, VariableRule
+from repro.core.traces import PhaseInstance, ResourceTrace
+from repro.systems import GiraphConfig, PowerGraphConfig
+from repro.systems.logging import EventLog
+
+
+def make_log() -> EventLog:
+    log = EventLog()
+    load = log.start_phase("/Load", 0.0)
+    w = log.start_phase("/Load/LoadWorker", 0.0, parent=load, machine="m0", worker="m0")
+    log.end_phase(w, 1.0)
+    log.end_phase(load, 1.0)
+    ex = log.start_phase("/Execute", 1.0)
+    ct = log.start_phase(
+        "/Execute/Superstep", 1.0, parent=ex, machine="m0", thread="t0"
+    )
+    log.block(ct, "gc@m0", 1.5, 1.7)
+    log.end_phase(ct, 3.0)
+    log.end_phase(ex, 3.0)
+    log.gc_event("m0", 1.5, 1.7)
+    return log
+
+
+class TestParseExecutionTrace:
+    def test_hierarchy_preserved(self):
+        trace = parse_execution_trace(make_log())
+        roots = trace.roots()
+        assert {r.phase_path for r in roots} == {"/Load", "/Execute"}
+        load = next(r for r in roots if r.phase_path == "/Load")
+        assert trace.children_of(load)[0].phase_path == "/Load/LoadWorker"
+
+    def test_times_and_attributes(self):
+        trace = parse_execution_trace(make_log())
+        worker = trace.instances("/Load/LoadWorker")[0]
+        assert (worker.t_start, worker.t_end) == (0.0, 1.0)
+        assert worker.machine == "m0"
+
+    def test_blocking_parsed(self):
+        trace = parse_execution_trace(make_log())
+        ss = trace.instances("/Execute/Superstep")[0]
+        assert ss.blocked_time("gc@m0") == pytest.approx(0.2)
+
+    def test_blocking_excluded_when_disabled(self):
+        trace = parse_execution_trace(make_log(), include_blocking=False)
+        ss = trace.instances("/Execute/Superstep")[0]
+        assert ss.blocking == []
+
+    def test_gc_phases_created_when_enabled(self):
+        trace = parse_execution_trace(make_log(), include_gc_phases=True)
+        gc_phases = trace.instances(GC_PHASE_PATH)
+        assert len(gc_phases) == 1
+        assert gc_phases[0].machine == "m0"
+        assert gc_phases[0].duration == pytest.approx(0.2)
+
+    def test_gc_phases_absent_by_default(self):
+        trace = parse_execution_trace(make_log())
+        assert trace.instances(GC_PHASE_PATH) == []
+
+    def test_unclosed_phase_closed_at_horizon(self):
+        log = EventLog()
+        log.start_phase("/P", 0.0)
+        log.gc_event("m0", 4.0, 5.0)
+        trace = parse_execution_trace(log)
+        assert trace.instances("/P")[0].t_end == 5.0
+
+    def test_merge_blocking_into_resource_trace(self):
+        rt = ResourceTrace()
+        merge_blocking_into_resource_trace(make_log(), rt)
+        assert len(rt.blocking_events("gc@m0")) == 2  # block + gc event
+
+
+class TestGiraphModels:
+    def test_execution_model_valid(self):
+        m = giraph_execution_model()
+        m.validate()
+        assert m["/Execute/Superstep/Compute/ComputeThread"].concurrent
+        assert m["/Execute/Superstep/WorkerBarrier"].wait
+        assert not m["/Execute/Superstep/WorkerBarrier"].balanceable
+        assert m[GC_PHASE_PATH].concurrent
+
+    def test_resource_model(self):
+        rm = giraph_resource_model(GiraphConfig(threads_per_machine=8), ["m0", "m1"])
+        assert rm.capacity_of("cpu@m0") == 8.0
+        assert "gc@m1" in rm
+        assert "queue@m0" in rm
+        assert len(rm.names()) == 8
+
+    def test_tuned_rules(self):
+        cfg = GiraphConfig(threads_per_machine=4)
+        rules = giraph_tuned_rules(cfg)
+        thread = PhaseInstance(
+            "i", "/Execute/Superstep/Compute/ComputeThread", 0, 1, machine="m0"
+        )
+        rule = rules.rule_for(thread, "cpu@m0")
+        assert isinstance(rule, ExactRule)
+        assert rule.proportion == pytest.approx(0.25)
+        # Threads do not demand the network.
+        assert isinstance(rules.rule_for(thread, "net@m0"), NoneRule)
+        # Rules are per-machine.
+        assert isinstance(rules.rule_for(thread, "cpu@m1"), NoneRule)
+
+    def test_tuned_rules_flush_uses_network(self):
+        rules = giraph_tuned_rules(GiraphConfig())
+        flush = PhaseInstance("i", "/Execute/Superstep/Flush", 0, 1, machine="m2")
+        assert isinstance(rules.rule_for(flush, "net@m2"), VariableRule)
+
+    def test_untuned_rules_are_implicit_variable(self):
+        rules = giraph_untuned_rules()
+        inst = PhaseInstance("i", "/Anything", 0, 1)
+        assert isinstance(rules.rule_for(inst, "cpu@m0"), VariableRule)
+
+
+class TestPowerGraphModels:
+    def test_execution_model_valid(self):
+        m = powergraph_execution_model()
+        m.validate()
+        assert m["/Execute/Iteration/Gather"].concurrent
+        assert m["/Execute/Iteration/SyncBarrier"].wait
+
+    def test_resource_model_has_no_blocking(self):
+        rm = powergraph_resource_model(PowerGraphConfig(), ["m0"])
+        assert rm.blocking == {}
+        assert rm.capacity_of("net@m0") == PowerGraphConfig().net_bandwidth
+
+    def test_tuned_rules(self):
+        rules = powergraph_tuned_rules(PowerGraphConfig(threads_per_machine=2))
+        gather = PhaseInstance("i", "/Execute/Iteration/Gather", 0, 1, machine="m0")
+        rule = rules.rule_for(gather, "cpu@m0")
+        assert isinstance(rule, ExactRule)
+        assert rule.proportion == pytest.approx(0.5)
+        sync = PhaseInstance("i", "/Execute/Iteration/Sync", 0, 1, machine="m0")
+        assert isinstance(rules.rule_for(sync, "net@m0"), VariableRule)

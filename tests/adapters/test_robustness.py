@@ -1,0 +1,128 @@
+"""Failure-injection tests: malformed logs and degenerate monitoring data.
+
+Real logs are messy: unmatched block events, phases that never close,
+clock skew, missing monitoring windows.  The parsers and the pipeline
+must degrade gracefully (drop or clamp), never crash or corrupt results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adapters import merge_blocking_into_resource_trace, parse_execution_trace
+from repro.core import ExecutionModel, Grade10, ResourceModel, RuleMatrix
+from repro.core.traces import ExecutionTrace, ResourceTrace
+from repro.systems.logging import EventLog
+
+
+def minimal_model() -> ExecutionModel:
+    m = ExecutionModel("m")
+    m.add_phase("/P", concurrent=True)
+    return m
+
+
+def minimal_resources() -> ResourceModel:
+    rm = ResourceModel("r")
+    rm.add_consumable("cpu@m0", 4.0)
+    rm.add_blocking("gc@m0")
+    return rm
+
+
+class TestMalformedLogs:
+    def test_unmatched_block_end_ignored(self):
+        log = EventLog()
+        h = log.start_phase("/P", 0.0)
+        log.events.append({"event": "block_end", "id": h.instance_id, "resource": "gc", "t": 1.0})
+        log.end_phase(h, 2.0)
+        trace = parse_execution_trace(log)
+        assert trace.instances("/P")[0].blocking == []
+
+    def test_unmatched_block_start_ignored(self):
+        log = EventLog()
+        h = log.start_phase("/P", 0.0)
+        log.events.append({"event": "block_start", "id": h.instance_id, "resource": "gc", "t": 1.0})
+        log.end_phase(h, 2.0)
+        trace = parse_execution_trace(log)
+        assert trace.instances("/P")[0].blocking == []
+
+    def test_phase_never_closed_clamped_to_horizon(self):
+        log = EventLog()
+        log.start_phase("/P", 1.0)
+        h2 = log.start_phase("/P", 0.0)
+        log.end_phase(h2, 7.0)
+        trace = parse_execution_trace(log)
+        open_phase = [i for i in trace.instances("/P") if i.t_start == 1.0][0]
+        assert open_phase.t_end == 7.0
+
+    def test_blocking_in_resource_trace_needs_both_events(self):
+        log = EventLog()
+        h = log.start_phase("/P", 0.0)
+        log.events.append({"event": "block_start", "id": h.instance_id, "resource": "q", "t": 1.0})
+        rt = ResourceTrace()
+        merge_blocking_into_resource_trace(log, rt)
+        assert rt.blocking_events("q") == []
+
+    def test_empty_log(self):
+        trace = parse_execution_trace(EventLog())
+        assert len(trace) == 0
+
+
+class TestDegenerateMonitoring:
+    def run_pipeline(self, rtrace: ResourceTrace):
+        trace = ExecutionTrace()
+        trace.record("/P", 0.0, 2.0, machine="m0", instance_id="p")
+        g10 = Grade10(minimal_model(), minimal_resources(), RuleMatrix(), slice_duration=0.1)
+        return g10.characterize(trace, rtrace)
+
+    def test_no_monitoring_at_all(self):
+        profile = self.run_pipeline(ResourceTrace())
+        assert profile.upsampled.resources() == []
+        assert len(profile.bottlenecks.for_resource("cpu@m0")) == 0
+
+    def test_monitoring_gap_leaves_uncovered_slices_at_zero(self):
+        rt = ResourceTrace()
+        rt.add_measurement("cpu@m0", 0.0, 0.5, 2.0)
+        rt.add_measurement("cpu@m0", 1.5, 2.0, 2.0)  # gap in the middle
+        profile = self.run_pipeline(rt)
+        ur = profile.upsampled["cpu@m0"]
+        mid = profile.grid.slice_of(1.0)
+        assert ur.coverage[mid] == 0.0
+        assert ur.rate[mid] == 0.0
+
+    def test_monitoring_beyond_run_horizon_clipped(self):
+        rt = ResourceTrace()
+        rt.add_measurement("cpu@m0", 0.0, 50.0, 1.0)
+        profile = self.run_pipeline(rt)  # grid covers only 2 s
+        assert profile.upsampled["cpu@m0"].rate.shape == (profile.grid.n_slices,)
+
+    def test_unknown_resource_in_monitoring_skipped(self):
+        rt = ResourceTrace()
+        rt.add_measurement("disk@m0", 0.0, 1.0, 5.0)
+        profile = self.run_pipeline(rt)
+        assert "disk@m0" not in profile.upsampled
+
+    def test_zero_valued_measurements(self):
+        rt = ResourceTrace()
+        rt.add_measurement("cpu@m0", 0.0, 2.0, 0.0)
+        profile = self.run_pipeline(rt)
+        np.testing.assert_allclose(profile.upsampled["cpu@m0"].rate, 0.0)
+
+
+class TestClockSkew:
+    def test_blocking_outside_phase_clipped(self):
+        trace = ExecutionTrace()
+        inst = trace.record("/P", 1.0, 2.0, machine="m0", instance_id="p")
+        inst.add_blocking("gc@m0", 0.0, 5.0)  # skewed: longer than the phase
+        g10 = Grade10(minimal_model(), minimal_resources(), RuleMatrix(), slice_duration=0.1)
+        profile = g10.characterize(trace, ResourceTrace())
+        # Active intervals are empty; blocked time reported raw but the
+        # issue simulation clamps reductions to the phase duration.
+        assert inst.active_intervals() == []
+        for issue in profile.issues:
+            assert issue.makespan_reduction <= profile.issues.baseline_makespan + 1e-9
+
+    def test_zero_duration_phases(self):
+        trace = ExecutionTrace()
+        trace.record("/P", 1.0, 1.0, machine="m0", instance_id="p")
+        g10 = Grade10(minimal_model(), minimal_resources(), RuleMatrix(), slice_duration=0.1)
+        profile = g10.characterize(trace, ResourceTrace())
+        assert profile.makespan == 0.0

@@ -1,0 +1,217 @@
+"""Tests for the graph algorithms, validated against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import bfs, cdlp, lcc, pagerank, sssp, wcc
+from repro.algorithms.sssp import default_weights
+from repro.graph import Graph, grid_graph, path_graph, star_graph, uniform_random
+
+
+@pytest.fixture(scope="module")
+def random_graph() -> Graph:
+    return uniform_random(120, 600, seed=7)
+
+
+class TestBfs:
+    def test_path_graph_distances(self):
+        r = bfs(path_graph(5), 0)
+        np.testing.assert_array_equal(r.values, [0, 1, 2, 3, 4])
+
+    def test_unreachable_marked(self):
+        g = Graph(4, [0, 1], [1, 2])
+        r = bfs(g, 0)
+        assert r.values[3] == -1
+
+    def test_matches_networkx(self, random_graph):
+        r = bfs(random_graph, 0)
+        expected = nx.single_source_shortest_path_length(random_graph.to_networkx(), 0)
+        for v in range(random_graph.n_vertices):
+            assert r.values[v] == expected.get(v, -1)
+
+    def test_frontier_statistics(self):
+        r = bfs(star_graph(10), 0)
+        assert r.n_iterations == 2
+        assert r.iterations[0].active_count == 1
+        assert r.iterations[0].edges_processed == 9
+        assert r.iterations[1].active_count == 9
+        assert r.iterations[1].edges_processed == 0
+
+    def test_frontier_bulge_on_grid(self):
+        """Frontier grows then shrinks — the irregular shape from the paper."""
+        r = bfs(grid_graph(10, 10), 0)
+        sizes = [it.active_count for it in r.iterations]
+        peak = max(sizes)
+        assert sizes[0] == 1
+        assert peak > sizes[0]
+        assert sizes[-1] < peak
+
+    def test_source_validation(self):
+        with pytest.raises(ValueError):
+            bfs(path_graph(3), 5)
+
+    def test_max_iterations(self):
+        r = bfs(path_graph(10), 0, max_iterations=3)
+        assert r.n_iterations == 3
+        assert (r.values[4:] == -1).all()
+
+
+class TestPagerank:
+    def test_matches_networkx(self, random_graph):
+        r = pagerank(random_graph, iterations=60, damping=0.85)
+        expected = nx.pagerank(random_graph.to_networkx(), alpha=0.85, max_iter=200, tol=1e-12)
+        got = r.values / r.values.sum()
+        want = np.array([expected[v] for v in range(random_graph.n_vertices)])
+        np.testing.assert_allclose(got, want, atol=1e-6)
+
+    def test_ranks_sum_to_one(self, random_graph):
+        r = pagerank(random_graph, iterations=30)
+        assert r.values.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_star_hub_receives_least(self):
+        # Hub 0 points at spokes; spokes have no out-edges (dangling).
+        r = pagerank(star_graph(10), iterations=50)
+        assert (r.values[1:] > r.values[0]).all()
+
+    def test_fixed_iteration_count(self, random_graph):
+        r = pagerank(random_graph, iterations=7)
+        assert r.n_iterations == 7
+        assert all(it.edges_processed == random_graph.n_edges for it in r.iterations)
+
+    def test_tolerance_early_stop(self):
+        r = pagerank(grid_graph(4, 4), iterations=500, tolerance=1e-10)
+        assert r.n_iterations < 500
+
+    def test_validation(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            pagerank(g, damping=1.5)
+        with pytest.raises(ValueError):
+            pagerank(g, iterations=0)
+
+    def test_empty_graph(self):
+        r = pagerank(Graph(0, [], []))
+        assert r.values.size == 0
+
+
+class TestWcc:
+    def test_matches_networkx(self, random_graph):
+        r = wcc(random_graph)
+        comps = list(nx.weakly_connected_components(random_graph.to_networkx()))
+        for comp in comps:
+            labels = {int(r.values[v]) for v in comp}
+            assert len(labels) == 1
+            assert labels.pop() == min(comp)
+
+    def test_two_components(self):
+        g = Graph(5, [0, 1, 3], [1, 2, 4])
+        r = wcc(g)
+        assert set(r.values[:3]) == {0}
+        assert set(r.values[3:]) == {3}
+
+    def test_active_set_shrinks(self):
+        r = wcc(grid_graph(8, 8))
+        counts = [it.active_count for it in r.iterations]
+        assert counts[0] == 64
+        assert counts[-1] < counts[0]
+
+    def test_terminates_on_convergence(self):
+        r = wcc(path_graph(6))
+        # Path needs ~n iterations for the min label to travel.
+        assert 1 <= r.n_iterations <= 7
+        assert (r.values == 0).all()
+
+
+class TestCdlp:
+    def test_two_cliques_find_two_communities(self):
+        # Two triangles joined by one edge.
+        src = [0, 1, 2, 3, 4, 5, 2]
+        dst = [1, 2, 0, 4, 5, 3, 3]
+        g = Graph(6, src + dst, dst + src)  # symmetrize
+        r = cdlp(g, iterations=10)
+        assert len(set(r.values[:3])) == 1
+        assert len(set(r.values[3:])) == 1
+
+    def test_fixed_iterations(self, random_graph):
+        r = cdlp(random_graph, iterations=5)
+        assert r.n_iterations == 5
+        assert all(it.edges_processed == random_graph.n_edges for it in r.iterations)
+
+    def test_isolated_vertex_keeps_label(self):
+        g = Graph(3, [0], [1])
+        r = cdlp(g, iterations=3)
+        assert r.values[2] == 2
+
+    def test_tie_breaks_to_smaller_label(self):
+        # Vertex 2 hears labels {0, 1} once each → picks 0.
+        g = Graph(3, [0, 1], [2, 2])
+        r = cdlp(g, iterations=1)
+        assert r.values[2] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cdlp(path_graph(3), iterations=0)
+
+
+class TestSssp:
+    def test_matches_networkx(self, random_graph):
+        w = default_weights(random_graph)
+        r = sssp(random_graph, 0, weights=w)
+        nx_g = nx.DiGraph()
+        nx_g.add_nodes_from(range(random_graph.n_vertices))
+        src, dst = random_graph.edges()
+        for s, d, wt in zip(src.tolist(), dst.tolist(), w.tolist()):
+            if nx_g.has_edge(s, d):
+                wt = min(wt, nx_g[s][d]["weight"])
+            nx_g.add_edge(s, d, weight=wt)
+        expected = nx.single_source_dijkstra_path_length(nx_g, 0)
+        for v in range(random_graph.n_vertices):
+            if v in expected:
+                assert r.values[v] == pytest.approx(expected[v])
+            else:
+                assert np.isinf(r.values[v])
+
+    def test_unweighted_equals_bfs_on_unit_weights(self):
+        g = grid_graph(5, 5)
+        r = sssp(g, 0, weights=np.ones(g.n_edges))
+        b = bfs(g, 0)
+        np.testing.assert_allclose(r.values, b.values.astype(float))
+
+    def test_validation(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError):
+            sssp(g, 99)
+        with pytest.raises(ValueError):
+            sssp(g, 0, weights=np.ones(2))
+        with pytest.raises(ValueError):
+            sssp(g, 0, weights=-np.ones(g.n_edges))
+
+    def test_default_weights_deterministic(self):
+        g = path_graph(10)
+        np.testing.assert_array_equal(default_weights(g), default_weights(g))
+        assert (default_weights(g) >= 1.0).all()
+        assert (default_weights(g) < 2.0).all()
+
+
+class TestLcc:
+    def test_triangle(self):
+        src = [0, 1, 2]
+        dst = [1, 2, 0]
+        r = lcc(Graph(3, src, dst))
+        np.testing.assert_allclose(r.values, np.ones(3))
+
+    def test_matches_networkx(self, random_graph):
+        r = lcc(random_graph)
+        expected = nx.clustering(random_graph.to_networkx().to_undirected())
+        want = np.array([expected[v] for v in range(random_graph.n_vertices)])
+        np.testing.assert_allclose(r.values, want, atol=1e-9)
+
+    def test_star_has_zero_clustering(self):
+        r = lcc(star_graph(8))
+        np.testing.assert_allclose(r.values, np.zeros(8))
+
+    def test_work_statistics_quadratic_in_degree(self):
+        r = lcc(star_graph(20))
+        # Undirected hub degree 19 → Σd² dominated by 19².
+        assert r.iterations[0].edges_processed >= 19 * 19

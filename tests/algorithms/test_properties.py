@@ -1,0 +1,112 @@
+"""Property-based tests for algorithm invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import bfs, cdlp, pagerank, sssp, wcc
+from repro.algorithms.sssp import default_weights
+from repro.graph import Graph
+
+
+@st.composite
+def graphs(draw, max_n=30, max_m=120):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return Graph(n, rng.integers(0, n, size=m), rng.integers(0, n, size=m))
+
+
+class TestBfsProperties:
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_edge_relaxation_invariant(self, g):
+        """Along every edge, dist(dst) <= dist(src) + 1 (when src reached)."""
+        r = bfs(g, 0)
+        src, dst = g.edges()
+        d = r.values
+        reached = d[src] >= 0
+        assert (d[dst[reached]] >= 0).all()
+        assert (d[dst[reached]] <= d[src[reached]] + 1).all()
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_source_distance_zero(self, g):
+        assert bfs(g, 0).values[0] == 0
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_frontier_sizes_sum_to_reached(self, g):
+        r = bfs(g, 0)
+        reached = int(np.count_nonzero(r.values >= 0))
+        assert sum(it.active_count for it in r.iterations) == reached
+
+
+class TestPagerankProperties:
+    @given(graphs(), st.integers(min_value=1, max_value=10))
+    @settings(max_examples=40, deadline=None)
+    def test_probability_distribution(self, g, iters):
+        r = pagerank(g, iterations=iters)
+        np.testing.assert_allclose(r.values.sum(), 1.0, atol=1e-9)
+        assert (r.values > 0).all()
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_lower_bound(self, g):
+        """Every vertex keeps at least the teleport mass (1-d)/n."""
+        r = pagerank(g, damping=0.85, iterations=5)
+        assert (r.values >= (1 - 0.85) / g.n_vertices - 1e-12).all()
+
+
+class TestWccProperties:
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_labels_are_fixpoint(self, g):
+        """No undirected edge connects two different labels."""
+        labels = wcc(g).values
+        u = g.to_undirected()
+        src, dst = u.edges()
+        assert (labels[src] == labels[dst]).all()
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_label_is_component_minimum(self, g):
+        labels = wcc(g).values
+        assert (labels <= np.arange(g.n_vertices)).all()
+        # A label must name a vertex inside its own component.
+        assert (labels[labels] == labels).all()
+
+
+class TestSsspProperties:
+    @given(graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_triangle_inequality_over_edges(self, g):
+        w = default_weights(g)
+        d = sssp(g, 0, weights=w).values
+        src, dst = g.edges()
+        reached = np.isfinite(d[src])
+        assert (d[dst[reached]] <= d[src[reached]] + w[reached] + 1e-9).all()
+
+    @given(graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_bfs_reachability_agrees(self, g):
+        d_sssp = sssp(g, 0).values
+        d_bfs = bfs(g, 0).values
+        np.testing.assert_array_equal(np.isfinite(d_sssp), d_bfs >= 0)
+
+
+class TestCdlpProperties:
+    @given(graphs(), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_labels_are_vertex_ids(self, g, iters):
+        labels = cdlp(g, iterations=iters).values
+        assert (labels >= 0).all()
+        assert (labels < g.n_vertices).all()
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_isolated_vertices_keep_own_label(self, g):
+        labels = cdlp(g, iterations=3).values
+        isolated = np.asarray(g.in_degree()) == 0
+        np.testing.assert_array_equal(labels[isolated], np.arange(g.n_vertices)[isolated])

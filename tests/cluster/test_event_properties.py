@@ -1,0 +1,97 @@
+"""Property-based tests for the discrete-event engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.events import Simulator
+
+
+@st.composite
+def process_specs(draw):
+    """Random sets of processes, each a sequence of timeout delays."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    return [
+        [
+            draw(st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+            for _ in range(draw(st.integers(min_value=1, max_value=6)))
+        ]
+        for _ in range(n)
+    ]
+
+
+class TestEngineProperties:
+    @given(process_specs())
+    @settings(max_examples=80)
+    def test_all_processes_complete_and_time_is_monotone(self, specs):
+        sim = Simulator()
+        observed = []
+        done = []
+
+        def proc(delays):
+            for d in delays:
+                yield sim.timeout(d)
+                observed.append(sim.now)
+            done.append(True)
+
+        for delays in specs:
+            sim.process(proc(delays))
+        end = sim.run()
+        assert len(done) == len(specs)
+        assert observed == sorted(observed)
+        assert end == max((sum(d) for d in specs), default=0.0)
+
+    @given(process_specs())
+    @settings(max_examples=50)
+    def test_determinism(self, specs):
+        def execute():
+            sim = Simulator()
+            log = []
+
+            def proc(tag, delays):
+                for d in delays:
+                    yield sim.timeout(d)
+                    log.append((tag, sim.now))
+
+            for k, delays in enumerate(specs):
+                sim.process(proc(k, delays))
+            sim.run()
+            return log
+
+        assert execute() == execute()
+
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.lists(st.floats(min_value=0.0, max_value=10.0, allow_nan=False), min_size=2, max_size=6),
+    )
+    @settings(max_examples=50)
+    def test_barrier_releases_exactly_at_last_arrival(self, n_extra, delays):
+        sim = Simulator()
+        parties = len(delays)
+        barrier = sim.barrier(parties)
+        released = []
+
+        def worker(delay):
+            yield sim.timeout(delay)
+            yield barrier.arrive()
+            released.append(sim.now)
+
+        for d in delays:
+            sim.process(worker(d))
+        sim.run()
+        assert len(released) == parties
+        assert all(abs(t - max(delays)) < 1e-12 for t in released)
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=8))
+    @settings(max_examples=50)
+    def test_run_until_never_overshoots(self, delays):
+        sim = Simulator()
+
+        def proc():
+            for d in delays:
+                yield sim.timeout(d)
+
+        sim.process(proc())
+        horizon = sum(delays) / 2
+        end = sim.run(until=horizon)
+        assert end <= horizon + 1e-12

@@ -1,0 +1,167 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.cluster.events import Simulator
+
+
+class TestTimeouts:
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield sim.timeout(1.5)
+            log.append(sim.now)
+            yield sim.timeout(0.5)
+            log.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert log == [1.5, 2.0]
+
+    def test_zero_timeout(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield sim.timeout(0.0)
+            log.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert log == [0.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_run_until(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(10.0)
+
+        sim.process(proc())
+        end = sim.run(until=3.0)
+        assert end == 3.0
+
+    def test_deterministic_tie_order(self):
+        sim = Simulator()
+        log = []
+
+        def proc(tag):
+            yield sim.timeout(1.0)
+            log.append(tag)
+
+        for tag in ("a", "b", "c"):
+            sim.process(proc(tag))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+
+class TestEvents:
+    def test_wait_on_manual_event(self):
+        sim = Simulator()
+        ev = sim.event()
+        log = []
+
+        def waiter():
+            value = yield ev
+            log.append((sim.now, value))
+
+        def trigger():
+            yield sim.timeout(2.0)
+            ev.succeed("done")
+
+        sim.process(waiter())
+        sim.process(trigger())
+        sim.run()
+        assert log == [(2.0, "done")]
+
+    def test_double_succeed_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(RuntimeError):
+            ev.succeed()
+
+    def test_wait_on_already_triggered_event(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed(42)
+        log = []
+
+        def waiter():
+            value = yield ev
+            log.append(value)
+
+        sim.process(waiter())
+        sim.run()
+        assert log == [42]
+
+    def test_process_completion_event(self):
+        sim = Simulator()
+        log = []
+
+        def inner():
+            yield sim.timeout(1.0)
+            return "result"
+
+        def outer():
+            p = sim.process(inner())
+            value = yield p.completion
+            log.append((sim.now, value))
+
+        sim.process(outer())
+        sim.run()
+        assert log == [(1.0, "result")]
+
+    def test_yielding_non_event_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42
+
+        sim.process(bad())
+        with pytest.raises(TypeError):
+            sim.run()
+
+
+class TestBarrier:
+    def test_barrier_releases_all_at_last_arrival(self):
+        sim = Simulator()
+        barrier = sim.barrier(3)
+        log = []
+
+        def worker(k, delay):
+            yield sim.timeout(delay)
+            yield barrier.arrive()
+            log.append((k, sim.now))
+
+        for k, delay in enumerate([1.0, 3.0, 2.0]):
+            sim.process(worker(k, delay))
+        sim.run()
+        assert sorted(log) == [(0, 3.0), (1, 3.0), (2, 3.0)]
+
+    def test_barrier_reusable_across_generations(self):
+        sim = Simulator()
+        barrier = sim.barrier(2)
+        log = []
+
+        def worker(k, delays):
+            for d in delays:
+                yield sim.timeout(d)
+                yield barrier.arrive()
+                log.append((k, sim.now))
+
+        sim.process(worker(0, [1.0, 1.0]))
+        sim.process(worker(1, [2.0, 2.0]))
+        sim.run()
+        assert sorted(log) == [(0, 2.0), (0, 4.0), (1, 2.0), (1, 4.0)]
+
+    def test_invalid_party_count(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.barrier(0)

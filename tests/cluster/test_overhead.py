@@ -1,0 +1,47 @@
+"""Tests for the monitoring-overhead model (R4)."""
+
+import pytest
+
+from repro.cluster.metrics import MetricsRecorder
+from repro.cluster.overhead import estimate_overhead
+
+
+def make_recorder(n_resources=4, duration=10.0):
+    rec = MetricsRecorder()
+    for k in range(n_resources):
+        rec.record(f"cpu@m{k}", 0.0, duration, 1.0)
+    return rec
+
+
+class TestEstimateOverhead:
+    def test_sample_count(self):
+        rec = make_recorder(n_resources=4, duration=10.0)
+        cost = estimate_overhead(rec, 1.0, total_cores=8)
+        assert cost.n_resources == 4
+        assert cost.n_samples == 4 * 11  # ceil-ish: 10 windows + partial
+
+    def test_data_volume_scales_with_interval(self):
+        rec = make_recorder()
+        fine = estimate_overhead(rec, 0.1)
+        coarse = estimate_overhead(rec, 1.0)
+        assert fine.data_bytes > 5 * coarse.data_bytes
+
+    def test_cpu_fraction_bounded(self):
+        rec = make_recorder()
+        cost = estimate_overhead(rec, 0.05, total_cores=16)
+        assert 0.0 < cost.cpu_fraction < 0.05
+
+    def test_explicit_duration(self):
+        rec = make_recorder(duration=100.0)
+        cost = estimate_overhead(rec, 1.0, run_duration=10.0)
+        assert cost.run_duration == 10.0
+
+    def test_empty_recorder(self):
+        cost = estimate_overhead(MetricsRecorder(), 1.0)
+        assert cost.n_samples == 0
+        assert cost.cpu_fraction == 0.0
+        assert cost.samples_per_second == 0.0
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            estimate_overhead(MetricsRecorder(), 0.0)

@@ -1,0 +1,120 @@
+"""Tests for §III-D3 attribution to phases and hierarchical roll-up."""
+
+import numpy as np
+import pytest
+
+from repro.core.attribution import attribute
+from repro.core.demand import estimate_demand
+from repro.core.resources import ResourceModel
+from repro.core.rules import RuleMatrix
+from repro.core.timeline import TimeGrid
+from repro.core.traces import ExecutionTrace, ResourceTrace
+from repro.core.upsample import upsample
+
+
+def run_pipeline(trace, rules, measurements, cap=100.0, n_slices=4):
+    resources = ResourceModel("test")
+    resources.add_consumable("cpu", cap)
+    grid = TimeGrid(0.0, 1.0, n_slices)
+    demand = estimate_demand(trace, resources, rules, grid)
+    rt = ResourceTrace()
+    for s, e, v in measurements:
+        rt.add_measurement("cpu", s, e, v)
+    up = upsample(rt, demand, grid)
+    return attribute(up, demand, trace), up
+
+
+class TestAttribute:
+    def test_exact_phases_capped_at_demand(self):
+        trace = ExecutionTrace()
+        trace.record("/E", 0.0, 1.0, instance_id="e")
+        trace.record("/V", 0.0, 1.0, instance_id="v")
+        rules = RuleMatrix().set_exact("/E", "cpu", 0.3).set_variable("/V", "cpu")
+        attr, _ = run_pipeline(trace, rules, [(0.0, 1.0, 70.0)], n_slices=1)
+        assert attr.usage("e", "cpu")[0] == pytest.approx(30.0)
+        assert attr.usage("v", "cpu")[0] == pytest.approx(40.0)
+
+    def test_exact_scaled_down_when_consumption_low(self):
+        trace = ExecutionTrace()
+        trace.record("/E1", 0.0, 1.0, instance_id="e1")
+        trace.record("/E2", 0.0, 1.0, instance_id="e2")
+        rules = RuleMatrix().set_exact("/E1", "cpu", 0.6).set_exact("/E2", "cpu", 0.2)
+        attr, _ = run_pipeline(trace, rules, [(0.0, 1.0, 40.0)], n_slices=1)
+        # Demands 60 and 20, consumption 40 → scaled by 0.5.
+        assert attr.usage("e1", "cpu")[0] == pytest.approx(30.0)
+        assert attr.usage("e2", "cpu")[0] == pytest.approx(10.0)
+
+    def test_variable_split_by_weight(self):
+        trace = ExecutionTrace()
+        trace.record("/A", 0.0, 1.0, instance_id="a")
+        trace.record("/B", 0.0, 1.0, instance_id="b")
+        rules = RuleMatrix().set_variable("/A", "cpu", 3.0).set_variable("/B", "cpu", 1.0)
+        attr, _ = run_pipeline(trace, rules, [(0.0, 1.0, 40.0)], n_slices=1)
+        assert attr.usage("a", "cpu")[0] == pytest.approx(30.0)
+        assert attr.usage("b", "cpu")[0] == pytest.approx(10.0)
+
+    def test_unattributed_when_no_variable_active(self):
+        trace = ExecutionTrace()
+        trace.record("/E", 0.0, 1.0, instance_id="e")
+        rules = RuleMatrix().set_exact("/E", "cpu", 0.2)
+        attr, up = run_pipeline(trace, rules, [(0.0, 1.0, 50.0)], n_slices=1)
+        # Exact takes 20; no variable phase → 30 unattributed.
+        assert attr.usage("e", "cpu")[0] == pytest.approx(20.0)
+        assert attr["cpu"].unattributed[0] == pytest.approx(30.0)
+
+    def test_conservation(self):
+        trace = ExecutionTrace()
+        trace.record("/A", 0.0, 2.5, instance_id="a")
+        trace.record("/B", 1.0, 4.0, instance_id="b")
+        rules = RuleMatrix().set_exact("/A", "cpu", 0.4).set_variable("/B", "cpu")
+        attr, up = run_pipeline(trace, rules, [(0.0, 2.0, 30.0), (2.0, 4.0, 55.0)])
+        ra = attr["cpu"]
+        np.testing.assert_allclose(ra.usage.sum(axis=0) + ra.unattributed, up["cpu"].rate, atol=1e-9)
+
+    def test_rollup_sums_children(self):
+        trace = ExecutionTrace()
+        parent = trace.record("/P", 0.0, 2.0, instance_id="parent")
+        trace.record("/P/C", 0.0, 1.0, parent=parent, instance_id="c1", thread="t1")
+        trace.record("/P/C", 1.0, 2.0, parent=parent, instance_id="c2", thread="t2")
+        rules = RuleMatrix()
+        attr, _ = run_pipeline(trace, rules, [(0.0, 2.0, 10.0)], n_slices=2)
+        parent_usage = attr.usage("parent", "cpu")
+        c1 = attr.usage("c1", "cpu")
+        c2 = attr.usage("c2", "cpu")
+        np.testing.assert_allclose(parent_usage, c1 + c2)
+        # The parent has no direct usage: children cover it entirely.
+        np.testing.assert_allclose(attr.direct_usage("parent", "cpu"), np.zeros(2))
+
+    def test_phase_type_usage_sums_instances(self):
+        trace = ExecutionTrace()
+        trace.record("/C", 0.0, 1.0, instance_id="c1", thread="t1")
+        trace.record("/C", 0.0, 1.0, instance_id="c2", thread="t2")
+        attr, _ = run_pipeline(trace, RuleMatrix(), [(0.0, 1.0, 20.0)], n_slices=1)
+        assert attr.phase_type_usage("/C", "cpu")[0] == pytest.approx(20.0)
+
+    def test_total_usage_in_unit_seconds(self):
+        trace = ExecutionTrace()
+        trace.record("/C", 0.0, 2.0, instance_id="c")
+        attr, _ = run_pipeline(trace, RuleMatrix(), [(0.0, 2.0, 30.0)], n_slices=2)
+        assert attr.total_usage("c", "cpu") == pytest.approx(60.0)
+
+    def test_no_entries_all_unattributed(self):
+        trace = ExecutionTrace()
+        trace.record("/P", 0.0, 1.0, instance_id="p")
+        rules = RuleMatrix().set_none("/P", "cpu")
+        attr, up = run_pipeline(trace, rules, [(0.0, 1.0, 10.0)], n_slices=1)
+        np.testing.assert_allclose(attr["cpu"].unattributed, up["cpu"].rate)
+
+    def test_demand_of_query(self):
+        trace = ExecutionTrace()
+        trace.record("/E", 0.0, 1.0, instance_id="e")
+        rules = RuleMatrix().set_exact("/E", "cpu", 0.5)
+        attr, _ = run_pipeline(trace, rules, [(0.0, 1.0, 10.0)], n_slices=1)
+        assert attr.demand_of("e", "cpu")[0] == pytest.approx(50.0)
+        assert attr.demand_of("e", "cpu").shape == (1,)
+
+    def test_unknown_instance_usage_is_zero(self):
+        trace = ExecutionTrace()
+        trace.record("/P", 0.0, 1.0, instance_id="p")
+        attr, _ = run_pipeline(trace, RuleMatrix(), [(0.0, 1.0, 10.0)], n_slices=1)
+        np.testing.assert_allclose(attr.direct_usage("p-ghost", "cpu"), np.zeros(1))

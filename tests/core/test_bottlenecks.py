@@ -1,0 +1,144 @@
+"""Tests for §III-E bottleneck identification."""
+
+import pytest
+
+from repro.core.attribution import attribute
+from repro.core.bottlenecks import BottleneckKind, find_bottlenecks
+from repro.core.demand import estimate_demand
+from repro.core.resources import ResourceModel
+from repro.core.rules import RuleMatrix
+from repro.core.timeline import TimeGrid
+from repro.core.traces import ExecutionTrace, ResourceTrace
+
+
+def pipeline(trace, rules, measurements, cap=100.0, n_slices=4, **kwargs):
+    resources = ResourceModel("test")
+    resources.add_consumable("cpu", cap)
+    grid = TimeGrid(0.0, 1.0, n_slices)
+    demand = estimate_demand(trace, resources, rules, grid)
+    rt = ResourceTrace()
+    for s, e, v in measurements:
+        rt.add_measurement("cpu", s, e, v)
+    from repro.core.upsample import upsample
+
+    up = upsample(rt, demand, grid)
+    attr = attribute(up, demand, trace)
+    return find_bottlenecks(trace, up, attr, **kwargs)
+
+
+class TestBlockingBottlenecks:
+    def test_blocked_time_reported_per_resource(self):
+        trace = ExecutionTrace()
+        inst = trace.record("/P", 0.0, 4.0, instance_id="p")
+        inst.add_blocking("gc", 1.0, 2.0)
+        inst.add_blocking("gc", 3.0, 3.5)
+        inst.add_blocking("queue", 2.0, 2.25)
+        report = pipeline(trace, RuleMatrix(), [])
+        blocking = report.for_kind(BottleneckKind.BLOCKING)
+        by_res = {b.resource: b.duration for b in blocking}
+        assert by_res["gc"] == pytest.approx(1.5)
+        assert by_res["queue"] == pytest.approx(0.25)
+
+    def test_min_duration_filters_short_blocks(self):
+        trace = ExecutionTrace()
+        inst = trace.record("/P", 0.0, 4.0, instance_id="p")
+        inst.add_blocking("gc", 1.0, 1.05)
+        report = pipeline(trace, RuleMatrix(), [], min_duration=0.5)
+        assert len(report.for_kind(BottleneckKind.BLOCKING)) == 0
+
+
+class TestSaturationBottlenecks:
+    def test_saturated_resource_bottlenecks_active_users(self):
+        trace = ExecutionTrace()
+        trace.record("/A", 0.0, 2.0, instance_id="a", thread="t0")
+        trace.record("/B", 0.0, 2.0, instance_id="b", thread="t1")
+        report = pipeline(trace, RuleMatrix(), [(0.0, 2.0, 100.0)], n_slices=2)
+        sat = report.for_kind(BottleneckKind.SATURATION)
+        assert {b.instance_id for b in sat} == {"a", "b"}
+        for b in sat:
+            assert b.duration == pytest.approx(2.0)
+
+    def test_inactive_phase_not_bottlenecked(self):
+        trace = ExecutionTrace()
+        trace.record("/A", 0.0, 1.0, instance_id="a", thread="t0")
+        trace.record("/B", 1.0, 2.0, instance_id="b", thread="t1")
+        report = pipeline(trace, RuleMatrix(), [(0.0, 1.0, 100.0), (1.0, 2.0, 10.0)], n_slices=2)
+        sat = report.for_kind(BottleneckKind.SATURATION)
+        assert {b.instance_id for b in sat} == {"a"}
+
+    def test_below_threshold_not_saturated(self):
+        trace = ExecutionTrace()
+        trace.record("/A", 0.0, 1.0, instance_id="a")
+        report = pipeline(trace, RuleMatrix(), [(0.0, 1.0, 90.0)], n_slices=1)
+        assert report.for_kind(BottleneckKind.SATURATION) == []
+
+    def test_custom_threshold(self):
+        trace = ExecutionTrace()
+        trace.record("/A", 0.0, 1.0, instance_id="a")
+        report = pipeline(
+            trace, RuleMatrix(), [(0.0, 1.0, 90.0)], n_slices=1, saturation_threshold=0.85
+        )
+        assert len(report.for_kind(BottleneckKind.SATURATION)) == 1
+
+    def test_none_rule_phase_not_marked(self):
+        trace = ExecutionTrace()
+        trace.record("/A", 0.0, 1.0, instance_id="a", thread="t0")
+        trace.record("/B", 0.0, 1.0, instance_id="b", thread="t1")
+        rules = RuleMatrix().set_none("/B", "cpu")
+        report = pipeline(trace, rules, [(0.0, 1.0, 100.0)], n_slices=1)
+        assert {b.instance_id for b in report.for_kind(BottleneckKind.SATURATION)} == {"a"}
+
+
+class TestExactCapBottlenecks:
+    def test_capped_phase_detected(self):
+        trace = ExecutionTrace()
+        trace.record("/E", 0.0, 2.0, instance_id="e")
+        rules = RuleMatrix().set_exact("/E", "cpu", 0.5)
+        report = pipeline(trace, rules, [(0.0, 2.0, 50.0)], n_slices=2)
+        caps = report.for_kind(BottleneckKind.EXACT_CAP)
+        assert len(caps) == 1
+        assert caps[0].instance_id == "e"
+        assert caps[0].duration == pytest.approx(2.0)
+
+    def test_under_cap_not_detected(self):
+        trace = ExecutionTrace()
+        trace.record("/E", 0.0, 2.0, instance_id="e")
+        rules = RuleMatrix().set_exact("/E", "cpu", 0.5)
+        report = pipeline(trace, rules, [(0.0, 2.0, 20.0)], n_slices=2)
+        assert report.for_kind(BottleneckKind.EXACT_CAP) == []
+
+    def test_saturated_slices_excluded_from_cap(self):
+        """When the resource is saturated, that is a saturation bottleneck."""
+        trace = ExecutionTrace()
+        trace.record("/E", 0.0, 1.0, instance_id="e")
+        rules = RuleMatrix().set_exact("/E", "cpu", 1.0)
+        report = pipeline(trace, rules, [(0.0, 1.0, 100.0)], n_slices=1)
+        assert report.for_kind(BottleneckKind.EXACT_CAP) == []
+        assert len(report.for_kind(BottleneckKind.SATURATION)) == 1
+
+
+class TestBottleneckReport:
+    def make_report(self):
+        trace = ExecutionTrace()
+        inst = trace.record("/P", 0.0, 2.0, instance_id="p")
+        inst.add_blocking("gc", 0.0, 0.5)
+        return pipeline(trace, RuleMatrix(), [(0.0, 2.0, 100.0)], n_slices=2), trace
+
+    def test_queries(self):
+        report, trace = self.make_report()
+        assert len(report.for_instance("p")) == 2
+        assert len(report.for_resource("cpu")) == 1
+        assert len(report.for_resource("gc")) == 1
+
+    def test_aggregations(self):
+        report, _ = self.make_report()
+        by_type = report.bottleneck_time_by_phase_type()
+        assert by_type["/P"] == pytest.approx(2.5)
+        by_res = report.bottleneck_time_by_resource()
+        assert by_res == {"gc": pytest.approx(0.5), "cpu": pytest.approx(2.0)}
+
+    def test_bottleneck_mask(self):
+        report, _ = self.make_report()
+        mask = report.bottleneck_mask("p", "cpu")
+        assert mask.tolist() == [True, True]
+        assert report.bottleneck_mask("p", "ghost").tolist() == [False, False]

@@ -1,0 +1,94 @@
+"""Tests for critical-path analysis."""
+
+import pytest
+
+from repro.core.critical_path import critical_path
+from repro.core.phases import ExecutionModel
+from repro.core.traces import ExecutionTrace
+
+
+def chain_model() -> ExecutionModel:
+    m = ExecutionModel("m")
+    m.add_phase("/A")
+    m.add_phase("/B", after="A")
+    m.add_phase("/C", after="B")
+    return m
+
+
+class TestCriticalPath:
+    def test_linear_chain(self):
+        tr = ExecutionTrace()
+        tr.record("/A", 0.0, 1.0, instance_id="a")
+        tr.record("/B", 1.0, 3.0, instance_id="b")
+        tr.record("/C", 3.0, 6.0, instance_id="c")
+        cp = critical_path(tr, chain_model())
+        assert [i.instance_id for i in cp] == ["a", "b", "c"]
+        assert cp.total_duration == pytest.approx(6.0)
+        assert cp.makespan == pytest.approx(6.0)
+        assert cp.fraction_of_makespan() == pytest.approx(1.0)
+
+    def test_slowest_branch_selected(self):
+        m = ExecutionModel("m")
+        m.add_phase("/Par", concurrent=True)
+        m.add_phase("/Join", after="Par")
+        tr = ExecutionTrace()
+        tr.record("/Par", 0.0, 2.0, thread="t0", instance_id="fast")
+        tr.record("/Par", 0.0, 5.0, thread="t1", instance_id="slow")
+        tr.record("/Join", 5.0, 6.0, instance_id="join")
+        cp = critical_path(tr, m)
+        ids = [i.instance_id for i in cp]
+        assert "slow" in ids
+        assert "fast" not in ids
+        assert "join" in ids
+
+    def test_wait_phases_excluded(self):
+        m = ExecutionModel("m")
+        m.add_phase("/Work", concurrent=True)
+        m.add_phase("/Barrier", after="Work", concurrent=True, wait=True)
+        tr = ExecutionTrace()
+        tr.record("/Work", 0.0, 3.0, machine="m0", instance_id="w0")
+        tr.record("/Work", 0.0, 1.0, machine="m1", instance_id="w1")
+        tr.record("/Barrier", 3.0, 3.0, machine="m0", instance_id="b0")
+        tr.record("/Barrier", 1.0, 3.0, machine="m1", instance_id="b1")
+        cp = critical_path(tr, m)
+        assert all(i.phase_path != "/Barrier" for i in cp)
+        assert cp.makespan == pytest.approx(3.0)
+
+    def test_time_by_phase_type_sorted(self):
+        tr = ExecutionTrace()
+        tr.record("/A", 0.0, 1.0, instance_id="a")
+        tr.record("/B", 1.0, 5.0, instance_id="b")
+        cp = critical_path(tr, chain_model())
+        by_type = cp.time_by_phase_type()
+        assert list(by_type) == ["/B", "/A"]
+        assert by_type["/B"] == pytest.approx(4.0)
+
+    def test_time_by_machine(self):
+        m = ExecutionModel("m")
+        m.add_phase("/A")
+        m.add_phase("/B", after="A")
+        tr = ExecutionTrace()
+        tr.record("/A", 0.0, 2.0, machine="m0", instance_id="a")
+        tr.record("/B", 2.0, 3.0, machine="m1", instance_id="b")
+        by_machine = critical_path(tr, m).time_by_machine()
+        assert by_machine == {"m0": pytest.approx(2.0), "m1": pytest.approx(1.0)}
+
+    def test_empty_trace(self):
+        cp = critical_path(ExecutionTrace(), None)
+        assert len(cp) == 0
+        assert cp.makespan == 0.0
+        assert cp.fraction_of_makespan() == 0.0
+
+    def test_giraph_run_path_is_substantial(self):
+        """Integration: the path explains most of a real simulated run."""
+        from repro.adapters import giraph_execution_model, parse_execution_trace
+        from repro.workloads import WorkloadSpec, run_workload
+
+        run = run_workload(WorkloadSpec("giraph", "graph500", "pr", preset="tiny")).system_run
+        trace = parse_execution_trace(run.log)
+        cp = critical_path(trace, giraph_execution_model())
+        assert cp.makespan == pytest.approx(run.makespan, rel=1e-6)
+        assert cp.fraction_of_makespan() > 0.5
+        # BSP structure: computes and flushes dominate the path.
+        by_type = cp.time_by_phase_type()
+        assert any("ComputeThread" in p or "Flush" in p for p in by_type)

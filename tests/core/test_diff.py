@@ -1,0 +1,67 @@
+"""Tests for before/after profile comparison."""
+
+import pytest
+
+from repro.core.diff import compare_profiles, render_diff
+from repro.systems import PowerGraphConfig, SyncBug
+from repro.workloads import WorkloadSpec, characterize_run, run_workload
+
+
+@pytest.fixture(scope="module")
+def bug_fix_pair():
+    """The §IV-D story: a run with the sync bug vs. the 'fixed' run."""
+    spec = WorkloadSpec("powergraph", "graph500", "cdlp", preset="small")
+    bugged_cfg = PowerGraphConfig(sync_bug=SyncBug(enabled=True, probability=0.4, seed=5))
+    before = characterize_run(
+        run_workload(spec, powergraph_config=bugged_cfg),
+        tuned=True, min_phase_duration=0.01,
+    )
+    after = characterize_run(run_workload(spec), tuned=True, min_phase_duration=0.01)
+    return before, after
+
+
+class TestCompareProfiles:
+    def test_fix_speeds_up(self, bug_fix_pair):
+        before, after = bug_fix_pair
+        diff = compare_profiles(before, after)
+        assert diff.speedup > 1.0
+        assert diff.makespan_after < diff.makespan_before
+
+    def test_gather_improved(self, bug_fix_pair):
+        before, after = bug_fix_pair
+        diff = compare_profiles(before, after)
+        gather = diff.phase("/Execute/Iteration/Gather")
+        assert gather.delta < 0.0
+        assert gather.ratio < 1.0
+        improved = {p.phase_path for p in diff.improved_phases()}
+        assert "/Execute/Iteration/Gather" in improved
+
+    def test_outliers_eliminated(self, bug_fix_pair):
+        before, after = bug_fix_pair
+        diff = compare_profiles(before, after)
+        assert diff.outlier_fraction_before > diff.outlier_fraction_after
+        assert diff.worst_slowdown_after <= diff.worst_slowdown_before
+
+    def test_unknown_phase_raises(self, bug_fix_pair):
+        diff = compare_profiles(*bug_fix_pair)
+        with pytest.raises(KeyError):
+            diff.phase("/Ghost")
+
+    def test_instance_counts_tracked(self, bug_fix_pair):
+        diff = compare_profiles(*bug_fix_pair)
+        gather = diff.phase("/Execute/Iteration/Gather")
+        assert gather.before_instances == gather.after_instances > 0
+
+    def test_render(self, bug_fix_pair):
+        diff = compare_profiles(*bug_fix_pair)
+        text = render_diff(diff)
+        assert "makespan" in text
+        assert "improved phases" in text
+        assert "outlier-affected steps" in text
+
+    def test_identity_diff(self, bug_fix_pair):
+        before, _ = bug_fix_pair
+        diff = compare_profiles(before, before)
+        assert diff.speedup == pytest.approx(1.0)
+        assert diff.improved_phases(min_delta=1e-9) == []
+        assert diff.regressed_phases(min_delta=1e-9) == []

@@ -1,0 +1,76 @@
+"""Tests for time-window drill-down."""
+
+import pytest
+
+from repro.core.drilldown import drill_down, drill_into_instance
+from repro.workloads import WorkloadSpec, characterize_run, run_workload
+
+
+@pytest.fixture(scope="module")
+def profile():
+    run = run_workload(WorkloadSpec("giraph", "graph500", "pr", preset="tiny"))
+    return characterize_run(run, tuned=True)
+
+
+class TestDrillDown:
+    def test_window_resources(self, profile):
+        view = drill_down(profile, 0.0, profile.makespan)
+        assert set(view.resources) == set(profile.upsampled.resources())
+        for name, (consumed, util, saturated) in view.resources.items():
+            assert consumed >= 0 and 0 <= util
+            assert 0 <= saturated <= view.duration + 1e-9
+
+    def test_full_window_consumption_matches_profile(self, profile):
+        view = drill_down(profile, 0.0, profile.grid.t_end)
+        for name in profile.upsampled.resources():
+            ur = profile.upsampled[name]
+            expected = float(ur.rate.sum() * profile.grid.slice_duration)
+            assert view.resources[name][0] == pytest.approx(expected)
+
+    def test_active_overlap_bounded_by_window(self, profile):
+        t1 = profile.makespan / 3
+        view = drill_down(profile, 0.0, t1)
+        for inst, overlap in view.active:
+            assert 0 < overlap <= t1 + 1e-9
+            assert inst.t_start < t1
+
+    def test_narrow_window_has_fewer_active(self, profile):
+        full = drill_down(profile, 0.0, profile.makespan)
+        narrow = drill_down(profile, 0.0, profile.makespan / 10)
+        assert len(narrow.active) < len(full.active)
+
+    def test_drill_into_superstep(self, profile):
+        ss = profile.execution_trace.instances("/Execute/Superstep")[0]
+        view = drill_into_instance(profile, ss)
+        assert view.t_start == ss.t_start
+        assert view.t_end == ss.t_end
+        paths = {inst.phase_path for inst, _ in view.active}
+        assert "/Execute/Superstep/Compute/ComputeThread" in paths
+
+    def test_drill_by_instance_id(self, profile):
+        ss = profile.execution_trace.instances("/Execute/Superstep")[0]
+        view = drill_into_instance(profile, ss.instance_id)
+        assert view.duration == pytest.approx(ss.duration)
+
+    def test_render(self, profile):
+        view = drill_down(profile, 0.0, profile.makespan / 2)
+        text = view.render()
+        assert "window [" in text
+        assert "active phases" in text
+
+    def test_validation(self, profile):
+        with pytest.raises(ValueError):
+            drill_down(profile, 1.0, 1.0)
+
+    def test_blocked_time_clipped_to_window(self, profile):
+        # Sum of window blocked times over disjoint windows equals the total.
+        mid = profile.makespan / 2
+        a = drill_down(profile, 0.0, mid)
+        b = drill_down(profile, mid, profile.makespan)
+        total = {}
+        for view in (a, b):
+            for res, dur in view.blocked.items():
+                total[res] = total.get(res, 0.0) + dur
+        whole = drill_down(profile, 0.0, profile.makespan).blocked
+        for res in whole:
+            assert total.get(res, 0.0) == pytest.approx(whole[res], abs=1e-9)

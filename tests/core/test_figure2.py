@@ -1,0 +1,143 @@
+"""Golden test reproducing the paper's Figure 2 worked example (§III-D).
+
+The constructed scenario: four phases P1-P4 over three resources R1-R3 and
+four 1-second timeslices.  The paper walks through the numbers for resource
+R2 over timeslices 2-3 (1-indexed; our indices 1-2):
+
+* demand: P3 has Exact 50 % on R2 (active in slice 3), P2 has a Variable
+  demand ``y`` on R2 (active in slices 2 and 3) — total ``50% + 2y``;
+* the monitoring measurement covering both slices averages 40 %, i.e. a
+  total consumption of 80 %·slices;
+* Grade10 assigns the 50 exact first, splits the remaining 30 evenly over
+  the equal variable demands → upsampled consumption **15 % and 65 %**;
+* in slice 3 the attribution gives P3 its 50 % (Exact) and leaves **15 %**
+  for P2 (Variable) — the numbers of Figure 2(f).
+
+The same scenario exercises §III-E's two consumable bottleneck types on R3:
+P2 holds an Exact 80 % allowance; in slice 2 it is capped at 80 % while R3
+is not saturated (exact-cap bottleneck); in slice 3 R3 reaches 100 % and
+both active users P2 and P3 are saturation-bottlenecked.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BottleneckKind,
+    ExecutionModel,
+    Grade10,
+    ResourceModel,
+    RuleMatrix,
+)
+from repro.core.traces import ExecutionTrace, ResourceTrace
+
+
+@pytest.fixture()
+def scenario():
+    model = ExecutionModel("figure2")
+    for name in ("P1", "P2", "P3", "P4"):
+        model.add_phase(f"/{name}", concurrent=False)
+
+    resources = ResourceModel("figure2")
+    resources.add_consumable("R1", capacity=100.0, unit="%")
+    resources.add_consumable("R2", capacity=100.0, unit="%")
+    resources.add_consumable("R3", capacity=100.0, unit="%")
+
+    rules = (
+        RuleMatrix()
+        .set_variable("/P1", "R1", 1.0)   # x
+        .set_none("/P1", "R2")
+        .set_none("/P1", "R3")
+        .set_variable("/P2", "R1", 2.0)   # 2x
+        .set_variable("/P2", "R2", 1.0)   # y
+        .set_exact("/P2", "R3", 0.8)      # 80 %
+        .set_none("/P3", "R1")
+        .set_exact("/P3", "R2", 0.5)      # 50 %
+        .set_variable("/P3", "R3", 1.0)
+        .set_variable("/P4", "R1", 1.0)
+        .set_none("/P4", "R2")
+        .set_none("/P4", "R3")
+    )
+
+    trace = ExecutionTrace()
+    trace.record("/P1", 0.0, 2.0, instance_id="P1")   # slices 0-1
+    trace.record("/P2", 1.0, 3.0, instance_id="P2")   # slices 1-2
+    trace.record("/P3", 2.0, 3.0, instance_id="P3")   # slice  2
+    trace.record("/P4", 3.0, 4.0, instance_id="P4")   # slice  3
+
+    rtrace = ResourceTrace()
+    # R2 measured over slices 1-2 at an average rate of 40 %.
+    rtrace.add_measurement("R2", 1.0, 3.0, 40.0)
+    # R3 measured over slices 1-2: slice 1 has P2 capped at 80, slice 2 is
+    # saturated at 100 — average 90.
+    rtrace.add_measurement("R3", 1.0, 3.0, 90.0)
+    # R1 measured over each 2-slice window.
+    rtrace.add_measurement("R1", 0.0, 2.0, 60.0)
+    rtrace.add_measurement("R1", 2.0, 4.0, 50.0)
+
+    g10 = Grade10(model, resources, rules, slice_duration=1.0)
+    profile = g10.characterize(trace, rtrace)
+    return profile
+
+
+class TestFigure2Upsampling:
+    def test_r2_upsampled_to_15_and_65(self, scenario):
+        """The paper's headline numbers: 40 % avg over 2 slices → 15 % / 65 %."""
+        rate = scenario.upsampled["R2"].rate
+        assert rate[1] == pytest.approx(15.0)
+        assert rate[2] == pytest.approx(65.0)
+        # Unmeasured slices stay at zero.
+        assert rate[0] == 0.0
+        assert rate[3] == 0.0
+
+    def test_r2_consumption_conserved(self, scenario):
+        """Upsampling must preserve the measured total (80 %·slices)."""
+        assert scenario.upsampled["R2"].rate.sum() == pytest.approx(80.0)
+
+    def test_r3_exact_first_then_variable(self, scenario):
+        rate = scenario.upsampled["R3"].rate
+        assert rate[1] == pytest.approx(80.0)
+        assert rate[2] == pytest.approx(100.0)
+
+
+class TestFigure2Attribution:
+    def test_slice2_attribution_p3_50_p2_15(self, scenario):
+        """Figure 2(f): in slice 3 (idx 2), P3 gets its Exact 50, P2 gets 15."""
+        p3 = scenario.attribution.usage("P3", "R2")
+        p2 = scenario.attribution.usage("P2", "R2")
+        assert p3[2] == pytest.approx(50.0)
+        assert p2[2] == pytest.approx(15.0)
+
+    def test_slice1_attribution_all_to_p2(self, scenario):
+        p2 = scenario.attribution.usage("P2", "R2")
+        assert p2[1] == pytest.approx(15.0)
+
+    def test_none_rule_gets_nothing(self, scenario):
+        p1 = scenario.attribution.usage("P1", "R2")
+        np.testing.assert_allclose(p1, np.zeros(4))
+
+    def test_attribution_conserves_consumption(self, scenario):
+        for res in ("R1", "R2", "R3"):
+            ra = scenario.attribution[res]
+            total = ra.usage.sum(axis=0) + ra.unattributed
+            np.testing.assert_allclose(total, scenario.upsampled[res].rate, atol=1e-9)
+
+
+class TestFigure2Bottlenecks:
+    def test_r3_saturation_bottlenecks_p2_and_p3(self, scenario):
+        """R3 hits 100 % in slice 3 (idx 2): both active users are bottlenecked."""
+        sat = scenario.bottlenecks.for_kind(BottleneckKind.SATURATION)
+        ids = {b.instance_id for b in sat if b.resource == "R3"}
+        assert ids == {"P2", "P3"}
+
+    def test_r3_exact_cap_bottlenecks_p2_in_slice1(self, scenario):
+        """P2 meets its 80 % Exact allowance while R3 is only 80 % utilized."""
+        caps = [
+            b
+            for b in scenario.bottlenecks.for_kind(BottleneckKind.EXACT_CAP)
+            if b.resource == "R3" and b.instance_id == "P2"
+        ]
+        assert len(caps) == 1
+        assert caps[0].slices is not None
+        assert caps[0].slices[1]
+        assert not caps[0].slices[2]  # slice 2 is saturation, not cap

@@ -1,0 +1,88 @@
+"""Property-based tests for hierarchical traces: roll-up invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attribution import attribute
+from repro.core.demand import estimate_demand
+from repro.core.resources import ResourceModel
+from repro.core.rules import RuleMatrix
+from repro.core.timeline import TimeGrid
+from repro.core.traces import ExecutionTrace, ResourceTrace
+from repro.core.upsample import upsample
+
+
+@st.composite
+def hierarchical_traces(draw):
+    """A random two-level trace: parents containing concurrent children."""
+    trace = ExecutionTrace()
+    n_parents = draw(st.integers(min_value=1, max_value=4))
+    t = 0.0
+    for p in range(n_parents):
+        span = draw(st.floats(min_value=0.5, max_value=3.0, allow_nan=False))
+        parent = trace.record("/P", t, t + span, instance_id=f"p{p}")
+        n_kids = draw(st.integers(min_value=0, max_value=4))
+        for k in range(n_kids):
+            start = t + draw(st.floats(min_value=0.0, max_value=span / 2))
+            length = draw(st.floats(min_value=0.1, max_value=span))
+            trace.record(
+                "/P/C",
+                start,
+                min(start + length, t + span),
+                parent=parent,
+                thread=f"t{k}",
+                instance_id=f"p{p}c{k}",
+            )
+        t += span + draw(st.floats(min_value=0.0, max_value=0.5))
+    return trace
+
+
+def run_pipeline(trace):
+    resources = ResourceModel("h")
+    resources.add_consumable("cpu", 16.0)
+    grid = TimeGrid(0.0, 0.25, int(np.ceil(trace.t_end / 0.25)) + 1)
+    demand = estimate_demand(trace, resources, RuleMatrix(), grid)
+    rt = ResourceTrace()
+    rt.add_measurement("cpu", 0.0, grid.t_end, 4.0)
+    up = upsample(rt, demand, grid)
+    return attribute(up, demand, trace), grid
+
+
+class TestHierarchyProperties:
+    @given(hierarchical_traces())
+    @settings(max_examples=50, deadline=None)
+    def test_parent_usage_at_least_children_sum(self, trace):
+        """Roll-up: parent usage = direct + Σ descendants ≥ Σ descendants."""
+        attr, grid = run_pipeline(trace)
+        for parent in trace.instances("/P"):
+            kids_total = np.zeros(grid.n_slices)
+            for kid in trace.children_of(parent):
+                kids_total += attr.usage(kid, "cpu")
+            parent_total = attr.usage(parent, "cpu")
+            assert (parent_total >= kids_total - 1e-9).all()
+
+    @given(hierarchical_traces())
+    @settings(max_examples=50, deadline=None)
+    def test_no_double_counting_across_tree(self, trace):
+        """Σ direct usage over ALL instances equals total consumption."""
+        attr, grid = run_pipeline(trace)
+        direct_sum = np.zeros(grid.n_slices)
+        for inst in trace.instances():
+            direct_sum += attr.direct_usage(inst, "cpu")
+        ra = attr["cpu"]
+        np.testing.assert_allclose(
+            direct_sum + ra.unattributed,
+            ra.usage.sum(axis=0) + ra.unattributed,
+            atol=1e-9,
+        )
+
+    @given(hierarchical_traces())
+    @settings(max_examples=50, deadline=None)
+    def test_attributable_activity_never_exceeds_one(self, trace):
+        """Per instance, attributable activity fraction stays within [0, 1]."""
+        grid = TimeGrid(0.0, 0.25, int(np.ceil(trace.t_end / 0.25)) + 1)
+        for inst, frac in trace.attributable_instances(grid):
+            assert (frac >= -1e-12).all()
+            assert (frac <= 1.0 + 1e-12).all()

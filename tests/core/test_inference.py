@@ -1,0 +1,155 @@
+"""Tests for automatic attribution-rule inference (§V ongoing work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.inference import infer_rules
+from repro.core.resources import ResourceModel
+from repro.core.rules import ExactRule, NoneRule, VariableRule
+from repro.core.traces import ExecutionTrace, PhaseInstance, ResourceTrace
+
+
+def synthetic_run(
+    *,
+    exact_rate: float = 4.0,
+    n_windows: int = 20,
+    window: float = 1.0,
+    noise: float = 0.0,
+    seed: int = 0,
+):
+    """A run where /Work phases consume exactly ``exact_rate`` units each and
+    /Idle phases consume nothing; ground truth is analytically known."""
+    rng = np.random.default_rng(seed)
+    resources = ResourceModel("synth")
+    resources.add_consumable("cpu@m0", 16.0, unit="cores")
+
+    trace = ExecutionTrace()
+    rtrace = ResourceTrace()
+    t = 0.0
+    for w in range(n_windows):
+        # Alternate 1 or 2 concurrent workers per window; idle phase always on.
+        n_workers = 1 + (w % 2)
+        for k in range(n_workers):
+            trace.record(
+                "/Work", t, t + window, machine="m0", thread=f"t{k}",
+                instance_id=f"w{w}-{k}",
+            )
+        trace.record("/Idle", t, t + window, machine="m0", thread="idle",
+                     instance_id=f"i{w}")
+        rate = exact_rate * n_workers + (rng.normal(0, noise) if noise else 0.0)
+        rtrace.add_measurement("cpu@m0", t, t + window, max(rate, 0.0))
+        t += window
+    return trace, rtrace, resources
+
+
+class TestInferRules:
+    def test_recovers_exact_rule(self):
+        trace, rtrace, resources = synthetic_run()
+        res = infer_rules(trace, rtrace, resources)
+        cell = res.cell("/Work", "cpu")
+        assert isinstance(cell.rule, ExactRule)
+        assert cell.rule.proportion == pytest.approx(4.0 / 16.0, rel=0.05)
+
+    def test_recovers_none_rule(self):
+        trace, rtrace, resources = synthetic_run()
+        cell = infer_rules(trace, rtrace, resources).cell("/Idle", "cpu")
+        assert isinstance(cell.rule, NoneRule)
+
+    def test_noisy_consumption_becomes_variable(self):
+        trace, rtrace, resources = synthetic_run(noise=3.0, seed=1)
+        res = infer_rules(trace, rtrace, resources, exact_stability=0.95)
+        cell = res.cell("/Work", "cpu")
+        # Heavy noise: the constant-rate hypothesis should not be accepted.
+        assert isinstance(cell.rule, (VariableRule, ExactRule))
+        if isinstance(cell.rule, ExactRule):
+            assert cell.stability < 1.0
+
+    def test_residual_small_on_clean_data(self):
+        trace, rtrace, resources = synthetic_run()
+        res = infer_rules(trace, rtrace, resources)
+        assert res.residual < 0.01
+
+    def test_insufficient_windows_inferred_nothing(self):
+        trace, rtrace, resources = synthetic_run(n_windows=2)
+        res = infer_rules(trace, rtrace, resources, min_windows=4)
+        assert res.cells == []
+
+    def test_unknown_cell_raises(self):
+        trace, rtrace, resources = synthetic_run()
+        res = infer_rules(trace, rtrace, resources)
+        with pytest.raises(KeyError):
+            res.cell("/Ghost", "cpu")
+
+    def test_inferred_matrix_usable_by_pipeline(self):
+        from repro.core.demand import estimate_demand
+        from repro.core.timeline import TimeGrid
+        from repro.core.upsample import upsample
+
+        trace, rtrace, resources = synthetic_run()
+        res = infer_rules(trace, rtrace, resources)
+        grid = TimeGrid(0.0, 0.25, 80)
+        demand = estimate_demand(trace, resources, res.rules, grid)
+        up = upsample(rtrace, demand, grid)
+        assert "cpu@m0" in up
+
+
+class TestInferenceOnSimulatedRun:
+    """Integration: inference on a real Giraph-sim run beats the untuned model."""
+
+    @pytest.fixture(scope="class")
+    def giraph_inference(self):
+        from repro.adapters import (
+            giraph_resource_model,
+            giraph_tuned_rules,
+            giraph_untuned_rules,
+            parse_execution_trace,
+        )
+        from repro.core.demand import estimate_demand
+        from repro.core.timeline import TimeGrid
+        from repro.core.upsample import relative_sampling_error, upsample
+        from repro.workloads import WorkloadSpec, run_workload
+
+        run = run_workload(WorkloadSpec("giraph", "graph500", "pr", preset="small")).system_run
+        resources = giraph_resource_model(run.config, run.machine_names)
+        trace = parse_execution_trace(run.log, include_gc_phases=True)
+        calibration = run.recorder.sample(0.1, t_end=run.makespan)
+        inferred = infer_rules(trace, calibration, resources)
+
+        grid = TimeGrid.covering(0.0, run.makespan, 0.05)
+        coarse = run.recorder.sample(0.4, t_end=grid.t_end)
+        cpu = [n for n in resources.consumable if n.startswith("cpu@")]
+        gt = np.concatenate([run.recorder.rate_on_grid(n, grid) for n in cpu])
+
+        def error(rules):
+            demand = estimate_demand(trace, resources, rules, grid)
+            up = upsample(coarse, demand, grid)
+            est = np.concatenate(
+                [up[n].rate if n in up else np.zeros(grid.n_slices) for n in cpu]
+            )
+            return relative_sampling_error(est, gt)
+
+        return {
+            "untuned": error(giraph_untuned_rules()),
+            "inferred": error(inferred.rules),
+            "tuned": error(giraph_tuned_rules(run.config)),
+            "result": inferred,
+        }
+
+    def test_inferred_beats_untuned(self, giraph_inference):
+        assert giraph_inference["inferred"] < giraph_inference["untuned"]
+
+    def test_inferred_close_to_tuned(self, giraph_inference):
+        # No expert input recovers most of the tuned model's accuracy.
+        assert giraph_inference["inferred"] < 3.0 * giraph_inference["tuned"]
+
+    def test_compute_thread_recognized_as_exact(self, giraph_inference):
+        cell = giraph_inference["result"].cell(
+            "/Execute/Superstep/Compute/ComputeThread", "cpu"
+        )
+        assert isinstance(cell.rule, ExactRule)
+        # Truth: 1/4 core per thread, scaled by the ~0.95 mean efficiency.
+        assert 0.18 <= cell.rule.proportion <= 0.27
+
+    def test_barrier_recognized_as_none(self, giraph_inference):
+        cell = giraph_inference["result"].cell("/Execute/Superstep/WorkerBarrier", "cpu")
+        assert isinstance(cell.rule, NoneRule)

@@ -1,0 +1,94 @@
+"""Property-based tests: model serialization round-trips for random models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model_io import (
+    execution_model_from_dict,
+    execution_model_to_dict,
+    rules_from_dict,
+    rules_to_dict,
+)
+from repro.core.phases import ExecutionModel
+from repro.core.rules import ExactRule, NoneRule, RuleMatrix, VariableRule
+from repro.core.traces import PhaseInstance
+
+names = st.text(alphabet="abcdefgh", min_size=1, max_size=6)
+
+
+@st.composite
+def execution_models(draw):
+    """Random 2-level execution models with random flags and sibling chains."""
+    model = ExecutionModel(draw(names))
+    top = draw(st.lists(names, min_size=1, max_size=5, unique=True))
+    prev = None
+    for t in top:
+        model.add_phase(
+            f"/{t}",
+            after=(prev,) if prev is not None and draw(st.booleans()) else (),
+            repeatable=draw(st.booleans()),
+            concurrent=draw(st.booleans()),
+            balanceable=draw(st.booleans()),
+            wait=draw(st.booleans()),
+        )
+        prev = t
+        kids = draw(st.lists(names, min_size=0, max_size=3, unique=True))
+        kprev = None
+        for k in kids:
+            model.add_phase(
+                f"/{t}/{k}",
+                after=(kprev,) if kprev is not None and draw(st.booleans()) else (),
+                concurrent=draw(st.booleans()),
+            )
+            kprev = k
+    return model
+
+
+@st.composite
+def rule_matrices(draw):
+    rules = RuleMatrix(
+        implicit_rule=draw(
+            st.sampled_from([NoneRule(), VariableRule(1.0), ExactRule(0.5)])
+        )
+    )
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        phase = "/" + draw(names)
+        pattern = draw(st.sampled_from(["cpu@*", "net@{machine}", "*", "gc@m0"]))
+        rule = draw(
+            st.one_of(
+                st.just(NoneRule()),
+                st.floats(min_value=0.01, max_value=1.0).map(ExactRule),
+                st.floats(min_value=0.1, max_value=8.0).map(VariableRule),
+            )
+        )
+        rules.set_rule(phase, pattern, rule)
+    return rules
+
+
+class TestModelIoProperties:
+    @given(execution_models())
+    @settings(max_examples=60)
+    def test_execution_model_round_trip(self, model):
+        back = execution_model_from_dict(execution_model_to_dict(model))
+        assert back.paths() == model.paths()
+        for path in model.paths():
+            a, b = model[path], back[path]
+            for flag in ("repeatable", "concurrent", "balanceable", "wait"):
+                assert getattr(a, flag) == getattr(b, flag), (path, flag)
+        # Ordering edges survive.
+        for path in model.paths():
+            assert model[path].successors == back[path].successors
+
+    @given(rule_matrices())
+    @settings(max_examples=60)
+    def test_rules_round_trip_behaviour(self, rules):
+        """The deserialized matrix resolves identically for probe instances."""
+        back = rules_from_dict(rules_to_dict(rules))
+        probes = [
+            PhaseInstance("i", "/a", 0, 1, machine="m0"),
+            PhaseInstance("i", "/b", 0, 1, machine="m1"),
+            PhaseInstance("i", "/abc", 0, 1),
+        ]
+        for inst in probes:
+            for resource in ("cpu@m0", "net@m1", "gc@m0"):
+                assert rules.rule_for(inst, resource) == back.rule_for(inst, resource)

@@ -1,0 +1,103 @@
+"""Tests for §IV-D outlier/straggler detection."""
+
+import pytest
+
+from repro.core.outliers import find_outliers
+from repro.core.phases import ExecutionModel
+from repro.core.traces import ExecutionTrace
+
+
+def gather_model() -> ExecutionModel:
+    m = ExecutionModel("gas")
+    m.add_phase("/Iter", repeatable=True)
+    m.add_phase("/Iter/Gather", concurrent=True)
+    m.add_phase("/Iter/Apply", after="Gather", concurrent=True)
+    return m
+
+
+def make_gather_trace(durations_by_worker: dict[str, list[float]]) -> ExecutionTrace:
+    tr = ExecutionTrace()
+    it = tr.record("/Iter", 0.0, 100.0, instance_id="it0")
+    k = 0
+    for worker, durs in durations_by_worker.items():
+        for t, d in enumerate(durs):
+            tr.record(
+                "/Iter/Gather",
+                0.0,
+                d,
+                parent=it,
+                machine=worker,
+                worker=worker,
+                thread=f"{worker}-t{t}",
+                instance_id=f"g{k}",
+            )
+            k += 1
+    return tr
+
+
+class TestFindOutliers:
+    def test_clean_group_has_no_outliers(self):
+        trace = make_gather_trace({"w0": [10.0, 10.5, 9.5, 10.2]})
+        report = find_outliers(trace, gather_model())
+        assert report.affected_groups() == []
+        assert report.affected_fraction == 0.0
+
+    def test_straggler_detected_against_worker_median(self):
+        """The paper's example: one thread takes 2.88x the mean on worker 6."""
+        trace = make_gather_trace(
+            {"w0": [10.0, 10.0, 10.0, 28.8], "w1": [20.0, 20.0, 20.0, 20.0]}
+        )
+        report = find_outliers(trace, gather_model())
+        affected = report.affected_groups()
+        assert len(affected) == 1
+        g = affected[0]
+        assert len(g.outliers) == 1
+        assert g.outliers[0].factor == pytest.approx(2.88)
+        # Slowdown: 28.8 vs slowest non-outlier (20.0) = 1.44x.
+        assert g.slowdown == pytest.approx(28.8 / 20.0)
+
+    def test_cross_worker_imbalance_is_not_an_outlier(self):
+        """Slow workers (poor partitioning) differ from same-worker stragglers."""
+        trace = make_gather_trace(
+            {"w0": [6.4, 6.5, 6.3, 6.4], "w1": [20.5, 20.4, 20.6, 20.5]}
+        )
+        report = find_outliers(trace, gather_model())
+        assert report.affected_groups() == []
+
+    def test_trivial_groups_excluded_from_fraction(self):
+        trace = make_gather_trace({"w0": [0.1, 0.1, 0.1, 0.4]})
+        report = find_outliers(trace, gather_model(), min_phase_duration=1.0)
+        assert report.nontrivial_groups() == []
+        assert report.affected_fraction == 0.0
+        # The group itself is still analyzed.
+        assert len(report.groups) == 1
+        assert report.groups[0].has_outliers
+
+    def test_small_groups_skipped(self):
+        trace = make_gather_trace({"w0": [1.0, 10.0]})
+        report = find_outliers(trace, gather_model(), min_group_size=3)
+        assert report.groups == []
+
+    def test_non_concurrent_types_skipped_with_model(self):
+        m = ExecutionModel("m")
+        m.add_phase("/Seq")
+        tr = ExecutionTrace()
+        for k, d in enumerate([1.0, 1.0, 5.0]):
+            tr.record("/Seq", 0.0, d, machine="w0", worker="w0", thread=f"t{k}", instance_id=f"s{k}")
+        assert find_outliers(tr, m).groups == []
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            find_outliers(ExecutionTrace(), None, threshold=1.0)
+
+    def test_slowdowns_list(self):
+        trace = make_gather_trace({"w0": [10.0, 10.0, 10.0, 25.0]})
+        report = find_outliers(trace, gather_model())
+        assert report.slowdowns() == [pytest.approx(2.5)]
+
+    def test_all_outlier_group_degenerates_gracefully(self):
+        """If every phase is 'an outlier' the slowdown stays finite."""
+        trace = make_gather_trace({"w0": [1.0, 1.0, 1.0, 30.0], "w1": [1.0, 1.0, 30.0, 1.0]})
+        report = find_outliers(trace, gather_model())
+        g = report.groups[0]
+        assert g.slowdown >= 1.0

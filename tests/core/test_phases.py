@@ -1,0 +1,132 @@
+"""Tests for the hierarchical execution model."""
+
+import pytest
+
+from repro.core.phases import ExecutionModel, PhaseType, parent_path, split_path
+
+
+def build_giraph_like_model() -> ExecutionModel:
+    """The paper's running example: Load -> Execute (supersteps) -> Store."""
+    m = ExecutionModel("giraph")
+    m.add_phase("/Load")
+    m.add_phase("/Execute", after="Load")
+    m.add_phase("/Store", after="Execute")
+    m.add_phase("/Execute/Superstep", repeatable=True)
+    m.add_phase("/Execute/Superstep/Prepare")
+    m.add_phase("/Execute/Superstep/Compute", after="Prepare", concurrent=True)
+    m.add_phase("/Execute/Superstep/Barrier", after="Compute")
+    return m
+
+
+class TestPathHelpers:
+    def test_split_path(self):
+        assert split_path("/a/b/c") == ("a", "b", "c")
+        assert split_path("/") == ()
+
+    def test_split_path_requires_leading_separator(self):
+        with pytest.raises(ValueError):
+            split_path("a/b")
+
+    def test_parent_path(self):
+        assert parent_path("/a/b/c") == "/a/b"
+        assert parent_path("/a") == "/"
+
+    def test_parent_of_root_rejected(self):
+        with pytest.raises(ValueError):
+            parent_path("/")
+
+
+class TestPhaseType:
+    def test_name_validation(self):
+        with pytest.raises(ValueError):
+            PhaseType("has/slash")
+        with pytest.raises(ValueError):
+            PhaseType("")
+
+    def test_duplicate_child_rejected(self):
+        p = PhaseType("parent")
+        p.child("a")
+        with pytest.raises(ValueError):
+            p.child("a")
+
+    def test_unknown_predecessor_rejected(self):
+        p = PhaseType("parent")
+        with pytest.raises(ValueError):
+            p.child("b", after="nope")
+
+    def test_topological_order_linear(self):
+        p = PhaseType("parent")
+        p.child("a")
+        p.child("b", after="a")
+        p.child("c", after="b")
+        assert p.topological_child_order() == ["a", "b", "c"]
+
+    def test_topological_order_diamond(self):
+        p = PhaseType("parent")
+        p.child("a")
+        p.child("b", after="a")
+        p.child("c", after="a")
+        p.child("d", after=("b", "c"))
+        order = p.topological_child_order()
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_cycle_detected(self):
+        p = PhaseType("parent")
+        p.child("a")
+        p.child("b", after="a")
+        p.successors["b"].add("a")  # force a cycle
+        with pytest.raises(ValueError, match="cycle"):
+            p.topological_child_order()
+
+
+class TestExecutionModel:
+    def test_lookup_by_path(self):
+        m = build_giraph_like_model()
+        assert m["/Execute/Superstep/Compute"].concurrent
+        assert m["/Execute/Superstep"].repeatable
+        assert "/Load" in m
+        assert "/Nope" not in m
+
+    def test_missing_path_raises(self):
+        m = build_giraph_like_model()
+        with pytest.raises(KeyError):
+            m["/Execute/Nope"]
+
+    def test_add_requires_existing_ancestors(self):
+        m = ExecutionModel("x")
+        with pytest.raises(ValueError):
+            m.add_phase("/a/b")
+
+    def test_add_root_rejected(self):
+        m = ExecutionModel("x")
+        with pytest.raises(ValueError):
+            m.add_phase("/")
+
+    def test_paths_depth_first(self):
+        m = build_giraph_like_model()
+        paths = m.paths()
+        assert paths[0] == "/Load"
+        assert "/Execute/Superstep/Barrier" in paths
+        assert len(paths) == 7
+
+    def test_leaf_paths(self):
+        m = build_giraph_like_model()
+        leaves = set(m.leaf_paths())
+        assert "/Execute/Superstep/Compute" in leaves
+        assert "/Execute" not in leaves
+
+    def test_depth_of(self):
+        m = build_giraph_like_model()
+        assert m.depth_of("/Load") == 1
+        assert m.depth_of("/Execute/Superstep/Compute") == 3
+
+    def test_validate_passes_for_dag(self):
+        build_giraph_like_model().validate()
+
+    def test_validate_detects_nested_cycle(self):
+        m = build_giraph_like_model()
+        node = m["/Execute/Superstep"]
+        node.successors["Barrier"].add("Prepare")
+        with pytest.raises(ValueError):
+            m.validate()

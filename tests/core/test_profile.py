@@ -1,0 +1,94 @@
+"""End-to-end tests for the Grade10 facade and report rendering."""
+
+import pytest
+
+from repro.core import ExecutionModel, Grade10, ResourceModel, RuleMatrix, render_report
+from repro.core.traces import ExecutionTrace, ResourceTrace
+
+
+def make_inputs():
+    model = ExecutionModel("bsp")
+    model.add_phase("/Load")
+    model.add_phase("/Execute", after="Load")
+    model.add_phase("/Execute/Superstep", repeatable=True)
+    model.add_phase("/Execute/Superstep/Compute", concurrent=True)
+    model.add_phase("/Execute/Superstep/Barrier", after="Compute")
+
+    resources = ResourceModel("cluster")
+    resources.add_consumable("cpu@m0", 4.0, unit="cores")
+    resources.add_blocking("gc@m0")
+
+    rules = (
+        RuleMatrix()
+        .set_none("/*", "cpu@*")
+        .set_exact("/Execute/Superstep/Compute", "cpu@{machine}", 0.25)
+        .set_variable("/Load", "cpu@*", 1.0)
+    )
+
+    trace = ExecutionTrace()
+    trace.record("/Load", 0.0, 1.0, instance_id="load", machine="m0")
+    ex = trace.record("/Execute", 1.0, 5.0, instance_id="exec")
+    ss = trace.record("/Execute/Superstep", 1.0, 5.0, parent=ex, instance_id="ss0")
+    c0 = trace.record(
+        "/Execute/Superstep/Compute", 1.0, 4.0, parent=ss, machine="m0", thread="t0",
+        instance_id="c0",
+    )
+    c0.add_blocking("gc@m0", 2.0, 2.5)
+    trace.record(
+        "/Execute/Superstep/Compute", 1.0, 2.0, parent=ss, machine="m0", thread="t1",
+        instance_id="c1",
+    )
+    trace.record("/Execute/Superstep/Barrier", 4.0, 5.0, parent=ss, instance_id="b0")
+
+    rtrace = ResourceTrace()
+    rtrace.add_measurement("cpu@m0", 0.0, 2.5, 2.0)
+    rtrace.add_measurement("cpu@m0", 2.5, 5.0, 1.0)
+    return model, resources, rules, trace, rtrace
+
+
+class TestGrade10:
+    def test_characterize_produces_profile(self):
+        model, resources, rules, trace, rtrace = make_inputs()
+        g10 = Grade10(model, resources, rules, slice_duration=0.5)
+        profile = g10.characterize(trace, rtrace)
+        assert profile.makespan == pytest.approx(5.0)
+        assert profile.grid.n_slices == 10
+        assert "cpu@m0" in profile.upsampled
+        assert profile.attribution.usage("c0", "cpu@m0").shape == (10,)
+
+    def test_empty_trace_rejected(self):
+        model, resources, rules, _, rtrace = make_inputs()
+        g10 = Grade10(model, resources, rules)
+        with pytest.raises(ValueError):
+            g10.characterize(ExecutionTrace(), rtrace)
+
+    def test_invalid_model_rejected_at_construction(self):
+        model, resources, rules, _, _ = make_inputs()
+        node = model["/Execute/Superstep"]
+        node.successors["Barrier"].add("Compute")
+        with pytest.raises(ValueError):
+            Grade10(model, resources, rules)
+
+    def test_blocking_shows_in_bottlenecks(self):
+        model, resources, rules, trace, rtrace = make_inputs()
+        profile = Grade10(model, resources, rules, slice_duration=0.5).characterize(trace, rtrace)
+        by_res = profile.bottlenecks.bottleneck_time_by_resource()
+        assert by_res.get("gc@m0", 0.0) == pytest.approx(0.5)
+
+    def test_render_report_contains_sections(self):
+        model, resources, rules, trace, rtrace = make_inputs()
+        profile = Grade10(model, resources, rules, slice_duration=0.5).characterize(trace, rtrace)
+        text = render_report(profile)
+        assert "Grade10 performance profile" in text
+        assert "Resource bottlenecks" in text
+        assert "Performance issues" in text
+        assert "Outlier phases" in text
+
+    def test_custom_grid_respected(self):
+        model, resources, rules, trace, rtrace = make_inputs()
+        from repro.core.timeline import TimeGrid
+
+        g10 = Grade10(model, resources, rules)
+        grid = TimeGrid(0.0, 1.0, 5)
+        profile = g10.characterize(trace, rtrace, grid=grid)
+        assert profile.grid.n_slices == 5

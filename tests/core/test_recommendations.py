@@ -1,0 +1,64 @@
+"""Tests for the recommendation engine."""
+
+import pytest
+
+from repro.core.recommendations import recommend, render_recommendations
+from repro.systems import PowerGraphConfig, SyncBug
+from repro.workloads import WorkloadSpec, characterize_run, run_workload
+
+
+@pytest.fixture(scope="module")
+def giraph_profile():
+    run = run_workload(WorkloadSpec("giraph", "graph500", "pr", preset="small"))
+    return characterize_run(run, tuned=True)
+
+
+@pytest.fixture(scope="module")
+def bugged_pg_profile():
+    cfg = PowerGraphConfig(sync_bug=SyncBug(enabled=True, probability=0.4, seed=5))
+    run = run_workload(
+        WorkloadSpec("powergraph", "graph500", "cdlp", preset="small"),
+        powergraph_config=cfg,
+    )
+    return characterize_run(run, tuned=True, min_phase_duration=0.01)
+
+
+class TestRecommend:
+    def test_giraph_gets_provision_and_unblock(self, giraph_profile):
+        recs = recommend(giraph_profile, min_impact=0.0)
+        kinds = {r.kind for r in recs}
+        assert "provision" in kinds  # saturated CPUs
+        assert "unblock" in kinds  # GC blocking
+
+    def test_ranked_by_impact(self, giraph_profile):
+        recs = recommend(giraph_profile, min_impact=0.0)
+        impacts = [r.impact for r in recs]
+        assert impacts == sorted(impacts, reverse=True)
+
+    def test_min_impact_filters(self, giraph_profile):
+        all_recs = recommend(giraph_profile, min_impact=0.0)
+        filtered = recommend(giraph_profile, min_impact=0.5)
+        assert len(filtered) <= len(all_recs)
+
+    def test_bugged_run_gets_investigate(self, bugged_pg_profile):
+        recs = recommend(bugged_pg_profile, min_impact=0.0)
+        investigate = [r for r in recs if r.kind == "investigate"]
+        assert len(investigate) == 1
+        assert "straggler" in investigate[0].advice
+
+    def test_pg_gets_rebalance(self, bugged_pg_profile):
+        recs = recommend(bugged_pg_profile, min_impact=0.0)
+        rebalance = [r for r in recs if r.kind == "rebalance"]
+        assert any("Gather" in r.subject for r in rebalance)
+
+    def test_render(self, giraph_profile):
+        text = render_recommendations(recommend(giraph_profile, min_impact=0.0))
+        assert "Recommendations" in text
+        assert "1." in text
+
+    def test_render_empty(self):
+        assert "No recommendations" in render_recommendations([])
+
+    def test_str_includes_impact(self, giraph_profile):
+        recs = recommend(giraph_profile, min_impact=0.02)
+        assert any("% of the makespan" in str(r) for r in recs)

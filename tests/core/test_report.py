@@ -1,0 +1,66 @@
+"""Tests for report rendering helpers."""
+
+import pytest
+
+from repro.core.report import (
+    _fmt_seconds,
+    render_bottleneck_summary,
+    render_issue_summary,
+    render_outlier_summary,
+    render_report,
+)
+from repro.workloads import WorkloadSpec, characterize_run, run_workload
+
+
+@pytest.fixture(scope="module")
+def profile():
+    run = run_workload(WorkloadSpec("giraph", "graph500", "pr", preset="small"))
+    return characterize_run(run, tuned=True)
+
+
+class TestFormatting:
+    def test_fmt_seconds_ranges(self):
+        assert _fmt_seconds(0.0123) == "12.3ms"
+        assert _fmt_seconds(1.5) == "1.50s"
+        assert _fmt_seconds(1234.0) == "1,234s"
+
+
+class TestSections:
+    def test_bottleneck_summary_lists_resources(self, profile):
+        text = render_bottleneck_summary(profile)
+        assert "cpu@m0" in text
+        assert "saturation" in text or "exact-cap" in text
+
+    def test_issue_summary_percentages(self, profile):
+        text = render_issue_summary(profile)
+        assert "%" in text
+
+    def test_issue_summary_top_limits(self, profile):
+        short = render_issue_summary(profile, top=1)
+        assert short.count("[") <= 1
+
+    def test_outlier_summary_fractions(self, profile):
+        text = render_outlier_summary(profile)
+        assert "non-trivial groups" in text
+
+    def test_empty_sections_say_so(self):
+        from repro.core import ExecutionModel, Grade10, ResourceModel, RuleMatrix
+        from repro.core.traces import ExecutionTrace, ResourceTrace
+
+        m = ExecutionModel("m")
+        m.add_phase("/P")
+        r = ResourceModel("r")
+        r.add_consumable("cpu", 1.0)
+        tr = ExecutionTrace()
+        tr.record("/P", 0.0, 1.0)
+        prof = Grade10(m, r, RuleMatrix(), slice_duration=0.1).characterize(
+            tr, ResourceTrace()
+        )
+        text = render_report(prof)
+        assert "(none detected)" in text
+        assert "(none above threshold)" in text
+
+    def test_full_report_order(self, profile):
+        text = render_report(profile)
+        assert text.index("Resource bottlenecks") < text.index("Performance issues")
+        assert text.index("Performance issues") < text.index("Outlier phases")

@@ -1,0 +1,60 @@
+"""Tests for the resource model."""
+
+import pytest
+
+from repro.core.resources import BlockingResource, ConsumableResource, ResourceModel
+
+
+class TestConsumableResource:
+    def test_positive_capacity_required(self):
+        with pytest.raises(ValueError):
+            ConsumableResource("cpu", 0.0)
+        with pytest.raises(ValueError):
+            ConsumableResource("cpu", -1.0)
+
+    def test_kind(self):
+        assert ConsumableResource("cpu", 8.0).kind == "consumable"
+        assert BlockingResource("gc").kind == "blocking"
+
+
+class TestResourceModel:
+    def make(self) -> ResourceModel:
+        m = ResourceModel("cluster")
+        m.add_consumable("cpu@node0", 16, unit="cores")
+        m.add_consumable("net@node0", 1.25e9, unit="B/s")
+        m.add_blocking("gc@node0")
+        m.add_blocking("queue@node0")
+        return m
+
+    def test_lookup(self):
+        m = self.make()
+        assert m["cpu@node0"].capacity == 16
+        assert m["gc@node0"].kind == "blocking"
+        assert "net@node0" in m
+        assert "nope" not in m
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyError):
+            self.make()["missing"]
+
+    def test_duplicate_names_rejected_across_kinds(self):
+        m = self.make()
+        with pytest.raises(ValueError):
+            m.add_consumable("gc@node0", 1.0)
+        with pytest.raises(ValueError):
+            m.add_blocking("cpu@node0")
+
+    def test_names_ordering(self):
+        m = self.make()
+        assert m.names() == ["cpu@node0", "net@node0", "gc@node0", "queue@node0"]
+
+    def test_capacity_of(self):
+        m = self.make()
+        assert m.capacity_of("cpu@node0") == 16
+        with pytest.raises(TypeError):
+            m.capacity_of("gc@node0")
+
+    def test_views_are_copies(self):
+        m = self.make()
+        m.consumable.clear()
+        assert "cpu@node0" in m

@@ -1,0 +1,91 @@
+"""Tests for attribution rules and the rule matrix."""
+
+import pytest
+
+from repro.core.rules import ExactRule, NoneRule, RuleMatrix, VariableRule
+from repro.core.traces import PhaseInstance
+
+
+def make_instance(path="/Execute/Superstep/Compute", machine="node0", thread="t0"):
+    return PhaseInstance(
+        instance_id="i0",
+        phase_path=path,
+        t_start=0.0,
+        t_end=1.0,
+        machine=machine,
+        worker="w0",
+        thread=thread,
+    )
+
+
+class TestRuleValidation:
+    def test_exact_proportion_bounds(self):
+        ExactRule(1.0)
+        ExactRule(0.01)
+        with pytest.raises(ValueError):
+            ExactRule(0.0)
+        with pytest.raises(ValueError):
+            ExactRule(1.5)
+
+    def test_variable_weight_positive(self):
+        with pytest.raises(ValueError):
+            VariableRule(0.0)
+        with pytest.raises(ValueError):
+            VariableRule(-1.0)
+
+
+class TestRuleMatrix:
+    def test_implicit_variable_rule(self):
+        """With no rules, Grade10 assumes Variable(1x) for every phase (§IV-B)."""
+        rules = RuleMatrix()
+        rule = rules.rule_for(make_instance(), "cpu@node0")
+        assert isinstance(rule, VariableRule)
+        assert rule.weight == 1.0
+
+    def test_exact_match(self):
+        rules = RuleMatrix().set_exact("/Execute/Superstep/Compute", "cpu@node0", 0.5)
+        rule = rules.rule_for(make_instance(), "cpu@node0")
+        assert isinstance(rule, ExactRule)
+        assert rule.proportion == 0.5
+
+    def test_phase_glob(self):
+        rules = RuleMatrix().set_none("/Execute/*", "net@*")
+        assert isinstance(rules.rule_for(make_instance("/Execute/Superstep"), "net@node0"), NoneRule)
+        # Glob * does not cross path separators for fnmatchcase? It does — so
+        # deep paths also match, which is the documented behaviour.
+        assert isinstance(
+            rules.rule_for(make_instance("/Execute/Superstep/Compute"), "net@node0"), NoneRule
+        )
+
+    def test_machine_placeholder(self):
+        rules = RuleMatrix().set_exact("/Execute/Superstep/Compute", "cpu@{machine}", 0.25)
+        inst = make_instance(machine="node3")
+        assert isinstance(rules.rule_for(inst, "cpu@node3"), ExactRule)
+        assert isinstance(rules.rule_for(inst, "cpu@node4"), VariableRule)  # implicit
+
+    def test_placeholder_with_missing_attr_defaults_to_wildcard(self):
+        rules = RuleMatrix().set_exact("/P", "cpu@{machine}", 0.5)
+        inst = PhaseInstance("i", "/P", 0.0, 1.0)  # no machine
+        assert isinstance(rules.rule_for(inst, "cpu@anything"), ExactRule)
+
+    def test_unknown_placeholder_rejected(self):
+        rules = RuleMatrix().set_variable("/P", "cpu@{nope}")
+        with pytest.raises(ValueError, match="placeholder"):
+            rules.rule_for(make_instance("/P"), "cpu@node0")
+
+    def test_later_entries_override(self):
+        rules = (
+            RuleMatrix()
+            .set_variable("/P", "*", 1.0)
+            .set_none("/P", "net@*")
+        )
+        assert isinstance(rules.rule_for(make_instance("/P"), "net@node0"), NoneRule)
+        assert isinstance(rules.rule_for(make_instance("/P"), "cpu@node0"), VariableRule)
+
+    def test_set_default_rule(self):
+        rules = RuleMatrix().set_default_rule(NoneRule())
+        assert isinstance(rules.rule_for(make_instance(), "cpu@node0"), NoneRule)
+
+    def test_len_counts_entries(self):
+        rules = RuleMatrix().set_none("/a", "*").set_exact("/b", "*", 0.5)
+        assert len(rules) == 2

@@ -1,0 +1,124 @@
+"""Tests for the §III-F trace-replay simulator."""
+
+import pytest
+
+from repro.core.phases import ExecutionModel
+from repro.core.simulation import ReplaySimulator
+from repro.core.traces import ExecutionTrace
+
+
+def bsp_model() -> ExecutionModel:
+    m = ExecutionModel("bsp")
+    m.add_phase("/Load")
+    m.add_phase("/Execute", after="Load")
+    m.add_phase("/Execute/Superstep", repeatable=True)
+    m.add_phase("/Execute/Superstep/Compute", concurrent=True)
+    m.add_phase("/Execute/Superstep/Barrier", after="Compute")
+    return m
+
+
+def make_bsp_trace(compute_durations: list[list[float]]) -> ExecutionTrace:
+    """Build a BSP-style trace: per superstep, concurrent computes then a barrier."""
+    tr = ExecutionTrace()
+    t = 0.0
+    load = tr.record("/Load", 0.0, 1.0, instance_id="load")
+    t = 1.0
+    execute = tr.record(
+        "/Execute", t, t + 1.0, instance_id="exec"
+    )  # end adjusted below
+    for s, durs in enumerate(compute_durations):
+        ss = tr.record(
+            "/Execute/Superstep", t, t + max(durs) + 0.5, parent=execute, instance_id=f"ss{s}"
+        )
+        for k, d in enumerate(durs):
+            tr.record(
+                "/Execute/Superstep/Compute",
+                t,
+                t + d,
+                parent=ss,
+                machine=f"m{k % 2}",
+                thread=f"t{k}",
+                instance_id=f"ss{s}-c{k}",
+            )
+        t += max(durs)
+        tr.record(
+            "/Execute/Superstep/Barrier", t, t + 0.5, parent=ss, instance_id=f"ss{s}-b"
+        )
+        t += 0.5
+    execute.t_end = t
+    return tr
+
+
+class TestReplaySimulator:
+    def test_baseline_matches_observed_makespan(self):
+        trace = make_bsp_trace([[2.0, 3.0], [1.0, 4.0]])
+        sim = ReplaySimulator(trace, bsp_model())
+        base = sim.baseline()
+        # Load(1) + ss0(3 + 0.5) + ss1(4 + 0.5) = 9.0
+        assert base.makespan == pytest.approx(trace.makespan)
+
+    def test_concurrent_computes_overlap(self):
+        trace = make_bsp_trace([[2.0, 3.0]])
+        sim = ReplaySimulator(trace, bsp_model())
+        base = sim.baseline()
+        assert base.start["ss0-c0"] == base.start["ss0-c1"]
+
+    def test_barrier_waits_for_all_computes(self):
+        trace = make_bsp_trace([[2.0, 3.0]])
+        base = ReplaySimulator(trace, bsp_model()).baseline()
+        assert base.start["ss0-b"] == pytest.approx(max(base.end["ss0-c0"], base.end["ss0-c1"]))
+
+    def test_supersteps_chain_sequentially(self):
+        trace = make_bsp_trace([[1.0, 1.0], [1.0, 1.0]])
+        base = ReplaySimulator(trace, bsp_model()).baseline()
+        assert base.start["ss1-c0"] == pytest.approx(base.end["ss0-b"])
+
+    def test_shortening_critical_path_reduces_makespan(self):
+        trace = make_bsp_trace([[2.0, 5.0]])
+        sim = ReplaySimulator(trace, bsp_model())
+        base = sim.baseline().makespan
+        shorter = sim.simulate({"ss0-c1": 2.0}).makespan
+        assert shorter == pytest.approx(base - 3.0)
+
+    def test_shortening_non_critical_phase_is_free(self):
+        trace = make_bsp_trace([[2.0, 5.0]])
+        sim = ReplaySimulator(trace, bsp_model())
+        base = sim.baseline().makespan
+        same = sim.simulate({"ss0-c0": 0.5}).makespan
+        assert same == pytest.approx(base)
+
+    def test_same_thread_sequencing_without_model(self):
+        """Two same-type phases on one thread replay sequentially (no migration)."""
+        tr = ExecutionTrace()
+        tr.record("/C", 0.0, 2.0, thread="t0", instance_id="a")
+        tr.record("/C", 2.0, 4.0, thread="t0", instance_id="b")
+        tr.record("/C", 0.0, 1.0, thread="t1", instance_id="c")
+        sim = ReplaySimulator(tr, None)
+        base = sim.baseline()
+        assert base.start["b"] == pytest.approx(base.end["a"])
+        assert base.start["c"] == 0.0
+        assert base.makespan == pytest.approx(4.0)
+
+    def test_rebalancing_same_thread_work(self):
+        tr = ExecutionTrace()
+        tr.record("/C", 0.0, 6.0, thread="t0", instance_id="big")
+        tr.record("/C", 0.0, 2.0, thread="t1", instance_id="small")
+        sim = ReplaySimulator(tr, None)
+        balanced = sim.simulate({"big": 4.0, "small": 4.0})
+        assert balanced.makespan == pytest.approx(4.0)
+
+    def test_negative_duration_clamped(self):
+        tr = ExecutionTrace()
+        tr.record("/C", 0.0, 2.0, instance_id="x")
+        sim = ReplaySimulator(tr, None)
+        assert sim.simulate({"x": -5.0}).makespan == 0.0
+
+    def test_empty_trace(self):
+        sim = ReplaySimulator(ExecutionTrace(), None)
+        assert sim.baseline().makespan == 0.0
+
+    def test_duration_of(self):
+        tr = ExecutionTrace()
+        tr.record("/C", 0.0, 2.0, instance_id="x")
+        res = ReplaySimulator(tr, None).simulate({"x": 1.5})
+        assert res.duration_of("x") == pytest.approx(1.5)

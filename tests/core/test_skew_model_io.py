@@ -1,0 +1,220 @@
+"""Tests for imbalance decomposition and model serialization."""
+
+import pytest
+
+from repro.core.model_io import (
+    execution_model_from_dict,
+    execution_model_to_dict,
+    load_models,
+    resource_model_from_dict,
+    resource_model_to_dict,
+    rules_from_dict,
+    rules_to_dict,
+    save_models,
+)
+from repro.core.phases import ExecutionModel
+from repro.core.resources import ResourceModel
+from repro.core.rules import ExactRule, NoneRule, RuleMatrix, VariableRule
+from repro.core.skew import decompose_imbalance
+from repro.core.traces import ExecutionTrace, PhaseInstance
+
+
+def gather_model() -> ExecutionModel:
+    m = ExecutionModel("gas")
+    m.add_phase("/Iter", repeatable=True)
+    m.add_phase("/Iter/Gather", concurrent=True)
+    return m
+
+
+def make_group(durations_by_worker: dict[str, list[float]]) -> ExecutionTrace:
+    tr = ExecutionTrace()
+    it = tr.record("/Iter", 0.0, 100.0, instance_id="it")
+    k = 0
+    for worker, durs in durations_by_worker.items():
+        for d in durs:
+            tr.record(
+                "/Iter/Gather", 0.0, d, parent=it, worker=worker, machine=worker,
+                thread=f"{worker}-t{k}", instance_id=f"g{k}",
+            )
+            k += 1
+    return tr
+
+
+class TestDecomposeImbalance:
+    def test_pure_cross_worker_skew(self):
+        """Workers differ, threads within each worker agree."""
+        tr = make_group({"w0": [2.0, 2.0, 2.0, 2.0], "w1": [6.0, 6.0, 6.0, 6.0]})
+        report = decompose_imbalance(tr, gather_model())
+        (g,) = report.groups
+        assert g.cross_worker_cost == pytest.approx(2.0)  # 6 - mean(4)
+        assert g.within_worker_cost == pytest.approx(0.0)
+        assert g.within_worker_share == 0.0
+
+    def test_pure_within_worker_outlier(self):
+        """Workers agree, one thread is a straggler (the sync bug shape)."""
+        tr = make_group({"w0": [2.0, 2.0, 2.0, 8.0], "w1": [2.0, 2.0, 2.0, 2.0]})
+        report = decompose_imbalance(tr, gather_model())
+        (g,) = report.groups
+        assert g.within_worker_cost == pytest.approx(6.0)  # 8 - w0 median 2
+        assert g.within_worker_share > 0.7
+
+    def test_mixed_causes(self):
+        tr = make_group({"w0": [2.0, 2.0, 2.0, 2.0], "w1": [4.0, 4.0, 4.0, 9.0]})
+        report = decompose_imbalance(tr, gather_model())
+        (g,) = report.groups
+        assert g.cross_worker_cost > 0.0
+        assert g.within_worker_cost == pytest.approx(5.0)
+
+    def test_balanced_group_zero_costs(self):
+        tr = make_group({"w0": [3.0] * 4, "w1": [3.0] * 4})
+        (g,) = decompose_imbalance(tr, gather_model()).groups
+        assert g.imbalance_cost == pytest.approx(0.0)
+        assert g.cross_worker_cost == pytest.approx(0.0)
+
+    def test_small_groups_skipped(self):
+        tr = make_group({"w0": [1.0, 5.0]})
+        assert len(decompose_imbalance(tr, gather_model(), min_group_size=4)) == 0
+
+    def test_by_phase_type_aggregation(self):
+        tr = make_group({"w0": [2.0, 2.0, 2.0, 8.0], "w1": [2.0] * 4})
+        report = decompose_imbalance(tr, gather_model())
+        by_type = report.by_phase_type()
+        assert "/Iter/Gather" in by_type
+        cross, within = by_type["/Iter/Gather"]
+        assert within == pytest.approx(6.0)
+
+    def test_bug_raises_within_worker_share(self):
+        """Integration: the sync bug shifts the decomposition within-worker."""
+        from repro.adapters import powergraph_execution_model
+        from repro.systems import PowerGraphConfig, SyncBug
+        from repro.workloads import WorkloadSpec, run_workload
+        from repro.adapters import parse_execution_trace
+
+        clean_run = run_workload(WorkloadSpec("powergraph", "graph500", "cdlp", preset="small"))
+        bug_cfg = PowerGraphConfig(sync_bug=SyncBug(enabled=True, probability=0.4, seed=5))
+        bug_run = run_workload(
+            WorkloadSpec("powergraph", "graph500", "cdlp", preset="small"),
+            powergraph_config=bug_cfg,
+        )
+        model = powergraph_execution_model()
+        clean = decompose_imbalance(parse_execution_trace(clean_run.system_run.log), model)
+        bugged = decompose_imbalance(parse_execution_trace(bug_run.system_run.log), model)
+        assert bugged.total_within_worker_share() > clean.total_within_worker_share()
+
+
+class TestImbalanceTimeline:
+    def test_one_point_per_group_sorted(self):
+        from repro.core.skew import imbalance_timeline
+
+        tr = ExecutionTrace()
+        for k, (start, durs) in enumerate([(0.0, [1.0, 3.0]), (5.0, [2.0, 2.0])]):
+            it = tr.record("/Iter", start, start + 4.0, instance_id=f"it{k}")
+            for j, d in enumerate(durs):
+                tr.record("/Iter/Gather", start, start + d, parent=it,
+                          worker=f"w{j}", thread=f"t{j}", instance_id=f"g{k}{j}")
+        points = imbalance_timeline(tr, gather_model(), "/Iter/Gather")
+        assert [t for t, _ in points] == [0.0, 5.0]
+        assert points[0][1] == pytest.approx(1.0)  # 3 - mean(2)
+        assert points[1][1] == pytest.approx(0.0)
+
+    def test_bug_spike_visible_in_timeline(self):
+        from repro.adapters import parse_execution_trace, powergraph_execution_model
+        from repro.core.skew import imbalance_timeline
+        from repro.systems import PowerGraphConfig, SyncBug
+        from repro.workloads import WorkloadSpec, run_workload
+
+        spec = WorkloadSpec("powergraph", "graph500", "cdlp", preset="small")
+        cfg = PowerGraphConfig(sync_bug=SyncBug(enabled=True, probability=0.3, seed=5))
+        bugged = run_workload(spec, powergraph_config=cfg)
+        clean = run_workload(spec)
+        model = powergraph_execution_model()
+
+        def costs(run):
+            trace = parse_execution_trace(run.system_run.log)
+            pts = imbalance_timeline(trace, model, "/Execute/Iteration/Gather")
+            assert len(pts) == run.system_run.n_iterations
+            return [c for _, c in pts]
+
+        # Injections raise the worst per-iteration imbalance above the
+        # clean run's, visibly in the timeline.
+        assert max(costs(bugged)) > max(costs(clean))
+
+
+class TestModelIO:
+    def make_model(self) -> ExecutionModel:
+        m = ExecutionModel("test", "a test model")
+        m.add_phase("/Load")
+        m.add_phase("/Execute", after="Load")
+        m.add_phase("/Execute/Step", repeatable=True)
+        m.add_phase("/Execute/Step/Work", concurrent=True, description="worker phase")
+        m.add_phase(
+            "/Execute/Step/Wait", after="Work", concurrent=True, wait=True, balanceable=False
+        )
+        return m
+
+    def test_execution_model_round_trip(self):
+        m = self.make_model()
+        back = execution_model_from_dict(execution_model_to_dict(m))
+        assert back.paths() == m.paths()
+        assert back["/Execute/Step"].repeatable
+        assert back["/Execute/Step/Wait"].wait
+        assert not back["/Execute/Step/Wait"].balanceable
+        assert back["/Execute/Step/Work"].description == "worker phase"
+        # Ordering edges preserved.
+        assert "Execute" in back.root.successors["Load"]
+        assert "Wait" in back["/Execute/Step"].successors["Work"]
+
+    def test_resource_model_round_trip(self):
+        rm = ResourceModel("cluster", "desc")
+        rm.add_consumable("cpu@m0", 8.0, unit="cores", description="cores")
+        rm.add_blocking("gc@m0", description="gc")
+        back = resource_model_from_dict(resource_model_to_dict(rm))
+        assert back.capacity_of("cpu@m0") == 8.0
+        assert "gc@m0" in back
+        assert back["cpu@m0"].unit == "cores"
+
+    def test_rules_round_trip(self):
+        rules = (
+            RuleMatrix(implicit_rule=NoneRule())
+            .set_exact("/A", "cpu@{machine}", 0.25)
+            .set_variable("/B", "net@*", 2.0)
+            .set_none("/C", "*")
+        )
+        back = rules_from_dict(rules_to_dict(rules))
+        inst_a = PhaseInstance("i", "/A", 0, 1, machine="m0")
+        rule = back.rule_for(inst_a, "cpu@m0")
+        assert isinstance(rule, ExactRule) and rule.proportion == 0.25
+        inst_b = PhaseInstance("i", "/B", 0, 1)
+        rule = back.rule_for(inst_b, "net@m3")
+        assert isinstance(rule, VariableRule) and rule.weight == 2.0
+        assert isinstance(back.rule_for(inst_b, "cpu@m0"), NoneRule)  # implicit
+
+    def test_combined_document(self, tmp_path):
+        path = tmp_path / "models.json"
+        m = self.make_model()
+        rm = ResourceModel("c")
+        rm.add_consumable("cpu", 4.0)
+        rules = RuleMatrix().set_exact("/Load", "cpu", 0.5)
+        save_models(path, execution_model=m, resource_model=rm, rules=rules)
+        back_m, back_rm, back_rules = load_models(path)
+        assert back_m is not None and back_m.paths() == m.paths()
+        assert back_rm is not None and back_rm.capacity_of("cpu") == 4.0
+        assert back_rules is not None and len(back_rules) == 1
+
+    def test_partial_document(self, tmp_path):
+        path = tmp_path / "models.json"
+        save_models(path, execution_model=self.make_model())
+        m, rm, rules = load_models(path)
+        assert m is not None
+        assert rm is None and rules is None
+
+    def test_giraph_model_round_trips(self):
+        """The real tuned models survive serialization."""
+        from repro.adapters import giraph_execution_model
+
+        m = giraph_execution_model()
+        back = execution_model_from_dict(execution_model_to_dict(m))
+        assert back.paths() == m.paths()
+        for path in m.paths():
+            for attr in ("repeatable", "concurrent", "wait", "balanceable"):
+                assert getattr(back[path], attr) == getattr(m[path], attr)

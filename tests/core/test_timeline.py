@@ -1,0 +1,181 @@
+"""Tests for the timeslice grid and interval rasterization."""
+
+import numpy as np
+import pytest
+
+from repro.core.timeline import TimeGrid, interval_slice_overlap, rasterize_intervals
+
+
+class TestTimeGrid:
+    def test_covering_exact_multiple(self):
+        grid = TimeGrid.covering(0.0, 1.0, 0.1)
+        assert grid.n_slices == 10
+        assert grid.t_end == pytest.approx(1.0)
+
+    def test_covering_rounds_up(self):
+        grid = TimeGrid.covering(0.0, 1.05, 0.1)
+        assert grid.n_slices == 11
+
+    def test_covering_empty_span_single_slice(self):
+        grid = TimeGrid.covering(5.0, 5.0, 0.01)
+        assert grid.n_slices == 1
+        assert grid.t0 == 5.0
+
+    def test_covering_rejects_negative_span(self):
+        with pytest.raises(ValueError):
+            TimeGrid.covering(1.0, 0.0, 0.1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TimeGrid(0.0, 0.0, 10)
+        with pytest.raises(ValueError):
+            TimeGrid(0.0, 0.1, 0)
+
+    def test_edges_and_centers(self):
+        grid = TimeGrid(1.0, 0.5, 4)
+        np.testing.assert_allclose(grid.edges, [1.0, 1.5, 2.0, 2.5, 3.0])
+        np.testing.assert_allclose(grid.centers, [1.25, 1.75, 2.25, 2.75])
+
+    def test_slice_of_scalar(self):
+        grid = TimeGrid(0.0, 0.1, 10)
+        assert grid.slice_of(0.0) == 0
+        assert grid.slice_of(0.05) == 0
+        assert grid.slice_of(0.95) == 9
+
+    def test_slice_of_snaps_boundary_roundoff(self):
+        grid = TimeGrid(0.0, 0.1, 10)
+        # 0.3 is not exactly representable; 3 * 0.1 may land just below 0.3.
+        assert grid.slice_of(3 * 0.1) == 3
+        assert grid.slice_of(7 * 0.1) == 7
+
+    def test_slice_of_clips_to_grid(self):
+        grid = TimeGrid(0.0, 0.1, 10)
+        assert grid.slice_of(-1.0) == 0
+        assert grid.slice_of(99.0) == 9
+
+    def test_slice_of_vectorized(self):
+        grid = TimeGrid(0.0, 1.0, 5)
+        idx = grid.slice_of(np.array([0.0, 1.5, 4.9]))
+        np.testing.assert_array_equal(idx, [0, 1, 4])
+
+    def test_slice_range_basic(self):
+        grid = TimeGrid(0.0, 1.0, 10)
+        assert grid.slice_range(2.0, 5.0) == (2, 5)
+        assert grid.slice_range(2.5, 5.5) == (2, 6)
+
+    def test_slice_range_empty(self):
+        grid = TimeGrid(0.0, 1.0, 10)
+        lo, hi = grid.slice_range(3.0, 3.0)
+        assert lo == hi
+
+    def test_slice_range_rejects_inverted(self):
+        grid = TimeGrid(0.0, 1.0, 10)
+        with pytest.raises(ValueError):
+            grid.slice_range(5.0, 2.0)
+
+    def test_time_of(self):
+        grid = TimeGrid(10.0, 2.0, 5)
+        assert grid.time_of(0) == 10.0
+        assert grid.time_of(3) == 16.0
+
+    def test_coarsen(self):
+        grid = TimeGrid(0.0, 0.05, 64)
+        coarse = grid.coarsen(8)
+        assert coarse.slice_duration == pytest.approx(0.4)
+        assert coarse.n_slices == 8
+        assert coarse.t0 == grid.t0
+
+    def test_coarsen_partial_trailing_slice(self):
+        grid = TimeGrid(0.0, 0.1, 10)
+        coarse = grid.coarsen(3)
+        assert coarse.n_slices == 4
+        assert coarse.t_end >= grid.t_end
+
+    def test_coarsen_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            TimeGrid(0.0, 0.1, 10).coarsen(0)
+
+
+class TestIntervalSliceOverlap:
+    def test_aligned_interval(self):
+        grid = TimeGrid(0.0, 1.0, 10)
+        lo, hi, frac = interval_slice_overlap(grid, 2.0, 4.0)
+        assert (lo, hi) == (2, 4)
+        np.testing.assert_allclose(frac, [1.0, 1.0])
+
+    def test_fractional_edges(self):
+        grid = TimeGrid(0.0, 1.0, 10)
+        lo, hi, frac = interval_slice_overlap(grid, 1.5, 3.25)
+        assert (lo, hi) == (1, 4)
+        np.testing.assert_allclose(frac, [0.5, 1.0, 0.25])
+
+    def test_interval_within_one_slice(self):
+        grid = TimeGrid(0.0, 1.0, 10)
+        lo, hi, frac = interval_slice_overlap(grid, 2.25, 2.5)
+        assert (lo, hi) == (2, 3)
+        np.testing.assert_allclose(frac, [0.25])
+
+    def test_interval_beyond_grid_is_clipped(self):
+        grid = TimeGrid(0.0, 1.0, 4)
+        lo, hi, frac = interval_slice_overlap(grid, 3.5, 10.0)
+        assert (lo, hi) == (3, 4)
+        np.testing.assert_allclose(frac, [0.5])
+
+    def test_empty_interval(self):
+        grid = TimeGrid(0.0, 1.0, 4)
+        lo, hi, frac = interval_slice_overlap(grid, 1.0, 1.0)
+        assert lo == hi
+        assert frac.size == 0
+
+
+class TestRasterizeIntervals:
+    def test_single_aligned_interval(self):
+        grid = TimeGrid(0.0, 1.0, 5)
+        out = rasterize_intervals(grid, np.array([1.0]), np.array([3.0]))
+        np.testing.assert_allclose(out, [0, 1, 1, 0, 0])
+
+    def test_fractional_interval(self):
+        grid = TimeGrid(0.0, 1.0, 5)
+        out = rasterize_intervals(grid, np.array([0.5]), np.array([2.25]))
+        np.testing.assert_allclose(out, [0.5, 1.0, 0.25, 0, 0])
+
+    def test_sub_slice_interval(self):
+        grid = TimeGrid(0.0, 1.0, 3)
+        out = rasterize_intervals(grid, np.array([1.25]), np.array([1.75]))
+        np.testing.assert_allclose(out, [0, 0.5, 0])
+
+    def test_weights(self):
+        grid = TimeGrid(0.0, 1.0, 4)
+        out = rasterize_intervals(grid, np.array([0.0, 1.0]), np.array([2.0, 3.0]), np.array([2.0, 3.0]))
+        np.testing.assert_allclose(out, [2.0, 5.0, 3.0, 0.0])
+
+    def test_total_mass_conserved(self):
+        grid = TimeGrid(0.0, 0.1, 100)
+        rng = np.random.default_rng(42)
+        starts = rng.uniform(0, 9, size=50)
+        ends = starts + rng.uniform(0, 1, size=50)
+        out = rasterize_intervals(grid, starts, ends)
+        # Mass in slice units equals total interval length / slice duration.
+        assert out.sum() == pytest.approx((ends - starts).sum() / grid.slice_duration)
+
+    def test_indicator_mode(self):
+        grid = TimeGrid(0.0, 1.0, 5)
+        out = rasterize_intervals(
+            grid, np.array([0.5]), np.array([2.1]), fractional=False
+        )
+        np.testing.assert_allclose(out, [1, 1, 1, 0, 0])
+
+    def test_empty_input(self):
+        grid = TimeGrid(0.0, 1.0, 5)
+        out = rasterize_intervals(grid, np.array([]), np.array([]))
+        np.testing.assert_allclose(out, np.zeros(5))
+
+    def test_interval_at_grid_right_edge(self):
+        grid = TimeGrid(0.0, 1.0, 4)
+        out = rasterize_intervals(grid, np.array([3.0]), np.array([4.0]))
+        np.testing.assert_allclose(out, [0, 0, 0, 1.0])
+
+    def test_mismatched_shapes_rejected(self):
+        grid = TimeGrid(0.0, 1.0, 4)
+        with pytest.raises(ValueError):
+            rasterize_intervals(grid, np.array([1.0]), np.array([2.0, 3.0]))

@@ -1,0 +1,176 @@
+"""Tests for execution and resource traces."""
+
+import numpy as np
+import pytest
+
+from repro.core.timeline import TimeGrid
+from repro.core.traces import (
+    BlockingEvent,
+    ExecutionTrace,
+    PhaseInstance,
+    ResourceMeasurement,
+    ResourceTrace,
+)
+
+
+class TestPhaseInstance:
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseInstance("i", "/P", 2.0, 1.0)
+
+    def test_duration_and_name(self):
+        inst = PhaseInstance("i", "/Execute/Superstep", 1.0, 3.5)
+        assert inst.duration == pytest.approx(2.5)
+        assert inst.phase_name == "Superstep"
+
+    def test_blocked_time_per_resource(self):
+        inst = PhaseInstance("i", "/P", 0.0, 10.0)
+        inst.add_blocking("gc", 1.0, 2.0)
+        inst.add_blocking("gc", 5.0, 5.5)
+        inst.add_blocking("queue", 3.0, 4.0)
+        assert inst.blocked_time("gc") == pytest.approx(1.5)
+        assert inst.blocked_time("queue") == pytest.approx(1.0)
+        assert inst.blocked_time() == pytest.approx(2.5)
+
+    def test_blocked_intervals_merge_overlaps(self):
+        inst = PhaseInstance("i", "/P", 0.0, 10.0)
+        inst.add_blocking("gc", 1.0, 3.0)
+        inst.add_blocking("queue", 2.0, 4.0)
+        assert inst.blocked_intervals() == [(1.0, 4.0)]
+
+    def test_blocked_intervals_clipped_to_instance(self):
+        inst = PhaseInstance("i", "/P", 2.0, 5.0)
+        inst.add_blocking("gc", 0.0, 3.0)
+        inst.add_blocking("gc", 4.5, 99.0)
+        assert inst.blocked_intervals() == [(2.0, 3.0), (4.5, 5.0)]
+
+    def test_active_intervals(self):
+        inst = PhaseInstance("i", "/P", 0.0, 10.0)
+        inst.add_blocking("gc", 2.0, 3.0)
+        inst.add_blocking("gc", 7.0, 8.0)
+        assert inst.active_intervals() == [(0.0, 2.0), (3.0, 7.0), (8.0, 10.0)]
+
+    def test_fully_blocked_has_no_active_interval(self):
+        inst = PhaseInstance("i", "/P", 1.0, 2.0)
+        inst.add_blocking("gc", 0.0, 5.0)
+        assert inst.active_intervals() == []
+
+
+class TestExecutionTrace:
+    def make_trace(self) -> ExecutionTrace:
+        tr = ExecutionTrace()
+        root = tr.record("/Execute", 0.0, 10.0)
+        ss = tr.record("/Execute/Superstep", 0.0, 10.0, parent=root)
+        tr.record("/Execute/Superstep/Compute", 0.0, 6.0, parent=ss, machine="m0", thread="t0")
+        tr.record("/Execute/Superstep/Compute", 0.0, 8.0, parent=ss, machine="m0", thread="t1")
+        return tr
+
+    def test_record_and_lookup(self):
+        tr = self.make_trace()
+        assert len(tr) == 4
+        assert len(tr.instances("/Execute/Superstep/Compute")) == 2
+
+    def test_duplicate_id_rejected(self):
+        tr = ExecutionTrace()
+        tr.record("/P", 0.0, 1.0, instance_id="x")
+        with pytest.raises(ValueError):
+            tr.record("/P", 0.0, 1.0, instance_id="x")
+
+    def test_unknown_parent_rejected(self):
+        tr = ExecutionTrace()
+        with pytest.raises(ValueError):
+            tr.record("/P", 0.0, 1.0, parent="ghost")
+
+    def test_hierarchy_navigation(self):
+        tr = self.make_trace()
+        roots = tr.roots()
+        assert len(roots) == 1
+        ss = tr.children_of(roots[0])[0]
+        assert len(tr.children_of(ss)) == 2
+        assert len(tr.descendants_of(roots[0])) == 3
+
+    def test_makespan(self):
+        tr = self.make_trace()
+        assert tr.makespan == pytest.approx(10.0)
+        assert tr.t_start == 0.0
+
+    def test_empty_trace_times(self):
+        tr = ExecutionTrace()
+        assert tr.makespan == 0.0
+
+    def test_grid(self):
+        tr = self.make_trace()
+        grid = tr.grid(0.5)
+        assert grid.n_slices == 20
+
+    def test_activity_fraction_respects_blocking(self):
+        tr = ExecutionTrace()
+        inst = tr.record("/P", 0.0, 4.0)
+        inst.add_blocking("gc", 1.0, 2.0)
+        grid = TimeGrid(0.0, 1.0, 4)
+        np.testing.assert_allclose(tr.activity_fraction(inst, grid), [1, 0, 1, 1])
+
+    def test_attributable_excludes_covered_parents(self):
+        tr = self.make_trace()
+        grid = TimeGrid(0.0, 1.0, 10)
+        attributable = dict(
+            (inst.phase_path, frac) for inst, frac in tr.attributable_instances(grid)
+        )
+        # Superstep is fully covered by its two compute children until t=8,
+        # then uncovered 8..10.
+        assert "/Execute/Superstep" in attributable
+        np.testing.assert_allclose(attributable["/Execute/Superstep"][:6], np.zeros(6))
+        np.testing.assert_allclose(attributable["/Execute/Superstep"][8:], np.ones(2))
+        # Leaves are fully attributable while active.
+        computes = [f for i, f in tr.attributable_instances(grid) if i.thread == "t0"]
+        np.testing.assert_allclose(computes[0][:6], np.ones(6))
+
+    def test_concurrent_groups(self):
+        tr = self.make_trace()
+        groups = tr.concurrent_groups()
+        sizes = sorted(len(v) for v in groups.values())
+        assert sizes == [1, 1, 2]
+
+
+class TestResourceTrace:
+    def test_measurement_validation(self):
+        with pytest.raises(ValueError):
+            ResourceMeasurement("cpu", 1.0, 1.0, 5.0)
+        with pytest.raises(ValueError):
+            ResourceMeasurement("cpu", 0.0, 1.0, -5.0)
+
+    def test_measurement_total(self):
+        m = ResourceMeasurement("cpu", 0.0, 2.0, 8.0)
+        assert m.total == pytest.approx(16.0)
+
+    def test_measurements_sorted(self):
+        rt = ResourceTrace()
+        rt.add_measurement("cpu", 2.0, 3.0, 1.0)
+        rt.add_measurement("cpu", 0.0, 1.0, 2.0)
+        assert [m.t_start for m in rt.measurements("cpu")] == [0.0, 2.0]
+
+    def test_value_at(self):
+        rt = ResourceTrace()
+        rt.add_measurement("cpu", 0.0, 1.0, 2.0)
+        rt.add_measurement("cpu", 1.0, 2.0, 4.0)
+        assert rt.value_at("cpu", 0.5) == 2.0
+        assert rt.value_at("cpu", 1.0) == 4.0
+        assert rt.value_at("cpu", 9.0) == 0.0
+        assert rt.value_at("ghost", 0.5) == 0.0
+
+    def test_blocking_events(self):
+        rt = ResourceTrace()
+        rt.add_blocking_event("gc", 0.0, 1.0)
+        rt.add_blocking_event("queue", 2.0, 3.0)
+        assert len(rt.blocking_events()) == 2
+        assert len(rt.blocking_events("gc")) == 1
+
+    def test_total_consumption(self):
+        rt = ResourceTrace()
+        rt.add_measurement("cpu", 0.0, 2.0, 3.0)
+        rt.add_measurement("cpu", 2.0, 4.0, 5.0)
+        assert rt.total_consumption("cpu") == pytest.approx(16.0)
+
+    def test_blocking_event_validation(self):
+        with pytest.raises(ValueError):
+            BlockingEvent("gc", 2.0, 1.0)

@@ -1,0 +1,128 @@
+"""Tests for model-trace conformance checking."""
+
+import pytest
+
+from repro.core.phases import ExecutionModel
+from repro.core.traces import ExecutionTrace
+from repro.core.validation import validate_trace
+
+
+def bsp_model() -> ExecutionModel:
+    m = ExecutionModel("bsp")
+    m.add_phase("/Load")
+    m.add_phase("/Execute", after="Load")
+    m.add_phase("/Execute/Superstep", repeatable=True)
+    m.add_phase("/Execute/Superstep/Compute", concurrent=True)
+    m.add_phase("/Execute/Superstep/Barrier", after="Compute", concurrent=True)
+    return m
+
+
+def clean_trace() -> ExecutionTrace:
+    tr = ExecutionTrace()
+    tr.record("/Load", 0.0, 1.0, instance_id="load")
+    ex = tr.record("/Execute", 1.0, 5.0, instance_id="exec")
+    ss = tr.record("/Execute/Superstep", 1.0, 5.0, parent=ex, instance_id="ss0")
+    tr.record("/Execute/Superstep/Compute", 1.0, 4.0, parent=ss, machine="m0",
+              thread="t0", instance_id="c0")
+    tr.record("/Execute/Superstep/Compute", 1.0, 3.0, parent=ss, machine="m0",
+              thread="t1", instance_id="c1")
+    tr.record("/Execute/Superstep/Barrier", 4.0, 5.0, parent=ss, machine="m0",
+              instance_id="b0")
+    return tr
+
+
+class TestValidateTrace:
+    def test_clean_trace_passes(self):
+        report = validate_trace(clean_trace(), bsp_model())
+        assert report.ok, report.violations
+
+    def test_unknown_phase_flagged(self):
+        tr = clean_trace()
+        tr.record("/Ghost", 0.0, 1.0, instance_id="ghost")
+        report = validate_trace(tr, bsp_model())
+        assert len(report.by_kind("unknown-phase")) == 1
+
+    def test_wrong_parent_flagged(self):
+        tr = clean_trace()
+        # A Compute instance parented to /Execute rather than a Superstep.
+        tr.record("/Execute/Superstep/Compute", 1.0, 2.0, parent="exec",
+                  instance_id="bad")
+        report = validate_trace(tr, bsp_model())
+        assert any(v.instance_id == "bad" for v in report.by_kind("wrong-parent"))
+
+    def test_top_level_with_parent_flagged(self):
+        tr = clean_trace()
+        tr.record("/Load", 2.0, 3.0, parent="exec", instance_id="bad-load")
+        report = validate_trace(tr, bsp_model())
+        assert any(v.instance_id == "bad-load" for v in report.by_kind("wrong-parent"))
+
+    def test_missing_parent_flagged(self):
+        tr = ExecutionTrace()
+        tr.record("/Execute/Superstep", 0.0, 1.0, instance_id="orphan")
+        report = validate_trace(tr, bsp_model())
+        assert len(report.by_kind("wrong-parent")) == 1
+
+    def test_ordering_violation_flagged(self):
+        tr = clean_trace()
+        # A barrier that starts before its machine's computes finished.
+        ss = tr["ss0"]
+        tr.record("/Execute/Superstep/Barrier", 2.0, 3.0, parent=ss, machine="m0",
+                  instance_id="early-barrier")
+        report = validate_trace(tr, bsp_model())
+        assert any(
+            v.instance_id == "early-barrier" for v in report.by_kind("ordering")
+        )
+
+    def test_overlap_of_sequential_type_flagged(self):
+        m = ExecutionModel("m")
+        m.add_phase("/Seq", repeatable=True, concurrent=False)
+        tr = ExecutionTrace()
+        tr.record("/Seq", 0.0, 2.0, instance_id="a")
+        tr.record("/Seq", 1.0, 3.0, instance_id="b")
+        report = validate_trace(tr, m)
+        assert len(report.by_kind("overlap")) == 1
+
+    def test_repeat_of_nonrepeatable_type_flagged(self):
+        m = ExecutionModel("m")
+        m.add_phase("/Once")
+        tr = ExecutionTrace()
+        tr.record("/Once", 0.0, 1.0, instance_id="a")
+        tr.record("/Once", 1.0, 2.0, instance_id="b")
+        report = validate_trace(tr, m)
+        assert len(report.by_kind("repeat")) == 1
+
+    def test_summary_counts(self):
+        tr = clean_trace()
+        tr.record("/Ghost", 0.0, 1.0, instance_id="g1")
+        tr.record("/Ghost2", 0.0, 1.0, instance_id="g2")
+        report = validate_trace(tr, bsp_model())
+        assert report.summary() == {"unknown-phase": 2}
+
+    def test_real_giraph_run_conforms(self):
+        """The engine's own logs must conform to its own model."""
+        from repro.adapters import giraph_execution_model, parse_execution_trace
+        from repro.workloads import WorkloadSpec, run_workload
+
+        run = run_workload(WorkloadSpec("giraph", "graph500", "pr", preset="tiny"))
+        trace = parse_execution_trace(run.system_run.log)
+        report = validate_trace(trace, giraph_execution_model())
+        assert report.ok, report.summary()
+
+    def test_real_powergraph_run_conforms(self):
+        from repro.adapters import parse_execution_trace, powergraph_execution_model
+        from repro.workloads import WorkloadSpec, run_workload
+
+        run = run_workload(WorkloadSpec("powergraph", "graph500", "pr", preset="tiny"))
+        trace = parse_execution_trace(run.system_run.log)
+        report = validate_trace(trace, powergraph_execution_model())
+        assert report.ok, report.summary()
+
+    def test_real_sparklike_run_conforms(self):
+        from repro.adapters import parse_execution_trace
+        from repro.adapters.sparklike_model import sparklike_execution_model
+        from repro.systems.sparklike import run_sparklike, wordcount_job
+
+        run = run_sparklike(wordcount_job(scale=0.2))
+        trace = parse_execution_trace(run.log)
+        report = validate_trace(trace, sparklike_execution_model())
+        assert report.ok, report.summary()

@@ -1,0 +1,136 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    complete_graph,
+    grid_graph,
+    ldbc_like,
+    path_graph,
+    rmat,
+    star_graph,
+    uniform_random,
+)
+
+
+class TestRmat:
+    def test_sizes(self):
+        g = rmat(8, edge_factor=8, seed=1, dedup=False)
+        assert g.n_vertices == 256
+        assert g.n_edges == 8 * 256
+
+    def test_deterministic(self):
+        a = rmat(7, seed=3)
+        b = rmat(7, seed=3)
+        np.testing.assert_array_equal(a.edges()[0], b.edges()[0])
+        np.testing.assert_array_equal(a.edges()[1], b.edges()[1])
+
+    def test_seed_changes_graph(self):
+        a = rmat(7, seed=3)
+        b = rmat(7, seed=4)
+        assert a.n_edges != b.n_edges or not np.array_equal(a.edges()[0], b.edges()[0])
+
+    def test_degree_skew(self):
+        """R-MAT must have heavy-tailed out-degrees (max >> mean)."""
+        g = rmat(11, edge_factor=16, seed=0, dedup=False)
+        degs = np.asarray(g.out_degree())
+        assert degs.max() > 8 * degs.mean()
+
+    def test_uniform_parameters_reduce_skew(self):
+        skewed = rmat(10, seed=0, dedup=False)
+        flat = rmat(10, a=0.25, b=0.25, c=0.25, seed=0, dedup=False)
+        assert np.asarray(skewed.out_degree()).max() > np.asarray(flat.out_degree()).max()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            rmat(-1)
+        with pytest.raises(ValueError):
+            rmat(4, a=0.9, b=0.3, c=0.3)
+
+    def test_scale_zero(self):
+        g = rmat(0, edge_factor=4, dedup=False)
+        assert g.n_vertices == 1
+
+
+class TestLdbcLike:
+    def test_sizes(self):
+        g = ldbc_like(1000, avg_degree=8, seed=0, dedup=False)
+        assert g.n_vertices == 1000
+        assert g.n_edges == 8000
+
+    def test_deterministic(self):
+        a = ldbc_like(500, seed=5)
+        b = ldbc_like(500, seed=5)
+        np.testing.assert_array_equal(a.edges()[0], b.edges()[0])
+
+    def test_community_attribute(self):
+        g = ldbc_like(300, seed=1)
+        assert g.community_of.shape == (300,)
+
+    def test_community_locality(self):
+        """Most edges stay inside their community."""
+        g = ldbc_like(2000, avg_degree=10, intra_fraction=0.8, seed=2, dedup=False)
+        src, dst = g.edges()
+        comm = g.community_of
+        same = np.mean(comm[src] == comm[dst])
+        assert same > 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ldbc_like(0)
+        with pytest.raises(ValueError):
+            ldbc_like(10, intra_fraction=1.5)
+
+
+class TestUniformRandom:
+    def test_sizes_and_determinism(self):
+        g = uniform_random(100, 500, seed=0, dedup=False)
+        assert g.n_vertices == 100
+        assert g.n_edges == 500
+        g2 = uniform_random(100, 500, seed=0, dedup=False)
+        np.testing.assert_array_equal(g.edges()[1], g2.edges()[1])
+
+    def test_low_skew(self):
+        g = uniform_random(1000, 16000, seed=1, dedup=False)
+        degs = np.asarray(g.out_degree())
+        assert degs.max() < 5 * degs.mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_random(0, 5)
+
+
+class TestDeterministicGraphs:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.n_edges == 4
+        np.testing.assert_array_equal(g.neighbors(2), [3])
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.out_degree(0) == 5
+        assert g.out_degree(3) == 0
+
+    def test_star_single_vertex(self):
+        assert star_graph(1).n_edges == 0
+
+    def test_complete(self):
+        g = complete_graph(4)
+        assert g.n_edges == 12
+        assert (np.asarray(g.out_degree()) == 3).all()
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.n_vertices == 12
+        # Interior vertex has degree 4 in each direction.
+        assert g.out_degree(5) == 4
+        # Corner has degree 2.
+        assert g.out_degree(0) == 2
+
+    def test_validation(self):
+        for fn in (path_graph, star_graph, complete_graph):
+            with pytest.raises(ValueError):
+                fn(0)
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)

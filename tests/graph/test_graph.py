@@ -1,0 +1,90 @@
+"""Tests for the CSR graph structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+
+
+class TestGraphConstruction:
+    def test_basic(self):
+        g = Graph(4, [0, 1, 2, 0], [1, 2, 3, 2])
+        assert g.n_vertices == 4
+        assert g.n_edges == 4
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(3, [0, 5], [1, 2])
+        with pytest.raises(ValueError):
+            Graph(3, [0, 1], [1, -1])
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(3, [0, 1], [1])
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1, [], [])
+
+    def test_dedup_removes_duplicates_and_loops(self):
+        g = Graph(3, [0, 0, 0, 1, 1], [1, 1, 0, 2, 2], dedup=True)
+        assert g.n_edges == 2
+        assert sorted(zip(*g.edges())) == [(0, 1), (1, 2)]
+
+    def test_empty_graph(self):
+        g = Graph(0, [], [])
+        assert g.n_edges == 0
+        assert g.out_degree().size == 0
+
+
+class TestGraphQueries:
+    def make(self) -> Graph:
+        return Graph(5, [0, 0, 1, 2, 3, 3], [1, 2, 3, 3, 4, 0])
+
+    def test_out_degree(self):
+        g = self.make()
+        np.testing.assert_array_equal(g.out_degree(), [2, 1, 1, 2, 0])
+        assert g.out_degree(0) == 2
+        np.testing.assert_array_equal(g.out_degree(np.array([0, 4])), [2, 0])
+
+    def test_in_degree(self):
+        g = self.make()
+        np.testing.assert_array_equal(g.in_degree(), [1, 1, 1, 2, 1])
+        assert g.in_degree(3) == 2
+
+    def test_neighbors_sorted(self):
+        g = self.make()
+        np.testing.assert_array_equal(g.neighbors(0), [1, 2])
+        np.testing.assert_array_equal(g.neighbors(4), [])
+
+    def test_csr_indptr_consistency(self):
+        g = self.make()
+        assert g.indptr[0] == 0
+        assert g.indptr[-1] == g.n_edges
+        assert (np.diff(g.indptr) == g.out_degree()).all()
+
+    def test_edge_sources_aligned(self):
+        g = self.make()
+        src, dst = g.edges()
+        for v in range(g.n_vertices):
+            lo, hi = g.indptr[v], g.indptr[v + 1]
+            assert (src[lo:hi] == v).all()
+
+    def test_reverse(self):
+        g = self.make()
+        r = g.reverse()
+        assert r.n_edges == g.n_edges
+        np.testing.assert_array_equal(r.out_degree(), g.in_degree())
+        assert r is g.reverse()  # cached
+
+    def test_to_undirected(self):
+        g = Graph(3, [0, 1], [1, 2])
+        u = g.to_undirected()
+        assert u.n_edges == 4
+        np.testing.assert_array_equal(u.neighbors(1), [0, 2])
+
+    def test_to_networkx_round_trip(self):
+        g = self.make()
+        nx_g = g.to_networkx()
+        assert nx_g.number_of_nodes() == g.n_vertices
+        assert nx_g.number_of_edges() == g.n_edges

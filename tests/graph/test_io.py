@@ -1,0 +1,49 @@
+"""Tests for edge-list I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, read_edge_list, uniform_random, write_edge_list
+
+
+class TestEdgeListIO:
+    def test_round_trip(self, tmp_path):
+        g = uniform_random(50, 200, seed=0)
+        path = tmp_path / "g.e"
+        write_edge_list(g, path)
+        g2 = read_edge_list(path, n_vertices=50)
+        np.testing.assert_array_equal(g.edges()[0], g2.edges()[0])
+        np.testing.assert_array_equal(g.edges()[1], g2.edges()[1])
+
+    def test_read_compacts_sparse_ids(self):
+        text = io.StringIO("10 20\n20 30\n30 10\n")
+        g = read_edge_list(text)
+        assert g.n_vertices == 3
+        assert g.n_edges == 3
+
+    def test_read_with_comments(self):
+        text = io.StringIO("# a comment\n0 1\n1 2\n")
+        g = read_edge_list(text, n_vertices=3)
+        assert g.n_edges == 2
+
+    def test_read_empty(self):
+        g = read_edge_list(io.StringIO(""))
+        assert g.n_vertices == 0
+        assert g.n_edges == 0
+
+    def test_read_single_column_rejected(self):
+        with pytest.raises(ValueError):
+            read_edge_list(io.StringIO("0\n1\n"))
+
+    def test_read_dedup(self):
+        text = io.StringIO("0 1\n0 1\n1 1\n")
+        g = read_edge_list(text, n_vertices=2, dedup=True)
+        assert g.n_edges == 1
+
+    def test_write_to_buffer(self):
+        g = Graph(3, [0, 1], [1, 2])
+        buf = io.BytesIO()
+        write_edge_list(g, buf)
+        assert buf.getvalue().decode().strip().splitlines() == ["0 1", "1 2"]

@@ -1,0 +1,137 @@
+"""Tests for edge-cut and vertex-cut partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    grid_vertex_cut,
+    greedy_vertex_cut,
+    hash_edge_cut,
+    random_vertex_cut,
+    range_edge_cut,
+    rmat,
+    star_graph,
+    uniform_random,
+)
+
+
+class TestEdgeCut:
+    def test_hash_partition_covers_all(self):
+        g = uniform_random(200, 1000, seed=0)
+        p = hash_edge_cut(g, 4)
+        assert p.vertex_counts().sum() == 200
+        assert (p.vertex_counts() > 0).all()
+
+    def test_hash_is_deterministic(self):
+        g = uniform_random(100, 300, seed=0)
+        np.testing.assert_array_equal(hash_edge_cut(g, 4).owner, hash_edge_cut(g, 4).owner)
+
+    def test_hash_roughly_balanced_vertices(self):
+        g = uniform_random(4000, 8000, seed=1)
+        counts = hash_edge_cut(g, 8).vertex_counts()
+        assert counts.max() < 1.3 * counts.mean()
+
+    def test_range_partition_contiguous(self):
+        g = uniform_random(100, 200, seed=0)
+        p = range_edge_cut(g, 4)
+        owner = p.owner
+        assert (np.diff(owner) >= 0).all()
+        assert p.vertex_counts().sum() == 100
+
+    def test_cut_fraction_range(self):
+        g = rmat(9, seed=0)
+        p = hash_edge_cut(g, 4)
+        assert 0.0 <= p.cut_fraction() <= 1.0
+        # Random hash on 4 parts cuts ~3/4 of edges.
+        assert p.cut_fraction() > 0.5
+
+    def test_single_partition_cuts_nothing(self):
+        g = uniform_random(50, 100, seed=0)
+        p = hash_edge_cut(g, 1)
+        assert p.cut_edges() == 0
+
+    def test_edge_counts_sum(self):
+        g = uniform_random(100, 400, seed=0, dedup=False)
+        p = hash_edge_cut(g, 4)
+        assert p.edge_counts().sum() == g.n_edges
+
+    def test_skewed_graph_imbalanced_edges(self):
+        """Hash partitioning balances vertices, not edges, on skewed graphs."""
+        g = star_graph(1000)
+        p = hash_edge_cut(g, 4)
+        assert p.edge_balance() > 2.0
+
+    def test_validation(self):
+        g = uniform_random(10, 20, seed=0)
+        with pytest.raises(ValueError):
+            hash_edge_cut(g, 0)
+        with pytest.raises(ValueError):
+            range_edge_cut(g, -1)
+
+
+class TestVertexCut:
+    @pytest.mark.parametrize("cut_fn", [random_vertex_cut, grid_vertex_cut, greedy_vertex_cut])
+    def test_all_edges_placed(self, cut_fn):
+        g = uniform_random(100, 500, seed=0)
+        p = cut_fn(g, 4)
+        assert p.edge_counts().sum() == g.n_edges
+        assert p.edge_machine.min() >= 0
+        assert p.edge_machine.max() < 4
+
+    @pytest.mark.parametrize("cut_fn", [random_vertex_cut, grid_vertex_cut, greedy_vertex_cut])
+    def test_deterministic(self, cut_fn):
+        g = uniform_random(80, 300, seed=1)
+        np.testing.assert_array_equal(cut_fn(g, 4).edge_machine, cut_fn(g, 4).edge_machine)
+
+    def test_replication_factor_bounds(self):
+        g = rmat(9, seed=0)
+        p = random_vertex_cut(g, 8)
+        rf = p.replication_factor()
+        assert 1.0 <= rf <= 8.0
+
+    def test_grid_cut_lower_replication_than_random(self):
+        g = rmat(10, seed=0)
+        rf_rand = random_vertex_cut(g, 16).replication_factor()
+        rf_grid = grid_vertex_cut(g, 16).replication_factor()
+        assert rf_grid < rf_rand
+
+    def test_greedy_cut_lowest_replication(self):
+        g = uniform_random(200, 2000, seed=0)
+        rf_rand = random_vertex_cut(g, 8).replication_factor()
+        rf_greedy = greedy_vertex_cut(g, 8).replication_factor()
+        assert rf_greedy < rf_rand
+
+    def test_replicas_of_includes_master(self):
+        g = uniform_random(50, 200, seed=0)
+        p = random_vertex_cut(g, 4)
+        for v in (0, 10, 49):
+            assert p.master[v] in p.replicas_of(v)
+
+    def test_high_degree_vertex_replicated(self):
+        """A hub split across machines — the point of vertex cuts."""
+        g = star_graph(500)
+        p = random_vertex_cut(g, 4)
+        assert p.replicas_of(0).size == 4
+
+    def test_edge_balance(self):
+        g = uniform_random(500, 5000, seed=0)
+        p = random_vertex_cut(g, 4)
+        assert p.edge_balance() < 1.2
+
+    def test_validation(self):
+        g = uniform_random(10, 20, seed=0)
+        for fn in (random_vertex_cut, grid_vertex_cut, greedy_vertex_cut):
+            with pytest.raises(ValueError):
+                fn(g, 0)
+
+    def test_shape_validation(self):
+        from repro.graph.partition import VertexCutPartition
+
+        g = uniform_random(10, 20, seed=0)
+        with pytest.raises(ValueError):
+            VertexCutPartition(g, 2, np.zeros(5, dtype=np.int64), np.zeros(10, dtype=np.int64))
+        with pytest.raises(ValueError):
+            VertexCutPartition(
+                g, 2, np.zeros(g.n_edges, dtype=np.int64), np.zeros(3, dtype=np.int64)
+            )

@@ -1,0 +1,81 @@
+"""Property-based tests for graphs, generators, and partitioners."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph, hash_edge_cut, random_vertex_cut, grid_vertex_cut
+
+
+@st.composite
+def graphs(draw, max_n=40, max_m=200):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    return Graph(n, src, dst)
+
+
+class TestGraphProperties:
+    @given(graphs())
+    @settings(max_examples=80)
+    def test_degree_sums_equal_edge_count(self, g):
+        assert int(np.sum(g.out_degree())) == g.n_edges
+        assert int(np.sum(g.in_degree())) == g.n_edges
+
+    @given(graphs())
+    @settings(max_examples=80)
+    def test_reverse_is_involution(self, g):
+        rr = g.reverse().reverse()
+        np.testing.assert_array_equal(rr.edges()[0], g.edges()[0])
+        np.testing.assert_array_equal(rr.edges()[1], g.edges()[1])
+
+    @given(graphs())
+    @settings(max_examples=80)
+    def test_csr_neighbors_sorted(self, g):
+        for v in range(g.n_vertices):
+            nbrs = g.neighbors(v)
+            assert (np.diff(nbrs) >= 0).all()
+
+    @given(graphs())
+    @settings(max_examples=50)
+    def test_undirected_is_symmetric(self, g):
+        u = g.to_undirected()
+        src, dst = u.edges()
+        fwd = set(zip(src.tolist(), dst.tolist()))
+        assert all((d, s) in fwd for s, d in fwd)
+        # No self-loops survive.
+        assert all(s != d for s, d in fwd)
+
+
+class TestPartitionProperties:
+    @given(graphs(), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60)
+    def test_edge_cut_partitions_all_vertices(self, g, k):
+        p = hash_edge_cut(g, k)
+        assert p.owner.shape == (g.n_vertices,)
+        assert int(p.vertex_counts().sum()) == g.n_vertices
+        assert int(p.edge_counts().sum()) == g.n_edges
+
+    @given(graphs(), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60)
+    def test_vertex_cut_places_every_edge_once(self, g, k):
+        p = random_vertex_cut(g, k)
+        assert p.edge_machine.shape == (g.n_edges,)
+        assert int(p.edge_counts().sum()) == g.n_edges
+
+    @given(graphs(), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40)
+    def test_replication_factor_bounds(self, g, k):
+        for cut in (random_vertex_cut(g, k), grid_vertex_cut(g, k)):
+            rf = cut.replication_factor()
+            assert 1.0 - 1e-9 <= rf <= k + 1e-9
+
+    @given(graphs())
+    @settings(max_examples=40)
+    def test_single_machine_cut_never_replicates(self, g):
+        p = random_vertex_cut(g, 1)
+        assert p.replication_factor() == pytest.approx(1.0)

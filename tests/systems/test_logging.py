@@ -1,0 +1,72 @@
+"""Tests for the structured JSONL event log."""
+
+import io
+
+import pytest
+
+from repro.systems.logging import EventLog, read_jsonl, write_jsonl
+
+
+class TestEventLog:
+    def test_phase_lifecycle(self):
+        log = EventLog()
+        h = log.start_phase("/Load", 0.0, machine="m0")
+        log.end_phase(h, 2.0)
+        assert len(log) == 2
+        starts = log.of_kind("phase_start")
+        assert starts[0]["path"] == "/Load"
+        assert starts[0]["machine"] == "m0"
+        assert log.of_kind("phase_end")[0]["t"] == 2.0
+
+    def test_unique_instance_ids(self):
+        log = EventLog()
+        h1 = log.start_phase("/P", 0.0)
+        h2 = log.start_phase("/P", 0.0)
+        assert h1.instance_id != h2.instance_id
+
+    def test_parent_reference(self):
+        log = EventLog()
+        parent = log.start_phase("/A", 0.0)
+        log.start_phase("/A/B", 0.0, parent=parent)
+        assert log.of_kind("phase_start")[1]["parent"] == parent.instance_id
+
+    def test_block_events(self):
+        log = EventLog()
+        h = log.start_phase("/P", 0.0)
+        log.block(h, "gc@m0", 1.0, 2.0)
+        assert log.of_kind("block_start")[0]["resource"] == "gc@m0"
+        assert log.of_kind("block_end")[0]["t"] == 2.0
+
+    def test_gc_event(self):
+        log = EventLog()
+        log.gc_event("m1", 3.0, 3.5)
+        ev = log.of_kind("gc")[0]
+        assert (ev["machine"], ev["t"], ev["t_end"]) == ("m1", 3.0, 3.5)
+
+    def test_custom_event_requires_kind(self):
+        log = EventLog()
+        log.custom(event="checkpoint", t=1.0)
+        with pytest.raises(ValueError):
+            log.custom(t=1.0)
+
+    def test_jsonl_round_trip(self):
+        log = EventLog()
+        h = log.start_phase("/P", 0.0, machine="m0", thread="t1")
+        log.block(h, "q@m0", 0.5, 0.7)
+        log.end_phase(h, 1.0)
+        buf = io.StringIO()
+        write_jsonl(log, buf)
+        buf.seek(0)
+        back = read_jsonl(buf)
+        assert back.events == log.events
+
+    def test_jsonl_file_round_trip(self, tmp_path):
+        log = EventLog()
+        log.start_phase("/P", 0.0)
+        path = tmp_path / "events.jsonl"
+        write_jsonl(log, path)
+        assert read_jsonl(path).events == log.events
+
+    def test_jsonl_skips_blank_lines(self):
+        back = read_jsonl(io.StringIO('{"event":"gc","machine":"m0","t":0,"t_end":1}\n\n'))
+        assert len(back) == 1

@@ -1,0 +1,136 @@
+"""Tests for the CLI and the JSON profile export."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.export import profile_to_dict, write_profile_json
+from repro.workloads import WorkloadSpec, characterize_run, run_workload
+
+
+@pytest.fixture(scope="module")
+def tiny_profile():
+    run = run_workload(WorkloadSpec("giraph", "graph500", "pr", preset="tiny"))
+    return characterize_run(run, tuned=True)
+
+
+class TestExport:
+    def test_summary_structure(self, tiny_profile):
+        d = profile_to_dict(tiny_profile)
+        assert d["makespan"] > 0
+        assert d["grid"]["n_slices"] == tiny_profile.grid.n_slices
+        assert "/Execute/Superstep/Compute/ComputeThread" in d["phase_types"]
+        assert any(name.startswith("cpu@") for name in d["resources"])
+
+    def test_consumption_totals_consistent(self, tiny_profile):
+        d = profile_to_dict(tiny_profile)
+        for name, entry in d["resources"].items():
+            ur = tiny_profile.upsampled[name]
+            expected = float(ur.rate.sum() * tiny_profile.grid.slice_duration)
+            assert entry["total_consumption"] == pytest.approx(expected)
+
+    def test_series_toggle(self, tiny_profile):
+        with_series = profile_to_dict(tiny_profile, series=True)
+        without = profile_to_dict(tiny_profile, series=False)
+        any_resource = next(iter(with_series["resources"]))
+        assert "utilization" in with_series["resources"][any_resource]
+        assert "utilization" not in without["resources"][any_resource]
+
+    def test_json_round_trip(self, tiny_profile, tmp_path):
+        path = tmp_path / "profile.json"
+        write_profile_json(tiny_profile, path)
+        loaded = json.loads(path.read_text())
+        assert loaded["makespan"] == pytest.approx(tiny_profile.makespan)
+        # Everything in the export must be JSON-native.
+        json.dumps(loaded)
+
+    def test_bottleneck_totals_sorted_desc(self, tiny_profile):
+        d = profile_to_dict(tiny_profile)
+        for totals in d["bottleneck_totals"].values():
+            values = list(totals.values())
+            assert values == sorted(values, reverse=True)
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "giraph", "graph500", "pr", "--preset", "tiny"])
+        assert args.command == "run"
+        args = parser.parse_args(["experiment", "table2"])
+        assert args.artifact == "table2"
+
+    def test_invalid_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "spark", "graph500", "pr"])
+
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "graph500" in out and "datagen" in out
+
+    def test_systems_command(self, capsys):
+        assert main(["systems"]) == 0
+        out = capsys.readouterr().out
+        assert "giraph" in out and "powergraph" in out
+
+    def test_run_command_with_json(self, capsys, tmp_path):
+        path = tmp_path / "p.json"
+        assert main(
+            ["run", "giraph", "graph500", "pr", "--preset", "tiny", "--json", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Grade10 performance profile" in out
+        assert json.loads(path.read_text())["makespan"] > 0
+
+    def test_run_untuned(self, capsys):
+        assert main(["run", "giraph", "graph500", "pr", "--preset", "tiny", "--untuned"]) == 0
+        assert "Grade10 performance profile" in capsys.readouterr().out
+
+    def test_experiment_fig6(self, capsys):
+        assert main(["experiment", "fig6", "--preset", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Gather durations" in out
+
+    def test_experiment_table2_tiny(self, capsys):
+        assert main(["experiment", "table2", "--preset", "tiny"]) == 0
+        assert "Table II" in capsys.readouterr().out
+
+    def test_experiment_fig3_tiny(self, capsys):
+        assert main(["experiment", "fig3", "--preset", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "with-rules" in out and "without-rules" in out
+
+    def test_experiment_fig4_tiny(self, capsys):
+        assert main(["experiment", "fig4", "--preset", "tiny"]) == 0
+        assert "Figure 4" in capsys.readouterr().out
+
+    def test_experiment_fig5_tiny(self, capsys):
+        assert main(["experiment", "fig5", "--preset", "tiny"]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_analyze_extended(self, capsys, tmp_path):
+        d = str(tmp_path / "run-ext")
+        assert main(
+            ["run", "giraph", "graph500", "pr", "--preset", "tiny", "--archive", d]
+        ) == 0
+        capsys.readouterr()
+        assert main(["analyze", d, "--extended"]) == 0
+        out = capsys.readouterr().out
+        assert "phase tree" in out
+        assert "Recommendations" in out or "No recommendations" in out
+
+    def test_archive_and_analyze_round_trip(self, capsys, tmp_path):
+        d = str(tmp_path / "run")
+        assert main(
+            ["run", "giraph", "graph500", "pr", "--preset", "tiny", "--archive", d]
+        ) == 0
+        capsys.readouterr()
+        assert main(["analyze", d]) == 0
+        assert "Grade10 performance profile" in capsys.readouterr().out
+
+    def test_suite_command(self, capsys):
+        assert main(["suite", "--preset", "tiny", "--systems", "giraph"]) == 0
+        out = capsys.readouterr().out
+        assert "EVPS" in out
+        assert "giraph/graph500/pr" in out

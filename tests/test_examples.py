@@ -1,0 +1,72 @@
+"""Integration tests: every example script runs end to end.
+
+Examples are user-facing documentation; these tests keep them from rotting.
+They run in-process (imported as modules) with the smallest preset.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str]) -> None:
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py", [])
+        out = capsys.readouterr().out
+        assert "15% / 65%" in out
+        assert "Bottlenecks on R3" in out
+
+    def test_characterize_giraph(self, capsys):
+        run_example("characterize_giraph.py", ["tiny"])
+        out = capsys.readouterr().out
+        assert "Grade10 performance profile" in out
+        assert "with-rules" in out and "without-rules" in out
+
+    def test_find_sync_bug(self, capsys):
+        run_example("find_sync_bug.py", ["tiny"])
+        out = capsys.readouterr().out
+        assert "imbalance impact per phase type" in out
+        assert "Diagnosis" in out
+
+    def test_compare_systems(self, capsys):
+        run_example("compare_systems.py", ["pr", "tiny"])
+        out = capsys.readouterr().out
+        assert "giraph" in out and "powergraph" in out
+
+    def test_characterize_dataflow(self, capsys):
+        run_example("characterize_dataflow.py", [])
+        out = capsys.readouterr().out
+        assert "Stage timeline" in out
+        assert "Critical path" in out
+
+    def test_infer_rules(self, capsys):
+        run_example("infer_rules.py", ["small"])
+        out = capsys.readouterr().out
+        assert "Inferred CPU rules" in out
+        assert "Upsampling error" in out
+
+    def test_all_examples_covered(self):
+        """Every example script has a test here."""
+        scripts = {p.name for p in EXAMPLES.glob("*.py")}
+        tested = {
+            "quickstart.py",
+            "characterize_giraph.py",
+            "find_sync_bug.py",
+            "compare_systems.py",
+            "characterize_dataflow.py",
+            "infer_rules.py",
+        }
+        assert scripts == tested, f"untested examples: {scripts - tested}"

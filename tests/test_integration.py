@@ -1,0 +1,155 @@
+"""Cross-cutting integration tests.
+
+Determinism of whole experiments, the extended report, custom
+configurations through the runner, the extra Graphalytics algorithms, and
+other seams not covered by per-module tests.
+"""
+
+import pytest
+
+from repro.core.report import render_report, render_utilization_heatmap
+from repro.systems import GiraphConfig, PowerGraphConfig
+from repro.workloads import (
+    WorkloadSpec,
+    characterize_run,
+    experiment_table2,
+    run_workload,
+)
+
+
+class TestDeterminism:
+    def test_experiment_table2_is_deterministic(self):
+        a = experiment_table2("tiny", ratios=(4,))
+        b = experiment_table2("tiny", ratios=(4,))
+        assert [(r.config, r.grade10_error, r.constant_error) for r in a] == [
+            (r.config, r.grade10_error, r.constant_error) for r in b
+        ]
+
+    def test_characterization_is_deterministic(self):
+        spec = WorkloadSpec("powergraph", "graph500", "wcc", preset="tiny")
+        p1 = characterize_run(run_workload(spec), tuned=True)
+        p2 = characterize_run(run_workload(spec), tuned=True)
+        assert p1.makespan == p2.makespan
+        assert len(p1.bottlenecks) == len(p2.bottlenecks)
+        assert [i.makespan_reduction for i in p1.issues] == [
+            i.makespan_reduction for i in p2.issues
+        ]
+
+
+class TestExtendedReport:
+    def test_extended_sections_present(self):
+        run = run_workload(WorkloadSpec("giraph", "graph500", "pr", preset="tiny"))
+        profile = characterize_run(run, tuned=True)
+        text = render_report(profile, extended=True)
+        assert "Resource utilization over time" in text
+        assert "phase tree" in text
+        # The basic report omits them.
+        assert "phase tree" not in render_report(profile)
+
+    def test_heatmap_rows_per_resource(self):
+        run = run_workload(WorkloadSpec("giraph", "graph500", "pr", preset="tiny"))
+        profile = characterize_run(run, tuned=True)
+        text = render_utilization_heatmap(profile)
+        for name in profile.upsampled.resources():
+            assert name in text
+
+
+class TestCustomConfigs:
+    def test_giraph_config_threads(self):
+        cfg = GiraphConfig(n_machines=2, threads_per_machine=8)
+        run = run_workload(
+            WorkloadSpec("giraph", "graph500", "pr", preset="tiny"), giraph_config=cfg
+        )
+        assert run.system_run.machine_names == ["m0", "m1"]
+        profile = characterize_run(run, tuned=True)
+        assert profile.upsampled["cpu@m0"].capacity == 8.0
+
+    def test_powergraph_superlinear_gather_slows_cdlp(self):
+        from dataclasses import replace
+
+        spec = WorkloadSpec("powergraph", "graph500", "cdlp", preset="tiny")
+        base_cfg = PowerGraphConfig()
+        linear = run_workload(
+            spec, powergraph_config=replace(base_cfg, gather_superlinear=False)
+        )
+        # The runner flips superlinear on for cdlp when not already set —
+        # passing gather_superlinear=False explicitly... is overridden by
+        # the runner's cdlp special-case, so compare engine-level instead.
+        from repro.algorithms import cdlp
+        from repro.graph import rmat
+        from repro.systems import run_powergraph
+
+        g = rmat(10, edge_factor=8, seed=1)
+        algo = cdlp(g, iterations=3)
+        lin = run_powergraph(g, algo, replace(base_cfg, gather_superlinear=False))
+        sup = run_powergraph(g, algo, replace(base_cfg, gather_superlinear=True))
+        assert sup.makespan > lin.makespan
+        assert linear.makespan > 0
+
+    def test_sssp_and_lcc_workloads_run(self):
+        for algorithm in ("sssp", "lcc"):
+            run = run_workload(WorkloadSpec("giraph", "graph500", algorithm, preset="tiny"))
+            assert run.makespan > 0
+            profile = characterize_run(run, tuned=True)
+            assert profile.makespan == pytest.approx(run.makespan)
+
+    def test_powergraph_sssp(self):
+        run = run_workload(WorkloadSpec("powergraph", "graph500", "sssp", preset="tiny"))
+        assert run.makespan > 0
+
+
+class TestFidelityMatrix:
+    """Replay fidelity and conservation across the full system × algorithm grid."""
+
+    @pytest.mark.parametrize("system", ["giraph", "powergraph"])
+    @pytest.mark.parametrize("algorithm", ["bfs", "pr", "wcc", "cdlp", "sssp", "lcc"])
+    def test_replay_and_conservation(self, system, algorithm):
+        import numpy as np
+
+        run = run_workload(WorkloadSpec(system, "graph500", algorithm, preset="tiny"))
+        profile = characterize_run(run, tuned=True)
+        # Replay of the unmodified trace reproduces the observed makespan.
+        assert profile.issues.baseline_makespan == pytest.approx(run.makespan, rel=1e-6)
+        # Attribution conserves the upsampled consumption per slice.
+        for resource in profile.attribution.resources():
+            ra = profile.attribution[resource]
+            total = ra.usage.sum(axis=0) + ra.unattributed
+            np.testing.assert_allclose(
+                total, profile.upsampled[resource].rate, rtol=1e-6, atol=1e-9
+            )
+
+
+class TestExplicitDependencies:
+    def test_replay_honours_depends_on(self):
+        from repro.core.simulation import ReplaySimulator
+        from repro.core.traces import ExecutionTrace
+
+        tr = ExecutionTrace()
+        tr.record("/S", 0.0, 2.0, instance_id="a")
+        tr.record("/S", 2.0, 3.0, instance_id="b", depends_on=["a"])
+        tr.record("/S", 0.0, 1.0, instance_id="c")  # independent
+        sim = ReplaySimulator(tr, None)
+        base = sim.baseline()
+        assert base.start["b"] == pytest.approx(base.end["a"])
+        assert base.start["c"] == 0.0
+
+    def test_depends_on_with_inner_instances(self):
+        from repro.core.simulation import ReplaySimulator
+        from repro.core.traces import ExecutionTrace
+
+        tr = ExecutionTrace()
+        s1 = tr.record("/S", 0.0, 2.0, instance_id="s1")
+        tr.record("/S/T", 0.0, 2.0, parent=s1, instance_id="t1")
+        s2 = tr.record("/S", 2.0, 5.0, instance_id="s2", depends_on=["s1"])
+        tr.record("/S/T", 2.0, 5.0, parent=s2, instance_id="t2")
+        sim = ReplaySimulator(tr, None)
+        base = sim.baseline()
+        assert base.start["t2"] == pytest.approx(base.end["t1"])
+
+    def test_missing_dependency_ignored(self):
+        from repro.core.simulation import ReplaySimulator
+        from repro.core.traces import ExecutionTrace
+
+        tr = ExecutionTrace()
+        tr.record("/S", 0.0, 1.0, instance_id="a", depends_on=["ghost"])
+        assert ReplaySimulator(tr, None).baseline().makespan == pytest.approx(1.0)

@@ -1,0 +1,91 @@
+"""Scalability smoke tests: the pipeline stays fast on large traces.
+
+These are coarse wall-clock guards (generous bounds, so CI noise does not
+flake them); the fine-grained numbers live in ``benchmarks/``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ExecutionModel, Grade10, ResourceModel, RuleMatrix
+from repro.core.traces import ExecutionTrace, ResourceTrace
+
+
+def build_large_trace(n_machines=8, n_steps=50, threads=8):
+    """A synthetic BSP-like trace: ~n_steps × n_machines × threads leaves."""
+    model = ExecutionModel("stress")
+    model.add_phase("/Execute")
+    model.add_phase("/Execute/Step", repeatable=True)
+    model.add_phase("/Execute/Step/Work", concurrent=True)
+
+    resources = ResourceModel("stress")
+    for m in range(n_machines):
+        resources.add_consumable(f"cpu@m{m}", float(threads))
+        resources.add_blocking(f"gc@m{m}")
+    rules = RuleMatrix().set_exact("/Execute/Step/Work", "cpu@{machine}", 1.0 / threads)
+
+    rng = np.random.default_rng(0)
+    trace = ExecutionTrace()
+    rtrace = ResourceTrace()
+    t = 0.0
+    execute = trace.record("/Execute", 0.0, 1.0, instance_id="exec")
+    for s in range(n_steps):
+        dur = float(rng.uniform(0.5, 1.5))
+        step = trace.record("/Execute/Step", t, t + dur, parent=execute,
+                            instance_id=f"s{s}")
+        for m in range(n_machines):
+            for k in range(threads):
+                w = float(rng.uniform(0.3, 1.0)) * dur
+                trace.record(
+                    "/Execute/Step/Work", t, t + w, parent=step,
+                    machine=f"m{m}", worker=f"m{m}", thread=f"m{m}-t{k}",
+                    instance_id=f"s{s}-m{m}-t{k}",
+                )
+        t += dur
+    execute.t_end = t
+    for m in range(n_machines):
+        window = 0.0
+        while window < t:
+            rtrace.add_measurement(
+                f"cpu@m{m}", window, min(window + 0.4, t), float(rng.uniform(2, 8))
+            )
+            window += 0.4
+    return model, resources, rules, trace, rtrace
+
+
+@pytest.mark.parametrize("slice_ms", [20])
+def test_large_trace_characterization_under_budget(slice_ms):
+    model, resources, rules, trace, rtrace = build_large_trace(n_steps=30)
+    n_leaves = len(trace.instances("/Execute/Step/Work"))
+    assert n_leaves == 30 * 8 * 8  # 1920 leaf instances
+
+    g10 = Grade10(model, resources, rules, slice_duration=slice_ms / 1000.0)
+    t0 = time.perf_counter()
+    profile = g10.characterize(trace, rtrace)
+    elapsed = time.perf_counter() - t0
+    # Generous bound: the whole pipeline (demand, upsample, attribution,
+    # bottlenecks, replay-based issues, outliers) on 3200 instances and
+    # thousands of slices must finish well under half a minute.
+    assert elapsed < 30.0, f"characterization took {elapsed:.1f}s"
+    assert profile.grid.n_slices > 1000
+    assert profile.issues.baseline_makespan > 0
+
+
+def test_replay_scales_linearly_enough():
+    from repro.core.simulation import ReplaySimulator
+
+    model, resources, rules, trace, rtrace = build_large_trace(n_steps=20)
+    t0 = time.perf_counter()
+    sim = ReplaySimulator(trace, model)
+    base = sim.baseline()
+    build_and_one = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(10):
+        sim.simulate({})
+    ten_more = time.perf_counter() - t0
+    assert base.makespan > 0
+    # Re-simulation reuses the dependency graph: 10 replays must not cost
+    # an order of magnitude more than the initial build.
+    assert ten_more < max(10 * build_and_one, 5.0)

@@ -1,0 +1,66 @@
+"""The shipped model config files stay in sync with the code builders."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.adapters import (
+    giraph_execution_model,
+    giraph_tuned_rules,
+    powergraph_execution_model,
+    powergraph_tuned_rules,
+)
+from repro.adapters.sparklike_model import sparklike_execution_model
+from repro.core.model_io import load_models
+from repro.core.traces import PhaseInstance
+from repro.systems import GiraphConfig, PowerGraphConfig
+
+MODELS = Path(__file__).parent.parent / "models"
+
+
+@pytest.mark.parametrize(
+    "filename,builder",
+    [
+        ("giraph.json", giraph_execution_model),
+        ("powergraph.json", powergraph_execution_model),
+        ("sparklike.json", sparklike_execution_model),
+    ],
+)
+def test_shipped_execution_model_matches_builder(filename, builder):
+    model, resources, rules = load_models(MODELS / filename)
+    built = builder()
+    assert model is not None and resources is not None and rules is not None
+    assert model.paths() == built.paths()
+    for path in built.paths():
+        for flag in ("repeatable", "concurrent", "balanceable", "wait"):
+            assert getattr(model[path], flag) == getattr(built[path], flag), (path, flag)
+
+
+@pytest.mark.parametrize(
+    "filename,rules_builder,probe",
+    [
+        (
+            "giraph.json",
+            lambda: giraph_tuned_rules(GiraphConfig()),
+            PhaseInstance(
+                "i", "/Execute/Superstep/Compute/ComputeThread", 0, 1, machine="m0"
+            ),
+        ),
+        (
+            "powergraph.json",
+            lambda: powergraph_tuned_rules(PowerGraphConfig()),
+            PhaseInstance("i", "/Execute/Iteration/Gather", 0, 1, machine="m0"),
+        ),
+    ],
+)
+def test_shipped_rules_resolve_like_builders(filename, rules_builder, probe):
+    _, _, rules = load_models(MODELS / filename)
+    built = rules_builder()
+    for resource in ("cpu@m0", "net@m0", "cpu@m1"):
+        assert rules.rule_for(probe, resource) == built.rule_for(probe, resource)
+
+
+def test_shipped_resources_have_four_machines():
+    _, resources, _ = load_models(MODELS / "giraph.json")
+    cpus = [n for n in resources.consumable if n.startswith("cpu@")]
+    assert len(cpus) == 4

@@ -1,0 +1,100 @@
+"""Tests for the text visualization helpers."""
+
+import numpy as np
+
+from repro.viz import bar_chart, format_table, histogram, sparkline, timeline
+
+
+class TestBarChart:
+    def test_rows_and_scaling(self):
+        out = bar_chart({"a": 0.5, "bb": 1.0}, width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a  |")
+        assert lines[1].count("█") == 10
+        assert lines[0].count("█") == 5
+
+    def test_max_value_override(self):
+        out = bar_chart({"a": 0.5}, width=10, max_value=2.0)
+        assert out.count("█") == 2  # 0.5/2.0 of 10 rounded
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart({})
+
+    def test_zero_peak(self):
+        out = bar_chart({"a": 0.0})
+        assert "█" not in out
+
+
+class TestSparkline:
+    def test_monotone_values(self):
+        s = sparkline([0.0, 0.5, 1.0])
+        assert len(s) == 3
+        assert s[0] <= s[1] <= s[2]
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_all_zero(self):
+        assert sparkline(np.zeros(4)) == "    "
+
+
+class TestTimeline:
+    def test_positions(self):
+        out = timeline([("p1", 0.0, 1.0), ("p2", 1.0, 2.0)], t0=0.0, t1=2.0, width=10)
+        l1, l2 = out.splitlines()
+        assert l1.index("▆") < l2.index("▆")
+
+    def test_min_width_one(self):
+        out = timeline([("p", 0.0, 1e-9)], t0=0.0, t1=10.0, width=10)
+        assert "▆" in out
+
+    def test_empty(self):
+        assert "(no data)" in timeline([], t0=0.0, t1=1.0)
+
+
+class TestHistogram:
+    def test_bins_and_counts(self):
+        out = histogram([1.0, 1.1, 1.2, 5.0], bins=2, width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].endswith("3")
+        assert lines[1].endswith("1")
+
+    def test_empty(self):
+        assert "(no data)" in histogram([])
+
+
+class TestHeatmap:
+    def test_rows_share_scale(self):
+        from repro.viz import heatmap
+
+        out = heatmap({"a": [1.0, 1.0], "b": [0.5, 0.5]})
+        la, lb = out.splitlines()
+        # b's blocks are strictly lower than a's on the shared scale.
+        assert la[-1] > lb[-1]
+
+    def test_downsampling(self):
+        from repro.viz import heatmap
+
+        out = heatmap({"m": np.linspace(0, 1, 1000)}, width=10)
+        line = out.splitlines()[0]
+        assert len(line.split(" ", 1)[1]) == 10
+
+    def test_empty(self):
+        from repro.viz import heatmap
+
+        assert "(no data)" in heatmap({})
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        out = format_table(["name", "value"], [["x", 1.5], ["long", 22.0]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].endswith("1.50")
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="Table II")
+        assert out.splitlines()[0] == "Table II"

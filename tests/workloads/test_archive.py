@@ -1,0 +1,69 @@
+"""Tests for run archival and offline analysis."""
+
+import json
+
+import pytest
+
+from repro.workloads import WorkloadSpec, characterize_run, run_workload
+from repro.workloads.archive import characterize_archive, load_run, save_run
+
+
+@pytest.fixture(scope="module")
+def archived_run(tmp_path_factory):
+    run = run_workload(WorkloadSpec("giraph", "graph500", "pr", preset="tiny"))
+    directory = tmp_path_factory.mktemp("runs") / "giraph-pr"
+    save_run(run.system_run, directory)
+    return run, directory
+
+
+class TestSaveRun:
+    def test_artifacts_written(self, archived_run):
+        _, directory = archived_run
+        for name in ("events.jsonl", "monitoring.csv", "ground_truth.csv",
+                     "models.json", "meta.json"):
+            assert (directory / name).exists(), name
+
+    def test_meta_contents(self, archived_run):
+        run, directory = archived_run
+        meta = json.loads((directory / "meta.json").read_text())
+        assert meta["system"] == "GiraphRun"
+        assert meta["makespan"] == pytest.approx(run.makespan)
+        assert meta["machines"] == ["m0", "m1", "m2", "m3"]
+
+    def test_sparklike_archivable(self, tmp_path):
+        from repro.systems.sparklike import run_sparklike, wordcount_job
+
+        run = run_sparklike(wordcount_job(scale=0.2))
+        save_run(run, tmp_path / "df")
+        profile = characterize_archive(tmp_path / "df", slice_duration=0.02)
+        assert profile.makespan == pytest.approx(run.makespan)
+
+
+class TestLoadRun:
+    def test_traces_reconstructed(self, archived_run):
+        run, directory = archived_run
+        trace, rtrace, (model, resources, rules), meta = load_run(directory)
+        assert trace.makespan == pytest.approx(run.makespan)
+        assert model is not None and "/Execute/Superstep" in model
+        assert resources is not None and "cpu@m0" in resources
+        assert rules is not None and len(rules) > 0
+        assert rtrace.measured_resources()
+
+    def test_offline_profile_matches_online(self, archived_run):
+        """Characterizing from disk gives the same profile as in-memory."""
+        run, directory = archived_run
+        online = characterize_run(run, tuned=True)
+        offline = characterize_archive(directory)
+        assert offline.makespan == pytest.approx(online.makespan)
+        assert offline.issues.baseline_makespan == pytest.approx(
+            online.issues.baseline_makespan
+        )
+        on = online.bottlenecks.bottleneck_time_by_resource()
+        off = offline.bottlenecks.bottleneck_time_by_resource()
+        assert set(on) == set(off)
+        for res in on:
+            assert off[res] == pytest.approx(on[res], rel=1e-6)
+
+    def test_missing_archive_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_run(tmp_path / "nope")

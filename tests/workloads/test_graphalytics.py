@@ -1,0 +1,43 @@
+"""Tests for the Graphalytics-style suite driver."""
+
+import pytest
+
+from repro.workloads.graphalytics import run_suite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return run_suite(preset="tiny", grid=(("graph500", "pr"), ("graph500", "bfs")))
+
+
+class TestRunSuite:
+    def test_entry_count(self, suite):
+        assert len(suite) == 4  # 2 systems x 2 workloads
+
+    def test_metrics_positive(self, suite):
+        for e in suite:
+            assert e.makespan > 0
+            assert 0 < e.processing_time <= e.makespan + 1e-9
+            assert e.evps > 0
+            assert e.n_iterations >= 1
+
+    def test_entry_lookup(self, suite):
+        e = suite.entry("giraph", "graph500", "pr")
+        assert e.label == "giraph/graph500/pr"
+        with pytest.raises(KeyError):
+            suite.entry("giraph", "graph500", "cdlp")
+
+    def test_speedup_defined(self, suite):
+        s = suite.speedup("graph500", "pr")
+        assert s > 0
+
+    def test_profiles_absent_by_default(self, suite):
+        assert all(e.profile is None for e in suite)
+
+    def test_characterized_sweep(self):
+        res = run_suite(
+            preset="tiny", grid=(("graph500", "pr"),), systems=("giraph",), characterize=True
+        )
+        (entry,) = res.entries
+        assert entry.profile is not None
+        assert entry.profile.makespan == pytest.approx(entry.makespan)
