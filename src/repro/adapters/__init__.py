@@ -24,6 +24,12 @@ from .powergraph_model import (
     powergraph_tuned_rules,
     powergraph_untuned_rules,
 )
+from .sparklike_model import (
+    build_sparklike_models,
+    sparklike_execution_model,
+    sparklike_resource_model,
+    sparklike_tuned_rules,
+)
 
 __all__ = [
     "build_giraph_models",
@@ -39,4 +45,8 @@ __all__ = [
     "powergraph_resource_model",
     "powergraph_tuned_rules",
     "powergraph_untuned_rules",
+    "build_sparklike_models",
+    "sparklike_execution_model",
+    "sparklike_resource_model",
+    "sparklike_tuned_rules",
 ]

@@ -10,6 +10,12 @@ Subcommands:
 ``experiment``
     Regenerate one of the paper's evaluation artifacts:
     ``python -m repro experiment table2|fig3|fig4|fig5|fig6 --preset small``
+    (grid-shaped artifacts accept ``--jobs N``)
+
+``suite``
+    Run the Graphalytics-style benchmark grid, optionally in parallel and
+    backed by the content-addressed run cache:
+    ``python -m repro suite --jobs 4 --cache-dir .grade10-cache``
 
 ``datasets``
     List the available datasets and their preset sizes.
@@ -45,6 +51,17 @@ from .workloads.experiments import FIG5_PHASES, RESOURCE_CLASSES
 from .workloads.runner import SYSTEMS
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type for values that must be whole numbers >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -85,12 +102,33 @@ def build_parser() -> argparse.ArgumentParser:
         "artifact", choices=("table2", "fig3", "fig4", "fig5", "fig6", "all")
     )
     p_exp.add_argument("--preset", default="small", choices=("tiny", "small", "full"))
+    p_exp.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes for grid-shaped experiments (fig4, fig5)",
+    )
 
     p_suite = sub.add_parser("suite", help="run the Graphalytics-style benchmark grid")
     p_suite.add_argument("--preset", default="small", choices=("tiny", "small", "full"))
     p_suite.add_argument(
         "--systems", default="giraph,powergraph", help="comma-separated system list"
     )
+    p_suite.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes to fan the grid out across",
+    )
+    p_suite.add_argument(
+        "--cache-dir", default=".grade10-cache", metavar="DIR",
+        help="content-addressed run cache location (default: %(default)s)",
+    )
+    p_suite.add_argument(
+        "--no-cache", action="store_true",
+        help="always re-simulate; neither read nor write the run cache",
+    )
+    p_suite.add_argument(
+        "--characterize", action="store_true",
+        help="also run the Grade10 pipeline on every cell",
+    )
+    p_suite.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("datasets", help="list datasets")
     sub.add_parser("systems", help="list systems and algorithms")
@@ -116,23 +154,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from .workloads.archive import characterize_archive
+    from .workloads.archive import ArchiveError, characterize_archive
 
-    profile = characterize_archive(
-        args.directory, slice_duration=args.slice, tuned=not args.untuned
-    )
+    try:
+        profile = characterize_archive(
+            args.directory, slice_duration=args.slice, tuned=not args.untuned
+        )
+    except ArchiveError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(render_report(profile, extended=args.extended))
     return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    jobs = getattr(args, "jobs", 1)
     if args.artifact == "all":
         import argparse as _argparse
 
         for artifact in ("table2", "fig3", "fig4", "fig5", "fig6"):
             print(f"\n=== {artifact} ===")
             _cmd_experiment(
-                _argparse.Namespace(artifact=artifact, preset=args.preset)
+                _argparse.Namespace(artifact=artifact, preset=args.preset, jobs=jobs)
             )
         return 0
     if args.artifact == "table2":
@@ -156,7 +199,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             print(f"  usage  {sparkline(s.attributed_cpu, max_value=cap)}")
             print(f"  demand {sparkline(s.estimated_demand, max_value=cap)}")
     elif args.artifact == "fig4":
-        cells = experiment_fig4(args.preset)
+        cells = experiment_fig4(args.preset, jobs=jobs)
         grid: dict[str, dict[str, float]] = {}
         for c in cells:
             grid.setdefault(f"{c.system}/{c.dataset}/{c.algorithm}", {})[
@@ -168,7 +211,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             title="Figure 4 — bottleneck impact",
         ))
     elif args.artifact == "fig5":
-        cells = experiment_fig5(args.preset)
+        cells = experiment_fig5(args.preset, jobs=jobs)
         jobs: dict[str, dict[str, float]] = {}
         for c in cells:
             jobs.setdefault(f"{c.dataset}/{c.algorithm}", {})[c.phase] = c.improvement
@@ -197,7 +240,14 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     from .workloads.graphalytics import run_suite
 
     systems = tuple(s.strip() for s in args.systems.split(",") if s.strip())
-    result = run_suite(preset=args.preset, systems=systems)
+    result = run_suite(
+        preset=args.preset,
+        systems=systems,
+        seed=args.seed,
+        characterize=args.characterize,
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
     rows = [
         [e.label, f"{e.makespan:.2f}s", f"{e.processing_time:.2f}s",
          f"{e.evps / 1e6:.2f}M", e.n_iterations]
@@ -208,6 +258,8 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         rows,
         title=f"Benchmark suite ({args.preset})",
     ))
+    if result.stats is not None:
+        print(result.stats.summary(), file=sys.stderr)
     return 0
 
 

@@ -1,0 +1,507 @@
+"""Parallel batch characterization with a content-addressed run cache.
+
+Grade10's value is the suite-scale sweep: the paper characterizes a grid
+of (system, dataset, algorithm) runs, and the sweep is embarrassingly
+parallel — every cell is an independent, seeded simulation.  This module
+is the batch engine behind ``repro suite --jobs N`` and the parallel
+experiment drivers:
+
+* :func:`run_grid` fans a list of :class:`CellSpec` out across a
+  ``ProcessPoolExecutor`` (``jobs=1`` runs inline through the identical
+  code path, which is what the equivalence tests pin down);
+* :class:`RunCache` is a content-addressed on-disk store: each cell's
+  artifacts are written in the run-archive format (see
+  :mod:`repro.workloads.archive`) under a directory named by
+  :func:`cache_key` — a stable SHA-256 over the cell's full input
+  material (dataset spec, system config, algorithm, seed, model/rule
+  fingerprints, archive parameters).  Unchanged cells are replayed from
+  cache instead of re-simulated;
+* :class:`EngineStats` summarizes a sweep: cells run, cache hits,
+  wall-clock, and the serial-equivalent speedup.
+
+Cache-key invariants (locked down by Hypothesis property tests):
+
+* **deterministic** — the same material always hashes to the same key;
+* **order-insensitive** — dict insertion order never changes the key
+  (canonical JSON with sorted keys);
+* **input-sensitive** — changing any field of the material (a config
+  constant, the seed, a rule proportion, a model phase) changes the key.
+
+Profile equality across paths: when caching is enabled, *both* the cold
+and the warm path characterize from the archived payload, so a warm
+replay produces a bit-identical :class:`~repro.core.PerformanceProfile`.
+
+Workloads imports happen inside functions: this module is imported by
+:mod:`repro.workloads.experiments` / ``graphalytics`` at module load, so
+top-level imports of the workloads package would be circular.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+import time
+import uuid
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .core import PerformanceProfile
+    from .workloads.runner import WorkloadSpec
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CellSpec",
+    "CellResult",
+    "EngineStats",
+    "RunCache",
+    "cache_key",
+    "canonical_json",
+    "cell_key_material",
+    "derive_cell_seed",
+    "execute_cell",
+    "model_fingerprints",
+    "parallel_map",
+    "run_grid",
+]
+
+#: Bump to invalidate every cached payload (layout or semantics change).
+CACHE_FORMAT_VERSION = 1
+
+#: Archive sampling parameters baked into the cache payload (and its key).
+_MONITORING_INTERVAL = 0.4
+_GROUND_TRUTH_INTERVAL = 0.05
+
+_CELL_JSON = "cell.json"
+
+
+# ---------------------------------------------------------------------- #
+# Cache keys
+# ---------------------------------------------------------------------- #
+
+
+def canonical_json(obj: Any) -> str:
+    """Serialize to JSON with sorted keys and no whitespace.
+
+    The canonical form is what makes :func:`cache_key` insensitive to dict
+    insertion order while remaining sensitive to every value.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), default=_jsonify)
+
+
+def _jsonify(obj: Any) -> Any:
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    if isinstance(obj, tuple):
+        return list(obj)
+    raise TypeError(f"not canonicalizable: {type(obj).__name__}")
+
+
+def cache_key(material: Mapping[str, Any]) -> str:
+    """Stable content hash of one cell's full input material."""
+    return hashlib.sha256(canonical_json(material).encode("utf-8")).hexdigest()
+
+
+def derive_cell_seed(base_seed: int, label: str) -> int:
+    """A deterministic, order-independent per-cell seed.
+
+    Each grid cell gets an independent seed derived from the sweep's base
+    seed and the cell's identity — never from execution order — so serial
+    and parallel sweeps simulate identical runs.
+    """
+    digest = hashlib.blake2s(
+        f"{base_seed}:{label}".encode("utf-8"), digest_size=4
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def _system_config(spec: "WorkloadSpec"):
+    """The effective (default) engine config for one cell."""
+    from .systems import GiraphConfig
+    from .systems.sparklike import SparkLikeConfig
+    from .workloads.runner import effective_powergraph_config
+
+    if spec.system == "giraph":
+        return GiraphConfig()
+    if spec.system == "powergraph":
+        return effective_powergraph_config(spec)
+    return SparkLikeConfig()
+
+
+def model_fingerprints(system: str, config: Any, *, tuned: bool = True) -> dict[str, str]:
+    """Content hashes of the expert models a cell's characterization uses.
+
+    Any edit to an execution model's phase hierarchy, a resource model's
+    capacities, or an attribution rule changes the fingerprint — and with
+    it the cache key — which is exactly the invalidation rule the paper's
+    "refine the model, re-analyze" workflow needs.
+    """
+    from .adapters import (
+        giraph_execution_model,
+        giraph_resource_model,
+        giraph_tuned_rules,
+        giraph_untuned_rules,
+        powergraph_execution_model,
+        powergraph_resource_model,
+        powergraph_tuned_rules,
+        powergraph_untuned_rules,
+    )
+    from .adapters.sparklike_model import (
+        sparklike_execution_model,
+        sparklike_resource_model,
+        sparklike_tuned_rules,
+    )
+    from .core.model_io import (
+        execution_model_to_dict,
+        resource_model_to_dict,
+        rules_to_dict,
+    )
+    from .core.rules import RuleMatrix
+
+    names = [f"m{i}" for i in range(config.n_machines)]
+    if system == "giraph":
+        model = giraph_execution_model()
+        resources = giraph_resource_model(config, names)
+        rules = giraph_tuned_rules(config) if tuned else giraph_untuned_rules()
+    elif system == "powergraph":
+        model = powergraph_execution_model()
+        resources = powergraph_resource_model(config, names)
+        rules = powergraph_tuned_rules(config) if tuned else powergraph_untuned_rules()
+    else:
+        model = sparklike_execution_model()
+        resources = sparklike_resource_model(config, names)
+        rules = sparklike_tuned_rules(config) if tuned else RuleMatrix()
+
+    def h(doc: Mapping[str, Any]) -> str:
+        return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()
+
+    return {
+        "execution_model": h(execution_model_to_dict(model)),
+        "resource_model": h(resource_model_to_dict(resources)),
+        "rules": h(rules_to_dict(rules)),
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Cell specifications and results
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One picklable unit of sweep work: a workload plus analysis options."""
+
+    spec: "WorkloadSpec"
+    characterize: bool = False
+    tuned: bool = True
+    slice_duration: float = 0.01
+    min_phase_duration: float = 0.05
+
+    @property
+    def label(self) -> str:
+        return self.spec.label
+
+
+def cell_key_material(cell: CellSpec) -> dict[str, Any]:
+    """The full input material hashed into a cell's cache key.
+
+    Composition: dataset spec, system name + effective config (every
+    tunable constant, including the nested sync-bug config), algorithm,
+    seed, model/rule fingerprints, and the archive sampling parameters.
+    The analysis-side options (``characterize``/``slice_duration``) are
+    deliberately **excluded**: they are applied on top of the cached
+    artifacts, so one payload serves every analysis variant.
+    """
+    spec = cell.spec
+    config = _system_config(spec)
+    return {
+        "format": CACHE_FORMAT_VERSION,
+        "dataset": {"name": spec.dataset, "preset": spec.preset},
+        "system": {"name": spec.system, "config": asdict(config)},
+        "algorithm": spec.algorithm,
+        "seed": spec.seed,
+        "models": model_fingerprints(spec.system, config, tuned=cell.tuned),
+        "tuned": cell.tuned,
+        "archive": {
+            "monitoring_interval": _MONITORING_INTERVAL,
+            "ground_truth_interval": _GROUND_TRUTH_INTERVAL,
+        },
+    }
+
+
+@dataclass
+class CellResult:
+    """One finished cell: suite metrics, optional profile, provenance."""
+
+    spec: "WorkloadSpec"
+    key: str
+    makespan: float
+    processing_time: float
+    evps: float
+    n_iterations: int
+    n_vertices: int
+    n_edges: int
+    profile: "PerformanceProfile | None" = None
+    cached: bool = False
+    duration: float = 0.0  # wall-clock seconds spent on this cell
+
+    @property
+    def label(self) -> str:
+        return self.spec.label
+
+
+@dataclass
+class EngineStats:
+    """Summary of one sweep through the batch engine."""
+
+    n_cells: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    jobs: int = 1
+    wall_clock: float = 0.0
+    cell_seconds: float = 0.0  # sum of per-cell wall-clock (serial equivalent)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.n_cells if self.n_cells else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Serial-equivalent time over actual wall-clock (≥ 1 when winning)."""
+        return self.cell_seconds / self.wall_clock if self.wall_clock > 0 else 1.0
+
+    def summary(self) -> str:
+        """One-line human-readable sweep report (the CLI prints this)."""
+        return (
+            f"{self.n_cells} cells: {self.executed} run, "
+            f"{self.cache_hits} cache hits ({self.hit_rate:.0%}); "
+            f"wall-clock {self.wall_clock:.2f}s, "
+            f"serial-equivalent {self.cell_seconds:.2f}s "
+            f"(speedup {self.speedup:.1f}x, jobs={self.jobs})"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Content-addressed run cache
+# ---------------------------------------------------------------------- #
+
+
+class RunCache:
+    """Content-addressed store of run archives, keyed by input material.
+
+    Layout: ``<root>/<key[:2]>/<key>/`` holding the run-archive files
+    (``events.jsonl``, ``monitoring.csv``, ``models.json``, ``meta.json``,
+    …) plus ``cell.json`` with the suite-level metrics.  ``cell.json`` is
+    written last and doubles as the completeness marker: a directory
+    without it (a crashed writer) is treated as a miss.  Writes go to a
+    temp directory and are published with an atomic rename, so concurrent
+    workers computing the same cell race benignly.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        """The payload directory for one key (fanned out over 256 shards)."""
+        return self.root / key[:2] / key
+
+    def has(self, key: str) -> bool:
+        """True when a *complete* payload exists (marker file present)."""
+        return (self.path_for(key) / _CELL_JSON).is_file()
+
+    def load_meta(self, key: str) -> dict[str, Any]:
+        """The cached cell's suite-level metrics (from ``cell.json``)."""
+        return json.loads((self.path_for(key) / _CELL_JSON).read_text())
+
+    def store(self, key: str, write_payload: Callable[[Path], None]) -> Path:
+        """Publish a payload: write into a temp dir, atomically rename in.
+
+        ``write_payload`` receives the temp directory and must leave a
+        complete payload (including ``cell.json``) inside it.
+        """
+        final = self.path_for(key)
+        if self.has(key):
+            return final
+        final.parent.mkdir(parents=True, exist_ok=True)
+        tmp = Path(
+            tempfile.mkdtemp(prefix=f".tmp-{key[:8]}-{uuid.uuid4().hex[:8]}-",
+                             dir=final.parent)
+        )
+        try:
+            write_payload(tmp)
+            try:
+                os.replace(tmp, final)
+            except OSError:
+                if self.has(key):
+                    # Lost the publication race: keep the winner's payload.
+                    shutil.rmtree(tmp, ignore_errors=True)
+                else:
+                    # Stale incomplete leftover from a crashed writer.
+                    shutil.rmtree(final, ignore_errors=True)
+                    os.replace(tmp, final)
+        except BaseException:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
+        return final
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for p in self.root.glob("??/*") if (p / _CELL_JSON).is_file())
+
+
+# ---------------------------------------------------------------------- #
+# Cell execution (top-level: must be picklable for the process pool)
+# ---------------------------------------------------------------------- #
+
+
+def _characterize_payload(cell: CellSpec, directory: Path) -> "PerformanceProfile":
+    from .workloads.archive import characterize_archive
+
+    return characterize_archive(
+        directory,
+        slice_duration=cell.slice_duration,
+        tuned=cell.tuned,
+        min_phase_duration=cell.min_phase_duration,
+    )
+
+
+def execute_cell(cell: CellSpec, cache_dir: str | Path | None = None) -> CellResult:
+    """Run (or replay) one cell; the unit of work the pool distributes."""
+    from .workloads.archive import save_run
+    from .workloads.runner import processing_time, run_workload
+
+    t0 = time.perf_counter()
+    key = cache_key(cell_key_material(cell))
+    cache = RunCache(cache_dir) if cache_dir is not None else None
+
+    if cache is not None and cache.has(key):
+        meta = cache.load_meta(key)
+        profile = _characterize_payload(cell, cache.path_for(key)) if cell.characterize else None
+        return CellResult(
+            spec=cell.spec,
+            key=key,
+            makespan=meta["makespan"],
+            processing_time=meta["processing_time"],
+            evps=meta["evps"],
+            n_iterations=meta["n_iterations"],
+            n_vertices=meta["n_vertices"],
+            n_edges=meta["n_edges"],
+            profile=profile,
+            cached=True,
+            duration=time.perf_counter() - t0,
+        )
+
+    run = run_workload(cell.spec)
+    t_proc = processing_time(run.system_run)
+    size = run.graph.n_vertices + run.graph.n_edges
+    metrics = {
+        "label": cell.label,
+        "makespan": run.makespan,
+        "processing_time": t_proc,
+        "evps": size / t_proc if t_proc > 0 else 0.0,
+        "n_iterations": run.algorithm.n_iterations,
+        "n_vertices": int(run.graph.n_vertices),
+        "n_edges": int(run.graph.n_edges),
+    }
+
+    profile = None
+    if cache is not None:
+
+        def write_payload(tmp: Path) -> None:
+            save_run(
+                run.system_run,
+                tmp,
+                monitoring_interval=_MONITORING_INTERVAL,
+                ground_truth_interval=_GROUND_TRUTH_INTERVAL,
+            )
+            (tmp / _CELL_JSON).write_text(json.dumps(metrics, indent=2))
+
+        payload = cache.store(key, write_payload)
+        # Characterize from the *payload*, not from memory: the warm path
+        # reads the same files, so cold and warm profiles are identical.
+        if cell.characterize:
+            profile = _characterize_payload(cell, payload)
+    elif cell.characterize:
+        from .workloads.runner import characterize_run
+
+        profile = characterize_run(
+            run,
+            tuned=cell.tuned,
+            slice_duration=cell.slice_duration,
+            min_phase_duration=cell.min_phase_duration,
+        )
+
+    return CellResult(
+        spec=cell.spec,
+        key=key,
+        profile=profile,
+        cached=False,
+        duration=time.perf_counter() - t0,
+        **{k: v for k, v in metrics.items() if k != "label"},
+    )
+
+
+# ---------------------------------------------------------------------- #
+# The batch engine
+# ---------------------------------------------------------------------- #
+
+
+def run_grid(
+    cells: Sequence[CellSpec],
+    *,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+) -> tuple[list[CellResult], EngineStats]:
+    """Execute a grid of cells, optionally in parallel and/or cached.
+
+    Results come back in input order regardless of completion order.
+    ``jobs=1`` executes inline through the exact same per-cell code path
+    as the pooled variant — the serial/parallel equivalence the test
+    layer asserts holds by construction plus per-cell determinism.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    t0 = time.perf_counter()
+    if jobs == 1 or len(cells) <= 1:
+        results = [execute_cell(cell, cache_dir) for cell in cells]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+            futures = [pool.submit(execute_cell, cell, cache_dir) for cell in cells]
+            results = [f.result() for f in futures]
+    stats = EngineStats(
+        n_cells=len(results),
+        executed=sum(1 for r in results if not r.cached),
+        cache_hits=sum(1 for r in results if r.cached),
+        jobs=jobs,
+        wall_clock=time.perf_counter() - t0,
+        cell_seconds=sum(r.duration for r in results),
+    )
+    return results, stats
+
+
+def parallel_map(
+    fn: Callable[..., Any],
+    argument_tuples: Iterable[tuple],
+    *,
+    jobs: int = 1,
+) -> list[Any]:
+    """Order-preserving map over a process pool (inline when ``jobs=1``).
+
+    ``fn`` must be a picklable top-level function; each element of
+    ``argument_tuples`` is splatted into one call.  The experiment drivers
+    use this to fan their per-workload loops out across workers.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    args = list(argument_tuples)
+    if jobs == 1 or len(args) <= 1:
+        return [fn(*a) for a in args]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(args))) as pool:
+        futures = [pool.submit(fn, *a) for a in args]
+        return [f.result() for f in futures]

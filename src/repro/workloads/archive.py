@@ -37,13 +37,35 @@ from ..core.traces import ExecutionTrace, ResourceTrace
 from ..systems import GiraphRun, PowerGraphRun, read_jsonl, write_jsonl
 from ..systems.sparklike import SparkLikeRun
 
-__all__ = ["save_run", "load_run", "characterize_archive"]
+__all__ = [
+    "ArchiveError",
+    "ArchiveNotFoundError",
+    "ArchiveCorruptError",
+    "save_run",
+    "load_run",
+    "characterize_archive",
+]
 
 _EVENTS = "events.jsonl"
 _MONITORING = "monitoring.csv"
 _GROUND_TRUTH = "ground_truth.csv"
 _MODELS = "models.json"
 _META = "meta.json"
+
+#: Files a readable archive must contain (ground truth is optional extra).
+_REQUIRED = (_EVENTS, _MONITORING, _MODELS, _META)
+
+
+class ArchiveError(Exception):
+    """A run archive cannot be read (missing, incomplete, or corrupt)."""
+
+
+class ArchiveNotFoundError(ArchiveError, FileNotFoundError):
+    """The archive directory, or required files inside it, do not exist."""
+
+
+class ArchiveCorruptError(ArchiveError, ValueError):
+    """The archive exists but its contents cannot be parsed or are truncated."""
 
 
 def _models_for(run) -> tuple:
@@ -104,16 +126,35 @@ def load_run(
     *,
     tuned: bool = True,
 ) -> tuple[ExecutionTrace, ResourceTrace, tuple, dict]:
-    """Load an archived run: traces, (model, resources, rules), metadata."""
+    """Load an archived run: traces, (model, resources, rules), metadata.
+
+    Raises :class:`ArchiveNotFoundError` when the directory or any required
+    file is absent, and :class:`ArchiveCorruptError` when a file exists but
+    cannot be parsed (truncated writes, bad JSON).
+    """
     directory = Path(directory)
-    meta = json.loads((directory / _META).read_text())
-    log = read_jsonl(directory / _EVENTS)
+    if not directory.is_dir():
+        raise ArchiveNotFoundError(f"run archive not found: {directory}")
+    missing = [name for name in _REQUIRED if not (directory / name).is_file()]
+    if missing:
+        raise ArchiveNotFoundError(
+            f"run archive at {directory} is incomplete: missing {', '.join(missing)}"
+        )
+    try:
+        meta = json.loads((directory / _META).read_text())
+        log = read_jsonl(directory / _EVENTS)
+        models = load_models(directory / _MODELS)
+        resource_trace = read_monitoring_csv(directory / _MONITORING)
+    except (json.JSONDecodeError, KeyError, ValueError) as exc:
+        raise ArchiveCorruptError(f"run archive at {directory} is corrupt: {exc}") from exc
+    if not log.of_kind("phase_start"):
+        raise ArchiveCorruptError(
+            f"run archive at {directory} is corrupt: {_EVENTS} holds no phase events"
+        )
     execution_trace = parse_execution_trace(
         log, include_blocking=True, include_gc_phases=tuned
     )
-    resource_trace = read_monitoring_csv(directory / _MONITORING)
     merge_blocking_into_resource_trace(log, resource_trace)
-    models = load_models(directory / _MODELS)
     return execution_trace, resource_trace, models, meta
 
 
@@ -122,12 +163,14 @@ def characterize_archive(
     *,
     slice_duration: float = 0.01,
     tuned: bool = True,
+    min_phase_duration: float | None = None,
 ) -> PerformanceProfile:
     """One-call offline analysis of an archived run."""
     execution_trace, resource_trace, (model, resources, rules), _ = load_run(
         directory, tuned=tuned
     )
     if model is None or resources is None:
-        raise ValueError(f"archive at {directory} has no models.json content")
-    g10 = Grade10(model, resources, rules, slice_duration=slice_duration)
+        raise ArchiveCorruptError(f"archive at {directory} has no models.json content")
+    kwargs = {} if min_phase_duration is None else {"min_phase_duration": min_phase_duration}
+    g10 = Grade10(model, resources, rules, slice_duration=slice_duration, **kwargs)
     return g10.characterize(execution_trace, resource_trace)

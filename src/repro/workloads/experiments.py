@@ -42,6 +42,7 @@ from ..core.outliers import find_outliers
 from ..core.simulation import ReplaySimulator
 from ..core.timeline import TimeGrid
 from ..core.upsample import relative_sampling_error, upsample, upsample_constant
+from ..parallel import parallel_map
 from ..systems import GiraphRun, PowerGraphConfig, PowerGraphRun, SyncBug
 from .runner import WorkloadSpec, characterize_run, run_workload
 
@@ -234,45 +235,52 @@ class Fig4Cell:
     makespan: float
 
 
-def experiment_fig4(preset: str = "small") -> list[Fig4Cell]:
-    """Reproduce Figure 4: per-class bottleneck impact, 8 workloads × 2 systems."""
-    cells: list[Fig4Cell] = []
-    for system in ("giraph", "powergraph"):
-        for dataset, algorithm in EVALUATION_GRID:
-            run = run_workload(WorkloadSpec(system, dataset, algorithm, preset=preset))
-            profile = characterize_run(
-                run, tuned=True, min_phase_duration=_MIN_PHASE_DURATION[preset]
-            )
-            model = (
-                giraph_execution_model() if system == "giraph" else powergraph_execution_model()
-            )
-            seen = {b.resource for b in profile.bottlenecks}
-            groups = {
-                cls: [r for r in seen if r.startswith(f"{cls}@")] for cls in RESOURCE_CLASSES
-            }
-            groups = {cls: rs for cls, rs in groups.items() if rs}
-            issues = detect_bottleneck_issues(
-                profile.execution_trace,
-                model,
-                profile.bottlenecks,
-                profile.upsampled,
-                profile.attribution,
-                min_improvement=0.0,
-                resource_groups=groups,
-            )
-            by_subject = {i.subject: i.improvement for i in issues}
-            for cls in RESOURCE_CLASSES:
-                cells.append(
-                    Fig4Cell(
-                        system=system,
-                        dataset=dataset,
-                        algorithm=algorithm,
-                        resource_class=cls,
-                        improvement=by_subject.get(cls, 0.0),
-                        makespan=run.makespan,
-                    )
-                )
-    return cells
+def _fig4_cells_for(system: str, dataset: str, algorithm: str, preset: str) -> list[Fig4Cell]:
+    """One workload's Figure-4 cells (top-level: pool workers pickle this)."""
+    run = run_workload(WorkloadSpec(system, dataset, algorithm, preset=preset))
+    profile = characterize_run(
+        run, tuned=True, min_phase_duration=_MIN_PHASE_DURATION[preset]
+    )
+    model = giraph_execution_model() if system == "giraph" else powergraph_execution_model()
+    seen = {b.resource for b in profile.bottlenecks}
+    groups = {cls: [r for r in seen if r.startswith(f"{cls}@")] for cls in RESOURCE_CLASSES}
+    groups = {cls: rs for cls, rs in groups.items() if rs}
+    issues = detect_bottleneck_issues(
+        profile.execution_trace,
+        model,
+        profile.bottlenecks,
+        profile.upsampled,
+        profile.attribution,
+        min_improvement=0.0,
+        resource_groups=groups,
+    )
+    by_subject = {i.subject: i.improvement for i in issues}
+    return [
+        Fig4Cell(
+            system=system,
+            dataset=dataset,
+            algorithm=algorithm,
+            resource_class=cls,
+            improvement=by_subject.get(cls, 0.0),
+            makespan=run.makespan,
+        )
+        for cls in RESOURCE_CLASSES
+    ]
+
+
+def experiment_fig4(preset: str = "small", *, jobs: int = 1) -> list[Fig4Cell]:
+    """Reproduce Figure 4: per-class bottleneck impact, 8 workloads × 2 systems.
+
+    ``jobs > 1`` fans the 16 independent workloads out across a process
+    pool; results are identical to the serial sweep in the same order.
+    """
+    tasks = [
+        (system, dataset, algorithm, preset)
+        for system in ("giraph", "powergraph")
+        for dataset, algorithm in EVALUATION_GRID
+    ]
+    per_workload = parallel_map(_fig4_cells_for, tasks, jobs=jobs)
+    return [cell for cells in per_workload for cell in cells]
 
 
 # ---------------------------------------------------------------------- #
@@ -299,32 +307,38 @@ class Fig5Cell:
     improvement: float  # fraction of the makespan
 
 
-def experiment_fig5(preset: str = "small", *, sync_bug: bool = False) -> list[Fig5Cell]:
-    """Reproduce Figure 5: imbalance impact per phase type, 8 PowerGraph jobs."""
-    cells: list[Fig5Cell] = []
+def _fig5_cells_for(dataset: str, algorithm: str, preset: str, sync_bug: bool) -> list[Fig5Cell]:
+    """One PowerGraph job's Figure-5 cells (top-level: pool workers pickle this)."""
     cfg = PowerGraphConfig(sync_bug=SyncBug(enabled=sync_bug, seed=7))
-    for dataset, algorithm in EVALUATION_GRID:
-        run = run_workload(
-            WorkloadSpec("powergraph", dataset, algorithm, preset=preset),
-            powergraph_config=cfg,
+    run = run_workload(
+        WorkloadSpec("powergraph", dataset, algorithm, preset=preset),
+        powergraph_config=cfg,
+    )
+    profile = characterize_run(run, tuned=True)
+    issues = detect_imbalance_issues(
+        profile.execution_trace,
+        powergraph_execution_model(),
+        min_improvement=0.0,
+    )
+    by_subject = {i.subject: i.improvement for i in issues}
+    return [
+        Fig5Cell(
+            dataset=dataset,
+            algorithm=algorithm,
+            phase=phase,
+            improvement=by_subject.get(phase, 0.0),
         )
-        profile = characterize_run(run, tuned=True)
-        issues = detect_imbalance_issues(
-            profile.execution_trace,
-            powergraph_execution_model(),
-            min_improvement=0.0,
-        )
-        by_subject = {i.subject: i.improvement for i in issues}
-        for phase in FIG5_PHASES:
-            cells.append(
-                Fig5Cell(
-                    dataset=dataset,
-                    algorithm=algorithm,
-                    phase=phase,
-                    improvement=by_subject.get(phase, 0.0),
-                )
-            )
-    return cells
+        for phase in FIG5_PHASES
+    ]
+
+
+def experiment_fig5(
+    preset: str = "small", *, sync_bug: bool = False, jobs: int = 1
+) -> list[Fig5Cell]:
+    """Reproduce Figure 5: imbalance impact per phase type, 8 PowerGraph jobs."""
+    tasks = [(dataset, algorithm, preset, sync_bug) for dataset, algorithm in EVALUATION_GRID]
+    per_job = parallel_map(_fig5_cells_for, tasks, jobs=jobs)
+    return [cell for cells in per_job for cell in cells]
 
 
 # ---------------------------------------------------------------------- #

@@ -14,11 +14,12 @@ overhead makes it feasible to profile entire benchmark sweeps.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from ..core import PerformanceProfile
-from .datasets import get_dataset
+from ..parallel import CellSpec, EngineStats, derive_cell_seed, run_grid
 from .experiments import EVALUATION_GRID
-from .runner import WorkloadSpec, characterize_run, run_workload
+from .runner import WorkloadSpec, processing_time
 
 __all__ = ["SuiteResult", "SuiteEntry", "run_suite"]
 
@@ -44,6 +45,7 @@ class SuiteResult:
     """All jobs of one suite sweep."""
 
     entries: list[SuiteEntry] = field(default_factory=list)
+    stats: EngineStats | None = None
 
     def __iter__(self):
         return iter(self.entries)
@@ -68,14 +70,8 @@ class SuiteResult:
         return g.processing_time / p.processing_time
 
 
-def _processing_time(run) -> float:
-    """The Execute phase's duration, from the run's own log."""
-    starts = {e["id"]: e for e in run.log.of_kind("phase_start")}
-    ends = {e["id"]: e["t"] for e in run.log.of_kind("phase_end")}
-    for iid, ev in starts.items():
-        if ev["path"] == "/Execute":
-            return float(ends.get(iid, run.makespan)) - float(ev["t"])
-    return run.makespan
+#: Backward-compatible alias (the implementation moved to the runner).
+_processing_time = processing_time
 
 
 def run_suite(
@@ -85,29 +81,47 @@ def run_suite(
     grid: tuple[tuple[str, str], ...] = EVALUATION_GRID,
     characterize: bool = False,
     seed: int = 0,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    per_cell_seeds: bool = False,
 ) -> SuiteResult:
     """Run the benchmark grid on the requested systems.
 
-    With ``characterize=True`` every job also gets a Grade10 profile
-    (the low-overhead sweep workflow of §IV-D).
+    With ``characterize=True`` every job also gets a Grade10 profile (the
+    low-overhead sweep workflow of §IV-D).  ``jobs`` fans the grid out
+    across a process pool; ``cache_dir`` enables the content-addressed run
+    cache, replaying unchanged cells instead of re-simulating them.  With
+    ``per_cell_seeds=True`` each cell is seeded independently (but
+    deterministically) from ``seed`` and its own identity, decorrelating
+    the grid's random streams; the default keeps the historical behavior
+    of passing ``seed`` to every cell verbatim.
     """
-    result = SuiteResult()
-    for system in systems:
-        for dataset, algorithm in grid:
-            spec = WorkloadSpec(system, dataset, algorithm, preset=preset, seed=seed)
-            run = run_workload(spec)
-            graph = get_dataset(dataset).graph(preset)
-            t_proc = _processing_time(run.system_run)
-            evps = (graph.n_vertices + graph.n_edges) / t_proc if t_proc > 0 else 0.0
-            profile = characterize_run(run, tuned=True) if characterize else None
-            result.entries.append(
-                SuiteEntry(
-                    spec=spec,
-                    makespan=run.makespan,
-                    processing_time=t_proc,
-                    evps=evps,
-                    n_iterations=run.algorithm.n_iterations,
-                    profile=profile,
-                )
-            )
-    return result
+    cells = [
+        CellSpec(
+            WorkloadSpec(
+                system,
+                dataset,
+                algorithm,
+                preset=preset,
+                seed=derive_cell_seed(seed, f"{system}/{dataset}/{algorithm}/{preset}")
+                if per_cell_seeds
+                else seed,
+            ),
+            characterize=characterize,
+        )
+        for system in systems
+        for dataset, algorithm in grid
+    ]
+    results, stats = run_grid(cells, jobs=jobs, cache_dir=cache_dir)
+    entries = [
+        SuiteEntry(
+            spec=r.spec,
+            makespan=r.makespan,
+            processing_time=r.processing_time,
+            evps=r.evps,
+            n_iterations=r.n_iterations,
+            profile=r.profile,
+        )
+        for r in results
+    ]
+    return SuiteResult(entries=entries, stats=stats)

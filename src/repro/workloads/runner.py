@@ -23,8 +23,14 @@ from ..adapters import (
     powergraph_tuned_rules,
     powergraph_untuned_rules,
 )
+from ..adapters.sparklike_model import (
+    sparklike_execution_model,
+    sparklike_resource_model,
+    sparklike_tuned_rules,
+)
 from ..algorithms import ALGORITHMS, AlgorithmResult
 from ..core import Grade10, PerformanceProfile
+from ..core.rules import RuleMatrix
 from ..core.traces import ResourceTrace
 from ..graph import Graph
 from ..systems import (
@@ -35,11 +41,26 @@ from ..systems import (
     run_giraph,
     run_powergraph,
 )
+from ..systems.sparklike import (
+    SparkLikeConfig,
+    SparkLikeJob,
+    SparkLikeRun,
+    StageSpec,
+    run_sparklike,
+)
 from .datasets import get_dataset, traversal_source
 
-__all__ = ["WorkloadSpec", "WorkloadRun", "run_workload", "characterize_run"]
+__all__ = [
+    "WorkloadSpec",
+    "WorkloadRun",
+    "run_workload",
+    "characterize_run",
+    "effective_powergraph_config",
+    "processing_time",
+    "sparklike_job_for",
+]
 
-SYSTEMS = ("giraph", "powergraph")
+SYSTEMS = ("giraph", "powergraph", "sparklike")
 
 
 @dataclass(frozen=True)
@@ -72,7 +93,7 @@ class WorkloadRun:
     spec: WorkloadSpec
     graph: Graph
     algorithm: AlgorithmResult
-    system_run: GiraphRun | PowerGraphRun
+    system_run: GiraphRun | PowerGraphRun | SparkLikeRun
 
     @property
     def makespan(self) -> float:
@@ -92,29 +113,107 @@ def _run_algorithm(spec: WorkloadSpec, graph: Graph) -> AlgorithmResult:
     return fn(graph)
 
 
+def effective_powergraph_config(
+    spec: WorkloadSpec, config: PowerGraphConfig | None = None
+) -> PowerGraphConfig:
+    """The PowerGraph config actually used for ``spec`` (CDLP override applied)."""
+    cfg = config if config is not None else PowerGraphConfig()
+    if spec.algorithm == "cdlp" and not cfg.gather_superlinear:
+        # CDLP's gather builds neighbor-label histograms: superlinear in
+        # degree, the amplifier behind the paper's Figure 5/6 imbalance.
+        cfg = replace(cfg, gather_superlinear=True)
+    return cfg
+
+
+#: Per-edge compute / load costs of the dataflow mapping (core-seconds).
+_SPARKLIKE_COST_PER_EDGE = 4e-6
+_SPARKLIKE_LOAD_COST_PER_EDGE = 1.2e-6
+_SPARKLIKE_BYTES_PER_MESSAGE = 100.0
+
+
+def sparklike_job_for(
+    spec: WorkloadSpec,
+    graph: Graph,
+    algorithm: AlgorithmResult,
+    config: SparkLikeConfig | None = None,
+) -> SparkLikeJob:
+    """Map a graph workload onto the dataflow engine's stage DAG.
+
+    The algorithm's per-iteration activity profile becomes a chain of
+    shuffle-separated stages (one per superstep, work proportional to the
+    edges it actually traversed), bracketed by a load stage — the same
+    structural translation GraphX applies to Pregel programs.
+    """
+    cfg = config if config is not None else SparkLikeConfig()
+    n_tasks = cfg.n_machines * cfg.cores_per_machine
+    stages = [
+        StageSpec(
+            "load",
+            n_tasks=n_tasks,
+            work=graph.n_edges * _SPARKLIKE_LOAD_COST_PER_EDGE,
+            shuffle_mb=graph.n_edges * 16.0 / 1e6,  # repartition by vertex cut
+            skew=1.2,
+        )
+    ]
+    prev = "load"
+    for it in algorithm.iterations:
+        name = f"iter{it.iteration:03d}"
+        stages.append(
+            StageSpec(
+                name,
+                n_tasks=n_tasks,
+                work=it.edges_processed * _SPARKLIKE_COST_PER_EDGE,
+                parents=(prev,),
+                shuffle_mb=it.messages * _SPARKLIKE_BYTES_PER_MESSAGE / 1e6,
+                # Hub-dominated frontiers make the straggler tail heavier.
+                skew=1.5 if it.active_count >= graph.n_vertices // 2 else 2.5,
+            )
+        )
+        prev = name
+    stages.append(
+        StageSpec("store", n_tasks=max(n_tasks // 2, 1),
+                  work=graph.n_vertices * 1.5e-6, parents=(prev,), skew=1.1)
+    )
+    return SparkLikeJob(f"{spec.algorithm}-{spec.dataset}", stages)
+
+
 def run_workload(
     spec: WorkloadSpec,
     *,
     giraph_config: GiraphConfig | None = None,
     powergraph_config: PowerGraphConfig | None = None,
+    sparklike_config: SparkLikeConfig | None = None,
 ) -> WorkloadRun:
     """Execute one workload on the simulated cluster."""
     graph = get_dataset(spec.dataset).graph(spec.preset)
     algorithm = _run_algorithm(spec, graph)
     if spec.system == "giraph":
         system_run = run_giraph(graph, algorithm, giraph_config, seed=spec.seed)
-    else:
-        cfg = powergraph_config if powergraph_config is not None else PowerGraphConfig()
-        if spec.algorithm == "cdlp" and not cfg.gather_superlinear:
-            # CDLP's gather builds neighbor-label histograms: superlinear in
-            # degree, the amplifier behind the paper's Figure 5/6 imbalance.
-            cfg = replace(cfg, gather_superlinear=True)
+    elif spec.system == "powergraph":
+        cfg = effective_powergraph_config(spec, powergraph_config)
         system_run = run_powergraph(graph, algorithm, cfg, seed=spec.seed)
+    else:
+        job = sparklike_job_for(spec, graph, algorithm, sparklike_config)
+        system_run = run_sparklike(job, sparklike_config, seed=spec.seed)
     return WorkloadRun(spec=spec, graph=graph, algorithm=algorithm, system_run=system_run)
 
 
+def processing_time(run: GiraphRun | PowerGraphRun | SparkLikeRun) -> float:
+    """The algorithm-execution (Graphalytics Tproc) part of a run's makespan.
+
+    The graph engines log it as the ``/Execute`` phase; the dataflow engine
+    as ``/Job``.  Falls back to the makespan when neither is present.
+    """
+    starts = {e["id"]: e for e in run.log.of_kind("phase_start")}
+    ends = {e["id"]: e["t"] for e in run.log.of_kind("phase_end")}
+    for iid, ev in starts.items():
+        if ev["path"] in ("/Execute", "/Job"):
+            return float(ends.get(iid, run.makespan)) - float(ev["t"])
+    return run.makespan
+
+
 def characterize_run(
-    run: WorkloadRun | GiraphRun | PowerGraphRun,
+    run: WorkloadRun | GiraphRun | PowerGraphRun | SparkLikeRun,
     *,
     tuned: bool = True,
     slice_duration: float = 0.01,
@@ -137,6 +236,10 @@ def characterize_run(
         model = powergraph_execution_model()
         resources = powergraph_resource_model(system_run.config, system_run.machine_names)
         rules = powergraph_tuned_rules(system_run.config) if tuned else powergraph_untuned_rules()
+    elif isinstance(system_run, SparkLikeRun):
+        model = sparklike_execution_model()
+        resources = sparklike_resource_model(system_run.config, system_run.machine_names)
+        rules = sparklike_tuned_rules(system_run.config) if tuned else RuleMatrix()
     else:  # pragma: no cover - defensive
         raise TypeError(f"unknown run type {type(system_run).__name__}")
 

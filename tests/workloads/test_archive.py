@@ -5,7 +5,14 @@ import json
 import pytest
 
 from repro.workloads import WorkloadSpec, characterize_run, run_workload
-from repro.workloads.archive import characterize_archive, load_run, save_run
+from repro.workloads.archive import (
+    ArchiveCorruptError,
+    ArchiveError,
+    ArchiveNotFoundError,
+    characterize_archive,
+    load_run,
+    save_run,
+)
 
 
 @pytest.fixture(scope="module")
@@ -67,3 +74,71 @@ class TestLoadRun:
     def test_missing_archive_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_run(tmp_path / "nope")
+
+
+class TestArchiveErrors:
+    """Typed, catchable failures for missing or truncated archives."""
+
+    def test_missing_directory_is_typed(self, tmp_path):
+        with pytest.raises(ArchiveNotFoundError) as exc_info:
+            load_run(tmp_path / "nope")
+        # Back-compat: still a FileNotFoundError, and a catchable ArchiveError.
+        assert isinstance(exc_info.value, FileNotFoundError)
+        assert isinstance(exc_info.value, ArchiveError)
+        assert "not found" in str(exc_info.value)
+
+    def test_incomplete_archive_names_missing_files(self, archived_run, tmp_path):
+        _, directory = archived_run
+        partial = tmp_path / "partial"
+        partial.mkdir()
+        (partial / "events.jsonl").write_bytes((directory / "events.jsonl").read_bytes())
+        with pytest.raises(ArchiveNotFoundError) as exc_info:
+            load_run(partial)
+        message = str(exc_info.value)
+        for name in ("monitoring.csv", "models.json", "meta.json"):
+            assert name in message
+
+    def test_corrupt_meta_is_typed(self, archived_run, tmp_path):
+        _, directory = archived_run
+        broken = tmp_path / "broken-meta"
+        broken.mkdir()
+        for f in directory.iterdir():
+            (broken / f.name).write_bytes(f.read_bytes())
+        (broken / "meta.json").write_text("{ not json")
+        with pytest.raises(ArchiveCorruptError):
+            load_run(broken)
+
+    def test_truncated_events_is_typed(self, archived_run, tmp_path):
+        _, directory = archived_run
+        broken = tmp_path / "truncated"
+        broken.mkdir()
+        for f in directory.iterdir():
+            (broken / f.name).write_bytes(f.read_bytes())
+        (broken / "events.jsonl").write_text("")  # truncated to nothing
+        with pytest.raises(ArchiveCorruptError) as exc_info:
+            characterize_archive(broken)
+        assert "no phase events" in str(exc_info.value)
+
+    def test_characterize_archive_propagates(self, tmp_path):
+        with pytest.raises(ArchiveError):
+            characterize_archive(tmp_path / "nope")
+
+    def test_cli_analyze_missing_archive_exits_nonzero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["analyze", str(tmp_path / "nope")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_cli_analyze_truncated_archive_exits_nonzero(self, archived_run, tmp_path, capsys):
+        from repro.cli import main
+
+        _, directory = archived_run
+        broken = tmp_path / "cli-truncated"
+        broken.mkdir()
+        for f in directory.iterdir():
+            (broken / f.name).write_bytes(f.read_bytes())
+        (broken / "models.json").write_text('{"execution_model":')
+        code = main(["analyze", str(broken)])
+        assert code == 2
+        assert "corrupt" in capsys.readouterr().err

@@ -1,0 +1,114 @@
+"""Golden-profile regression test.
+
+One small suite cell's full profile summary — bottleneck report,
+per-resource attribution totals, issue list, outlier statistics — is
+checked in as ``tests/data/golden_profile_giraph_graph500_pr_tiny.json``.
+Any change to the simulators, the adapters, or the Grade10 pipeline that
+shifts the numbers fails this test, making silent behavioral drift
+impossible.
+
+When a change is *intentional*, regenerate the fixture and review the
+diff like any other code change::
+
+    PYTHONPATH=src python tests/workloads/test_golden_profile.py --regen
+
+Floats are compared with a tight relative tolerance (1e-6) rather than
+exact equality so the fixture survives numpy/BLAS version changes that
+only perturb the last bits.
+"""
+
+import json
+import math
+import sys
+from pathlib import Path
+
+from repro.core.export import profile_to_dict
+from repro.workloads import WorkloadSpec, characterize_run, run_workload
+
+GOLDEN_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "data"
+    / "golden_profile_giraph_graph500_pr_tiny.json"
+)
+
+#: The pinned cell: deterministic seed, tiny preset, tuned model.
+GOLDEN_SPEC = WorkloadSpec("giraph", "graph500", "pr", preset="tiny", seed=0)
+
+REL_TOL = 1e-6
+ABS_TOL = 1e-9
+
+
+def build_golden_payload() -> dict:
+    """The exact summary the fixture pins (and the regen command writes)."""
+    run = run_workload(GOLDEN_SPEC)
+    profile = characterize_run(run, tuned=True)
+    payload = profile_to_dict(profile, series=False)
+    payload["spec"] = {
+        "system": GOLDEN_SPEC.system,
+        "dataset": GOLDEN_SPEC.dataset,
+        "algorithm": GOLDEN_SPEC.algorithm,
+        "preset": GOLDEN_SPEC.preset,
+        "seed": GOLDEN_SPEC.seed,
+    }
+    return payload
+
+
+def _assert_matches(actual, expected, path="$"):
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: expected mapping, got {type(actual)}"
+        assert sorted(actual) == sorted(expected), (
+            f"{path}: keys differ: {sorted(set(actual) ^ set(expected))}"
+        )
+        for k in expected:
+            _assert_matches(actual[k], expected[k], f"{path}.{k}")
+    elif isinstance(expected, list):
+        assert isinstance(actual, list), f"{path}: expected list, got {type(actual)}"
+        assert len(actual) == len(expected), (
+            f"{path}: length {len(actual)} != {len(expected)}"
+        )
+        for i, (a, e) in enumerate(zip(actual, expected)):
+            _assert_matches(a, e, f"{path}[{i}]")
+    elif isinstance(expected, float) and not isinstance(expected, bool):
+        assert isinstance(actual, (int, float)), f"{path}: expected number"
+        assert math.isclose(actual, expected, rel_tol=REL_TOL, abs_tol=ABS_TOL), (
+            f"{path}: {actual!r} != {expected!r} (rel_tol={REL_TOL})"
+        )
+    else:
+        assert actual == expected, f"{path}: {actual!r} != {expected!r}"
+
+
+class TestGoldenProfile:
+    def test_fixture_exists(self):
+        assert GOLDEN_PATH.is_file(), (
+            f"missing {GOLDEN_PATH}; regenerate with: "
+            "PYTHONPATH=src python tests/workloads/test_golden_profile.py --regen"
+        )
+
+    def test_profile_matches_golden(self):
+        expected = json.loads(GOLDEN_PATH.read_text())
+        actual = build_golden_payload()
+        _assert_matches(actual, expected)
+
+    def test_golden_covers_the_interesting_sections(self):
+        """The fixture actually pins bottlenecks, attribution, and issues."""
+        golden = json.loads(GOLDEN_PATH.read_text())
+        assert golden["bottlenecks"], "golden run should have bottlenecks"
+        assert golden["issues"], "golden run should have detected issues"
+        assert any(
+            entry["total_consumption"] > 0 for entry in golden["resources"].values()
+        )
+        assert golden["makespan"] > 0
+
+
+def main(argv: list[str]) -> int:
+    if "--regen" not in argv:
+        print(__doc__)
+        return 2
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(build_golden_payload(), indent=2, sort_keys=True) + "\n")
+    print(f"golden profile written to {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

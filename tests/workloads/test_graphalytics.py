@@ -41,3 +41,18 @@ class TestRunSuite:
         (entry,) = res.entries
         assert entry.profile is not None
         assert entry.profile.makespan == pytest.approx(entry.makespan)
+
+    def test_stats_attached(self, suite):
+        assert suite.stats is not None
+        assert suite.stats.n_cells == len(suite)
+        assert suite.stats.executed == len(suite)
+        assert suite.stats.cache_hits == 0
+
+    def test_sparklike_system_sweeps(self):
+        res = run_suite(
+            preset="tiny", grid=(("graph500", "pr"),), systems=("sparklike",)
+        )
+        (entry,) = res.entries
+        assert entry.spec.system == "sparklike"
+        assert entry.makespan > 0
+        assert entry.evps > 0
