@@ -17,6 +17,10 @@ distributed graph processing workloads.  This package contains:
   simulated systems to the Grade10 core;
 * :mod:`repro.workloads` — datasets and experiment drivers for the paper's
   evaluation (Table II, Figures 3-6);
+* :mod:`repro.parallel` — batch engine with a content-addressed run cache;
+* :mod:`repro.faults` — deterministic fault injection for run archives,
+  paired with the pipeline invariant checker in
+  :mod:`repro.core.invariants`;
 * :mod:`repro.viz` — plain-text visualization of profiles.
 """
 

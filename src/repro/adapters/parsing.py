@@ -34,8 +34,17 @@ def parse_execution_trace(
 ) -> ExecutionTrace:
     """Build an execution trace from a structured event log.
 
-    Phase starts must precede their children's starts (guaranteed by the
-    emitting systems); unmatched starts are closed at the log's horizon.
+    The emitting systems write parents before children, every instance
+    exactly once, and close every phase they open — but *degraded* logs
+    (truncated, reordered, or with dropped events; see :mod:`repro.faults`)
+    break each of those guarantees, so parsing repairs rather than
+    assumes:
+
+    * duplicate ``phase_start`` events for one instance id keep the first;
+    * unmatched starts are closed at the log's horizon;
+    * children are added after their parents regardless of log order;
+    * instances whose parent never starts in the log are promoted to
+      top-level (the hierarchy above them was lost, not their work).
     """
     starts: dict[str, dict] = {}
     ends: dict[str, float] = {}
@@ -50,8 +59,9 @@ def parse_execution_trace(
         t = float(ev.get("t", 0.0))
         horizon = max(horizon, t, float(ev.get("t_end", 0.0)))
         if kind == "phase_start":
-            starts[ev["id"]] = ev
-            order.append(ev["id"])
+            if ev["id"] not in starts:
+                starts[ev["id"]] = ev
+                order.append(ev["id"])
         elif kind == "phase_end":
             ends[ev["id"]] = t
         elif kind == "block_start":
@@ -65,14 +75,15 @@ def parse_execution_trace(
             gc_events.append((ev["machine"], t, float(ev["t_end"])))
 
     trace = ExecutionTrace()
-    for iid in order:
+
+    def add_instance(iid: str, parent_id: str | None) -> None:
         ev = starts[iid]
         inst = PhaseInstance(
             instance_id=iid,
             phase_path=ev["path"],
             t_start=float(ev["t"]),
             t_end=ends.get(iid, horizon),
-            parent_id=ev.get("parent"),
+            parent_id=parent_id,
             machine=ev.get("machine"),
             worker=ev.get("worker"),
             thread=ev.get("thread"),
@@ -82,6 +93,27 @@ def parse_execution_trace(
             for resource, t0, t1 in blocks.get(iid, []):
                 inst.add_blocking(resource, t0, t1)
         trace.add(inst)
+
+    # Multi-pass insertion: each pass adds every instance whose parent is
+    # already placed (or provably absent).  A well-formed log completes in
+    # one pass in emission order; a reordered log needs at most depth
+    # passes; a cyclic (corrupt) remainder is promoted to top-level.
+    pending = list(order)
+    while pending:
+        deferred: list[str] = []
+        for iid in pending:
+            parent_id = starts[iid].get("parent")
+            if parent_id is None or parent_id in trace:
+                add_instance(iid, parent_id)
+            elif parent_id not in starts:
+                add_instance(iid, None)  # hierarchy above was lost
+            else:
+                deferred.append(iid)
+        if len(deferred) == len(pending):
+            for iid in deferred:  # parent cycle: sever it
+                add_instance(iid, None)
+            break
+        pending = deferred
 
     if include_gc_phases:
         for k, (machine, t0, t1) in enumerate(gc_events):

@@ -17,6 +17,12 @@ Subcommands:
     backed by the content-addressed run cache:
     ``python -m repro suite --jobs 4 --cache-dir .grade10-cache``
 
+``faults``
+    Produce a fault-perturbed copy of a run archive, or sweep a fault
+    type × severity grid and report which pipeline invariants break:
+    ``python -m repro faults RUN_DIR OUT_DIR --fault drop_samples:0.3``
+    ``python -m repro faults RUN_DIR --grid --jobs 4``
+
 ``datasets``
     List the available datasets and their preset sizes.
 
@@ -96,6 +102,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--extended", action="store_true",
         help="include the phase tree, heatmap, and recommendations",
     )
+    p_an.add_argument(
+        "--check-invariants", action="store_true",
+        help="run the pipeline invariant checker after analysis "
+             "(exit 3 when a violation is found)",
+    )
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument(
@@ -129,6 +140,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the Grade10 pipeline on every cell",
     )
     p_suite.add_argument("--seed", type=int, default=0)
+
+    p_faults = sub.add_parser(
+        "faults", help="perturb a run archive with injected faults"
+    )
+    p_faults.add_argument("source", nargs="?", help="run archive to perturb")
+    p_faults.add_argument("dest", nargs="?", help="where to write the perturbed copy")
+    p_faults.add_argument(
+        "--fault", action="append", default=[], metavar="NAME[:SEVERITY]",
+        help="fault to inject (repeatable, applied in order); "
+             "severity in [0, 1], default 0.3",
+    )
+    p_faults.add_argument("--seed", type=int, default=0)
+    p_faults.add_argument(
+        "--list", action="store_true", help="list the available fault types"
+    )
+    p_faults.add_argument(
+        "--grid", action="store_true",
+        help="sweep fault type x severity and report which invariants break",
+    )
+    p_faults.add_argument(
+        "--severities", default="0.1,0.3,0.5", metavar="S1,S2,...",
+        help="severity levels for --grid (default: %(default)s)",
+    )
+    p_faults.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes for --grid",
+    )
+    p_faults.add_argument(
+        "--work-dir", metavar="DIR",
+        help="keep --grid's perturbed archives here instead of a temp dir",
+    )
 
     sub.add_parser("datasets", help="list datasets")
     sub.add_parser("systems", help="list systems and algorithms")
@@ -164,6 +206,75 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(render_report(profile, extended=args.extended))
+    if args.check_invariants:
+        report = profile.check_invariants()
+        print(report.render())
+        if not report.ok:
+            return 3
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .faults import (
+        FAULTS,
+        FaultError,
+        apply_faults,
+        parse_fault,
+        run_fault_grid,
+    )
+    from .workloads.archive import ArchiveError
+
+    if args.list:
+        rows = [
+            [name, (cls.__doc__ or "").strip().splitlines()[0]]
+            for name, cls in FAULTS.items()
+        ]
+        print(format_table(["fault", "description"], rows, title="Fault taxonomy"))
+        return 0
+    if args.source is None:
+        print("error: a source archive is required (or use --list)", file=sys.stderr)
+        return 2
+    try:
+        if args.grid:
+            severities = tuple(
+                float(s) for s in args.severities.split(",") if s.strip()
+            )
+            cells = run_fault_grid(
+                args.source,
+                severities=severities,
+                seed=args.seed,
+                jobs=args.jobs,
+                work_dir=args.work_dir,
+            )
+            by_fault: dict[str, dict[float, str]] = {}
+            for c in cells:
+                short = {
+                    "ok": "ok",
+                    "error": "typed error",
+                    "violations": f"{c.n_violations} violation(s): "
+                                  + ",".join(c.invariants),
+                }[c.outcome]
+                by_fault.setdefault(c.fault, {})[c.severity] = short
+            print(format_table(
+                ["fault"] + [f"{s:g}" for s in severities],
+                [[f] + [row.get(s, "-") for s in severities]
+                 for f, row in by_fault.items()],
+                title="Fault grid — analysis outcome per fault x severity",
+            ))
+            return 0
+        if args.dest is None or not args.fault:
+            print(
+                "error: perturbing needs SOURCE DEST and at least one --fault",
+                file=sys.stderr,
+            )
+            return 2
+        faults = [parse_fault(text) for text in args.fault]
+        dest = apply_faults(args.source, args.dest, faults, seed=args.seed)
+    except (FaultError, ArchiveError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    applied = ", ".join(f.describe() for f in faults)
+    print(f"perturbed archive written to {dest} ({applied})", file=sys.stderr)
     return 0
 
 
@@ -288,6 +399,7 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "experiment": _cmd_experiment,
         "suite": _cmd_suite,
+        "faults": _cmd_faults,
         "datasets": _cmd_datasets,
         "systems": _cmd_systems,
     }

@@ -43,6 +43,7 @@ from .drilldown import WindowView, drill_down, drill_into_instance
 from .export import profile_to_dict, write_profile_json
 from .hierarchy import PhaseSummary, render_phase_tree, summarize
 from .inference import InferenceResult, InferredRule, infer_rules
+from .invariants import INVARIANTS, InvariantReport, InvariantViolation, check_profile
 from .issues import (
     IssueReport,
     PerformanceIssue,
@@ -119,6 +120,10 @@ __all__ = [
     "InferenceResult",
     "InferredRule",
     "infer_rules",
+    "INVARIANTS",
+    "InvariantReport",
+    "InvariantViolation",
+    "check_profile",
     "IssueReport",
     "PerformanceIssue",
     "detect_bottleneck_issues",

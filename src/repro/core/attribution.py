@@ -56,6 +56,16 @@ class ResourceAttribution:
     demand: np.ndarray  # (n_instances, n_slices) — estimated per-instance demand
     is_exact: np.ndarray  # (n_instances,) bool
 
+    def total_per_slice(self) -> np.ndarray:
+        """Attributed plus unattributed consumption per slice.
+
+        By construction this equals the upsampled consumption rate — the
+        conservation invariant :mod:`repro.core.invariants` enforces.
+        """
+        if self.usage.size == 0:
+            return self.unattributed.copy()
+        return self.usage.sum(axis=0) + self.unattributed
+
     def row_of(self, instance_id: str) -> int:
         """Row index of an instance in :attr:`usage` (``KeyError`` if absent)."""
         try:

@@ -66,6 +66,15 @@ class PerformanceProfile:
     def makespan(self) -> float:
         return self.execution_trace.makespan
 
+    def check_invariants(self, *, rel_tol: float = 1e-6) -> "InvariantReport":
+        """Run the pipeline invariant checker on this profile.
+
+        See :mod:`repro.core.invariants` for the invariant catalog.
+        """
+        from .invariants import check_profile
+
+        return check_profile(self, rel_tol=rel_tol)
+
 
 class Grade10:
     """The Grade10 performance characterization framework.

@@ -109,6 +109,16 @@ class PhaseInstance:
     def phase_name(self) -> str:
         return self.phase_path.rsplit(PATH_SEPARATOR, 1)[-1]
 
+    def encloses(self, other: "PhaseInstance", *, tol: float = 0.0) -> bool:
+        """True when ``other``'s interval lies within this instance's interval.
+
+        The hierarchy invariant every well-formed trace satisfies: a child
+        runs inside its parent.  ``tol`` admits boundary round-off.
+        """
+        return (
+            other.t_start >= self.t_start - tol and other.t_end <= self.t_end + tol
+        )
+
     def blocked_time(self, resource: str | None = None) -> float:
         """Total time this instance spent blocked (optionally on one resource).
 

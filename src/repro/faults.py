@@ -1,0 +1,619 @@
+"""Deterministic fault injection for run archives.
+
+Grade10's promise is turning *imperfect* telemetry into a trustworthy
+profile, so the pipeline must be exercised on imperfect telemetry.  This
+module perturbs a run archive (see :mod:`repro.workloads.archive`)
+*between generation and analysis* — exactly where real degradation
+happens: the monitoring collector drops or duplicates samples, the log
+shipper truncates or reorders events, machines disagree about the time,
+a metrics exporter flatlines, an instrumentation hook is lost.
+
+Design:
+
+* every fault is a frozen, parameterized :class:`FaultSpec` whose
+  :meth:`~FaultSpec.apply` rewrites an in-memory
+  :class:`ArchiveArtifacts`;
+* faults compose — :func:`apply_faults` applies a sequence to a copy of
+  the archive, leaving the source untouched;
+* randomness is deterministic and *order-independent per fault*: each
+  fault draws from its own :class:`random.Random` seeded by
+  ``(seed, position, fault name)`` via
+  :func:`repro.parallel.derive_cell_seed`, so a fixed seed always yields
+  a byte-identical perturbed archive;
+* round-tripping is exact: artifacts are re-serialized in the archive's
+  native formats (``repr`` floats in CSV, compact JSON lines), so a
+  zero-severity fault produces byte-identical files — the metamorphic
+  anchor the test layer pins;
+* :func:`run_fault_grid` sweeps fault type × severity through
+  :func:`repro.parallel.parallel_map` and reports, per cell, whether the
+  analysis stayed clean, raised a typed error, or surfaced
+  :class:`~repro.core.invariants.InvariantViolation`\\ s.
+
+Every perturbed archive carries a ``faults.json`` provenance record
+(seed plus the applied fault descriptors).
+"""
+
+from __future__ import annotations
+
+import csv
+import fnmatch
+import io
+import json
+import math
+import random
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from .parallel import derive_cell_seed, parallel_map
+from .workloads.archive import (
+    EVENTS_FILE,
+    GROUND_TRUTH_FILE,
+    META_FILE,
+    MODELS_FILE,
+    MONITORING_FILE,
+    ArchiveError,
+    ArchiveNotFoundError,
+    REQUIRED_FILES,
+)
+
+__all__ = [
+    "FAULTS",
+    "PROVENANCE_FILE",
+    "FaultError",
+    "FaultSpec",
+    "DropSamples",
+    "DuplicateSamples",
+    "TruncateLog",
+    "ReorderEvents",
+    "ClockSkew",
+    "ZeroResource",
+    "DropPhaseBoundaries",
+    "ArchiveArtifacts",
+    "read_artifacts",
+    "write_artifacts",
+    "apply_faults",
+    "fault_at",
+    "fault_names",
+    "parse_fault",
+    "FaultGridCell",
+    "run_fault_grid",
+]
+
+#: Provenance record written into every perturbed archive.
+PROVENANCE_FILE = "faults.json"
+
+
+class FaultError(ValueError):
+    """A fault specification is invalid (unknown name, bad parameters)."""
+
+
+# ---------------------------------------------------------------------- #
+# Archive artifacts: the in-memory form faults operate on
+# ---------------------------------------------------------------------- #
+
+_CSV_HEADER = ["resource", "t_start", "t_end", "value"]
+
+
+@dataclass
+class ArchiveArtifacts:
+    """A run archive loaded for perturbation.
+
+    ``events`` are the parsed JSONL event dicts in file order;
+    ``monitoring`` holds ``[resource, t_start, t_end, value]`` rows in
+    file order.  ``models_bytes`` and ``ground_truth_bytes`` pass through
+    opaquely — faults model telemetry degradation, not model corruption
+    (byte-level corruption is covered by the archive truncation tests).
+    """
+
+    events: list[dict[str, Any]]
+    monitoring: list[list[Any]]
+    meta: dict[str, Any]
+    models_bytes: bytes
+    ground_truth_bytes: bytes | None = None
+
+    @property
+    def machines(self) -> list[str]:
+        """Machine names, from metadata or inferred from the events."""
+        names = self.meta.get("machines")
+        if names:
+            return list(names)
+        seen: dict[str, None] = {}
+        for ev in self.events:
+            m = ev.get("machine")
+            if m:
+                seen.setdefault(m, None)
+        return list(seen)
+
+    def resources(self) -> list[str]:
+        """Distinct monitored resource names, in first-seen order."""
+        seen: dict[str, None] = {}
+        for row in self.monitoring:
+            seen.setdefault(row[0], None)
+        return list(seen)
+
+    def instance_machines(self) -> dict[str, str]:
+        """Map instance id -> machine, from the phase_start events."""
+        out: dict[str, str] = {}
+        for ev in self.events:
+            if ev.get("event") == "phase_start" and ev.get("machine"):
+                out.setdefault(ev["id"], ev["machine"])
+        return out
+
+
+def read_artifacts(directory: str | Path) -> ArchiveArtifacts:
+    """Load an archive's artifacts for perturbation.
+
+    Raises :class:`~repro.workloads.archive.ArchiveNotFoundError` when the
+    directory or a required file is absent, mirroring ``load_run``.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ArchiveNotFoundError(f"run archive not found: {directory}")
+    missing = [name for name in REQUIRED_FILES if not (directory / name).is_file()]
+    if missing:
+        raise ArchiveNotFoundError(
+            f"run archive at {directory} is incomplete: missing {', '.join(missing)}"
+        )
+    events = [
+        json.loads(line)
+        for line in (directory / EVENTS_FILE).read_text().splitlines()
+        if line.strip()
+    ]
+    monitoring: list[list[Any]] = []
+    with open(directory / MONITORING_FILE, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header is not None and header != _CSV_HEADER:
+            raise ArchiveError(f"unexpected monitoring CSV header: {header}")
+        for row in reader:
+            if row:
+                monitoring.append([row[0], float(row[1]), float(row[2]), float(row[3])])
+    gt = directory / GROUND_TRUTH_FILE
+    return ArchiveArtifacts(
+        events=events,
+        monitoring=monitoring,
+        meta=json.loads((directory / META_FILE).read_text()),
+        models_bytes=(directory / MODELS_FILE).read_bytes(),
+        ground_truth_bytes=gt.read_bytes() if gt.is_file() else None,
+    )
+
+
+def write_artifacts(artifacts: ArchiveArtifacts, directory: str | Path) -> Path:
+    """Write artifacts in the archive's native serialization.
+
+    Serialization matches ``save_run`` byte for byte (compact JSON lines,
+    ``repr`` floats in the CSV), so an unperturbed round trip is the
+    identity on every file.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    with open(directory / EVENTS_FILE, "w") as fh:
+        for ev in artifacts.events:
+            fh.write(json.dumps(ev, separators=(",", ":")) + "\n")
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(_CSV_HEADER)
+    for resource, t_start, t_end, value in artifacts.monitoring:
+        writer.writerow([resource, repr(t_start), repr(t_end), repr(value)])
+    (directory / MONITORING_FILE).write_text(buf.getvalue(), newline="")
+    (directory / MODELS_FILE).write_bytes(artifacts.models_bytes)
+    (directory / META_FILE).write_text(json.dumps(artifacts.meta, indent=2))
+    if artifacts.ground_truth_bytes is not None:
+        (directory / GROUND_TRUTH_FILE).write_bytes(artifacts.ground_truth_bytes)
+    return directory
+
+
+# ---------------------------------------------------------------------- #
+# The fault taxonomy
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One composable, parameterized archive perturbation."""
+
+    #: Registry key; subclasses override.
+    name = "fault"
+
+    def apply(self, artifacts: ArchiveArtifacts, rng: random.Random) -> None:
+        """Perturb ``artifacts`` in place, drawing randomness from ``rng``."""
+        raise NotImplementedError
+
+    def params(self) -> dict[str, Any]:
+        """The fault's parameters (for provenance records and labels)."""
+        return {k: v for k, v in self.__dict__.items()}
+
+    def describe(self) -> str:
+        """Human-readable one-line descriptor, e.g. ``drop_samples(fraction=0.3)``."""
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.params().items())
+        return f"{self.name}({inner})"
+
+
+def _check_fraction(fraction: float, what: str) -> None:
+    if not 0.0 <= fraction <= 1.0:
+        raise FaultError(f"{what} must be in [0, 1], got {fraction}")
+
+
+@dataclass(frozen=True)
+class DropSamples(FaultSpec):
+    """Drop a fraction of monitoring samples (collector loss).
+
+    ``pattern`` restricts the loss to matching resource streams
+    (``fnmatch`` glob, e.g. ``"cpu@*"``).
+    """
+
+    fraction: float = 0.1
+    pattern: str = "*"
+    name = "drop_samples"
+
+    def __post_init__(self) -> None:
+        _check_fraction(self.fraction, "drop_samples fraction")
+
+    def apply(self, artifacts: ArchiveArtifacts, rng: random.Random) -> None:
+        if self.fraction == 0.0:
+            return
+        artifacts.monitoring = [
+            row
+            for row in artifacts.monitoring
+            if not (fnmatch.fnmatch(row[0], self.pattern) and rng.random() < self.fraction)
+        ]
+
+
+@dataclass(frozen=True)
+class DuplicateSamples(FaultSpec):
+    """Duplicate a fraction of monitoring samples (at-least-once delivery)."""
+
+    fraction: float = 0.1
+    name = "duplicate_samples"
+
+    def __post_init__(self) -> None:
+        _check_fraction(self.fraction, "duplicate_samples fraction")
+
+    def apply(self, artifacts: ArchiveArtifacts, rng: random.Random) -> None:
+        if self.fraction == 0.0:
+            return
+        out: list[list[Any]] = []
+        for row in artifacts.monitoring:
+            out.append(row)
+            if rng.random() < self.fraction:
+                out.append(list(row))
+        artifacts.monitoring = out
+
+
+@dataclass(frozen=True)
+class TruncateLog(FaultSpec):
+    """Drop the tail of the execution log (crashed or lagging shipper).
+
+    ``fraction`` is the share of trailing events lost; ``1.0`` loses the
+    whole log, which analysis must reject with a typed error.
+    """
+
+    fraction: float = 0.2
+    name = "truncate_log"
+
+    def __post_init__(self) -> None:
+        _check_fraction(self.fraction, "truncate_log fraction")
+
+    def apply(self, artifacts: ArchiveArtifacts, rng: random.Random) -> None:
+        keep = round(len(artifacts.events) * (1.0 - self.fraction))
+        artifacts.events = artifacts.events[:keep]
+
+
+@dataclass(frozen=True)
+class ReorderEvents(FaultSpec):
+    """Shuffle execution-log events within bounded windows.
+
+    Models out-of-order delivery from concurrent per-machine log streams:
+    events may arrive up to ``window`` positions out of place (timestamps
+    are untouched).  ``severity`` scales the window in :func:`fault_at`.
+    """
+
+    window: int = 8
+    name = "reorder_events"
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise FaultError(f"reorder_events window must be >= 1, got {self.window}")
+
+    def apply(self, artifacts: ArchiveArtifacts, rng: random.Random) -> None:
+        if self.window == 1:
+            return
+        events = artifacts.events
+        for lo in range(0, len(events), self.window):
+            chunk = events[lo : lo + self.window]
+            rng.shuffle(chunk)
+            events[lo : lo + self.window] = chunk
+
+
+@dataclass(frozen=True)
+class ClockSkew(FaultSpec):
+    """Shift one or more machines' clocks by a constant offset.
+
+    Applies ``delta`` seconds to every event timestamp originating on the
+    affected machines (phase boundaries, blocking intervals, GC) and to
+    their monitoring windows (resources named ``<metric>@<machine>``).
+    With ``machines=None`` the rng picks half the cluster (at least one).
+    """
+
+    delta: float = 0.5
+    machines: tuple[str, ...] | None = None
+    name = "clock_skew"
+
+    def apply(self, artifacts: ArchiveArtifacts, rng: random.Random) -> None:
+        if self.delta == 0.0:
+            return
+        cluster = artifacts.machines
+        if self.machines is not None:
+            affected = set(self.machines)
+            unknown = affected - set(cluster)
+            if unknown:
+                raise FaultError(
+                    f"clock_skew targets unknown machine(s): {sorted(unknown)}"
+                )
+        elif cluster:
+            affected = set(rng.sample(sorted(cluster), max(1, len(cluster) // 2)))
+        else:
+            return
+        owner = artifacts.instance_machines()
+        for ev in artifacts.events:
+            machine = ev.get("machine") or owner.get(ev.get("id", ""))
+            if machine not in affected:
+                continue
+            if "t" in ev:
+                ev["t"] = ev["t"] + self.delta
+            if "t_end" in ev:
+                ev["t_end"] = ev["t_end"] + self.delta
+        for row in artifacts.monitoring:
+            _, _, machine = row[0].rpartition("@")
+            if machine in affected:
+                row[1] += self.delta
+                row[2] += self.delta
+
+
+@dataclass(frozen=True)
+class ZeroResource(FaultSpec):
+    """Flatline a share of the monitored resource streams (dead exporter).
+
+    Among streams matching ``pattern``, the rng selects
+    ``ceil(fraction × count)`` and zeroes every sample value.
+    """
+
+    fraction: float = 1.0
+    pattern: str = "*"
+    name = "zero_resource"
+
+    def __post_init__(self) -> None:
+        _check_fraction(self.fraction, "zero_resource fraction")
+
+    def apply(self, artifacts: ArchiveArtifacts, rng: random.Random) -> None:
+        matching = [r for r in artifacts.resources() if fnmatch.fnmatch(r, self.pattern)]
+        if not matching or self.fraction == 0.0:
+            return
+        n = min(len(matching), math.ceil(len(matching) * self.fraction))
+        chosen = set(rng.sample(sorted(matching), n))
+        for row in artifacts.monitoring:
+            if row[0] in chosen:
+                row[3] = 0.0
+
+
+@dataclass(frozen=True)
+class DropPhaseBoundaries(FaultSpec):
+    """Delete a fraction of phase-boundary events (lost instrumentation).
+
+    ``kind`` selects which boundaries are at risk: ``"start"``, ``"end"``,
+    or ``"both"``.  Dropped starts orphan their children (the parser
+    promotes them to top-level); dropped ends leave phases open until the
+    log horizon.
+    """
+
+    fraction: float = 0.1
+    kind: str = "both"
+    name = "drop_phase_boundaries"
+
+    def __post_init__(self) -> None:
+        _check_fraction(self.fraction, "drop_phase_boundaries fraction")
+        if self.kind not in ("start", "end", "both"):
+            raise FaultError(
+                f"drop_phase_boundaries kind must be start|end|both, got {self.kind!r}"
+            )
+
+    def apply(self, artifacts: ArchiveArtifacts, rng: random.Random) -> None:
+        if self.fraction == 0.0:
+            return
+        at_risk = {
+            "start": ("phase_start",),
+            "end": ("phase_end",),
+            "both": ("phase_start", "phase_end"),
+        }[self.kind]
+        artifacts.events = [
+            ev
+            for ev in artifacts.events
+            if not (ev.get("event") in at_risk and rng.random() < self.fraction)
+        ]
+
+
+#: Registry of shipped fault types, keyed by CLI/grid name.
+FAULTS: dict[str, type[FaultSpec]] = {
+    cls.name: cls
+    for cls in (
+        DropSamples,
+        DuplicateSamples,
+        TruncateLog,
+        ReorderEvents,
+        ClockSkew,
+        ZeroResource,
+        DropPhaseBoundaries,
+    )
+}
+
+
+def fault_names() -> tuple[str, ...]:
+    """The shipped fault types, in registry order."""
+    return tuple(FAULTS)
+
+
+def fault_at(name: str, severity: float) -> FaultSpec:
+    """Construct a fault at a normalized severity in ``[0, 1]``.
+
+    Severity maps onto each fault's natural magnitude parameter: a
+    drop/duplicate/truncate/boundary fraction, the reorder window
+    (``1 + severity × 20`` positions), the skew offset
+    (``severity × 1 s``), or the share of zeroed streams.
+    """
+    if name not in FAULTS:
+        raise FaultError(f"unknown fault {name!r}; available: {', '.join(FAULTS)}")
+    if not 0.0 <= severity <= 1.0:
+        raise FaultError(f"severity must be in [0, 1], got {severity}")
+    if name == "reorder_events":
+        return ReorderEvents(window=1 + round(severity * 20))
+    if name == "clock_skew":
+        return ClockSkew(delta=severity * 1.0)
+    return FAULTS[name](fraction=severity)  # type: ignore[call-arg]
+
+
+def parse_fault(text: str) -> FaultSpec:
+    """Parse a CLI fault descriptor: ``name`` or ``name:severity``."""
+    name, sep, severity = text.partition(":")
+    name = name.strip().replace("-", "_")
+    if not sep:
+        return fault_at(name, 0.3)
+    try:
+        value = float(severity)
+    except ValueError:
+        raise FaultError(f"bad severity {severity!r} in fault {text!r}") from None
+    return fault_at(name, value)
+
+
+# ---------------------------------------------------------------------- #
+# Applying faults to archives
+# ---------------------------------------------------------------------- #
+
+
+def apply_faults(
+    source: str | Path,
+    dest: str | Path,
+    faults: Sequence[FaultSpec],
+    *,
+    seed: int = 0,
+) -> Path:
+    """Write a perturbed copy of ``source`` to ``dest``.
+
+    Faults are applied in order; each draws from an independent rng
+    derived from ``(seed, position, name)``, so the result is a pure
+    function of (source bytes, fault list, seed).  The source archive is
+    never modified.
+    """
+    source, dest = Path(source), Path(dest)
+    if source.resolve() == dest.resolve():
+        raise FaultError("fault injection must not overwrite the source archive")
+    artifacts = read_artifacts(source)
+    for i, fault in enumerate(faults):
+        rng = random.Random(derive_cell_seed(seed, f"fault:{i}:{fault.name}"))
+        fault.apply(artifacts, rng)
+    write_artifacts(artifacts, dest)
+    (dest / PROVENANCE_FILE).write_text(
+        json.dumps(
+            {
+                "seed": seed,
+                "source": str(source),
+                "faults": [{"name": f.name, "params": f.params()} for f in faults],
+            },
+            indent=2,
+        )
+    )
+    return dest
+
+
+# ---------------------------------------------------------------------- #
+# Fault grid: fault type × severity, through the parallel engine
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class FaultGridCell:
+    """Outcome of analyzing one perturbed archive.
+
+    ``outcome`` is ``"ok"`` (clean profile, all invariants hold),
+    ``"violations"`` (profile produced, invariant checker reported), or
+    ``"error"`` (analysis refused with a typed :class:`ArchiveError`).
+    """
+
+    fault: str
+    severity: float
+    outcome: str
+    detail: str = ""
+    invariants: tuple[str, ...] = ()
+    n_violations: int = 0
+
+    @property
+    def label(self) -> str:
+        return f"{self.fault}@{self.severity:g}"
+
+
+def _fault_grid_cell(
+    archive: str, work_dir: str, name: str, severity: float, seed: int
+) -> FaultGridCell:
+    """One grid cell: perturb, analyze, check invariants (picklable)."""
+    from .workloads.archive import characterize_archive
+
+    dest = Path(work_dir) / f"{name}-{severity:g}"
+    apply_faults(archive, dest, [fault_at(name, severity)], seed=seed)
+    try:
+        profile = characterize_archive(dest)
+    except ArchiveError as exc:
+        return FaultGridCell(
+            fault=name,
+            severity=severity,
+            outcome="error",
+            detail=f"{type(exc).__name__}: {exc}",
+        )
+    report = profile.check_invariants()
+    if report.ok:
+        return FaultGridCell(fault=name, severity=severity, outcome="ok")
+    return FaultGridCell(
+        fault=name,
+        severity=severity,
+        outcome="violations",
+        detail=report.violations[0].message,
+        invariants=tuple(sorted(report.summary())),
+        n_violations=len(report),
+    )
+
+
+def run_fault_grid(
+    archive: str | Path,
+    *,
+    faults: Sequence[str] | None = None,
+    severities: Sequence[float] = (0.1, 0.3, 0.5),
+    seed: int = 0,
+    jobs: int = 1,
+    work_dir: str | Path | None = None,
+) -> list[FaultGridCell]:
+    """Sweep fault type × severity over one archive and classify outcomes.
+
+    Cells fan out across :func:`repro.parallel.parallel_map`; results come
+    back in (fault, severity) input order.  ``work_dir`` receives the
+    perturbed archive copies (a temp directory, cleaned up afterwards,
+    when omitted).
+    """
+    names = list(faults) if faults is not None else list(fault_names())
+    for name in names:
+        if name not in FAULTS:
+            raise FaultError(f"unknown fault {name!r}; available: {', '.join(FAULTS)}")
+    archive = str(archive)
+
+    def sweep(directory: str) -> list[FaultGridCell]:
+        tasks = [
+            (archive, directory, name, float(severity), seed)
+            for name in names
+            for severity in severities
+        ]
+        return parallel_map(_fault_grid_cell, tasks, jobs=jobs)
+
+    if work_dir is not None:
+        Path(work_dir).mkdir(parents=True, exist_ok=True)
+        return sweep(str(work_dir))
+    with tempfile.TemporaryDirectory(prefix="fault-grid-") as tmp:
+        return sweep(tmp)

@@ -41,19 +41,33 @@ __all__ = [
     "ArchiveError",
     "ArchiveNotFoundError",
     "ArchiveCorruptError",
+    "EVENTS_FILE",
+    "MONITORING_FILE",
+    "GROUND_TRUTH_FILE",
+    "MODELS_FILE",
+    "META_FILE",
+    "REQUIRED_FILES",
     "save_run",
     "load_run",
     "characterize_archive",
 ]
 
-_EVENTS = "events.jsonl"
-_MONITORING = "monitoring.csv"
-_GROUND_TRUTH = "ground_truth.csv"
-_MODELS = "models.json"
-_META = "meta.json"
+#: Archive member file names (the on-disk run-archive layout).
+EVENTS_FILE = "events.jsonl"
+MONITORING_FILE = "monitoring.csv"
+GROUND_TRUTH_FILE = "ground_truth.csv"
+MODELS_FILE = "models.json"
+META_FILE = "meta.json"
+
+_EVENTS = EVENTS_FILE
+_MONITORING = MONITORING_FILE
+_GROUND_TRUTH = GROUND_TRUTH_FILE
+_MODELS = MODELS_FILE
+_META = META_FILE
 
 #: Files a readable archive must contain (ground truth is optional extra).
-_REQUIRED = (_EVENTS, _MONITORING, _MODELS, _META)
+REQUIRED_FILES = (_EVENTS, _MONITORING, _MODELS, _META)
+_REQUIRED = REQUIRED_FILES
 
 
 class ArchiveError(Exception):
@@ -151,10 +165,17 @@ def load_run(
         raise ArchiveCorruptError(
             f"run archive at {directory} is corrupt: {_EVENTS} holds no phase events"
         )
-    execution_trace = parse_execution_trace(
-        log, include_blocking=True, include_gc_phases=tuned
-    )
-    merge_blocking_into_resource_trace(log, resource_trace)
+    try:
+        execution_trace = parse_execution_trace(
+            log, include_blocking=True, include_gc_phases=tuned
+        )
+        merge_blocking_into_resource_trace(log, resource_trace)
+    except (KeyError, TypeError, ValueError) as exc:
+        # Degraded logs (truncated writes, injected faults, foreign tools)
+        # surface as one typed, catchable failure — never a raw crash.
+        raise ArchiveCorruptError(
+            f"run archive at {directory} holds an unparseable event log: {exc}"
+        ) from exc
     return execution_trace, resource_trace, models, meta
 
 

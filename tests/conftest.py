@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.workloads import WorkloadSpec, run_workload
+from repro.workloads.archive import save_run
+
+#: Every file a complete run archive contains, for byte-level comparisons.
+ARCHIVE_FILES = (
+    "events.jsonl",
+    "monitoring.csv",
+    "ground_truth.csv",
+    "models.json",
+    "meta.json",
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_archive(tmp_path_factory):
+    """One archived tiny giraph run, shared by the fault-injection tests.
+
+    Session-scoped: the workload runs once; tests that perturb it always
+    write to their *own* destination directories, never this one.
+    """
+    run = run_workload(WorkloadSpec("giraph", "graph500", "pr", preset="tiny", seed=0))
+    directory = tmp_path_factory.mktemp("fault-source") / "archive"
+    save_run(run.system_run, directory)
+    return directory
+
+
+def archive_bytes(directory):
+    """Map archive file name -> content bytes, for exact comparisons."""
+    return {
+        name: (directory / name).read_bytes()
+        for name in ARCHIVE_FILES
+        if (directory / name).is_file()
+    }

@@ -1,0 +1,112 @@
+"""Metamorphic tests for fault injection.
+
+Three relations pin the harness's semantics:
+
+* **Inverse skew** — shifting machines' clocks by +δ and then by −δ is the
+  identity, byte for byte, and therefore yields a bit-identical profile.
+  Float addition only composes exactly when the timestamps are exactly
+  representable at the skew's scale, so the relation is pinned on a copy
+  of the archive whose timestamps are snapped to a dyadic grid (multiples
+  of 2⁻¹⁶ ≈ 15 µs) — adding and removing δ = 0.5 is then exact.
+* **Zero severity** — every fault at severity 0 is a byte no-op.
+* **Determinism** — a fixed (source, faults, seed) triple always produces
+  a byte-identical perturbed archive; changing the seed changes it.
+"""
+
+import pytest
+
+from repro.core.export import profile_to_dict
+from repro.faults import (
+    FAULTS,
+    ClockSkew,
+    DropSamples,
+    apply_faults,
+    fault_at,
+    read_artifacts,
+    write_artifacts,
+)
+from repro.workloads.archive import characterize_archive
+
+from .conftest import archive_bytes
+
+#: Dyadic quantum for the inverse-skew relation (2**-16 seconds).
+SNAP = 65536.0
+DELTA = 0.5
+MACHINES = ("m0", "m2")
+
+
+def snap(x: float) -> float:
+    return round(x * SNAP) / SNAP
+
+
+@pytest.fixture(scope="module")
+def snapped_archive(tiny_archive, tmp_path_factory):
+    """The tiny archive with every timestamp snapped to the dyadic grid."""
+    artifacts = read_artifacts(tiny_archive)
+    for ev in artifacts.events:
+        for key in ("t", "t_end"):
+            if key in ev:
+                ev[key] = snap(float(ev[key]))
+    for row in artifacts.monitoring:
+        row[1] = snap(row[1])
+        row[2] = snap(row[2])
+    return write_artifacts(artifacts, tmp_path_factory.mktemp("snapped") / "archive")
+
+
+class TestInverseSkew:
+    def test_skew_then_unskew_is_byte_identity(self, snapped_archive, tmp_path):
+        dest = apply_faults(
+            snapped_archive,
+            tmp_path / "pair",
+            [
+                ClockSkew(delta=DELTA, machines=MACHINES),
+                ClockSkew(delta=-DELTA, machines=MACHINES),
+            ],
+            seed=3,
+        )
+        assert archive_bytes(dest) == archive_bytes(snapped_archive)
+
+    def test_skew_then_unskew_profile_is_bit_identical(self, snapped_archive, tmp_path):
+        dest = apply_faults(
+            snapped_archive,
+            tmp_path / "pair",
+            [
+                ClockSkew(delta=DELTA, machines=MACHINES),
+                ClockSkew(delta=-DELTA, machines=MACHINES),
+            ],
+            seed=3,
+        )
+        baseline = profile_to_dict(characterize_archive(snapped_archive), series=True)
+        restored = profile_to_dict(characterize_archive(dest), series=True)
+        assert restored == baseline  # exact equality, no tolerance
+
+    def test_single_skew_actually_changes_bytes(self, snapped_archive, tmp_path):
+        """The inverse relation is not vacuous: one skew alone does perturb."""
+        dest = apply_faults(
+            snapped_archive,
+            tmp_path / "one",
+            [ClockSkew(delta=DELTA, machines=MACHINES)],
+            seed=3,
+        )
+        assert archive_bytes(dest) != archive_bytes(snapped_archive)
+
+
+class TestZeroSeverity:
+    def test_all_faults_at_severity_zero_are_byte_noops(self, tiny_archive, tmp_path):
+        faults = [fault_at(name, 0.0) for name in FAULTS]
+        dest = apply_faults(tiny_archive, tmp_path / "noop", faults, seed=99)
+        assert archive_bytes(dest) == archive_bytes(tiny_archive)
+
+
+class TestDeterminism:
+    FAULT_LIST = [DropSamples(fraction=0.5), ClockSkew(delta=0.3)]
+
+    def test_same_seed_is_byte_reproducible(self, tiny_archive, tmp_path):
+        a = apply_faults(tiny_archive, tmp_path / "a", self.FAULT_LIST, seed=7)
+        b = apply_faults(tiny_archive, tmp_path / "b", self.FAULT_LIST, seed=7)
+        assert archive_bytes(a) == archive_bytes(b)
+
+    def test_different_seed_differs(self, tiny_archive, tmp_path):
+        a = apply_faults(tiny_archive, tmp_path / "a", self.FAULT_LIST, seed=7)
+        b = apply_faults(tiny_archive, tmp_path / "b", self.FAULT_LIST, seed=8)
+        assert archive_bytes(a) != archive_bytes(b)

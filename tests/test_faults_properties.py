@@ -1,0 +1,84 @@
+"""Property-based tests for fault injection (hypothesis).
+
+The contract under randomized (fault, severity, seed) triples:
+
+* analyzing any perturbed archive either succeeds, raises a typed
+  :class:`ArchiveError`, or yields a profile whose invariant checker
+  reports typed violations — never an unhandled exception;
+* when the invariant checker passes, the profile is genuinely finite
+  (no silent NaN or negative attribution);
+* fault application itself is a pure function of (source, faults, seed).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FAULTS, apply_faults, fault_at
+from repro.workloads.archive import ArchiveError, characterize_archive
+
+from .conftest import archive_bytes
+
+fault_names = st.sampled_from(sorted(FAULTS))
+severities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@settings(max_examples=15, **COMMON)
+@given(name=fault_names, severity=severities, seed=seeds)
+def test_any_perturbed_archive_degrades_gracefully(tiny_archive, tmp_path, name, severity, seed):
+    dest = tmp_path / "perturbed"
+    apply_faults(tiny_archive, dest, [fault_at(name, severity)], seed=seed)
+    try:
+        profile = characterize_archive(dest)
+    except ArchiveError:
+        return  # typed refusal: graceful
+    report = profile.check_invariants()
+    if report.ok:
+        # A clean report really means a finite profile, not a missed NaN.
+        assert math.isfinite(profile.makespan) and profile.makespan > 0
+        for resource in profile.attribution.resources():
+            ra = profile.attribution[resource]
+            assert np.isfinite(ra.usage).all() and np.isfinite(ra.unattributed).all()
+            neg_tol = 1e-6 * max(1.0, float(ra.capacity))
+            assert (ra.unattributed >= -neg_tol).all()
+    else:
+        for violation in report:
+            assert violation.invariant in report.checked
+            assert violation.count >= 1
+
+
+@settings(max_examples=10, **COMMON)
+@given(
+    first=fault_names,
+    second=fault_names,
+    severity=st.floats(min_value=0.1, max_value=0.6, allow_nan=False),
+    seed=seeds,
+)
+def test_composed_faults_degrade_gracefully(tiny_archive, tmp_path, first, second, severity, seed):
+    dest = tmp_path / "composed"
+    faults = [fault_at(first, severity), fault_at(second, severity)]
+    apply_faults(tiny_archive, dest, faults, seed=seed)
+    try:
+        profile = characterize_archive(dest)
+    except ArchiveError:
+        return
+    report = profile.check_invariants()
+    assert all(v.invariant in report.checked for v in report)
+
+
+@settings(max_examples=15, **COMMON)
+@given(name=fault_names, severity=severities, seed=seeds)
+def test_fault_application_is_deterministic(tiny_archive, tmp_path, name, severity, seed):
+    faults = [fault_at(name, severity)]
+    a = apply_faults(tiny_archive, tmp_path / "a", faults, seed=seed)
+    b = apply_faults(tiny_archive, tmp_path / "b", faults, seed=seed)
+    assert archive_bytes(a) == archive_bytes(b)

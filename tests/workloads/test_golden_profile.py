@@ -1,54 +1,80 @@
-"""Golden-profile regression test.
+"""Golden-profile regression tests, one fixture per simulated system.
 
-One small suite cell's full profile summary — bottleneck report,
-per-resource attribution totals, issue list, outlier statistics — is
-checked in as ``tests/data/golden_profile_giraph_graph500_pr_tiny.json``.
-Any change to the simulators, the adapters, or the Grade10 pipeline that
-shifts the numbers fails this test, making silent behavioral drift
-impossible.
+For each system (giraph, powergraph, sparklike) the full profile summary
+of one small suite cell — bottleneck report, per-resource attribution
+totals, issue list, outlier statistics — is checked in as
+``tests/data/golden_profile_<system>_graph500_pr_tiny.json``.  Any change
+to the simulators, the adapters, or the Grade10 pipeline that shifts the
+numbers fails these tests, making silent behavioral drift impossible.
 
-When a change is *intentional*, regenerate the fixture and review the
+When a change is *intentional*, regenerate the fixtures and review the
 diff like any other code change::
 
     PYTHONPATH=src python tests/workloads/test_golden_profile.py --regen
 
 Floats are compared with a tight relative tolerance (1e-6) rather than
-exact equality so the fixture survives numpy/BLAS version changes that
+exact equality so the fixtures survive numpy/BLAS version changes that
 only perturb the last bits.
+
+Beyond the numbers, the golden cells also anchor two guarantees:
+
+* the pipeline invariant checker passes on every unperturbed golden
+  profile (see :mod:`repro.core.invariants`);
+* a golden run's archive, truncated mid-file, round-trips through the
+  typed :class:`~repro.workloads.archive.ArchiveCorruptError` path rather
+  than crashing.
 """
 
+import functools
 import json
 import math
 import sys
 from pathlib import Path
 
+import pytest
+
 from repro.core.export import profile_to_dict
 from repro.workloads import WorkloadSpec, characterize_run, run_workload
+from repro.workloads.archive import ArchiveCorruptError, characterize_archive, save_run
 
-GOLDEN_PATH = (
-    Path(__file__).resolve().parent.parent
-    / "data"
-    / "golden_profile_giraph_graph500_pr_tiny.json"
-)
+DATA_DIR = Path(__file__).resolve().parent.parent / "data"
 
-#: The pinned cell: deterministic seed, tiny preset, tuned model.
-GOLDEN_SPEC = WorkloadSpec("giraph", "graph500", "pr", preset="tiny", seed=0)
+#: The systems with a pinned regression anchor.
+SYSTEMS = ("giraph", "powergraph", "sparklike")
 
 REL_TOL = 1e-6
 ABS_TOL = 1e-9
 
 
-def build_golden_payload() -> dict:
+def golden_path(system: str) -> Path:
+    return DATA_DIR / f"golden_profile_{system}_graph500_pr_tiny.json"
+
+
+def golden_spec(system: str) -> WorkloadSpec:
+    """The pinned cell: deterministic seed, tiny preset, tuned model."""
+    return WorkloadSpec(system, "graph500", "pr", preset="tiny", seed=0)
+
+
+@functools.lru_cache(maxsize=None)
+def golden_run(system: str):
+    return run_workload(golden_spec(system))
+
+
+@functools.lru_cache(maxsize=None)
+def golden_profile(system: str):
+    return characterize_run(golden_run(system), tuned=True)
+
+
+def build_golden_payload(system: str) -> dict:
     """The exact summary the fixture pins (and the regen command writes)."""
-    run = run_workload(GOLDEN_SPEC)
-    profile = characterize_run(run, tuned=True)
-    payload = profile_to_dict(profile, series=False)
+    spec = golden_spec(system)
+    payload = profile_to_dict(golden_profile(system), series=False)
     payload["spec"] = {
-        "system": GOLDEN_SPEC.system,
-        "dataset": GOLDEN_SPEC.dataset,
-        "algorithm": GOLDEN_SPEC.algorithm,
-        "preset": GOLDEN_SPEC.preset,
-        "seed": GOLDEN_SPEC.seed,
+        "system": spec.system,
+        "dataset": spec.dataset,
+        "algorithm": spec.algorithm,
+        "preset": spec.preset,
+        "seed": spec.seed,
     }
     return payload
 
@@ -77,36 +103,88 @@ def _assert_matches(actual, expected, path="$"):
         assert actual == expected, f"{path}: {actual!r} != {expected!r}"
 
 
+@pytest.mark.parametrize("system", SYSTEMS)
 class TestGoldenProfile:
-    def test_fixture_exists(self):
-        assert GOLDEN_PATH.is_file(), (
-            f"missing {GOLDEN_PATH}; regenerate with: "
+    def test_fixture_exists(self, system):
+        assert golden_path(system).is_file(), (
+            f"missing {golden_path(system)}; regenerate with: "
             "PYTHONPATH=src python tests/workloads/test_golden_profile.py --regen"
         )
 
-    def test_profile_matches_golden(self):
-        expected = json.loads(GOLDEN_PATH.read_text())
-        actual = build_golden_payload()
+    def test_profile_matches_golden(self, system):
+        expected = json.loads(golden_path(system).read_text())
+        actual = build_golden_payload(system)
         _assert_matches(actual, expected)
 
-    def test_golden_covers_the_interesting_sections(self):
+    def test_golden_covers_the_interesting_sections(self, system):
         """The fixture actually pins bottlenecks, attribution, and issues."""
-        golden = json.loads(GOLDEN_PATH.read_text())
-        assert golden["bottlenecks"], "golden run should have bottlenecks"
+        golden = json.loads(golden_path(system).read_text())
+        if system != "powergraph":  # the tiny powergraph cell has no bottleneck slices
+            assert golden["bottlenecks"], "golden run should have bottlenecks"
         assert golden["issues"], "golden run should have detected issues"
         assert any(
             entry["total_consumption"] > 0 for entry in golden["resources"].values()
         )
         assert golden["makespan"] > 0
 
+    def test_invariants_hold_on_golden_profile(self, system):
+        """Unperturbed golden profiles satisfy every pipeline invariant."""
+        report = golden_profile(system).check_invariants()
+        assert report.ok, report.render()
+
+
+class TestGoldenArchiveTruncation:
+    """A golden archive truncated mid-file fails with the typed error.
+
+    This pins the degraded-input contract on the same cells the fixtures
+    anchor: byte-level damage to any required archive file surfaces as
+    :class:`ArchiveCorruptError` (catchable, exit code 2 in the CLI) —
+    never an unhandled parser crash.
+    """
+
+    @pytest.fixture(scope="class")
+    def golden_archive(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("golden") / "archive"
+        save_run(golden_run("giraph").system_run, directory)
+        return directory
+
+    @pytest.mark.parametrize(
+        "victim", ["events.jsonl", "monitoring.csv", "models.json", "meta.json"]
+    )
+    def test_mid_file_truncation_is_typed(self, golden_archive, tmp_path, victim):
+        broken = tmp_path / "broken"
+        broken.mkdir()
+        for f in golden_archive.iterdir():
+            (broken / f.name).write_bytes(f.read_bytes())
+        data = (broken / victim).read_bytes()
+        cut = len(data) // 2
+        if victim.endswith(".csv"):
+            # A byte-midpoint cut may land on a row boundary (or inside a
+            # float, which still parses); cut after the first comma of the
+            # midpoint's row so the final row has too few fields.
+            row_start = data.rfind(b"\n", 0, cut) + 1
+            cut = data.index(b",", row_start) + 1
+        (broken / victim).write_bytes(data[:cut])
+        with pytest.raises(ArchiveCorruptError):
+            characterize_archive(broken)
+
+    def test_intact_copy_still_analyzes(self, golden_archive):
+        """The truncation tests fail for the right reason: the source is fine."""
+        profile = characterize_archive(golden_archive)
+        assert profile.makespan > 0
+
 
 def main(argv: list[str]) -> int:
     if "--regen" not in argv:
         print(__doc__)
         return 2
-    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
-    GOLDEN_PATH.write_text(json.dumps(build_golden_payload(), indent=2, sort_keys=True) + "\n")
-    print(f"golden profile written to {GOLDEN_PATH}")
+    DATA_DIR.mkdir(parents=True, exist_ok=True)
+    for system in SYSTEMS:
+        path = golden_path(system)
+        path.write_text(
+            json.dumps(build_golden_payload(system), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"golden profile written to {path}")
     return 0
 
 
