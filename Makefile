@@ -1,6 +1,9 @@
 # Convenience targets; see README.md for details.
 
-.PHONY: install test bench experiments examples all
+.PHONY: install test bench bench-paper experiments examples all
+
+# Dataset preset for the pipeline bench (tiny keeps CI smoke fast).
+BENCH_PRESET ?= small
 
 install:
 	pip install -e .
@@ -8,7 +11,14 @@ install:
 test:
 	pytest tests/
 
+# Time the pipeline stages per system and (re)write BENCH_pipeline.json —
+# the repo's perf-trajectory baseline.  See DESIGN.md for the schema.
 bench:
+	PYTHONPATH=src python -m repro bench --preset $(BENCH_PRESET) \
+		--repeats 3 --out BENCH_pipeline.json
+
+# The paper's table/figure benchmarks (pytest-benchmark timings).
+bench-paper:
 	pytest benchmarks/ --benchmark-only
 
 # Regenerate every paper table/figure at the default preset.

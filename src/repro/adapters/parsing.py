@@ -17,6 +17,7 @@ comparison (§IV-B):
 
 from __future__ import annotations
 
+from .. import obs
 from ..core.traces import ExecutionTrace, PhaseInstance, ResourceTrace
 from ..systems.logging import EventLog
 
@@ -46,6 +47,20 @@ def parse_execution_trace(
     * instances whose parent never starts in the log are promoted to
       top-level (the hierarchy above them was lost, not their work).
     """
+    with obs.span("parse", n_events=len(log.events)):
+        return _parse_execution_trace(
+            log,
+            include_blocking=include_blocking,
+            include_gc_phases=include_gc_phases,
+        )
+
+
+def _parse_execution_trace(
+    log: EventLog,
+    *,
+    include_blocking: bool,
+    include_gc_phases: bool,
+) -> ExecutionTrace:
     starts: dict[str, dict] = {}
     ends: dict[str, float] = {}
     blocks: dict[str, list[tuple[str, float, float]]] = {}

@@ -1,0 +1,214 @@
+"""Pipeline benchmark harness: times every stage, seeds ``BENCH_pipeline.json``.
+
+The ROADMAP's "as fast as the hardware allows" needs a measurement
+baseline before any hot-path PR can claim a win.  This harness runs the
+full pipeline (generate → parse → demand → upsample → attribute →
+bottleneck → simulate/issues → outliers) on fixed seeded workloads for
+every simulated system, collects per-stage wall-clock through the
+:mod:`repro.obs` tracer, and writes the result in a documented schema.
+
+Schema (``BENCH_pipeline.json``, version ``grade10-bench-pipeline/1``)::
+
+    {
+      "schema": "grade10-bench-pipeline/1",
+      "preset": "small",                 # dataset preset benched
+      "dataset": "graph500",
+      "algorithm": "pr",
+      "repeats": 3,                      # timed repetitions per system
+      "seed": 0,
+      "tracing_overhead": 0.0123,        # (traced - untraced) / untraced
+      "systems": {
+        "<system>": {
+          "total_s": {"mean": ..., "min": ..., "max": ...},
+          "stages": {
+            "<stage>": {"mean_s": ..., "min_s": ..., "max_s": ...,
+                        "calls": N},     # span count per repeat (mean)
+            ...
+          }
+        }, ...
+      },
+      "environment": {"python": "3.12.x", "platform": "..."}
+    }
+
+Stage names are the tracer's span names; nested spans (``generate.*``,
+``simulate`` inside ``issues``) are reported under their own names, so
+top-level stage times must not be summed with their children.
+
+Regenerate with ``make bench`` (or
+``python -m repro bench --preset small --out BENCH_pipeline.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Sequence
+
+from . import obs
+from .ioutils import atomic_write_text
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "PIPELINE_STAGES",
+    "bench_pipeline",
+    "validate_bench_doc",
+    "write_bench_json",
+]
+
+#: Schema identifier stamped into every benchmark document.
+BENCH_SCHEMA = "grade10-bench-pipeline/1"
+
+#: Stages every bench document must report for every system (exact span
+#: names; the trace also holds nested ``generate.*`` / ``simulate.build``
+#: spans, reported when present).
+PIPELINE_STAGES = (
+    "generate",
+    "parse",
+    "demand",
+    "upsample",
+    "attribute",
+    "bottlenecks",
+    "simulate",
+    "issues",
+    "outliers",
+)
+
+
+def _run_once(spec) -> None:
+    from .workloads.runner import characterize_run, run_workload
+
+    characterize_run(run_workload(spec))
+
+
+def bench_pipeline(
+    *,
+    preset: str = "small",
+    systems: Sequence[str] | None = None,
+    dataset: str = "graph500",
+    algorithm: str = "pr",
+    repeats: int = 3,
+    seed: int = 0,
+    measure_overhead: bool = True,
+) -> dict[str, Any]:
+    """Time the pipeline stages per system; returns the schema document.
+
+    Each repeat runs the full generate+characterize pipeline under a
+    fresh local tracer and reads the per-stage wall-clock out of the
+    trace.  ``measure_overhead`` adds one warmup-paired untraced run per
+    system to estimate the cost of tracing itself (the *disabled* tracer
+    is a no-op guard; this measures the enabled one).
+    """
+    from .workloads.runner import SYSTEMS, WorkloadSpec
+
+    if systems is None:
+        systems = SYSTEMS
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+
+    previous = obs.uninstall()  # bench owns the tracer for the duration
+    try:
+        doc_systems: dict[str, Any] = {}
+        traced_total = 0.0
+        untraced_total = 0.0
+        for system in systems:
+            spec = WorkloadSpec(system, dataset, algorithm, preset=preset, seed=seed)
+            _run_once(spec)  # warmup: imports, caches, JIT-able paths
+
+            per_stage: dict[str, list[tuple[float, int]]] = {}
+            totals: list[float] = []
+            for _ in range(repeats):
+                tracer = obs.install()
+                t0 = time.perf_counter()
+                _run_once(spec)
+                total = time.perf_counter() - t0
+                obs.uninstall()
+                totals.append(total)
+                traced_total += total
+                for name, stat in tracer.stage_totals().items():
+                    per_stage.setdefault(name, []).append((stat.total_s, stat.count))
+
+            if measure_overhead:
+                t0 = time.perf_counter()
+                _run_once(spec)
+                untraced_total += time.perf_counter() - t0
+
+            stages = {
+                name: {
+                    "mean_s": sum(s for s, _ in samples) / len(samples),
+                    "min_s": min(s for s, _ in samples),
+                    "max_s": max(s for s, _ in samples),
+                    "calls": round(sum(c for _, c in samples) / len(samples)),
+                }
+                for name, samples in sorted(per_stage.items())
+            }
+            doc_systems[system] = {
+                "total_s": {
+                    "mean": sum(totals) / len(totals),
+                    "min": min(totals),
+                    "max": max(totals),
+                },
+                "stages": stages,
+            }
+
+        overhead = None
+        if measure_overhead and untraced_total > 0:
+            # One untraced run per system vs the mean traced run.
+            mean_traced = traced_total / max(repeats, 1)
+            overhead = (mean_traced - untraced_total) / untraced_total
+        return {
+            "schema": BENCH_SCHEMA,
+            "preset": preset,
+            "dataset": dataset,
+            "algorithm": algorithm,
+            "repeats": repeats,
+            "seed": seed,
+            "tracing_overhead": overhead,
+            "systems": doc_systems,
+            "environment": {
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+            },
+        }
+    finally:
+        obs.uninstall()
+        if previous is not None:
+            obs.install(previous)
+
+
+def validate_bench_doc(doc: dict[str, Any]) -> list[str]:
+    """Sanity-check a bench document; returns a list of problems (empty = ok).
+
+    The CI smoke job runs this against the freshly generated
+    ``BENCH_pipeline.json``: non-empty stage tables, finite non-negative
+    timings, and every canonical pipeline stage present per system.
+    """
+    problems: list[str] = []
+    if doc.get("schema") != BENCH_SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, expected {BENCH_SCHEMA!r}")
+    systems = doc.get("systems")
+    if not isinstance(systems, dict) or not systems:
+        return problems + ["no systems section"]
+    for system, entry in systems.items():
+        stages = entry.get("stages", {})
+        if not stages:
+            problems.append(f"{system}: empty stage table")
+            continue
+        missing = [s for s in PIPELINE_STAGES if s not in stages]
+        if missing:
+            problems.append(f"{system}: missing stages {', '.join(missing)}")
+        for name, stat in stages.items():
+            for field in ("mean_s", "min_s", "max_s"):
+                value = stat.get(field)
+                if not isinstance(value, (int, float)) or not (0.0 <= value < float("inf")):
+                    problems.append(f"{system}/{name}: bad {field}={value!r}")
+        total = entry.get("total_s", {}).get("mean")
+        if not isinstance(total, (int, float)) or not (0.0 < total < float("inf")):
+            problems.append(f"{system}: bad total_s.mean={total!r}")
+    return problems
+
+
+def write_bench_json(doc: dict[str, Any], path: str | Path) -> Path:
+    """Atomically persist a bench document."""
+    return atomic_write_text(path, json.dumps(doc, indent=2, sort_keys=False) + "\n")

@@ -23,22 +23,38 @@ Subcommands:
     ``python -m repro faults RUN_DIR OUT_DIR --fault drop_samples:0.3``
     ``python -m repro faults RUN_DIR --grid --jobs 4``
 
+``stats``
+    Print the per-stage timing table of a captured pipeline trace:
+    ``python -m repro stats trace.json``
+
+``bench``
+    Time the pipeline stages per system and write ``BENCH_pipeline.json``:
+    ``python -m repro bench --preset small --out BENCH_pipeline.json``
+
 ``datasets``
     List the available datasets and their preset sizes.
 
 ``systems``
     List the simulated systems and algorithms.
+
+``run``, ``suite``, and ``analyze`` accept ``--trace PATH``: the whole
+invocation is traced through :mod:`repro.obs` (including pool workers)
+and exported as a Chrome-trace JSON loadable in ``chrome://tracing`` or
+https://ui.perfetto.dev.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from statistics import median
 
+from . import obs
 from .algorithms import ALGORITHMS
 from .core import render_report
 from .core.export import write_profile_json
+from .core.simulation import SimulationError
 from .viz import format_table, sparkline
 from .workloads import (
     UPSAMPLING_RATIOS,
@@ -93,6 +109,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--extended", action="store_true",
         help="include the phase tree and utilization heatmap in the report",
     )
+    p_run.add_argument(
+        "--trace", metavar="PATH",
+        help="capture a Chrome-trace of the pipeline run (open in Perfetto)",
+    )
 
     p_an = sub.add_parser("analyze", help="characterize an archived run directory")
     p_an.add_argument("directory")
@@ -106,6 +126,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--check-invariants", action="store_true",
         help="run the pipeline invariant checker after analysis "
              "(exit 3 when a violation is found)",
+    )
+    p_an.add_argument(
+        "--trace", metavar="PATH",
+        help="capture a Chrome-trace of the analysis (open in Perfetto)",
     )
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
@@ -140,6 +164,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the Grade10 pipeline on every cell",
     )
     p_suite.add_argument("--seed", type=int, default=0)
+    p_suite.add_argument(
+        "--trace", metavar="PATH",
+        help="capture a Chrome-trace of the sweep, merging pool-worker "
+             "spans and cache hit/miss counters (open in Perfetto)",
+    )
+
+    p_stats = sub.add_parser(
+        "stats", help="per-stage timing table of a captured pipeline trace"
+    )
+    p_stats.add_argument("trace", help="trace file written by --trace")
+    p_stats.add_argument(
+        "--sort", choices=("total", "mean", "count", "name"), default="total",
+        help="sort order of the stage table (default: %(default)s)",
+    )
+
+    p_bench = sub.add_parser(
+        "bench", help="time the pipeline stages and write BENCH_pipeline.json"
+    )
+    p_bench.add_argument("--preset", default="small", choices=("tiny", "small", "full"))
+    p_bench.add_argument(
+        "--systems", default=",".join(SYSTEMS), help="comma-separated system list"
+    )
+    p_bench.add_argument("--dataset", default="graph500", choices=dataset_names())
+    p_bench.add_argument("--algorithm", default="pr", choices=sorted(ALGORITHMS))
+    p_bench.add_argument("--repeats", type=_positive_int, default=3, metavar="N")
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument(
+        "--out", default="BENCH_pipeline.json", metavar="PATH",
+        help="where to write the benchmark document (default: %(default)s)",
+    )
 
     p_faults = sub.add_parser(
         "faults", help="perturb a run archive with injected faults"
@@ -177,12 +231,29 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+@contextlib.contextmanager
+def _tracing(path: str | None):
+    """Trace the enclosed work and export it to ``path`` (no-op when None)."""
+    if not path:
+        yield None
+        return
+    tracer = obs.install()
+    try:
+        yield tracer
+    finally:
+        obs.uninstall()
+        tracer.export_chrome_trace(path)
+        print(f"trace written to {path} (open in chrome://tracing or "
+              "https://ui.perfetto.dev)", file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = WorkloadSpec(args.system, args.dataset, args.algorithm, preset=args.preset,
                         seed=args.seed)
     print(f"running {spec.label} (preset={args.preset}) ...", file=sys.stderr)
-    run = run_workload(spec)
-    profile = characterize_run(run, tuned=not args.untuned)
+    with _tracing(args.trace):
+        run = run_workload(spec)
+        profile = characterize_run(run, tuned=not args.untuned)
     print(render_report(profile, extended=args.extended))
     if args.json:
         write_profile_json(profile, args.json)
@@ -199,9 +270,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from .workloads.archive import ArchiveError, characterize_archive
 
     try:
-        profile = characterize_archive(
-            args.directory, slice_duration=args.slice, tuned=not args.untuned
-        )
+        with _tracing(args.trace):
+            profile = characterize_archive(
+                args.directory, slice_duration=args.slice, tuned=not args.untuned
+            )
     except ArchiveError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -351,14 +423,15 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     from .workloads.graphalytics import run_suite
 
     systems = tuple(s.strip() for s in args.systems.split(",") if s.strip())
-    result = run_suite(
-        preset=args.preset,
-        systems=systems,
-        seed=args.seed,
-        characterize=args.characterize,
-        jobs=args.jobs,
-        cache_dir=None if args.no_cache else args.cache_dir,
-    )
+    with _tracing(args.trace):
+        result = run_suite(
+            preset=args.preset,
+            systems=systems,
+            seed=args.seed,
+            characterize=args.characterize,
+            jobs=args.jobs,
+            cache_dir=None if args.no_cache else args.cache_dir,
+        )
     rows = [
         [e.label, f"{e.makespan:.2f}s", f"{e.processing_time:.2f}s",
          f"{e.evps / 1e6:.2f}M", e.n_iterations]
@@ -371,6 +444,102 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     ))
     if result.stats is not None:
         print(result.stats.summary(), file=sys.stderr)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    try:
+        events = obs.read_trace_events(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    stages = obs.aggregate_stages(events)
+    if not stages:
+        print("trace holds no span events", file=sys.stderr)
+        return 2
+    wall_us = max(
+        (e["ts"] + e.get("dur", 0.0) for e in events if e.get("ph") == "X"),
+        default=0.0,
+    ) - min((e["ts"] for e in events if e.get("ph") == "X"), default=0.0)
+    keys = {
+        "total": lambda s: -s.total_us,
+        "mean": lambda s: -s.mean_us,
+        "count": lambda s: -s.count,
+        "name": lambda s: s.name,
+    }
+    rows = [
+        [
+            s.name,
+            s.count,
+            f"{s.total_us / 1e3:.2f}",
+            f"{s.mean_us / 1e3:.3f}",
+            f"{s.min_us / 1e3:.3f}",
+            f"{s.max_us / 1e3:.3f}",
+            f"{s.total_us / wall_us:.1%}" if wall_us > 0 else "-",
+        ]
+        for s in sorted(stages.values(), key=keys[args.sort])
+    ]
+    print(format_table(
+        ["stage", "calls", "total ms", "mean ms", "min ms", "max ms", "% wall"],
+        rows,
+        title=f"Pipeline stage timings — {args.trace}",
+    ))
+    counters = obs.final_counters(events)
+    if counters:
+        print(format_table(
+            ["counter", "value"],
+            [[name, f"{value:g}"] for name, value in sorted(counters.items())],
+            title="Counters",
+        ))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import bench_pipeline, validate_bench_doc, write_bench_json
+
+    systems = tuple(s.strip() for s in args.systems.split(",") if s.strip())
+    print(
+        f"benchmarking pipeline stages: systems={','.join(systems)} "
+        f"preset={args.preset} repeats={args.repeats} ...",
+        file=sys.stderr,
+    )
+    doc = bench_pipeline(
+        preset=args.preset,
+        systems=systems,
+        dataset=args.dataset,
+        algorithm=args.algorithm,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    problems = validate_bench_doc(doc)
+    if problems:
+        for p in problems:
+            print(f"error: bench document invalid: {p}", file=sys.stderr)
+        return 2
+    write_bench_json(doc, args.out)
+    rows = [
+        [
+            system,
+            f"{entry['total_s']['mean'] * 1e3:.1f}",
+        ]
+        + [
+            f"{entry['stages'][stage]['mean_s'] * 1e3:.1f}"
+            if stage in entry["stages"]
+            else "-"
+            for stage in ("generate", "parse", "demand", "upsample", "attribute",
+                          "bottlenecks", "issues", "outliers")
+        ]
+        for system, entry in doc["systems"].items()
+    ]
+    print(format_table(
+        ["system", "total ms", "generate", "parse", "demand", "upsample",
+         "attribute", "bottlenecks", "issues", "outliers"],
+        rows,
+        title=f"Pipeline bench ({args.preset}, mean of {args.repeats})",
+    ))
+    if doc.get("tracing_overhead") is not None:
+        print(f"tracing overhead: {doc['tracing_overhead']:+.1%}", file=sys.stderr)
+    print(f"benchmark document written to {args.out}", file=sys.stderr)
     return 0
 
 
@@ -400,10 +569,18 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "suite": _cmd_suite,
         "faults": _cmd_faults,
+        "stats": _cmd_stats,
+        "bench": _cmd_bench,
         "datasets": _cmd_datasets,
         "systems": _cmd_systems,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except SimulationError as exc:
+        # Same contract as the ArchiveError family: a typed, user-facing
+        # failure maps to exit 2, never a raw traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

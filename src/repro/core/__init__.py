@@ -57,7 +57,12 @@ from .profile import Grade10, PerformanceProfile
 from .report import render_report
 from .resources import BlockingResource, ConsumableResource, ResourceModel
 from .rules import ExactRule, NoneRule, Rule, RuleMatrix, VariableRule
-from .simulation import ReplaySimulator, SimulationResult
+from .simulation import (
+    ReplaySimulator,
+    SimulationError,
+    SimulationResult,
+    UnknownInstanceError,
+)
 from .timeline import TimeGrid, interval_slice_overlap, rasterize_intervals
 from .traces import (
     BlockingEvent,
@@ -149,7 +154,9 @@ __all__ = [
     "RuleMatrix",
     "VariableRule",
     "ReplaySimulator",
+    "SimulationError",
     "SimulationResult",
+    "UnknownInstanceError",
     "TimeGrid",
     "interval_slice_overlap",
     "rasterize_intervals",

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from .demand import DemandEstimate
 from .timeline import TimeGrid
 from .traces import ExecutionTrace, PhaseInstance
@@ -151,6 +152,15 @@ def attribute(
     trace: ExecutionTrace,
 ) -> AttributionResult:
     """Attribute upsampled consumption to phases, per resource and timeslice."""
+    with obs.span("attribute", n_resources=len(upsampled.resources())):
+        return _attribute(upsampled, demand, trace)
+
+
+def _attribute(
+    upsampled: UpsampledTrace,
+    demand: DemandEstimate,
+    trace: ExecutionTrace,
+) -> AttributionResult:
     grid = upsampled.grid
     per_resource: dict[str, ResourceAttribution] = {}
     for name in upsampled.resources():

@@ -29,6 +29,7 @@ from enum import Enum
 
 import numpy as np
 
+from .. import obs
 from .attribution import AttributionResult
 from .timeline import TimeGrid
 from .traces import ExecutionTrace, PhaseInstance
@@ -147,6 +148,26 @@ def find_bottlenecks(
     seconds (the paper reports issues only above an arbitrary minimum
     threshold).
     """
+    with obs.span("bottlenecks"):
+        return _find_bottlenecks(
+            trace,
+            upsampled,
+            attribution,
+            saturation_threshold=saturation_threshold,
+            exact_cap_threshold=exact_cap_threshold,
+            min_duration=min_duration,
+        )
+
+
+def _find_bottlenecks(
+    trace: ExecutionTrace,
+    upsampled: UpsampledTrace,
+    attribution: AttributionResult,
+    *,
+    saturation_threshold: float,
+    exact_cap_threshold: float,
+    min_duration: float,
+) -> BottleneckReport:
     grid = upsampled.grid
     report = BottleneckReport(grid=grid)
 

@@ -16,6 +16,7 @@ import json
 from pathlib import Path
 from typing import Any
 
+from ..ioutils import atomic_write_text
 from .bottlenecks import BottleneckKind
 from .profile import PerformanceProfile
 
@@ -119,5 +120,10 @@ def _totals_by_resource(profile: PerformanceProfile, kind: BottleneckKind) -> di
 def write_profile_json(
     profile: PerformanceProfile, path: str | Path, *, series: bool = True
 ) -> None:
-    """Serialize a profile summary to a JSON file."""
-    Path(path).write_text(json.dumps(profile_to_dict(profile, series=series), indent=2))
+    """Serialize a profile summary to a JSON file.
+
+    Published atomically (temp file + ``os.replace``): an interrupted
+    ``analyze`` leaves the previous export — or no file — in place, never
+    a truncated, unloadable JSON.
+    """
+    atomic_write_text(path, json.dumps(profile_to_dict(profile, series=series), indent=2))

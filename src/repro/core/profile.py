@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import obs
 from .attribution import AttributionResult, attribute
 from .bottlenecks import (
     EXACT_CAP_THRESHOLD,
@@ -126,7 +127,8 @@ class Grade10:
             raise ValueError("execution trace is empty — nothing to characterize")
         if grid is None:
             grid = execution_trace.grid(self.slice_duration)
-        demand = estimate_demand(execution_trace, self.resource_model, self.rules, grid)
+        with obs.span("demand", n_instances=len(execution_trace)):
+            demand = estimate_demand(execution_trace, self.resource_model, self.rules, grid)
         upsampled = upsample(resource_trace, demand, grid)
         attribution = attribute(upsampled, demand, execution_trace)
         bottlenecks = find_bottlenecks(
@@ -136,20 +138,22 @@ class Grade10:
             saturation_threshold=self.saturation_threshold,
             exact_cap_threshold=self.exact_cap_threshold,
         )
-        issues = detect_issues(
-            execution_trace,
-            self.execution_model,
-            bottlenecks,
-            upsampled,
-            attribution,
-            min_improvement=self.min_improvement,
-        )
-        outliers = find_outliers(
-            execution_trace,
-            self.execution_model,
-            threshold=self.outlier_threshold,
-            min_phase_duration=self.min_phase_duration,
-        )
+        with obs.span("issues"):
+            issues = detect_issues(
+                execution_trace,
+                self.execution_model,
+                bottlenecks,
+                upsampled,
+                attribution,
+                min_improvement=self.min_improvement,
+            )
+        with obs.span("outliers"):
+            outliers = find_outliers(
+                execution_trace,
+                self.execution_model,
+                threshold=self.outlier_threshold,
+                min_phase_duration=self.min_phase_duration,
+            )
         return PerformanceProfile(
             grid=grid,
             execution_trace=execution_trace,

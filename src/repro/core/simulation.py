@@ -22,13 +22,48 @@ issue detector replays with shortened/rebalanced durations and compares.
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass
 from typing import Mapping
 
+from .. import obs
 from .phases import ExecutionModel
 from .traces import ExecutionTrace, PhaseInstance
 
-__all__ = ["SimulationResult", "ReplaySimulator"]
+__all__ = [
+    "SimulationError",
+    "UnknownInstanceError",
+    "SimulationResult",
+    "ReplaySimulator",
+]
+
+
+class SimulationError(Exception):
+    """A replay simulation cannot answer the question it was asked."""
+
+
+class UnknownInstanceError(SimulationError, KeyError):
+    """A schedule lookup named an instance id the simulation never saw.
+
+    Subclasses :class:`KeyError` so existing ``except KeyError`` callers
+    keep working; the message names the offending id and the nearest
+    known ids.  The CLI maps :class:`SimulationError` to exit code 2,
+    like the :class:`~repro.workloads.archive.ArchiveError` family.
+    """
+
+    def __init__(self, instance_id: str, known_ids: "list[str] | tuple[str, ...]") -> None:
+        near = difflib.get_close_matches(str(instance_id), [str(k) for k in known_ids], n=3)
+        hint = f"; nearest known ids: {', '.join(near)}" if near else ""
+        message = (
+            f"unknown instance id {instance_id!r}: not in the simulated "
+            f"schedule ({len(known_ids)} instances){hint}"
+        )
+        super().__init__(message)
+        self.instance_id = instance_id
+        self.nearest = tuple(near)
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the message
+        return self.args[0]
 
 
 @dataclass
@@ -44,9 +79,23 @@ class SimulationResult:
             return 0.0
         return max(self.end.values()) - min(self.start.values())
 
+    def _lookup(self, table: dict[str, float], instance_id: str) -> float:
+        try:
+            return table[instance_id]
+        except KeyError:
+            raise UnknownInstanceError(instance_id, sorted(self.end)) from None
+
+    def start_of(self, instance_id: str) -> float:
+        """Simulated start time of one instance."""
+        return self._lookup(self.start, instance_id)
+
+    def end_of(self, instance_id: str) -> float:
+        """Simulated end time of one instance."""
+        return self._lookup(self.end, instance_id)
+
     def duration_of(self, instance_id: str) -> float:
         """Simulated duration of one instance."""
-        return self.end[instance_id] - self.start[instance_id]
+        return self._lookup(self.end, instance_id) - self._lookup(self.start, instance_id)
 
 
 class ReplaySimulator:
@@ -66,7 +115,8 @@ class ReplaySimulator:
         self._wait_paths: set[str] = set()
         if model is not None:
             self._wait_paths = {path for path, node in model.root.walk() if node.wait}
-        self._build_dependencies()
+        with obs.span("simulate.build", n_instances=len(trace)):
+            self._build_dependencies()
 
     # ------------------------------------------------------------------ #
     # Dependency construction
@@ -205,6 +255,10 @@ class ReplaySimulator:
         consistent with the dependency graph, since dependencies were
         derived from an actually-observed schedule).
         """
+        with obs.span("simulate", n_overrides=0 if durations is None else len(durations)):
+            return self._simulate(durations)
+
+    def _simulate(self, durations: Mapping[str, float] | None) -> SimulationResult:
         start: dict[str, float] = {}
         end: dict[str, float] = {}
         for inst in self._order:

@@ -62,8 +62,17 @@ class TimeGrid:
         """
         if t_end < t_start:
             raise ValueError(f"t_end ({t_end}) < t_start ({t_start})")
-        span = t_end - t_start
-        n = int(np.ceil(span / slice_duration - _SNAP_RTOL))
+        # Snap the slice count with the same *relative* tolerance used by
+        # slice_of/slice_range: a span that is (up to float round-off) an
+        # exact multiple k of slice_duration must yield exactly k slices.
+        # The previous absolute-tolerance ceil disagreed with the round
+        # path in index lookup for large k (quotient error grows with k),
+        # leaving a trailing slice beyond every event.
+        q = (t_end - t_start) / slice_duration
+        snapped = round(q)
+        if abs(q - snapped) <= _SNAP_RTOL * max(1.0, abs(snapped)):
+            q = snapped
+        n = int(np.ceil(q))
         return cls(t0=t_start, slice_duration=slice_duration, n_slices=max(n, 1))
 
     # ------------------------------------------------------------------ #

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from .demand import DemandEstimate, ResourceDemand
 from .timeline import TimeGrid, interval_slice_overlap
 from .traces import ResourceTrace
@@ -189,6 +190,15 @@ def upsample(
     grid: TimeGrid,
 ) -> UpsampledTrace:
     """Upsample all measured consumable resources to timeslice granularity."""
+    with obs.span("upsample", n_slices=grid.n_slices):
+        return _upsample(resource_trace, demand, grid)
+
+
+def _upsample(
+    resource_trace: ResourceTrace,
+    demand: DemandEstimate,
+    grid: TimeGrid,
+) -> UpsampledTrace:
     per_resource: dict[str, UpsampledResource] = {}
     for name in resource_trace.measured_resources():
         if name not in demand:

@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Sequence
 
+from . import obs
 from .parallel import derive_cell_seed, parallel_map
 from .workloads.archive import (
     EVENTS_FILE,
@@ -559,10 +560,13 @@ def _fault_grid_cell(
     from .workloads.archive import characterize_archive
 
     dest = Path(work_dir) / f"{name}-{severity:g}"
-    apply_faults(archive, dest, [fault_at(name, severity)], seed=seed)
+    with obs.span("fault.perturb", fault=name, severity=severity):
+        apply_faults(archive, dest, [fault_at(name, severity)], seed=seed)
     try:
-        profile = characterize_archive(dest)
+        with obs.span("fault.analyze", fault=name, severity=severity):
+            profile = characterize_archive(dest)
     except ArchiveError as exc:
+        obs.counter("faults.error")
         return FaultGridCell(
             fault=name,
             severity=severity,
@@ -571,7 +575,9 @@ def _fault_grid_cell(
         )
     report = profile.check_invariants()
     if report.ok:
+        obs.counter("faults.ok")
         return FaultGridCell(fault=name, severity=severity, outcome="ok")
+    obs.counter("faults.violations")
     return FaultGridCell(
         fault=name,
         severity=severity,

@@ -1,0 +1,48 @@
+"""Small shared I/O helpers.
+
+The one rule every artifact writer in this repo follows: readers must
+never observe a half-written file.  :func:`atomic_write_text` is the
+file-level counterpart of :meth:`repro.parallel.RunCache.store`'s
+directory-level publish — write the full content to a temporary sibling,
+fsync, then :func:`os.replace` into place, so an interrupted writer
+leaves either the old file or no file, never a truncated one.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_text"]
+
+
+def _spill(fh, text: str) -> None:
+    """Write the payload (split out so tests can kill the write midway)."""
+    fh.write(text)
+
+
+def atomic_write_text(path: str | Path, text: str, *, encoding: str = "utf-8") -> Path:
+    """Atomically publish ``text`` at ``path`` (temp file + ``os.replace``).
+
+    The temporary file lives in the destination directory so the final
+    rename never crosses a filesystem boundary.  On any failure the
+    temporary file is removed and the destination is left untouched.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent) or ".", prefix=f".{path.name}.", suffix=".tmp"
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as fh:
+            _spill(fh, text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+    return path

@@ -1,0 +1,426 @@
+"""Self-observability: hierarchical span tracing and counters for the pipeline.
+
+Grade10 characterizes *other* systems; this module turns the same lens on
+the reproduction's own pipeline (generate → parse → attribute → upsample
+→ bottleneck → simulate).  It is deliberately zero-dependency and built
+so that the **disabled** path is near-free: instrumentation stays on the
+hot path permanently and costs one global load, one ``None`` check, and a
+shared singleton context manager per call site — no span objects are
+allocated while tracing is off.
+
+Usage::
+
+    from repro import obs
+
+    tracer = obs.install()                    # start tracing this process
+    with obs.span("attribute", label=...):    # hierarchical, per-thread
+        ...
+    obs.counter("cache.hit")                  # monotonically accumulated
+    obs.uninstall()
+    tracer.export_chrome_trace("trace.json")  # open in chrome://tracing
+
+Design notes:
+
+* **Clocks** — all timestamps come from :func:`time.perf_counter`, which
+  on the platforms we care about is ``CLOCK_MONOTONIC`` and therefore
+  comparable across processes on one machine; exported traces are
+  re-based to the earliest event so Perfetto shows time from zero.
+* **Ids** — span ids are ``pid:serial:seq`` where ``serial`` is a
+  never-recycled per-thread number (OS thread ids are reused once a
+  thread exits, so they cannot anchor identity) and ``seq`` a per-thread
+  sequence counter: unique without any cross-thread locking.  Parent ids
+  come from a per-thread span stack (hierarchy is per-thread, which
+  matches how the pipeline actually nests work).
+* **Process pools** — a worker process records into its own local tracer
+  and ships a :meth:`Tracer.snapshot` back with its result; the parent
+  calls :meth:`Tracer.ingest` to merge.  Events carry real ``pid``s, so
+  merged traces render one Perfetto track group per worker.
+* **Export** — the Chrome trace event format (``"X"`` complete-span and
+  ``"C"`` counter events inside a ``{"traceEvents": [...]}`` object),
+  loadable by both ``chrome://tracing`` and https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from .ioutils import atomic_write_text
+
+__all__ = [
+    "Tracer",
+    "StageStat",
+    "counter",
+    "current",
+    "install",
+    "is_enabled",
+    "span",
+    "uninstall",
+    "aggregate_stages",
+    "final_counters",
+    "read_trace_events",
+]
+
+#: Category tag stamped on every emitted event.
+_CATEGORY = "pipeline"
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled.
+
+    A single module-level instance serves every disabled ``span()`` call:
+    the disabled path allocates nothing (pinned by a property test).
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span: records a ``"X"`` (complete) event when it closes."""
+
+    __slots__ = ("_tracer", "name", "args", "span_id", "parent_id", "_t0_us")
+
+    def __init__(self, tracer: "Tracer", name: str, args: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self.span_id = ""
+        self.parent_id: str | None = None
+        self._t0_us = 0.0
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        state = tracer._thread_state()
+        state.seq += 1
+        self.span_id = f"{tracer.pid}:{state.serial}:{state.seq}"
+        self.parent_id = state.stack[-1].span_id if state.stack else None
+        state.stack.append(self)
+        self._t0_us = time.perf_counter() * 1e6
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        t1_us = time.perf_counter() * 1e6
+        tracer = self._tracer
+        state = tracer._thread_state()
+        if state.stack and state.stack[-1] is self:
+            state.stack.pop()
+        args = dict(self.args)
+        args["id"] = self.span_id
+        if self.parent_id is not None:
+            args["parent"] = self.parent_id
+        tracer._append(
+            {
+                "ph": "X",
+                "cat": _CATEGORY,
+                "name": self.name,
+                "pid": tracer.pid,
+                "tid": state.tid,
+                "ts": self._t0_us,
+                "dur": max(t1_us - self._t0_us, 0.0),
+                "args": args,
+            }
+        )
+        return False
+
+
+#: Never-recycled per-thread serial (OS thread ids are reused after a
+#: thread exits; ``count().__next__`` is atomic under the GIL).
+_THREAD_SERIAL = itertools.count(1)
+
+
+class _ThreadState(threading.local):
+    """Per-thread span stack and id sequence."""
+
+    def __init__(self) -> None:
+        self.tid = threading.get_ident()  # what the trace viewer groups by
+        self.serial = next(_THREAD_SERIAL)  # what span identity hangs off
+        self.seq = 0
+        self.stack: list[_Span] = []
+
+
+class StageStat:
+    """Aggregate timing of one span name across a trace."""
+
+    __slots__ = ("name", "count", "total_us", "min_us", "max_us")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_us = 0.0
+        self.min_us = float("inf")
+        self.max_us = 0.0
+
+    def add(self, dur_us: float) -> None:
+        """Fold one span duration (µs) into the aggregate."""
+        self.count += 1
+        self.total_us += dur_us
+        self.min_us = min(self.min_us, dur_us)
+        self.max_us = max(self.max_us, dur_us)
+
+    @property
+    def total_s(self) -> float:
+        return self.total_us / 1e6
+
+    @property
+    def mean_us(self) -> float:
+        return self.total_us / self.count if self.count else 0.0
+
+
+class Tracer:
+    """Thread-safe event collector for one process.
+
+    All mutation happens under one lock except the per-thread span stack
+    (thread-local, lock-free).  Counter calls both update a cumulative
+    total (for :meth:`counter_totals` / ``repro stats``) and emit a
+    ``"C"`` event so the value renders as a counter track in Perfetto.
+    """
+
+    def __init__(self) -> None:
+        self.pid = os.getpid()
+        self._lock = threading.Lock()
+        self._events: list[dict[str, Any]] = []
+        self._counters: dict[str, float] = {}
+        self._state = _ThreadState()
+
+    # -- recording ------------------------------------------------------ #
+    def _thread_state(self) -> _ThreadState:
+        return self._state
+
+    def _append(self, event: dict[str, Any]) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def span(self, name: str, **args: Any) -> _Span:
+        """Open a hierarchical span; use as a context manager."""
+        return _Span(self, name, args)
+
+    def counter(self, name: str, delta: float = 1.0) -> None:
+        """Bump a cumulative counter and emit its running total as a ``"C"`` event."""
+        ts = time.perf_counter() * 1e6
+        with self._lock:
+            value = self._counters.get(name, 0.0) + delta
+            self._counters[name] = value
+            self._events.append(
+                {
+                    "ph": "C",
+                    "cat": _CATEGORY,
+                    "name": name,
+                    "pid": self.pid,
+                    "tid": 0,
+                    "ts": ts,
+                    "args": {"value": value},
+                }
+            )
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record an instantaneous level (a non-accumulating counter track).
+
+        Process-local: :meth:`ingest` treats every counter event as
+        accumulating, so use gauges only in the process that exports.
+        """
+        ts = time.perf_counter() * 1e6
+        with self._lock:
+            self._counters[name] = value
+            self._events.append(
+                {
+                    "ph": "C",
+                    "cat": _CATEGORY,
+                    "name": name,
+                    "pid": self.pid,
+                    "tid": 0,
+                    "ts": ts,
+                    "args": {"value": value},
+                }
+            )
+
+    # -- merging and reading -------------------------------------------- #
+    @property
+    def events(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return list(self._events)
+
+    def counter_totals(self) -> dict[str, float]:
+        """Current cumulative value of every counter/gauge track."""
+        with self._lock:
+            return dict(self._counters)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Picklable dump of this tracer (what pool workers ship back)."""
+        with self._lock:
+            return {"events": list(self._events), "counters": dict(self._counters)}
+
+    def ingest(self, snapshot: Mapping[str, Any]) -> None:
+        """Merge a worker's :meth:`snapshot` into this tracer.
+
+        Span events keep their original ``pid``/``tid``/timestamps (the
+        monotonic clock is machine-wide, so worker spans land at the right
+        wall-clock offsets and render one track group per worker).
+        Counter events are rebased onto this tracer's running totals,
+        restamped with its pid, *and* restamped to the ingest time, so a
+        sweep's ``cache.hit``/``cache.miss`` render as one accumulating
+        counter track rather than one restarting-from-zero track per
+        worker task.  (Snapshots arrive in result order, not time order;
+        re-timestamping keeps the merged track monotone in both time and
+        value — the counter marks when the parent merged the result, not
+        when the worker bumped it.  Span events keep their true worker
+        timestamps.)
+        """
+        events = list(snapshot.get("events", ()))
+        counters = dict(snapshot.get("counters", {}))
+        ingest_ts = time.perf_counter() * 1e6
+        with self._lock:
+            base = {name: self._counters.get(name, 0.0) for name in counters}
+            for e in events:
+                if e.get("ph") == "C":
+                    e = dict(e)
+                    name = e["name"]
+                    value = float(e.get("args", {}).get("value", 0.0))
+                    e["pid"] = self.pid
+                    e["ts"] = ingest_ts
+                    e["args"] = {"value": base.get(name, 0.0) + value}
+                self._events.append(e)
+            for name, value in counters.items():
+                self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def stage_totals(self) -> dict[str, StageStat]:
+        """Per-span-name aggregates over everything recorded so far."""
+        return aggregate_stages(self.events)
+
+    # -- export --------------------------------------------------------- #
+    def export_chrome_trace(self, path: str | Path) -> Path:
+        """Write a Chrome-trace/Perfetto JSON file (atomically)."""
+        with self._lock:
+            events = list(self._events)
+            counters = dict(self._counters)
+        base = min((e["ts"] for e in events), default=0.0)
+        out = []
+        for e in events:
+            e = dict(e)
+            e["ts"] = e["ts"] - base
+            out.append(e)
+        out.sort(key=lambda e: e["ts"])
+        doc = {
+            "traceEvents": out,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "producer": "repro.obs",
+                "counter_totals": counters,
+            },
+        }
+        return atomic_write_text(path, json.dumps(doc, indent=1))
+
+
+# ---------------------------------------------------------------------- #
+# Module-level API (the hot-path call sites use these)
+# ---------------------------------------------------------------------- #
+
+_TRACER: Tracer | None = None
+
+
+def install(tracer: Tracer | None = None) -> Tracer:
+    """Enable tracing in this process; returns the active tracer."""
+    global _TRACER
+    _TRACER = tracer if tracer is not None else Tracer()
+    return _TRACER
+
+
+def uninstall() -> Tracer | None:
+    """Disable tracing; returns the tracer that was active (if any)."""
+    global _TRACER
+    tracer, _TRACER = _TRACER, None
+    return tracer
+
+
+def current() -> Tracer | None:
+    """The active tracer, or ``None`` while tracing is disabled."""
+    return _TRACER
+
+
+def is_enabled() -> bool:
+    """True while a tracer is installed in this process."""
+    return _TRACER is not None
+
+
+def span(name: str, **args: Any):
+    """Open a span on the active tracer (no-op singleton when disabled)."""
+    tracer = _TRACER
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **args)
+
+
+def counter(name: str, delta: float = 1.0) -> None:
+    """Bump a cumulative counter on the active tracer (no-op when disabled)."""
+    tracer = _TRACER
+    if tracer is None:
+        return
+    tracer.counter(name, delta)
+
+
+# ---------------------------------------------------------------------- #
+# Trace-file analysis (``repro stats`` reads exported traces back)
+# ---------------------------------------------------------------------- #
+
+
+def read_trace_events(path: str | Path) -> list[dict[str, Any]]:
+    """Load events from an exported trace.
+
+    Accepts both the ``{"traceEvents": [...]}`` object form this module
+    writes and a bare JSON array / JSONL stream of event objects.
+    """
+    text = Path(path).read_text()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = [json.loads(line) for line in text.splitlines() if line.strip()]
+    if isinstance(doc, Mapping):
+        # A single-line JSONL stream also parses as one mapping; only the
+        # object form carries a traceEvents key.
+        events = doc["traceEvents"] if "traceEvents" in doc else [doc]
+    else:
+        events = doc
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: not a Chrome trace (no event list)")
+    return events
+
+
+def aggregate_stages(events: Iterator[dict[str, Any]] | list[dict[str, Any]]) -> dict[str, StageStat]:
+    """Aggregate ``"X"`` span events by name (count/total/min/max)."""
+    stats: dict[str, StageStat] = {}
+    for e in events:
+        if e.get("ph") != "X":
+            continue
+        stat = stats.get(e["name"])
+        if stat is None:
+            stat = stats[e["name"]] = StageStat(e["name"])
+        stat.add(float(e.get("dur", 0.0)))
+    return stats
+
+
+def final_counters(events: Iterator[dict[str, Any]] | list[dict[str, Any]]) -> dict[str, float]:
+    """Final value of each ``"C"`` counter track, summed across processes."""
+    last: dict[tuple[Any, str], float] = {}
+    for e in events:
+        if e.get("ph") != "C":
+            continue
+        args = e.get("args", {})
+        value = args.get("value", next(iter(args.values()), 0.0)) if args else 0.0
+        last[(e.get("pid"), e["name"])] = float(value)
+    totals: dict[str, float] = {}
+    for (_, name), value in last.items():
+        totals[name] = totals.get(name, 0.0) + value
+    return totals

@@ -50,6 +50,8 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
+from . import obs
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .core import PerformanceProfile
     from .workloads.runner import WorkloadSpec
@@ -249,6 +251,9 @@ class CellResult:
     profile: "PerformanceProfile | None" = None
     cached: bool = False
     duration: float = 0.0  # wall-clock seconds spent on this cell
+    #: Tracer snapshot recorded by a pool worker (``None`` unless the sweep
+    #: ran with tracing enabled and this cell executed out-of-process).
+    trace: dict | None = None
 
     @property
     def label(self) -> str:
@@ -371,80 +376,120 @@ def _characterize_payload(cell: CellSpec, directory: Path) -> "PerformanceProfil
     )
 
 
-def execute_cell(cell: CellSpec, cache_dir: str | Path | None = None) -> CellResult:
-    """Run (or replay) one cell; the unit of work the pool distributes."""
+def execute_cell(
+    cell: CellSpec,
+    cache_dir: str | Path | None = None,
+    collect_trace: bool = False,
+) -> CellResult:
+    """Run (or replay) one cell; the unit of work the pool distributes.
+
+    With ``collect_trace=True`` (how :func:`run_grid` submits cells when
+    the parent process is tracing) a pool worker installs a fresh local
+    tracer, records the cell's spans into it, and ships the snapshot back
+    on :attr:`CellResult.trace` for the parent to merge.  A tracer that is
+    already active *in this process* (the inline ``jobs=1`` path) records
+    directly; a tracer inherited across ``fork`` from the parent is
+    replaced, never appended to — its events belong to the parent.
+    """
+    local_tracer = None
+    inherited = None
+    if collect_trace:
+        active = obs.current()
+        if active is None or active.pid != os.getpid():
+            inherited = obs.uninstall()
+            local_tracer = obs.install()
+    try:
+        result = _execute_cell(cell, cache_dir)
+    finally:
+        if local_tracer is not None:
+            obs.uninstall()
+            if inherited is not None:
+                obs.install(inherited)
+    if local_tracer is not None:
+        result.trace = local_tracer.snapshot()
+    return result
+
+
+def _execute_cell(cell: CellSpec, cache_dir: str | Path | None) -> CellResult:
     from .workloads.archive import save_run
     from .workloads.runner import processing_time, run_workload
 
     t0 = time.perf_counter()
-    key = cache_key(cell_key_material(cell))
-    cache = RunCache(cache_dir) if cache_dir is not None else None
+    with obs.span("cell", label=cell.label, seed=cell.spec.seed):
+        key = cache_key(cell_key_material(cell))
+        cache = RunCache(cache_dir) if cache_dir is not None else None
 
-    if cache is not None and cache.has(key):
-        meta = cache.load_meta(key)
-        profile = _characterize_payload(cell, cache.path_for(key)) if cell.characterize else None
+        if cache is not None and cache.has(key):
+            obs.counter("cache.hit")
+            meta = cache.load_meta(key)
+            profile = (
+                _characterize_payload(cell, cache.path_for(key)) if cell.characterize else None
+            )
+            return CellResult(
+                spec=cell.spec,
+                key=key,
+                makespan=meta["makespan"],
+                processing_time=meta["processing_time"],
+                evps=meta["evps"],
+                n_iterations=meta["n_iterations"],
+                n_vertices=meta["n_vertices"],
+                n_edges=meta["n_edges"],
+                profile=profile,
+                cached=True,
+                duration=time.perf_counter() - t0,
+            )
+
+        if cache is not None:
+            obs.counter("cache.miss")
+        run = run_workload(cell.spec)
+        t_proc = processing_time(run.system_run)
+        size = run.graph.n_vertices + run.graph.n_edges
+        metrics = {
+            "label": cell.label,
+            "makespan": run.makespan,
+            "processing_time": t_proc,
+            "evps": size / t_proc if t_proc > 0 else 0.0,
+            "n_iterations": run.algorithm.n_iterations,
+            "n_vertices": int(run.graph.n_vertices),
+            "n_edges": int(run.graph.n_edges),
+        }
+
+        profile = None
+        if cache is not None:
+
+            def write_payload(tmp: Path) -> None:
+                save_run(
+                    run.system_run,
+                    tmp,
+                    monitoring_interval=_MONITORING_INTERVAL,
+                    ground_truth_interval=_GROUND_TRUTH_INTERVAL,
+                )
+                (tmp / _CELL_JSON).write_text(json.dumps(metrics, indent=2))
+
+            with obs.span("archive", label=cell.label):
+                payload = cache.store(key, write_payload)
+            # Characterize from the *payload*, not from memory: the warm path
+            # reads the same files, so cold and warm profiles are identical.
+            if cell.characterize:
+                profile = _characterize_payload(cell, payload)
+        elif cell.characterize:
+            from .workloads.runner import characterize_run
+
+            profile = characterize_run(
+                run,
+                tuned=cell.tuned,
+                slice_duration=cell.slice_duration,
+                min_phase_duration=cell.min_phase_duration,
+            )
+
         return CellResult(
             spec=cell.spec,
             key=key,
-            makespan=meta["makespan"],
-            processing_time=meta["processing_time"],
-            evps=meta["evps"],
-            n_iterations=meta["n_iterations"],
-            n_vertices=meta["n_vertices"],
-            n_edges=meta["n_edges"],
             profile=profile,
-            cached=True,
+            cached=False,
             duration=time.perf_counter() - t0,
+            **{k: v for k, v in metrics.items() if k != "label"},
         )
-
-    run = run_workload(cell.spec)
-    t_proc = processing_time(run.system_run)
-    size = run.graph.n_vertices + run.graph.n_edges
-    metrics = {
-        "label": cell.label,
-        "makespan": run.makespan,
-        "processing_time": t_proc,
-        "evps": size / t_proc if t_proc > 0 else 0.0,
-        "n_iterations": run.algorithm.n_iterations,
-        "n_vertices": int(run.graph.n_vertices),
-        "n_edges": int(run.graph.n_edges),
-    }
-
-    profile = None
-    if cache is not None:
-
-        def write_payload(tmp: Path) -> None:
-            save_run(
-                run.system_run,
-                tmp,
-                monitoring_interval=_MONITORING_INTERVAL,
-                ground_truth_interval=_GROUND_TRUTH_INTERVAL,
-            )
-            (tmp / _CELL_JSON).write_text(json.dumps(metrics, indent=2))
-
-        payload = cache.store(key, write_payload)
-        # Characterize from the *payload*, not from memory: the warm path
-        # reads the same files, so cold and warm profiles are identical.
-        if cell.characterize:
-            profile = _characterize_payload(cell, payload)
-    elif cell.characterize:
-        from .workloads.runner import characterize_run
-
-        profile = characterize_run(
-            run,
-            tuned=cell.tuned,
-            slice_duration=cell.slice_duration,
-            min_phase_duration=cell.min_phase_duration,
-        )
-
-    return CellResult(
-        spec=cell.spec,
-        key=key,
-        profile=profile,
-        cached=False,
-        duration=time.perf_counter() - t0,
-        **{k: v for k, v in metrics.items() if k != "label"},
-    )
 
 
 # ---------------------------------------------------------------------- #
@@ -468,12 +513,23 @@ def run_grid(
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     t0 = time.perf_counter()
+    tracer = obs.current()
     if jobs == 1 or len(cells) <= 1:
         results = [execute_cell(cell, cache_dir) for cell in cells]
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
-            futures = [pool.submit(execute_cell, cell, cache_dir) for cell in cells]
+            futures = [
+                pool.submit(execute_cell, cell, cache_dir, tracer is not None)
+                for cell in cells
+            ]
             results = [f.result() for f in futures]
+        if tracer is not None:
+            # Merge the workers' spans/counters into the parent's tracer;
+            # events keep their worker pids so Perfetto shows one track
+            # group per worker process.
+            for r in results:
+                if r.trace is not None:
+                    tracer.ingest(r.trace)
     stats = EngineStats(
         n_cells=len(results),
         executed=sum(1 for r in results if not r.cached),
@@ -496,12 +552,43 @@ def parallel_map(
     ``fn`` must be a picklable top-level function; each element of
     ``argument_tuples`` is splatted into one call.  The experiment drivers
     use this to fan their per-workload loops out across workers.
+
+    When the parent process is tracing (:func:`repro.obs.install`), each
+    pooled call records into a worker-local tracer whose snapshot is
+    merged back into the parent's — same protocol as :func:`run_grid`.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     args = list(argument_tuples)
     if jobs == 1 or len(args) <= 1:
         return [fn(*a) for a in args]
+    tracer = obs.current()
     with ProcessPoolExecutor(max_workers=min(jobs, len(args))) as pool:
-        futures = [pool.submit(fn, *a) for a in args]
-        return [f.result() for f in futures]
+        if tracer is None:
+            futures = [pool.submit(fn, *a) for a in args]
+            return [f.result() for f in futures]
+        futures = [pool.submit(_call_traced, fn, a) for a in args]
+        results = []
+        for f in futures:
+            result, snapshot = f.result()
+            if snapshot is not None:
+                tracer.ingest(snapshot)
+            results.append(result)
+        return results
+
+
+def _call_traced(fn: Callable[..., Any], args: tuple) -> tuple[Any, dict | None]:
+    """Run ``fn(*args)`` under a fresh worker-local tracer (picklable)."""
+    active = obs.current()
+    if active is not None and active.pid == os.getpid():
+        # Already tracing in-process; events land there, nothing to ship.
+        return fn(*args), None
+    inherited = obs.uninstall()
+    local = obs.install()
+    try:
+        result = fn(*args)
+    finally:
+        obs.uninstall()
+        if inherited is not None:
+            obs.install(inherited)
+    return result, local.snapshot()

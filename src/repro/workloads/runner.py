@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from .. import obs
 from ..adapters import (
     giraph_execution_model,
     giraph_resource_model,
@@ -185,16 +186,20 @@ def run_workload(
     sparklike_config: SparkLikeConfig | None = None,
 ) -> WorkloadRun:
     """Execute one workload on the simulated cluster."""
-    graph = get_dataset(spec.dataset).graph(spec.preset)
-    algorithm = _run_algorithm(spec, graph)
-    if spec.system == "giraph":
-        system_run = run_giraph(graph, algorithm, giraph_config, seed=spec.seed)
-    elif spec.system == "powergraph":
-        cfg = effective_powergraph_config(spec, powergraph_config)
-        system_run = run_powergraph(graph, algorithm, cfg, seed=spec.seed)
-    else:
-        job = sparklike_job_for(spec, graph, algorithm, sparklike_config)
-        system_run = run_sparklike(job, sparklike_config, seed=spec.seed)
+    with obs.span("generate", label=spec.label, preset=spec.preset):
+        with obs.span("generate.dataset", dataset=spec.dataset):
+            graph = get_dataset(spec.dataset).graph(spec.preset)
+        with obs.span("generate.algorithm", algorithm=spec.algorithm):
+            algorithm = _run_algorithm(spec, graph)
+        with obs.span("generate.system", system=spec.system):
+            if spec.system == "giraph":
+                system_run = run_giraph(graph, algorithm, giraph_config, seed=spec.seed)
+            elif spec.system == "powergraph":
+                cfg = effective_powergraph_config(spec, powergraph_config)
+                system_run = run_powergraph(graph, algorithm, cfg, seed=spec.seed)
+            else:
+                job = sparklike_job_for(spec, graph, algorithm, sparklike_config)
+                system_run = run_sparklike(job, sparklike_config, seed=spec.seed)
     return WorkloadRun(spec=spec, graph=graph, algorithm=algorithm, system_run=system_run)
 
 
@@ -248,10 +253,11 @@ def characterize_run(
         include_blocking=True,
         include_gc_phases=tuned,
     )
-    resource_trace: ResourceTrace = system_run.recorder.sample(
-        monitoring_interval, t_end=system_run.makespan
-    )
-    merge_blocking_into_resource_trace(system_run.log, resource_trace)
+    with obs.span("sample", interval=monitoring_interval):
+        resource_trace: ResourceTrace = system_run.recorder.sample(
+            monitoring_interval, t_end=system_run.makespan
+        )
+        merge_blocking_into_resource_trace(system_run.log, resource_trace)
 
     g10 = Grade10(
         model,

@@ -1,0 +1,320 @@
+"""Tests for the self-observability layer (spans, counters, trace export).
+
+Covers the tracer's recording semantics, the near-free disabled path
+(pinned by a property test: zero events, zero span allocations), the
+Chrome-trace export format, and cross-process snapshot/ingest merging.
+"""
+
+import json
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.obs import (
+    Tracer,
+    aggregate_stages,
+    final_counters,
+    read_trace_events,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    """Every test starts and ends with tracing disabled."""
+    prev = obs.uninstall()
+    yield
+    obs.uninstall()
+    if prev is not None:
+        obs.install(prev)
+
+
+def _spans(tracer):
+    return [e for e in tracer.events if e["ph"] == "X"]
+
+
+# ---------------------------------------------------------------------- #
+# Recording
+# ---------------------------------------------------------------------- #
+
+
+class TestSpanRecording:
+    def test_span_emits_complete_event(self):
+        tracer = obs.install()
+        with obs.span("parse", n_events=3):
+            pass
+        (event,) = _spans(tracer)
+        assert event["name"] == "parse"
+        assert event["ph"] == "X"
+        assert event["cat"] == "pipeline"
+        assert event["pid"] == tracer.pid
+        assert event["dur"] >= 0.0
+        assert event["args"]["n_events"] == 3
+
+    def test_nesting_links_parent_ids(self):
+        tracer = obs.install()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+            with obs.span("inner2"):
+                pass
+        inner, inner2, outer = _spans(tracer)  # children close first
+        assert outer["name"] == "outer"
+        assert "parent" not in outer["args"]
+        assert inner["args"]["parent"] == outer["args"]["id"]
+        assert inner2["args"]["parent"] == outer["args"]["id"]
+        assert inner["args"]["id"] != inner2["args"]["id"]
+
+    def test_child_interval_within_parent(self):
+        tracer = obs.install()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        inner, outer = _spans(tracer)
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"]
+
+    def test_sequential_spans_are_siblings(self):
+        tracer = obs.install()
+        with obs.span("a"):
+            pass
+        with obs.span("b"):
+            pass
+        a, b = _spans(tracer)
+        assert "parent" not in a["args"] and "parent" not in b["args"]
+
+    def test_span_ids_unique_across_threads(self):
+        tracer = obs.install()
+
+        def work():
+            with obs.span("worker"):
+                with obs.span("step"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        events = _spans(tracer)
+        assert len(events) == 8
+        ids = [e["args"]["id"] for e in events]
+        assert len(set(ids)) == len(ids)
+        # Hierarchy is per-thread: every "step" has its own thread's parent.
+        for e in events:
+            if e["name"] == "step":
+                parent = next(p for p in events if p["args"]["id"] == e["args"]["parent"])
+                assert parent["tid"] == e["tid"]
+
+    def test_span_survives_exceptions(self):
+        tracer = obs.install()
+        with pytest.raises(RuntimeError):
+            with obs.span("doomed"):
+                raise RuntimeError("boom")
+        (event,) = _spans(tracer)
+        assert event["name"] == "doomed"
+        # The stack unwound: a new span is again a root.
+        with obs.span("after"):
+            pass
+        after = _spans(tracer)[-1]
+        assert "parent" not in after["args"]
+
+
+class TestCounters:
+    def test_counter_accumulates(self):
+        tracer = obs.install()
+        obs.counter("cache.hit")
+        obs.counter("cache.hit", 2.0)
+        obs.counter("cache.miss")
+        assert tracer.counter_totals() == {"cache.hit": 3.0, "cache.miss": 1.0}
+        values = [e["args"]["value"] for e in tracer.events
+                  if e["ph"] == "C" and e["name"] == "cache.hit"]
+        assert values == [1.0, 3.0]  # the track records the running total
+
+    def test_gauge_sets_level(self):
+        tracer = obs.install()
+        tracer.gauge("queue.depth", 5.0)
+        tracer.gauge("queue.depth", 2.0)
+        assert tracer.counter_totals()["queue.depth"] == 2.0
+
+    def test_stage_totals(self):
+        tracer = obs.install()
+        for _ in range(3):
+            with obs.span("parse"):
+                pass
+        stats = tracer.stage_totals()
+        assert stats["parse"].count == 3
+        assert stats["parse"].total_us >= stats["parse"].max_us
+        assert stats["parse"].mean_us == pytest.approx(stats["parse"].total_us / 3)
+
+
+# ---------------------------------------------------------------------- #
+# Disabled path: zero events, zero allocations
+# ---------------------------------------------------------------------- #
+
+
+class TestDisabledPath:
+    @settings(max_examples=50, deadline=None)
+    @given(names=st.lists(st.text(min_size=1, max_size=12), min_size=1, max_size=8))
+    def test_disabled_tracer_emits_nothing_and_allocates_no_spans(self, names):
+        obs.uninstall()
+        assert not obs.is_enabled()
+        handles = [obs.span(name, k=1) for name in names]
+        # One shared singleton serves every disabled call site: identity,
+        # not just equality — the disabled path allocates no span objects.
+        assert all(h is handles[0] for h in handles)
+        for name, h in zip(names, handles):
+            with h:
+                obs.counter(name)
+        tracer = obs.install()
+        assert tracer.events == []
+        assert tracer.counter_totals() == {}
+        obs.uninstall()
+
+    def test_install_uninstall_round_trip(self):
+        tracer = obs.install()
+        assert obs.current() is tracer
+        assert obs.uninstall() is tracer
+        assert obs.current() is None
+        assert obs.uninstall() is None  # idempotent
+
+    def test_install_existing_tracer(self):
+        tracer = Tracer()
+        assert obs.install(tracer) is tracer
+        with obs.span("x"):
+            pass
+        assert len(_spans(tracer)) == 1
+
+
+# ---------------------------------------------------------------------- #
+# Export and read-back
+# ---------------------------------------------------------------------- #
+
+
+class TestExport:
+    def test_chrome_trace_format(self, tmp_path):
+        tracer = obs.install()
+        with obs.span("generate", label="g/pr"):
+            with obs.span("parse"):
+                pass
+        obs.counter("cache.miss")
+        path = tracer.export_chrome_trace(tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["producer"] == "repro.obs"
+        assert doc["otherData"]["counter_totals"] == {"cache.miss": 1.0}
+        ts = [e["ts"] for e in doc["traceEvents"]]
+        assert min(ts) == 0.0  # re-based to the earliest event
+        assert ts == sorted(ts)
+        for e in doc["traceEvents"]:
+            assert e["ph"] in ("X", "C")
+            assert {"name", "pid", "tid", "ts"} <= e.keys()
+
+    def test_read_trace_events_object_form(self, tmp_path):
+        tracer = obs.install()
+        with obs.span("a"):
+            pass
+        path = tracer.export_chrome_trace(tmp_path / "t.json")
+        events = read_trace_events(path)
+        assert [e["name"] for e in events if e["ph"] == "X"] == ["a"]
+
+    def test_read_trace_events_bare_array_and_jsonl(self, tmp_path):
+        events = [{"ph": "X", "name": "a", "pid": 1, "tid": 1, "ts": 0, "dur": 5}]
+        array_path = tmp_path / "array.json"
+        array_path.write_text(json.dumps(events))
+        assert read_trace_events(array_path) == events
+        jsonl_path = tmp_path / "events.jsonl"
+        jsonl_path.write_text("\n".join(json.dumps(e) for e in events))
+        assert read_trace_events(jsonl_path) == events
+
+    def test_read_trace_events_rejects_non_trace(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"traceEvents": 42}')
+        with pytest.raises(ValueError):
+            read_trace_events(path)
+
+    def test_aggregate_stages_and_final_counters(self):
+        events = [
+            {"ph": "X", "name": "parse", "pid": 1, "tid": 1, "ts": 0, "dur": 10.0},
+            {"ph": "X", "name": "parse", "pid": 2, "tid": 1, "ts": 5, "dur": 30.0},
+            {"ph": "C", "name": "cache.hit", "pid": 1, "tid": 0, "ts": 1,
+             "args": {"value": 2.0}},
+            {"ph": "C", "name": "cache.hit", "pid": 1, "tid": 0, "ts": 2,
+             "args": {"value": 4.0}},
+            {"ph": "C", "name": "cache.hit", "pid": 2, "tid": 0, "ts": 3,
+             "args": {"value": 1.0}},
+        ]
+        stats = aggregate_stages(events)
+        assert stats["parse"].count == 2
+        assert stats["parse"].min_us == 10.0
+        assert stats["parse"].max_us == 30.0
+        # Last value per (pid, track), summed across pids: 4 + 1.
+        assert final_counters(events) == {"cache.hit": 5.0}
+
+
+# ---------------------------------------------------------------------- #
+# Snapshot / ingest (the pool-worker merge path)
+# ---------------------------------------------------------------------- #
+
+
+class TestIngest:
+    def test_snapshot_round_trips_through_json(self):
+        tracer = obs.install()
+        with obs.span("cell", label="x"):
+            pass
+        obs.counter("cache.miss")
+        snap = tracer.snapshot()
+        assert json.loads(json.dumps(snap)) == snap  # picklable AND json-safe
+
+    def test_ingest_preserves_worker_span_identity(self):
+        worker = Tracer()
+        with worker.span("cell", label="w"):
+            pass
+        parent = obs.install()
+        parent.ingest(worker.snapshot())
+        (event,) = _spans(parent)
+        assert event["pid"] == worker.pid  # spans keep their origin pid
+
+    def test_ingest_rebases_counters_onto_running_totals(self):
+        """Two workers each counting from zero merge into one global track."""
+        parent = obs.install()
+        for _ in range(2):
+            worker = Tracer()
+            worker.counter("cache.miss")
+            worker.counter("cache.miss")
+            parent.ingest(worker.snapshot())
+        assert parent.counter_totals() == {"cache.miss": 4.0}
+        values = [e["args"]["value"] for e in parent.events if e["ph"] == "C"]
+        assert values == [1.0, 2.0, 3.0, 4.0]  # rebased, not restarting at 0
+        pids = {e["pid"] for e in parent.events if e["ph"] == "C"}
+        assert pids == {parent.pid}  # one accumulating track, parent-owned
+
+    def test_exported_final_counters_exact_under_out_of_order_ingest(self, tmp_path):
+        """Regression: ingest order need not match wall-clock order.
+
+        Worker B bumps its counter *later* in time but is ingested
+        *first*; without re-timestamping, the export (sorted by ts) would
+        end the merged track on a stale running total and final_counters
+        would undercount.
+        """
+        worker_a = Tracer()
+        worker_a.counter("cache.hit")
+        worker_b = Tracer()
+        worker_b.counter("cache.hit")  # later perf_counter ts than A's
+        parent = obs.install()
+        parent.ingest(worker_b.snapshot())
+        parent.ingest(worker_a.snapshot())
+        path = parent.export_chrome_trace(tmp_path / "t.json")
+        assert final_counters(read_trace_events(path)) == {"cache.hit": 2.0}
+        assert final_counters(read_trace_events(path)) == parent.counter_totals()
+
+    def test_ingest_mixes_with_parent_counts(self):
+        parent = obs.install()
+        parent.counter("cache.hit", 3.0)
+        worker = Tracer()
+        worker.counter("cache.hit", 2.0)
+        parent.ingest(worker.snapshot())
+        assert parent.counter_totals() == {"cache.hit": 5.0}

@@ -3,7 +3,11 @@
 import pytest
 
 from repro.core.phases import ExecutionModel
-from repro.core.simulation import ReplaySimulator
+from repro.core.simulation import (
+    ReplaySimulator,
+    SimulationError,
+    UnknownInstanceError,
+)
 from repro.core.traces import ExecutionTrace
 
 
@@ -122,3 +126,55 @@ class TestReplaySimulator:
         tr.record("/C", 0.0, 2.0, instance_id="x")
         res = ReplaySimulator(tr, None).simulate({"x": 1.5})
         assert res.duration_of("x") == pytest.approx(1.5)
+
+
+class TestUnknownInstanceError:
+    def _result(self):
+        tr = ExecutionTrace()
+        tr.record("/C", 0.0, 2.0, instance_id="ss0-c0")
+        tr.record("/C", 2.0, 3.0, instance_id="ss0-c1")
+        tr.record("/C", 3.0, 4.0, instance_id="barrier")
+        return ReplaySimulator(tr, None).baseline()
+
+    def test_lookup_names_the_id_and_nearest_known(self):
+        res = self._result()
+        with pytest.raises(UnknownInstanceError) as excinfo:
+            res.duration_of("ss0-c9")
+        message = str(excinfo.value)
+        assert "ss0-c9" in message
+        assert "ss0-c0" in message or "ss0-c1" in message
+        assert "3 instances" in message
+        assert excinfo.value.instance_id == "ss0-c9"
+        assert set(excinfo.value.nearest) <= {"ss0-c0", "ss0-c1", "barrier"}
+
+    def test_start_and_end_lookups_raise_too(self):
+        res = self._result()
+        with pytest.raises(UnknownInstanceError):
+            res.start_of("nope")
+        with pytest.raises(UnknownInstanceError):
+            res.end_of("nope")
+
+    def test_no_nearest_for_utterly_unrelated_id(self):
+        res = self._result()
+        with pytest.raises(UnknownInstanceError) as excinfo:
+            res.duration_of("zzzzzzzzzzz")
+        assert not excinfo.value.nearest
+
+    def test_is_a_keyerror_and_a_simulation_error(self):
+        """Typed, but backward compatible with ``except KeyError`` callers."""
+        res = self._result()
+        with pytest.raises(KeyError):
+            res.duration_of("missing")
+        with pytest.raises(SimulationError):
+            res.duration_of("missing")
+        # KeyError normally reprs its argument; the override keeps the
+        # human-readable message intact.
+        try:
+            res.duration_of("missing")
+        except UnknownInstanceError as exc:
+            assert not str(exc).startswith("'")
+
+    def test_known_ids_still_resolve(self):
+        res = self._result()
+        assert res.duration_of("ss0-c0") == pytest.approx(2.0)
+        assert res.start_of("ss0-c1") == pytest.approx(res.end_of("ss0-c0"))

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.timeline import TimeGrid, interval_slice_overlap, rasterize_intervals
 
@@ -179,3 +181,76 @@ class TestRasterizeIntervals:
         grid = TimeGrid(0.0, 1.0, 4)
         with pytest.raises(ValueError):
             rasterize_intervals(grid, np.array([1.0]), np.array([2.0, 3.0]))
+
+
+# ---------------------------------------------------------------------- #
+# Boundary snapping properties (dyadic durations are float-exact, so any
+# disagreement between covering() and the index-lookup round path is a
+# genuine tolerance bug, not arithmetic noise).
+# ---------------------------------------------------------------------- #
+
+
+class TestDyadicSnapProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        a=st.integers(min_value=0, max_value=20),
+        m=st.integers(min_value=1, max_value=100_000),
+        j=st.integers(min_value=0, max_value=1_000_000),
+    )
+    def test_exact_multiple_spans_cover_exactly_m_slices(self, a, m, j):
+        """A span of exactly m slices yields exactly m slices — never m+1."""
+        slice_duration = 2.0**-a
+        t0 = j * slice_duration
+        t_end = t0 + m * slice_duration
+        grid = TimeGrid.covering(t0, t_end, slice_duration)
+        assert grid.n_slices == m
+        # covering() and the round-based index lookup must agree.
+        assert grid.slice_range(t0, t_end) == (0, m)
+        # The end of the span lands in the last slice, the start in the first.
+        assert grid.slice_of(t_end) == m - 1
+        assert grid.slice_of(t0) == 0
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        a=st.integers(min_value=0, max_value=20),
+        m=st.integers(min_value=1, max_value=100_000),
+        k=st.integers(min_value=0, max_value=100_000),
+    )
+    def test_interior_boundaries_floor_into_the_right_slice(self, a, m, k):
+        """Each interior boundary k*slice belongs to slice k (half-open)."""
+        slice_duration = 2.0**-a
+        grid = TimeGrid(0.0, slice_duration, m)
+        k = min(k, m - 1)
+        assert grid.slice_of(k * slice_duration) == k
+        assert grid.slice_range(0.0, k * slice_duration) == (0, k)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        a=st.integers(min_value=0, max_value=20),
+        m=st.integers(min_value=1, max_value=100_000),
+        frac=st.floats(min_value=0.01, max_value=0.99),
+    )
+    def test_partial_trailing_slice_rounds_up_once(self, a, m, frac):
+        slice_duration = 2.0**-a
+        t_end = (m - 1 + frac) * slice_duration
+        grid = TimeGrid.covering(0.0, t_end, slice_duration)
+        assert grid.n_slices == m
+        assert grid.t_end >= t_end
+
+    def test_covering_agrees_with_slice_range_for_large_slice_counts(self):
+        """Regression: quotient round-off grows with the slice count.
+
+        For this span the float quotient lands ~4e-9 *above* the exact
+        multiple — within the relative snap tolerance used by slice_of /
+        slice_range, but beyond the absolute tolerance the old covering()
+        applied before flooring.  covering() used to answer m + 1 here
+        while slice_range answered m, leaving a trailing slice beyond
+        every event.
+        """
+        m = 29_999_524
+        t_end = m * 0.1
+        assert t_end / 0.1 > m  # the round-off direction that triggered it
+        grid = TimeGrid.covering(0.0, t_end, 0.1)
+        assert grid.n_slices == m
+        assert grid.slice_range(0.0, t_end) == (0, m)
+        assert grid.slice_of(t_end) == m - 1

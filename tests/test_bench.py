@@ -1,0 +1,93 @@
+"""Tests for the pipeline benchmark harness behind ``make bench``."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.bench import (
+    BENCH_SCHEMA,
+    PIPELINE_STAGES,
+    bench_pipeline,
+    validate_bench_doc,
+    write_bench_json,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_doc():
+    """One single-system tiny bench shared by the schema tests."""
+    return bench_pipeline(
+        preset="tiny", systems=("giraph",), repeats=1, measure_overhead=False
+    )
+
+
+class TestBenchPipeline:
+    def test_document_passes_its_own_validator(self, tiny_doc):
+        assert validate_bench_doc(tiny_doc) == []
+
+    def test_all_pipeline_stages_timed(self, tiny_doc):
+        stages = tiny_doc["systems"]["giraph"]["stages"]
+        for stage in PIPELINE_STAGES:
+            assert stage in stages, stage
+            assert stages[stage]["mean_s"] >= 0.0
+            assert stages[stage]["calls"] >= 1
+        total = tiny_doc["systems"]["giraph"]["total_s"]
+        assert 0.0 < total["min"] <= total["mean"] <= total["max"]
+
+    def test_provenance_fields(self, tiny_doc):
+        assert tiny_doc["schema"] == BENCH_SCHEMA
+        assert tiny_doc["preset"] == "tiny"
+        assert tiny_doc["repeats"] == 1
+        assert tiny_doc["seed"] == 0
+        assert tiny_doc["tracing_overhead"] is None  # measure_overhead=False
+        assert "python" in tiny_doc["environment"]
+
+    def test_write_round_trips_as_json(self, tiny_doc, tmp_path):
+        path = write_bench_json(tiny_doc, tmp_path / "BENCH_pipeline.json")
+        assert json.loads(path.read_text()) == tiny_doc
+        assert path.read_text().endswith("\n")
+
+    def test_restores_previously_installed_tracer(self):
+        mine = obs.install()
+        try:
+            bench_pipeline(
+                preset="tiny", systems=("giraph",), repeats=1,
+                measure_overhead=False,
+            )
+            # The bench ran under its own tracers; mine is back and clean
+            # of any pipeline spans the bench recorded.
+            assert obs.current() is mine
+            assert all(e["name"] not in PIPELINE_STAGES for e in mine.events)
+        finally:
+            obs.uninstall()
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            bench_pipeline(repeats=0)
+
+
+class TestValidateBenchDoc:
+    def test_flags_wrong_schema(self, tiny_doc):
+        doc = dict(tiny_doc, schema="something-else/9")
+        assert any("schema" in p for p in validate_bench_doc(doc))
+
+    def test_flags_missing_systems(self):
+        assert validate_bench_doc({"schema": BENCH_SCHEMA, "systems": {}}) \
+            == ["no systems section"]
+
+    def test_flags_missing_stage(self, tiny_doc):
+        doc = json.loads(json.dumps(tiny_doc))  # deep copy
+        del doc["systems"]["giraph"]["stages"]["upsample"]
+        problems = validate_bench_doc(doc)
+        assert any("upsample" in p for p in problems)
+
+    def test_flags_negative_timing(self, tiny_doc):
+        doc = json.loads(json.dumps(tiny_doc))
+        doc["systems"]["giraph"]["stages"]["parse"]["mean_s"] = -0.5
+        assert any("parse" in p and "mean_s" in p for p in validate_bench_doc(doc))
+
+    def test_flags_non_numeric_total(self, tiny_doc):
+        doc = json.loads(json.dumps(tiny_doc))
+        doc["systems"]["giraph"]["total_s"]["mean"] = "fast"
+        assert any("total_s" in p for p in validate_bench_doc(doc))

@@ -134,3 +134,115 @@ class TestCli:
         out = capsys.readouterr().out
         assert "EVPS" in out
         assert "giraph/graph500/pr" in out
+
+
+class TestExportAtomicity:
+    def test_interrupted_export_preserves_previous_profile(
+        self, tiny_profile, tmp_path, monkeypatch
+    ):
+        """Regression: killing write_profile_json midway must not truncate.
+
+        The export used to stream straight into the destination, so an
+        interrupt left a half-written (unparseable) JSON file.  Now the
+        write goes to a temp sibling and publishes via ``os.replace``.
+        """
+        import repro.ioutils as ioutils
+
+        path = tmp_path / "profile.json"
+        write_profile_json(tiny_profile, path)
+        before = path.read_text()
+        json.loads(before)  # the baseline export is valid JSON
+
+        def killer(fh, text):
+            fh.write(text[: len(text) // 2])
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(ioutils, "_spill", killer)
+        with pytest.raises(KeyboardInterrupt):
+            write_profile_json(tiny_profile, path)
+        assert path.read_text() == before
+        assert sorted(tmp_path.iterdir()) == [path]  # no temp litter
+
+
+class TestTracingCli:
+    def test_run_with_trace_writes_chrome_trace(self, capsys, tmp_path):
+        from repro.obs import final_counters, read_trace_events
+
+        trace = tmp_path / "trace.json"
+        assert main(
+            ["run", "giraph", "graph500", "pr", "--preset", "tiny",
+             "--trace", str(trace)]
+        ) == 0
+        events = read_trace_events(trace)
+        names = {e["name"] for e in events if e.get("ph") == "X"}
+        assert {"generate", "parse", "demand", "upsample", "attribute",
+                "bottlenecks", "simulate"} <= names
+        # Valid object-form Chrome trace, loadable as plain JSON too.
+        doc = json.loads(trace.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        assert isinstance(final_counters(events), dict)
+
+    def test_suite_with_trace_and_cache_counters(self, capsys, tmp_path):
+        from repro.obs import final_counters, read_trace_events
+
+        trace = tmp_path / "trace.json"
+        assert main(
+            ["suite", "--preset", "tiny", "--systems", "giraph", "--jobs", "2",
+             "--cache-dir", str(tmp_path / "cache"), "--trace", str(trace)]
+        ) == 0
+        counters = final_counters(read_trace_events(trace))
+        # Cold run: every cell is a miss, none a hit.
+        assert counters.get("cache.miss", 0) > 0
+        assert counters.get("cache.hit", 0) == 0
+
+    def test_stats_command_reads_trace_back(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert main(
+            ["run", "giraph", "graph500", "pr", "--preset", "tiny",
+             "--trace", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "generate" in out and "parse" in out
+        assert "wall" in out.lower() or "%" in out
+
+    def test_stats_sort_orders(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        main(["run", "giraph", "graph500", "pr", "--preset", "tiny",
+              "--trace", str(trace)])
+        capsys.readouterr()
+        for order in ("total", "mean", "count", "name"):
+            assert main(["stats", str(trace), "--sort", order]) == 0
+            capsys.readouterr()
+
+    def test_tracing_left_disabled_after_command(self):
+        from repro import obs
+
+        assert obs.current() is None
+
+    def test_simulation_error_maps_to_exit_2(self, capsys, monkeypatch):
+        """Typed simulation errors share the archive family's exit code."""
+        from repro import cli
+        from repro.core.simulation import UnknownInstanceError
+
+        def boom(args):
+            raise UnknownInstanceError("ss9-c9", ["ss0-c0", "ss0-c1"])
+
+        monkeypatch.setattr(cli, "_cmd_systems", boom)
+        assert main(["systems"]) == 2
+        err = capsys.readouterr().err
+        assert "ss9-c9" in err and "ss0-c0" in err
+
+    def test_bench_command_writes_valid_doc(self, capsys, tmp_path):
+        from repro.bench import validate_bench_doc
+
+        out_path = tmp_path / "BENCH_pipeline.json"
+        assert main(
+            ["bench", "--preset", "tiny", "--systems", "giraph",
+             "--repeats", "1", "--out", str(out_path)]
+        ) == 0
+        doc = json.loads(out_path.read_text())
+        assert validate_bench_doc(doc) == []
+        out = capsys.readouterr().out
+        assert "giraph" in out

@@ -1,0 +1,63 @@
+"""Tests for atomic file publication (temp sibling + ``os.replace``)."""
+
+import json
+
+import pytest
+
+import repro.ioutils as ioutils
+from repro.ioutils import atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_writes_content_and_returns_path(self, tmp_path):
+        target = tmp_path / "out.json"
+        returned = atomic_write_text(target, '{"a": 1}')
+        assert returned == target
+        assert json.loads(target.read_text()) == {"a": 1}
+
+    def test_overwrites_existing_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "payload")
+        assert sorted(tmp_path.iterdir()) == [target]
+
+    def test_killed_midway_preserves_previous_content(self, tmp_path, monkeypatch):
+        """Regression: an interrupted writer must not corrupt the target.
+
+        Kill the write after half the payload is on disk (the failure mode
+        that used to truncate exported profiles) and check the old file
+        survives byte-for-byte with no temp litter.
+        """
+        target = tmp_path / "profile.json"
+        old = json.dumps({"makespan": 12.5, "resources": ["cpu@m0"]})
+        target.write_text(old)
+
+        def killer(fh, text):
+            fh.write(text[: len(text) // 2])
+            fh.flush()
+            raise KeyboardInterrupt  # even SIGINT-style exits must be safe
+
+        monkeypatch.setattr(ioutils, "_spill", killer)
+        with pytest.raises(KeyboardInterrupt):
+            atomic_write_text(target, json.dumps({"makespan": 99.0}))
+        assert target.read_text() == old
+        assert json.loads(target.read_text())["makespan"] == 12.5
+        assert sorted(tmp_path.iterdir()) == [target]  # no .tmp leftovers
+
+    def test_killed_midway_with_no_previous_file(self, tmp_path, monkeypatch):
+        target = tmp_path / "fresh.json"
+
+        def killer(fh, text):
+            fh.write(text[:3])
+            raise RuntimeError("disk fell over")
+
+        monkeypatch.setattr(ioutils, "_spill", killer)
+        with pytest.raises(RuntimeError):
+            atomic_write_text(target, "0123456789")
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []
