@@ -1,6 +1,6 @@
 # Convenience targets; see README.md for details.
 
-.PHONY: install test bench bench-paper experiments examples all
+.PHONY: install test bench bench-gate bench-paper experiments examples all
 
 # Dataset preset for the pipeline bench (tiny keeps CI smoke fast).
 BENCH_PRESET ?= small
@@ -17,6 +17,12 @@ bench:
 	PYTHONPATH=src python -m repro bench --preset $(BENCH_PRESET) \
 		--repeats 3 --out BENCH_pipeline.json
 
+# Re-bench and gate against the committed baseline without touching it
+# (exit 4 on regression; thresholds documented in docs/reports.md).
+bench-gate:
+	PYTHONPATH=src python -m repro bench --preset $(BENCH_PRESET) \
+		--repeats 3 --out .bench-candidate.json --diff BENCH_pipeline.json
+
 # The paper's table/figure benchmarks (pytest-benchmark timings).
 bench-paper:
 	pytest benchmarks/ --benchmark-only
@@ -32,5 +38,6 @@ examples:
 	python examples/compare_systems.py pr small
 	python examples/characterize_dataflow.py
 	python examples/infer_rules.py small
+	python examples/report_run.py tiny
 
 all: test bench

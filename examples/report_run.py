@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""End-to-end report generation: archive a run, then publish every artifact.
+
+This walks the full observability loop the ``repro report`` / ``repro
+metrics`` commands wrap:
+
+1. run a workload on the simulated cluster and archive its artifacts
+   (events, monitoring CSV, models) like an operator would keep them;
+2. characterize the archive back into a :class:`PerformanceProfile`;
+3. render the self-contained HTML report (open it in any browser —
+   there are no external assets);
+4. emit the same numbers as an OpenMetrics exposition a Prometheus-family
+   scraper could ingest;
+5. compare the run against itself to show the diff section plumbing.
+
+Run:  python examples/report_run.py [tiny|small] [OUTPUT_DIR]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.core.diff import compare_profiles, render_diff
+from repro.obs import metrics_exposition
+from repro.report import report_sections, write_html_report
+from repro.workloads import WorkloadSpec, run_workload
+from repro.workloads.archive import characterize_archive, save_run
+
+
+def main(preset: str = "tiny", out_dir: str | None = None) -> None:
+    out = Path(out_dir) if out_dir else Path(tempfile.mkdtemp(prefix="grade10-report-"))
+    out.mkdir(parents=True, exist_ok=True)
+
+    print(f"Running PageRank on Giraph-sim (preset={preset}) ...")
+    run = run_workload(WorkloadSpec("giraph", "graph500", "pr", preset=preset))
+    archive = save_run(run.system_run, out / "archive")
+    print(f"  archived to {archive}")
+
+    profile = characterize_archive(archive)
+    print(f"  characterized: makespan {profile.makespan:.2f}s, "
+          f"{len(profile.bottlenecks)} bottlenecks, "
+          f"{len(profile.issues.issues)} issues")
+
+    report = write_html_report(
+        profile, out / "report.html", title=f"Giraph PageRank ({preset})"
+    )
+    print(f"HTML report: {report}")
+    print("  sections: " + ", ".join(report_sections(report.read_text())))
+
+    metrics = out / "metrics.txt"
+    exposition = metrics_exposition(
+        profile, labels={"workload": f"giraph/graph500/pr/{preset}"}
+    )
+    metrics.write_text(exposition)
+    n_samples = sum(1 for ln in exposition.splitlines() if not ln.startswith("#"))
+    print(f"OpenMetrics exposition: {metrics} ({n_samples} samples)")
+
+    diff = compare_profiles(profile, profile)
+    print("\nSelf-diff (a real workflow compares before/after a fix):")
+    print(render_diff(diff))
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:3])

@@ -43,6 +43,7 @@ from __future__ import annotations
 import json
 import platform
 import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Sequence
 
@@ -51,8 +52,16 @@ from .ioutils import atomic_write_text
 
 __all__ = [
     "BENCH_SCHEMA",
-    "PIPELINE_STAGES",
+    "DEFAULT_MIN_ABS_S",
+    "DEFAULT_NOISE_FACTOR",
+    "DEFAULT_REL_THRESHOLD",
+    "BenchComparison",
+    "BenchDelta",
     "bench_pipeline",
+    "compare_bench_docs",
+    "PIPELINE_STAGES",
+    "read_bench_json",
+    "render_bench_comparison",
     "validate_bench_doc",
     "write_bench_json",
 ]
@@ -212,3 +221,180 @@ def validate_bench_doc(doc: dict[str, Any]) -> list[str]:
 def write_bench_json(doc: dict[str, Any], path: str | Path) -> Path:
     """Atomically persist a bench document."""
     return atomic_write_text(path, json.dumps(doc, indent=2, sort_keys=False) + "\n")
+
+
+def read_bench_json(path: str | Path) -> dict[str, Any]:
+    """Load a bench document; raises ``ValueError`` on malformed content."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: bench document must be a JSON object")
+    return doc
+
+
+# ---------------------------------------------------------------------- #
+# Regression gate (``repro bench --diff BASELINE`` → exit 4 on regression)
+# ---------------------------------------------------------------------- #
+
+#: A stage regresses when its mean grows by more than this fraction …
+DEFAULT_REL_THRESHOLD = 0.30
+#: … or more than this multiple of the measured tracing-overhead floor,
+#: whichever is larger (noisy hosts record a large overhead; scale with it).
+DEFAULT_NOISE_FACTOR = 4.0
+#: Absolute guard: deltas below this many seconds never count (microsecond
+#: stages jitter by large fractions without meaning anything).
+DEFAULT_MIN_ABS_S = 0.005
+
+#: Synthetic stage name carrying a system's ``total_s.mean``.
+TOTAL_STAGE = "total"
+
+
+@dataclass(frozen=True)
+class BenchDelta:
+    """One stage's timing change between two bench documents."""
+
+    system: str
+    stage: str  # a pipeline stage name, or :data:`TOTAL_STAGE`
+    baseline_s: float
+    candidate_s: float
+
+    @property
+    def delta_s(self) -> float:
+        return self.candidate_s - self.baseline_s
+
+    @property
+    def rel_delta(self) -> float:
+        if self.baseline_s <= 0.0:
+            return float("inf") if self.candidate_s > 0.0 else 0.0
+        return self.delta_s / self.baseline_s
+
+
+@dataclass
+class BenchComparison:
+    """Outcome of comparing a candidate bench document against a baseline."""
+
+    effective_threshold: float
+    noise_floor: float
+    min_abs_s: float
+    regressions: list[BenchDelta] = field(default_factory=list)
+    improvements: list[BenchDelta] = field(default_factory=list)
+    unchanged: int = 0
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no stage regressed beyond the gate's thresholds."""
+        return not self.regressions
+
+
+def _tracing_overhead(doc: dict[str, Any]) -> float:
+    value = doc.get("tracing_overhead")
+    return abs(float(value)) if isinstance(value, (int, float)) else 0.0
+
+
+def compare_bench_docs(
+    baseline: dict[str, Any],
+    candidate: dict[str, Any],
+    *,
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    noise_factor: float = DEFAULT_NOISE_FACTOR,
+    min_abs_s: float = DEFAULT_MIN_ABS_S,
+) -> BenchComparison:
+    """Compare two bench documents with noise-aware thresholds.
+
+    A stage (or a system total) counts as a **regression** when its mean
+    grew by more than the *effective* relative threshold — the larger of
+    ``rel_threshold`` and ``noise_factor ×`` the measured tracing-overhead
+    floor of either document — *and* by more than ``min_abs_s`` seconds.
+    Improvements are reported symmetrically, for the changelog.
+
+    Metadata differences (schema, preset, dataset, algorithm) and
+    systems/stages present in only one document never fail the gate; they
+    are surfaced as warnings so a misconfigured comparison is visible
+    rather than silently vacuous.
+    """
+    floor = max(_tracing_overhead(baseline), _tracing_overhead(candidate))
+    effective = max(rel_threshold, noise_factor * floor)
+    cmp = BenchComparison(
+        effective_threshold=effective, noise_floor=floor, min_abs_s=min_abs_s
+    )
+
+    for key in ("schema", "preset", "dataset", "algorithm"):
+        if baseline.get(key) != candidate.get(key):
+            cmp.warnings.append(
+                f"{key} differs: baseline {baseline.get(key)!r} "
+                f"vs candidate {candidate.get(key)!r}"
+            )
+
+    base_systems = baseline.get("systems", {})
+    cand_systems = candidate.get("systems", {})
+    for missing in sorted(set(base_systems) ^ set(cand_systems)):
+        side = "candidate" if missing in base_systems else "baseline"
+        cmp.warnings.append(f"system {missing!r} absent from the {side} document")
+
+    def classify(system: str, stage: str, base_s: float, cand_s: float) -> None:
+        delta = BenchDelta(system, stage, float(base_s), float(cand_s))
+        if abs(delta.delta_s) <= min_abs_s or abs(delta.rel_delta) <= effective:
+            cmp.unchanged += 1
+        elif delta.delta_s > 0:
+            cmp.regressions.append(delta)
+        else:
+            cmp.improvements.append(delta)
+
+    for system in sorted(set(base_systems) & set(cand_systems)):
+        base_entry, cand_entry = base_systems[system], cand_systems[system]
+        classify(
+            system,
+            TOTAL_STAGE,
+            base_entry.get("total_s", {}).get("mean", 0.0),
+            cand_entry.get("total_s", {}).get("mean", 0.0),
+        )
+        base_stages = base_entry.get("stages", {})
+        cand_stages = cand_entry.get("stages", {})
+        for missing in sorted(set(base_stages) ^ set(cand_stages)):
+            side = "candidate" if missing in base_stages else "baseline"
+            cmp.warnings.append(
+                f"{system}/{missing}: stage absent from the {side} document"
+            )
+        for stage in sorted(set(base_stages) & set(cand_stages)):
+            classify(
+                system,
+                stage,
+                base_stages[stage].get("mean_s", 0.0),
+                cand_stages[stage].get("mean_s", 0.0),
+            )
+
+    cmp.regressions.sort(key=lambda d: -d.delta_s)
+    cmp.improvements.sort(key=lambda d: d.delta_s)
+    return cmp
+
+
+def render_bench_comparison(cmp: BenchComparison) -> str:
+    """Human-readable gate verdict (what ``bench --diff`` prints)."""
+    lines = [
+        f"bench gate: threshold {cmp.effective_threshold:.0%} relative "
+        f"(noise floor {cmp.noise_floor:.1%}), min {cmp.min_abs_s * 1e3:.1f}ms absolute",
+    ]
+    for w in cmp.warnings:
+        lines.append(f"  warning: {w}")
+
+    def describe(d: BenchDelta) -> str:
+        return (
+            f"  {d.system}/{d.stage}: {d.baseline_s * 1e3:.1f}ms -> "
+            f"{d.candidate_s * 1e3:.1f}ms ({d.rel_delta:+.0%})"
+        )
+
+    if cmp.regressions:
+        lines.append(f"REGRESSED ({len(cmp.regressions)}):")
+        lines.extend(describe(d) for d in cmp.regressions)
+    if cmp.improvements:
+        lines.append(f"improved ({len(cmp.improvements)}):")
+        lines.extend(describe(d) for d in cmp.improvements)
+    verdict = "FAIL" if cmp.regressions else "OK"
+    lines.append(
+        f"{verdict}: {len(cmp.regressions)} regression(s), "
+        f"{len(cmp.improvements)} improvement(s), {cmp.unchanged} within noise"
+    )
+    return "\n".join(lines)

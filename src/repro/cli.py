@@ -24,12 +24,26 @@ Subcommands:
     ``python -m repro faults RUN_DIR --grid --jobs 4``
 
 ``stats``
-    Print the per-stage timing table of a captured pipeline trace:
+    Print the per-stage timing table of a captured pipeline trace
+    (``--format json`` for machine-readable output):
     ``python -m repro stats trace.json``
 
+``report``
+    Render an archived run as one self-contained HTML report, optionally
+    with a before/after diff section against a second archive:
+    ``python -m repro report RUN_DIR --html report.html --diff-against BASE_DIR``
+
+``metrics``
+    Export an archived run's profile as an OpenMetrics/Prometheus text
+    exposition (stdout by default):
+    ``python -m repro metrics RUN_DIR --out metrics.txt``
+
 ``bench``
-    Time the pipeline stages per system and write ``BENCH_pipeline.json``:
+    Time the pipeline stages per system and write ``BENCH_pipeline.json``;
+    with ``--diff BASELINE`` the result is gated against a baseline
+    document and a regression exits with code 4:
     ``python -m repro bench --preset small --out BENCH_pipeline.json``
+    ``python -m repro bench --diff BENCH_pipeline.json --preset small``
 
 ``datasets``
     List the available datasets and their preset sizes.
@@ -47,15 +61,17 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import sys
 from statistics import median
 
 from . import obs
 from .algorithms import ALGORITHMS
+from .bench import DEFAULT_REL_THRESHOLD
 from .core import render_report
 from .core.export import write_profile_json
 from .core.simulation import SimulationError
-from .viz import format_table, sparkline
+from .viz import Table, format_table, sparkline
 from .workloads import (
     UPSAMPLING_RATIOS,
     WorkloadSpec,
@@ -169,6 +185,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="capture a Chrome-trace of the sweep, merging pool-worker "
              "spans and cache hit/miss counters (open in Perfetto)",
     )
+    p_suite.add_argument(
+        "--report-dir", metavar="DIR",
+        help="write per-cell HTML reports plus an index.html here "
+             "(requires --characterize)",
+    )
 
     p_stats = sub.add_parser(
         "stats", help="per-stage timing table of a captured pipeline trace"
@@ -178,6 +199,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--sort", choices=("total", "mean", "count", "name"), default="total",
         help="sort order of the stage table (default: %(default)s)",
     )
+    p_stats.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: %(default)s)",
+    )
+
+    p_report = sub.add_parser(
+        "report", help="render an archived run as a self-contained HTML report"
+    )
+    p_report.add_argument("directory", help="run archive to characterize")
+    p_report.add_argument(
+        "--html", default="grade10-report.html", metavar="PATH",
+        help="where to write the report (default: %(default)s)",
+    )
+    p_report.add_argument("--title", help="report title (default: derived from the archive)")
+    p_report.add_argument(
+        "--diff-against", metavar="DIR",
+        help="baseline archive; adds a before/after diff section",
+    )
+    p_report.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="how to print the diff on stdout when --diff-against is given "
+             "(default: %(default)s)",
+    )
+    p_report.add_argument(
+        "--trace", metavar="PATH",
+        help="pipeline trace written by --trace; adds a pipeline section",
+    )
+    p_report.add_argument(
+        "--bench", metavar="PATH",
+        help="BENCH_pipeline.json document; adds a bench section",
+    )
+    p_report.add_argument(
+        "--open", action="store_true", help="open the report in a browser"
+    )
+    p_report.add_argument("--untuned", action="store_true")
+    p_report.add_argument("--slice", type=float, default=0.01, help="timeslice duration (s)")
+
+    p_metrics = sub.add_parser(
+        "metrics", help="OpenMetrics text exposition of an archived run"
+    )
+    p_metrics.add_argument("directory", help="run archive to characterize")
+    p_metrics.add_argument(
+        "--out", metavar="PATH",
+        help="write the exposition here instead of stdout",
+    )
+    p_metrics.add_argument(
+        "--trace", metavar="PATH",
+        help="pipeline trace; exports its counters as a metric family too",
+    )
+    p_metrics.add_argument("--untuned", action="store_true")
+    p_metrics.add_argument("--slice", type=float, default=0.01, help="timeslice duration (s)")
 
     p_bench = sub.add_parser(
         "bench", help="time the pipeline stages and write BENCH_pipeline.json"
@@ -193,6 +265,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--out", default="BENCH_pipeline.json", metavar="PATH",
         help="where to write the benchmark document (default: %(default)s)",
+    )
+    p_bench.add_argument(
+        "--diff", metavar="BASELINE",
+        help="compare against this bench document; exit 4 on regression",
+    )
+    p_bench.add_argument(
+        "--candidate", metavar="DOC",
+        help="with --diff: compare this pre-recorded document instead of "
+             "running the bench",
+    )
+    p_bench.add_argument(
+        "--threshold", type=float, metavar="FRACTION",
+        help="relative regression threshold for --diff "
+             f"(default: {DEFAULT_REL_THRESHOLD})",
     )
 
     p_faults = sub.add_parser(
@@ -422,6 +508,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_suite(args: argparse.Namespace) -> int:
     from .workloads.graphalytics import run_suite
 
+    if args.report_dir and not args.characterize:
+        print("error: --report-dir requires --characterize", file=sys.stderr)
+        return 2
     systems = tuple(s.strip() for s in args.systems.split(",") if s.strip())
     with _tracing(args.trace):
         result = run_suite(
@@ -444,6 +533,13 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     ))
     if result.stats is not None:
         print(result.stats.summary(), file=sys.stderr)
+    if args.report_dir:
+        from .report import write_suite_report
+
+        index = write_suite_report(
+            result, args.report_dir, title=f"Grade10 suite report ({args.preset})"
+        )
+        print(f"suite report written to {index}", file=sys.stderr)
     return 0
 
 
@@ -467,24 +563,45 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         "count": lambda s: -s.count,
         "name": lambda s: s.name,
     }
-    rows = [
+    # One row model, two renderers: raw numbers feed both the JSON output
+    # and the formatted text table, so the two can never drift apart.
+    raw_rows = [
         [
             s.name,
             s.count,
-            f"{s.total_us / 1e3:.2f}",
-            f"{s.mean_us / 1e3:.3f}",
-            f"{s.min_us / 1e3:.3f}",
-            f"{s.max_us / 1e3:.3f}",
-            f"{s.total_us / wall_us:.1%}" if wall_us > 0 else "-",
+            s.total_us / 1e3,
+            s.mean_us / 1e3,
+            s.min_us / 1e3,
+            s.max_us / 1e3,
+            s.total_us / wall_us if wall_us > 0 else None,
         ]
         for s in sorted(stages.values(), key=keys[args.sort])
     ]
-    print(format_table(
-        ["stage", "calls", "total ms", "mean ms", "min ms", "max ms", "% wall"],
-        rows,
-        title=f"Pipeline stage timings — {args.trace}",
-    ))
+    headers = ["stage", "calls", "total ms", "mean ms", "min ms", "max ms", "% wall"]
     counters = obs.final_counters(events)
+    counter_table = Table(
+        ["counter", "value"],
+        [[name, value] for name, value in sorted(counters.items())],
+        title="Counters",
+    )
+    if args.format == "json":
+        stage_table = Table(headers, raw_rows, title="Pipeline stage timings")
+        payload = {
+            "trace": args.trace,
+            "wall_ms": wall_us / 1e3,
+            "stages": stage_table.to_dict(),
+            "counters": counter_table.to_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    text_rows = [
+        [name, count, f"{total:.2f}", f"{mean:.3f}", f"{lo:.3f}", f"{hi:.3f}",
+         f"{frac:.1%}" if frac is not None else "-"]
+        for name, count, total, mean, lo, hi, frac in raw_rows
+    ]
+    print(Table(
+        headers, text_rows, title=f"Pipeline stage timings — {args.trace}"
+    ).render())
     if counters:
         print(format_table(
             ["counter", "value"],
@@ -494,7 +611,140 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_archive_meta(directory: str) -> dict:
+    """Best-effort read of an archive's ``meta.json`` (empty dict on failure)."""
+    from pathlib import Path
+
+    try:
+        return json.loads((Path(directory) / "meta.json").read_text())
+    except (OSError, ValueError):
+        return {}
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .core.diff import compare_profiles, diff_to_dict, render_diff
+    from .report import write_html_report
+    from .workloads.archive import ArchiveError, characterize_archive
+
+    try:
+        profile = characterize_archive(
+            args.directory, slice_duration=args.slice, tuned=not args.untuned
+        )
+        diff = None
+        if args.diff_against:
+            baseline = characterize_archive(
+                args.diff_against, slice_duration=args.slice, tuned=not args.untuned
+            )
+            diff = compare_profiles(baseline, profile)
+    except ArchiveError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    trace_events = None
+    if args.trace:
+        try:
+            trace_events = obs.read_trace_events(args.trace)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    bench = None
+    if args.bench:
+        from .bench import read_bench_json
+
+        try:
+            bench = read_bench_json(args.bench)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    meta = _read_archive_meta(args.directory)
+    title = args.title
+    if not title:
+        name = Path(args.directory).name or args.directory
+        system = meta.get("system")
+        title = f"Grade10 run report — {name}" + (f" ({system})" if system else "")
+
+    path = write_html_report(
+        profile, args.html, title=title, diff=diff,
+        trace_events=trace_events, bench=bench,
+    )
+    print(f"report written to {path}", file=sys.stderr)
+    if diff is not None:
+        if args.format == "json":
+            print(json.dumps(diff_to_dict(diff), indent=2))
+        else:
+            print(render_diff(diff))
+    if args.open:
+        import webbrowser
+
+        webbrowser.open(path.resolve().as_uri())
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .ioutils import atomic_write_text
+    from .workloads.archive import ArchiveError, characterize_archive
+
+    try:
+        profile = characterize_archive(
+            args.directory, slice_duration=args.slice, tuned=not args.untuned
+        )
+    except ArchiveError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    counters = None
+    if args.trace:
+        try:
+            counters = obs.final_counters(obs.read_trace_events(args.trace))
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    meta = _read_archive_meta(args.directory)
+    labels = {"system": meta["system"]} if meta.get("system") else None
+    text = obs.metrics_exposition(profile, counters, labels=labels)
+    if args.out:
+        atomic_write_text(args.out, text)
+        print(f"exposition written to {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import compare_bench_docs, read_bench_json, render_bench_comparison
+
+    baseline = None
+    if args.candidate and not args.diff:
+        print("error: --candidate requires --diff BASELINE", file=sys.stderr)
+        return 2
+    if args.diff:
+        try:
+            baseline = read_bench_json(args.diff)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    def gate(candidate: dict) -> int:
+        kwargs = {}
+        if args.threshold is not None:
+            kwargs["rel_threshold"] = args.threshold
+        cmp = compare_bench_docs(baseline, candidate, **kwargs)
+        print(render_bench_comparison(cmp))
+        return 0 if cmp.ok else 4
+
+    if args.candidate:
+        try:
+            candidate = read_bench_json(args.candidate)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return gate(candidate)
+    return _bench_run(args, baseline, gate)
+
+
+def _bench_run(args: argparse.Namespace, baseline, gate) -> int:
     from .bench import bench_pipeline, validate_bench_doc, write_bench_json
 
     systems = tuple(s.strip() for s in args.systems.split(",") if s.strip())
@@ -540,6 +790,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if doc.get("tracing_overhead") is not None:
         print(f"tracing overhead: {doc['tracing_overhead']:+.1%}", file=sys.stderr)
     print(f"benchmark document written to {args.out}", file=sys.stderr)
+    if baseline is not None:
+        return gate(doc)
     return 0
 
 
@@ -570,6 +822,8 @@ def main(argv: list[str] | None = None) -> int:
         "suite": _cmd_suite,
         "faults": _cmd_faults,
         "stats": _cmd_stats,
+        "report": _cmd_report,
+        "metrics": _cmd_metrics,
         "bench": _cmd_bench,
         "datasets": _cmd_datasets,
         "systems": _cmd_systems,

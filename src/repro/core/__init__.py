@@ -38,7 +38,7 @@ from .skew import GroupSkew, SkewReport, decompose_imbalance, imbalance_timeline
 from .validation import ValidationReport, Violation, validate_trace
 from .model_io import load_models, save_models
 from .critical_path import CriticalPath, critical_path
-from .diff import PhaseDelta, ProfileDiff, compare_profiles, render_diff
+from .diff import PhaseDelta, ProfileDiff, compare_profiles, diff_to_dict, render_diff
 from .drilldown import WindowView, drill_down, drill_into_instance
 from .export import profile_to_dict, write_profile_json
 from .hierarchy import PhaseSummary, render_phase_tree, summarize
@@ -113,6 +113,7 @@ __all__ = [
     "PhaseDelta",
     "ProfileDiff",
     "compare_profiles",
+    "diff_to_dict",
     "render_diff",
     "WindowView",
     "drill_down",

@@ -19,9 +19,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from io import StringIO
 
+from typing import Any
+
 from .profile import PerformanceProfile
 
-__all__ = ["PhaseDelta", "ProfileDiff", "compare_profiles", "render_diff"]
+__all__ = [
+    "PhaseDelta",
+    "ProfileDiff",
+    "compare_profiles",
+    "diff_to_dict",
+    "render_diff",
+]
 
 _EPS = 1e-12
 
@@ -124,6 +132,50 @@ def compare_profiles(before: PerformanceProfile, after: PerformanceProfile) -> P
         worst_slowdown_before=worst_slowdown(before),
         worst_slowdown_after=worst_slowdown(after),
     )
+
+
+def diff_to_dict(diff: ProfileDiff) -> dict[str, Any]:
+    """Flatten a diff into JSON-serializable structures.
+
+    Infinite ratios (a phase type absent before) are emitted as ``None``
+    so the result always survives strict JSON serialization.
+    """
+
+    def finite(x: float) -> float | None:
+        return x if x == x and abs(x) != float("inf") else None
+
+    return {
+        "makespan": {
+            "before": diff.makespan_before,
+            "after": diff.makespan_after,
+            "speedup": finite(diff.speedup),
+        },
+        "phases": [
+            {
+                "phase": p.phase_path,
+                "before_total": p.before_total,
+                "after_total": p.after_total,
+                "before_instances": p.before_instances,
+                "after_instances": p.after_instances,
+                "delta": p.delta,
+                "ratio": finite(p.ratio),
+            }
+            for p in diff.phases
+        ],
+        "bottleneck_time_by_resource": {
+            r: {
+                "before": diff.bottleneck_before.get(r, 0.0),
+                "after": diff.bottleneck_after.get(r, 0.0),
+            }
+            for r in sorted(set(diff.bottleneck_before) | set(diff.bottleneck_after))
+        },
+        "outliers": {
+            "affected_fraction_before": diff.outlier_fraction_before,
+            "affected_fraction_after": diff.outlier_fraction_after,
+            "worst_slowdown_before": diff.worst_slowdown_before,
+            "worst_slowdown_after": diff.worst_slowdown_after,
+        },
+    }
 
 
 def render_diff(diff: ProfileDiff, *, top: int = 8) -> str:

@@ -45,6 +45,7 @@ from __future__ import annotations
 import itertools
 import json
 import os
+import re
 import threading
 import time
 from pathlib import Path
@@ -63,7 +64,10 @@ __all__ = [
     "uninstall",
     "aggregate_stages",
     "final_counters",
+    "metrics_exposition",
     "read_trace_events",
+    "sanitize_label_name",
+    "sanitize_metric_name",
 ]
 
 #: Category tag stamped on every emitted event.
@@ -409,6 +413,246 @@ def aggregate_stages(events: Iterator[dict[str, Any]] | list[dict[str, Any]]) ->
             stat = stats[e["name"]] = StageStat(e["name"])
         stat.add(float(e.get("dur", 0.0)))
     return stats
+
+
+
+# ---------------------------------------------------------------------- #
+# OpenMetrics exposition (``repro metrics`` — scrape a fleet of runs)
+# ---------------------------------------------------------------------- #
+
+_METRIC_NAME_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce a string into the OpenMetrics name charset.
+
+    Metric names must match ``[a-zA-Z_][a-zA-Z0-9_]*``: every other
+    character becomes ``_``, and a leading digit (or empty input) gains a
+    ``_`` prefix.  ``cache.hit`` → ``cache_hit``.
+    """
+    name = _METRIC_NAME_BAD.sub("_", name)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+#: Label names obey the same charset as metric names.
+sanitize_label_name = sanitize_metric_name
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    # repr is the shortest string that round-trips the float exactly, which
+    # is what lets the conformance test compare totals with ==.
+    return repr(float(value))
+
+
+def _render_family(
+    out: list[str],
+    name: str,
+    mtype: str,
+    help_text: str,
+    samples: list[tuple[dict[str, str], float]],
+) -> None:
+    """Append one metric family (``# HELP``/``# TYPE`` plus its samples)."""
+    name = sanitize_metric_name(name)
+    out.append(f"# HELP {name} {help_text}")
+    out.append(f"# TYPE {name} {mtype}")
+    suffix = "_total" if mtype == "counter" else ""
+    for labels, value in samples:
+        if labels:
+            rendered = ",".join(
+                f'{sanitize_label_name(k)}="{_escape_label_value(str(v))}"'
+                for k, v in labels.items()
+            )
+            out.append(f"{name}{suffix}{{{rendered}}} {_format_value(value)}")
+        else:
+            out.append(f"{name}{suffix} {_format_value(value)}")
+
+
+def metrics_exposition(
+    profile: Any = None,
+    counters: Mapping[str, float] | None = None,
+    *,
+    labels: Mapping[str, str] | None = None,
+    prefix: str = "grade10",
+) -> str:
+    """Render profile metrics and pipeline counters as OpenMetrics text.
+
+    The exposition format understood by Prometheus-family scrapers: for
+    every metric family a ``# HELP``/``# TYPE`` header followed by its
+    samples, terminated by ``# EOF``.  Metric and label *names* are
+    sanitized into the OpenMetrics charset; label *values* are escaped but
+    otherwise kept verbatim (so ``cache.hit`` survives as a label value),
+    and sample values are emitted with full float round-trip precision.
+
+    ``profile`` is a :class:`repro.core.PerformanceProfile` (optional);
+    ``counters`` a counter-totals mapping such as
+    :meth:`Tracer.counter_totals` or :func:`final_counters`; ``labels``
+    attaches constant labels (e.g. ``workload="giraph/graph500/pr"``) to
+    every sample.
+    """
+    base = dict(labels or {})
+    out: list[str] = []
+
+    def with_base(extra: dict[str, str]) -> dict[str, str]:
+        merged = dict(base)
+        merged.update(extra)
+        return merged
+
+    if profile is not None:
+        _render_family(
+            out,
+            f"{prefix}_makespan_seconds",
+            "gauge",
+            "Wall-clock makespan of the characterized run.",
+            [(with_base({}), profile.makespan)],
+        )
+        _render_family(
+            out,
+            f"{prefix}_timeslices",
+            "gauge",
+            "Number of timeslices in the analysis grid.",
+            [(with_base({}), float(profile.grid.n_slices))],
+        )
+
+        totals: dict[str, tuple[float, int, float]] = {}
+        for inst in profile.execution_trace.instances():
+            dur, n, blocked = totals.get(inst.phase_path, (0.0, 0, 0.0))
+            blocked += sum(e - s for s, e in inst.blocked_intervals())
+            totals[inst.phase_path] = (dur + inst.duration, n + 1, blocked)
+        _render_family(
+            out,
+            f"{prefix}_phase_duration_seconds",
+            "gauge",
+            "Total duration over all instances of one phase type.",
+            [
+                (with_base({"phase": path}), dur)
+                for path, (dur, _, _) in sorted(totals.items())
+            ],
+        )
+        _render_family(
+            out,
+            f"{prefix}_phase_instances",
+            "gauge",
+            "Number of instances of one phase type.",
+            [
+                (with_base({"phase": path}), float(n))
+                for path, (_, n, _) in sorted(totals.items())
+            ],
+        )
+        _render_family(
+            out,
+            f"{prefix}_phase_blocked_seconds",
+            "gauge",
+            "Total blocked time over all instances of one phase type.",
+            [
+                (with_base({"phase": path}), blocked)
+                for path, (_, _, blocked) in sorted(totals.items())
+            ],
+        )
+
+        resources = profile.upsampled.resources()
+        slice_s = profile.grid.slice_duration
+        _render_family(
+            out,
+            f"{prefix}_resource_capacity",
+            "gauge",
+            "Declared capacity of one consumable resource.",
+            [
+                (with_base({"resource": r}), profile.upsampled[r].capacity)
+                for r in sorted(resources)
+            ],
+        )
+        _render_family(
+            out,
+            f"{prefix}_resource_consumption",
+            "gauge",
+            "Total upsampled consumption of one resource (unit-seconds).",
+            [
+                (
+                    with_base({"resource": r}),
+                    float(profile.upsampled[r].rate.sum() * slice_s),
+                )
+                for r in sorted(resources)
+            ],
+        )
+        _render_family(
+            out,
+            f"{prefix}_resource_peak_utilization",
+            "gauge",
+            "Peak per-slice utilization of one resource.",
+            [
+                (
+                    with_base({"resource": r}),
+                    float(profile.upsampled[r].utilization.max())
+                    if profile.upsampled[r].rate.size
+                    else 0.0,
+                )
+                for r in sorted(resources)
+            ],
+        )
+
+        per_kind: dict[tuple[str, str], float] = {}
+        for b in profile.bottlenecks:
+            key = (b.kind.value, b.resource)
+            per_kind[key] = per_kind.get(key, 0.0) + b.duration
+        _render_family(
+            out,
+            f"{prefix}_bottleneck_seconds",
+            "gauge",
+            "Bottlenecked phase-seconds per resource and detection kind.",
+            [
+                (with_base({"kind": kind, "resource": resource}), dur)
+                for (kind, resource), dur in sorted(per_kind.items())
+            ],
+        )
+
+        _render_family(
+            out,
+            f"{prefix}_issues",
+            "gauge",
+            "Number of performance issues above the improvement threshold.",
+            [(with_base({}), float(len(profile.issues)))],
+        )
+        _render_family(
+            out,
+            f"{prefix}_issue_reduction_seconds",
+            "gauge",
+            "Optimistic makespan reduction of one detected issue.",
+            [
+                (
+                    with_base({"kind": issue.kind, "subject": issue.subject}),
+                    issue.makespan_reduction,
+                )
+                for issue in profile.issues.top(len(profile.issues.issues))
+            ],
+        )
+        _render_family(
+            out,
+            f"{prefix}_outlier_affected_fraction",
+            "gauge",
+            "Fraction of non-trivial concurrent groups with stragglers.",
+            [(with_base({}), profile.outliers.affected_fraction)],
+        )
+
+    if counters:
+        _render_family(
+            out,
+            f"{prefix}_pipeline_events",
+            "counter",
+            "Cumulative pipeline counters from the repro.obs tracer.",
+            [
+                (with_base({"counter": name}), value)
+                for name, value in sorted(counters.items())
+            ],
+        )
+
+    out.append("# EOF")
+    return "\n".join(out) + "\n"
 
 
 def final_counters(events: Iterator[dict[str, Any]] | list[dict[str, Any]]) -> dict[str, float]:

@@ -290,6 +290,19 @@ class EngineStats:
             f"(speedup {self.speedup:.1f}x, jobs={self.jobs})"
         )
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-native form (embedded in suite report indexes)."""
+        return {
+            "n_cells": self.n_cells,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "hit_rate": self.hit_rate,
+            "jobs": self.jobs,
+            "wall_clock": self.wall_clock,
+            "cell_seconds": self.cell_seconds,
+            "speedup": self.speedup,
+        }
+
 
 # ---------------------------------------------------------------------- #
 # Content-addressed run cache

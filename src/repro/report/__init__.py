@@ -1,0 +1,37 @@
+"""Report generation: shareable artifacts of a characterized run.
+
+The pipeline's inward-facing observability (:mod:`repro.obs`) measures
+the reproduction itself; this package is the outward-facing half — it
+fuses the three artifact classes the pipeline produces
+(:class:`~repro.core.PerformanceProfile`, obs traces/counters, and
+``BENCH_pipeline.json`` documents) into operator-facing deliverables:
+
+* :func:`render_html_report` / :func:`write_html_report` — one
+  self-contained zero-dependency HTML file per run (inline SVG flame
+  view, per-machine resource heatmaps with bottleneck ribbons, issue and
+  straggler tables, optional diff / pipeline / bench sections);
+* :func:`write_suite_report` — per-cell reports plus a linking
+  ``index.html`` for whole-sweep runs;
+* the OpenMetrics exposition lives in
+  :func:`repro.obs.metrics_exposition` (scrapeable counterpart of the
+  same data).
+"""
+
+from .html import (
+    OPTIONAL_SECTIONS,
+    REPORT_SECTIONS,
+    render_html_report,
+    report_sections,
+    write_html_report,
+)
+from .suite import cell_slug, write_suite_report
+
+__all__ = [
+    "OPTIONAL_SECTIONS",
+    "REPORT_SECTIONS",
+    "cell_slug",
+    "render_html_report",
+    "report_sections",
+    "write_html_report",
+    "write_suite_report",
+]

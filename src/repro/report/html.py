@@ -1,0 +1,584 @@
+"""Self-contained HTML run reports (the outward-facing half of Fig. 1 step 10).
+
+The text report (:mod:`repro.core.report`) serves the terminal; this module
+renders the same characterization as a single shareable HTML file an
+operator can open anywhere: **zero external assets** — styles, SVG charts,
+and data are all inline, so the file renders without network access and can
+be archived next to the run it describes.
+
+Anatomy (every ``<section>`` carries a stable ``id`` the golden-structure
+test asserts against, see :data:`REPORT_SECTIONS`):
+
+* ``overview`` — run metadata and headline numbers,
+* ``phases`` — the phase-hierarchy flame view (inline SVG; node width is
+  total duration, rows are hierarchy depth),
+* ``resources`` — per-machine resource-timeline heatmaps with red
+  bottleneck ribbons under each saturated/capped resource,
+* ``bottlenecks`` — per-resource totals split by detection kind,
+* ``issues`` — the ranked performance issues with optimistic impact,
+* ``outliers`` — straggler groups,
+* ``diff`` *(optional)* — before/after comparison via :mod:`repro.core.diff`,
+* ``pipeline`` *(optional)* — the pipeline's own stage timings/counters
+  from a :mod:`repro.obs` trace,
+* ``bench`` *(optional)* — a ``BENCH_pipeline.json`` document.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from io import StringIO
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..core.bottlenecks import BottleneckKind
+from ..core.diff import ProfileDiff, diff_to_dict
+from ..core.hierarchy import PhaseSummary, summarize
+from ..core.profile import PerformanceProfile
+from ..ioutils import atomic_write_text
+
+__all__ = [
+    "REPORT_SECTIONS",
+    "OPTIONAL_SECTIONS",
+    "render_html_report",
+    "report_sections",
+    "write_html_report",
+]
+
+#: Sections every report contains, in document order.
+REPORT_SECTIONS = (
+    "overview",
+    "phases",
+    "resources",
+    "bottlenecks",
+    "issues",
+    "outliers",
+)
+
+#: Sections present only when their artifact is supplied.
+OPTIONAL_SECTIONS = ("diff", "pipeline", "bench")
+
+#: Heatmaps and flame views are downsampled to at most this many columns.
+_MAX_COLUMNS = 240
+
+_PLOT_WIDTH = 880
+_LABEL_WIDTH = 150
+_ROW_HEIGHT = 16
+_RIBBON_HEIGHT = 4
+
+#: Flame-view fill per hierarchy depth (cycled when deeper).
+_FLAME_COLORS = ("#30588c", "#3f74a8", "#5590bd", "#74abcd", "#9ac4dc", "#c3dbe8")
+
+_CSS = """
+:root { color-scheme: light; }
+body { font: 14px/1.5 -apple-system, "Segoe UI", Roboto, sans-serif;
+       margin: 0 auto; max-width: 1060px; padding: 0 24px 48px;
+       color: #1c2733; background: #fdfdfc; }
+h1 { font-size: 22px; margin: 28px 0 4px; }
+h2 { font-size: 17px; margin: 32px 0 8px; border-bottom: 1px solid #d8dde3;
+     padding-bottom: 4px; }
+h3 { font-size: 14px; margin: 14px 0 4px; color: #45515e; }
+.meta { color: #5d6b7a; font-size: 13px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 14px 0; }
+.tile { background: #f1f4f7; border-radius: 6px; padding: 8px 14px; }
+.tile .v { font-size: 19px; font-weight: 600; display: block; }
+.tile .k { font-size: 12px; color: #5d6b7a; }
+table { border-collapse: collapse; margin: 8px 0; }
+th, td { text-align: left; padding: 3px 12px 3px 0; font-size: 13px; }
+th { color: #45515e; border-bottom: 1px solid #c9d1d9; }
+td.num, th.num { text-align: right; }
+tr:nth-child(even) td { background: #f6f8fa; }
+svg text { font: 10px -apple-system, "Segoe UI", Roboto, sans-serif; }
+.empty { color: #7c8894; font-style: italic; }
+.good { color: #1e7d45; } .bad { color: #b3362a; }
+footer { margin-top: 40px; font-size: 12px; color: #7c8894; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return _html.escape(str(value), quote=True)
+
+
+def _fmt_seconds(s: float) -> str:
+    if s >= 100.0:
+        return f"{s:,.0f}s"
+    if s >= 1.0:
+        return f"{s:.2f}s"
+    return f"{s * 1000.0:.1f}ms"
+
+
+def _downsample_mean(values: np.ndarray, columns: int) -> np.ndarray:
+    if values.size <= columns:
+        return values.astype(float)
+    return np.array([chunk.mean() for chunk in np.array_split(values, columns)])
+
+
+def _downsample_any(mask: np.ndarray, columns: int) -> np.ndarray:
+    if mask.size <= columns:
+        return mask.astype(bool)
+    return np.array([bool(chunk.any()) for chunk in np.array_split(mask, columns)])
+
+
+def _utilization_color(u: float) -> str:
+    """Sequential ramp for utilization: pale → deep blue, red when over capacity."""
+    if u > 1.0:
+        return "#c0392b"
+    lo, hi = (242, 246, 250), (31, 78, 140)
+    t = min(max(u, 0.0), 1.0)
+    r, g, b = (round(a + (b_ - a) * t) for a, b_ in zip(lo, hi))
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+# ---------------------------------------------------------------------- #
+# Section renderers
+# ---------------------------------------------------------------------- #
+
+
+def _tile(value: str, caption: str) -> str:
+    return f'<div class="tile"><span class="v">{_esc(value)}</span><span class="k">{_esc(caption)}</span></div>'
+
+
+def _table(
+    headers: list[str], rows: list[list[Any]], *, numeric: set[int] | None = None
+) -> str:
+    if numeric is None:
+        numeric = set(range(1, len(headers)))
+    out = StringIO()
+    out.write("<table><thead><tr>")
+    for i, h in enumerate(headers):
+        cls = ' class="num"' if i in numeric else ""
+        out.write(f"<th{cls}>{_esc(h)}</th>")
+    out.write("</tr></thead><tbody>")
+    for row in rows:
+        out.write("<tr>")
+        for i, cell in enumerate(row):
+            cls = ' class="num"' if i in numeric else ""
+            out.write(f"<td{cls}>{cell if str(cell).startswith('<') else _esc(cell)}</td>")
+        out.write("</tr>")
+    out.write("</tbody></table>")
+    return out.getvalue()
+
+
+def _section_overview(profile: PerformanceProfile, title: str) -> str:
+    trace = profile.execution_trace
+    n_machines = len({i.machine for i in trace.instances() if i.machine is not None})
+    total_bottleneck = sum(b.duration for b in profile.bottlenecks)
+    tiles = [
+        _tile(_fmt_seconds(profile.makespan), "makespan"),
+        _tile(str(len(trace)), "phase instances"),
+        _tile(str(len({i.phase_path for i in trace.instances()})), "phase types"),
+        _tile(str(profile.grid.n_slices), "timeslices"),
+        _tile(str(len(profile.upsampled.resources())), "monitored resources"),
+        _tile(str(max(n_machines, 1)), "machines"),
+        _tile(_fmt_seconds(total_bottleneck), "bottlenecked phase-seconds"),
+        _tile(str(len(profile.issues)), "issues detected"),
+        _tile(f"{profile.outliers.affected_fraction:.0%}", "outlier-affected steps"),
+    ]
+    return (
+        f'<section id="overview"><h1>{_esc(title)}</h1>'
+        f'<p class="meta">timeslice {profile.grid.slice_duration * 1000:.0f}ms · '
+        f"grid origin {profile.grid.t0:.3f}s</p>"
+        f'<div class="tiles">{"".join(tiles)}</div></section>'
+    )
+
+
+def _flame_rects(
+    node: PhaseSummary, x: float, width: float, depth: int, out: list[str]
+) -> int:
+    """Emit one flame row per hierarchy level; returns the deepest level used."""
+    children = sorted(
+        node.children.values(), key=lambda c: c.total_duration, reverse=True
+    )
+    scale_total = node.total_duration
+    if scale_total <= 0.0:
+        scale_total = sum(c.total_duration for c in children)
+    deepest = depth
+    cursor = x
+    for child in children:
+        if scale_total <= 0.0 or child.total_duration <= 0.0:
+            continue
+        w = min(width * child.total_duration / scale_total, x + width - cursor)
+        if w < 0.5:
+            continue
+        y = depth * (_ROW_HEIGHT + 2)
+        color = _FLAME_COLORS[depth % len(_FLAME_COLORS)]
+        name = child.phase_path.rsplit("/", 1)[-1]
+        tip = (
+            f"{child.phase_path}: {_fmt_seconds(child.total_duration)} total, "
+            f"{child.n_instances} instance(s), mean {_fmt_seconds(child.mean_duration)}"
+        )
+        out.append(
+            f'<g data-phase="{_esc(child.phase_path)}">'
+            f'<rect x="{cursor:.1f}" y="{y}" width="{w:.1f}" height="{_ROW_HEIGHT}" '
+            f'rx="2" fill="{color}"><title>{_esc(tip)}</title></rect>'
+        )
+        if w >= 48:
+            out.append(
+                f'<text x="{cursor + 4:.1f}" y="{y + _ROW_HEIGHT - 4}" '
+                f'fill="#ffffff">{_esc(name)}</text>'
+            )
+        out.append("</g>")
+        deepest = max(
+            deepest, _flame_rects(child, cursor, w, depth + 1, out)
+        )
+        cursor += w
+    return deepest
+
+
+def _section_phases(profile: PerformanceProfile) -> str:
+    root = summarize(profile)
+    rects: list[str] = []
+    deepest = _flame_rects(root, 0.0, float(_PLOT_WIDTH), 0, rects)
+    height = (deepest + 1) * (_ROW_HEIGHT + 2)
+    svg = (
+        f'<svg viewBox="0 0 {_PLOT_WIDTH} {height}" width="{_PLOT_WIDTH}" '
+        f'height="{height}" role="img" aria-label="phase hierarchy flame view">'
+        + "".join(rects)
+        + "</svg>"
+    )
+    rows = [
+        [
+            node.phase_path,
+            node.n_instances,
+            _fmt_seconds(node.total_duration),
+            _fmt_seconds(node.mean_duration),
+            _fmt_seconds(node.total_blocked),
+        ]
+        for _, node in root.walk()
+        if node.phase_path != "/"
+    ]
+    return (
+        '<section id="phases"><h2>Phase hierarchy</h2>'
+        '<p class="meta">Width is total duration; rows are hierarchy depth. '
+        "Hover a block for details.</p>"
+        + svg
+        + _table(["phase type", "instances", "total", "mean", "blocked"], rows)
+        + "</section>"
+    )
+
+
+def _machine_of(resource: str) -> str:
+    return resource.split("@", 1)[1] if "@" in resource else "cluster"
+
+
+def _bottleneck_mask(profile: PerformanceProfile, resource: str) -> np.ndarray:
+    mask = np.zeros(profile.grid.n_slices, dtype=bool)
+    for b in profile.bottlenecks.for_resource(resource):
+        if b.slices is not None:
+            mask |= b.slices.astype(bool)
+    return mask
+
+
+def _section_resources(profile: PerformanceProfile) -> str:
+    by_machine: dict[str, list[str]] = {}
+    for name in sorted(profile.upsampled.resources()):
+        by_machine.setdefault(_machine_of(name), []).append(name)
+    if not by_machine:
+        return (
+            '<section id="resources"><h2>Resource timelines</h2>'
+            '<p class="empty">no monitored resources</p></section>'
+        )
+    parts = ['<section id="resources"><h2>Resource timelines</h2>']
+    parts.append(
+        '<p class="meta">One heatmap per machine, one row per resource '
+        "(pale → dark blue is utilization 0 → 1, red is over capacity); the "
+        "thin red ribbon under a row marks timeslices where that resource "
+        "bottlenecks a phase (saturation or exact-cap).</p>"
+    )
+    columns = min(profile.grid.n_slices, _MAX_COLUMNS)
+    cell_w = _PLOT_WIDTH / max(columns, 1)
+    for machine, resources in sorted(by_machine.items()):
+        row_pitch = _ROW_HEIGHT + _RIBBON_HEIGHT + 4
+        height = len(resources) * row_pitch
+        svg = [
+            f'<svg viewBox="0 0 {_LABEL_WIDTH + _PLOT_WIDTH} {height}" '
+            f'width="{_LABEL_WIDTH + _PLOT_WIDTH}" height="{height}" role="img" '
+            f'aria-label="resource heatmap for {_esc(machine)}">'
+        ]
+        for r, name in enumerate(resources):
+            ur = profile.upsampled[name]
+            util = _downsample_mean(ur.utilization, columns)
+            ribbon = _downsample_any(_bottleneck_mask(profile, name), columns)
+            y = r * row_pitch
+            svg.append(
+                f'<text x="0" y="{y + _ROW_HEIGHT - 4}" fill="#45515e">'
+                f"{_esc(name)}</text>"
+            )
+            for k, u in enumerate(util):
+                x = _LABEL_WIDTH + k * cell_w
+                t = profile.grid.t0 + (k + 0.5) / max(columns, 1) * (
+                    profile.grid.t_end - profile.grid.t0
+                )
+                svg.append(
+                    f'<rect x="{x:.1f}" y="{y}" width="{cell_w + 0.15:.2f}" '
+                    f'height="{_ROW_HEIGHT}" fill="{_utilization_color(float(u))}">'
+                    f"<title>{_esc(name)} @ {t:.2f}s: {float(u):.0%}</title></rect>"
+                )
+            for k, hot in enumerate(ribbon):
+                if not hot:
+                    continue
+                x = _LABEL_WIDTH + k * cell_w
+                svg.append(
+                    f'<rect x="{x:.1f}" y="{y + _ROW_HEIGHT + 1}" '
+                    f'width="{cell_w + 0.15:.2f}" height="{_RIBBON_HEIGHT}" '
+                    f'fill="#c0392b" class="ribbon"/>'
+                )
+        svg.append("</svg>")
+        parts.append(f"<h3>{_esc(machine)}</h3>" + "".join(svg))
+    parts.append("</section>")
+    return "".join(parts)
+
+
+def _section_bottlenecks(profile: PerformanceProfile) -> str:
+    rows: list[list[Any]] = []
+    for kind in BottleneckKind:
+        per_resource: dict[str, float] = {}
+        for b in profile.bottlenecks.for_kind(kind):
+            per_resource[b.resource] = per_resource.get(b.resource, 0.0) + b.duration
+        for res, dur in sorted(per_resource.items(), key=lambda kv: -kv[1]):
+            rows.append([res, kind.value, _fmt_seconds(dur)])
+    body = (
+        _table(["resource", "kind", "bottlenecked time"], rows)
+        if rows
+        else '<p class="empty">none detected</p>'
+    )
+    return f'<section id="bottlenecks"><h2>Resource bottlenecks</h2>{body}</section>'
+
+
+def _section_issues(profile: PerformanceProfile, *, top: int = 15) -> str:
+    issues = profile.issues.top(top)
+    if not issues:
+        body = '<p class="empty">none above threshold</p>'
+    else:
+        rows = [
+            [
+                i.kind,
+                i.subject,
+                len(i.affected_instances),
+                f"-{_fmt_seconds(i.makespan_reduction)}",
+                f"{i.improvement:.1%}",
+            ]
+            for i in issues
+        ]
+        body = _table(
+            ["kind", "subject", "instances", "optimistic reduction", "improvement"],
+            rows,
+            numeric={2, 3, 4},
+        )
+    return (
+        '<section id="issues"><h2>Performance issues (optimistic impact)</h2>'
+        + body
+        + "</section>"
+    )
+
+
+def _section_outliers(profile: PerformanceProfile) -> str:
+    rep = profile.outliers
+    affected = sorted(rep.affected_groups(), key=lambda g: g.slowdown, reverse=True)
+    head = (
+        f'<p class="meta">{len(rep.nontrivial_groups())} non-trivial concurrent '
+        f"groups, {len(affected)} affected ({rep.affected_fraction:.0%})</p>"
+    )
+    if not affected:
+        body = '<p class="empty">no straggler groups</p>'
+    else:
+        rows = [
+            [
+                g.phase_path,
+                g.n_phases,
+                f"{g.slowdown:.2f}x",
+                f"{g.outliers[0].factor:.2f}x" if g.outliers else "-",
+            ]
+            for g in affected[:15]
+        ]
+        body = _table(
+            ["concurrent group", "phases", "step slowdown", "worst vs. peer median"],
+            rows,
+        )
+    return f'<section id="outliers"><h2>Outlier phases (stragglers)</h2>{head}{body}</section>'
+
+
+def _delta_cell(value: float) -> str:
+    cls = "good" if value < 0 else "bad" if value > 0 else ""
+    return f'<span class="{cls}">{value:+.3f}s</span>'
+
+
+def _section_diff(diff: ProfileDiff) -> str:
+    d = diff_to_dict(diff)
+    speedup = d["makespan"]["speedup"]
+    head = (
+        f"<p>makespan {_fmt_seconds(diff.makespan_before)} → "
+        f"{_fmt_seconds(diff.makespan_after)}"
+        + (f" (<b>{speedup:.2f}x</b>)" if speedup is not None else "")
+        + "</p>"
+    )
+    parts = ['<section id="diff"><h2>Before / after comparison</h2>', head]
+    for label, phases in (
+        ("Improved phases", diff.improved_phases()[:10]),
+        ("Regressed phases", diff.regressed_phases()[:10]),
+    ):
+        if not phases:
+            continue
+        rows = [
+            [
+                p.phase_path,
+                _fmt_seconds(p.before_total),
+                _fmt_seconds(p.after_total),
+                _delta_cell(p.delta),
+            ]
+            for p in phases
+        ]
+        parts.append(f"<h3>{label}</h3>")
+        parts.append(_table(["phase type", "before", "after", "delta"], rows))
+    resources = d["bottleneck_time_by_resource"]
+    if resources:
+        rows = [
+            [
+                res,
+                _fmt_seconds(v["before"]),
+                _fmt_seconds(v["after"]),
+                _delta_cell(v["after"] - v["before"]),
+            ]
+            for res, v in resources.items()
+        ]
+        parts.append("<h3>Bottleneck time by resource</h3>")
+        parts.append(_table(["resource", "before", "after", "delta"], rows))
+    parts.append(
+        f'<p class="meta">outlier-affected steps {diff.outlier_fraction_before:.0%} → '
+        f"{diff.outlier_fraction_after:.0%}; worst step slowdown "
+        f"{diff.worst_slowdown_before:.2f}x → {diff.worst_slowdown_after:.2f}x</p>"
+    )
+    parts.append("</section>")
+    return "".join(parts)
+
+
+def _section_pipeline(
+    stages: Mapping[str, Any], counters: Mapping[str, float]
+) -> str:
+    parts = ['<section id="pipeline"><h2>Pipeline self-observation</h2>']
+    if stages:
+        rows = [
+            [
+                s.name,
+                s.count,
+                f"{s.total_us / 1e3:.2f}",
+                f"{s.mean_us / 1e3:.3f}",
+            ]
+            for s in sorted(stages.values(), key=lambda s: -s.total_us)
+        ]
+        parts.append(
+            _table(["stage", "calls", "total ms", "mean ms"], rows)
+        )
+    if counters:
+        parts.append("<h3>Counters</h3>")
+        parts.append(
+            _table(
+                ["counter", "value"],
+                [[name, f"{value:g}"] for name, value in sorted(counters.items())],
+            )
+        )
+    if not stages and not counters:
+        parts.append('<p class="empty">trace holds no events</p>')
+    parts.append("</section>")
+    return "".join(parts)
+
+
+def _section_bench(bench: Mapping[str, Any]) -> str:
+    parts = [
+        '<section id="bench"><h2>Pipeline benchmark</h2>',
+        f'<p class="meta">schema {_esc(bench.get("schema"))} · preset '
+        f'{_esc(bench.get("preset"))} · {_esc(bench.get("repeats"))} repeat(s)'
+        + (
+            f' · tracing overhead {bench["tracing_overhead"]:+.1%}'
+            if isinstance(bench.get("tracing_overhead"), (int, float))
+            else ""
+        )
+        + "</p>",
+    ]
+    rows = []
+    for system, entry in bench.get("systems", {}).items():
+        total = entry.get("total_s", {}).get("mean", 0.0)
+        slowest = max(
+            entry.get("stages", {}).items(),
+            key=lambda kv: kv[1].get("mean_s", 0.0),
+            default=(None, None),
+        )[0]
+        rows.append([system, f"{total * 1e3:.1f}", slowest or "-"])
+    parts.append(_table(["system", "total ms (mean)", "slowest stage"], rows))
+    parts.append("</section>")
+    return "".join(parts)
+
+
+# ---------------------------------------------------------------------- #
+# Entry points
+# ---------------------------------------------------------------------- #
+
+
+def render_html_report(
+    profile: PerformanceProfile,
+    *,
+    title: str = "Grade10 run report",
+    diff: ProfileDiff | None = None,
+    trace_events: list[dict[str, Any]] | None = None,
+    bench: Mapping[str, Any] | None = None,
+) -> str:
+    """Render one characterized run as a self-contained HTML document.
+
+    ``diff`` adds the before/after section, ``trace_events`` (a list of
+    Chrome-trace events from :func:`repro.obs.read_trace_events`) the
+    pipeline self-observation section, and ``bench`` (a parsed
+    ``BENCH_pipeline.json``) the benchmark section.
+    """
+    from .. import obs
+
+    body = [
+        _section_overview(profile, title),
+        _section_phases(profile),
+        _section_resources(profile),
+        _section_bottlenecks(profile),
+        _section_issues(profile),
+        _section_outliers(profile),
+    ]
+    if diff is not None:
+        body.append(_section_diff(diff))
+    if trace_events is not None:
+        body.append(
+            _section_pipeline(
+                obs.aggregate_stages(trace_events), obs.final_counters(trace_events)
+            )
+        )
+    if bench is not None:
+        body.append(_section_bench(bench))
+    body.append("<footer>generated by repro.report (Grade10 reproduction)</footer>")
+    return (
+        "<!doctype html>\n"
+        '<html lang="en"><head><meta charset="utf-8">'
+        f"<title>{_esc(title)}</title>"
+        f"<style>{_CSS}</style></head><body>" + "".join(body) + "</body></html>\n"
+    )
+
+
+def report_sections(document: str) -> list[str]:
+    """The ``<section id>`` inventory of a rendered report, in order."""
+    import re
+
+    return re.findall(r'<section id="([a-z]+)">', document)
+
+
+def write_html_report(
+    profile: PerformanceProfile, path: str | Path, **kwargs: Any
+) -> Path:
+    """Render and atomically publish a report (kwargs as in render)."""
+    return atomic_write_text(path, render_html_report(profile, **kwargs))
+
+
+def embed_json(data: Any, element_id: str) -> str:
+    """A machine-readable JSON island (``<script type="application/json">``).
+
+    ``</`` is escaped so arbitrary strings cannot terminate the script
+    element early.
+    """
+    payload = json.dumps(data, indent=None, sort_keys=True).replace("</", "<\\/")
+    return f'<script type="application/json" id="{_esc(element_id)}">{payload}</script>'

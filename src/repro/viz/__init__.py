@@ -1,6 +1,14 @@
 """Plain-text visualization of profiles and experiment results."""
 
 from .ascii import bar_chart, heatmap, histogram, sparkline, timeline
-from .tables import format_table
+from .tables import Table, format_table
 
-__all__ = ["bar_chart", "heatmap", "histogram", "sparkline", "timeline", "format_table"]
+__all__ = [
+    "bar_chart",
+    "heatmap",
+    "histogram",
+    "sparkline",
+    "timeline",
+    "Table",
+    "format_table",
+]

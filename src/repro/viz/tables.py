@@ -1,11 +1,75 @@
-"""Formatted plain-text tables for benchmark output."""
+"""Tabular output: one row model, two renderers (text and JSON).
+
+Every CLI table is a :class:`Table` — headers, rows, an optional title —
+so pretty-printing and machine-readable output share the same data and
+can never drift apart.  :func:`format_table` keeps the historical
+one-call text path.
+"""
 
 from __future__ import annotations
 
+import json
+from dataclasses import dataclass, field
 from io import StringIO
 from typing import Any, Sequence
 
-__all__ = ["format_table"]
+__all__ = ["Table", "format_table"]
+
+
+@dataclass
+class Table:
+    """A titled grid of cells, renderable as text or JSON.
+
+    Rows keep their original cell values; the text renderer stringifies
+    them at layout time while :meth:`to_dict` preserves JSON-native types
+    (numbers stay numbers).
+    """
+
+    headers: Sequence[str]
+    rows: Sequence[Sequence[Any]] = field(default_factory=list)
+    title: str | None = None
+
+    def render(self, *, align_right: set[int] | None = None) -> str:
+        """Aligned plain-text rendering.
+
+        ``align_right`` holds the indices of right-aligned (numeric)
+        columns; by default every column after the first is right-aligned.
+        """
+        if align_right is None:
+            align_right = set(range(1, len(self.headers)))
+        cells = [[str(h) for h in self.headers]] + [
+            [_fmt(c) for c in row] for row in self.rows
+        ]
+        widths = [max(len(r[i]) for r in cells) for i in range(len(self.headers))]
+        out = StringIO()
+        if self.title:
+            out.write(self.title + "\n")
+            out.write("=" * len(self.title) + "\n")
+        for k, row in enumerate(cells):
+            line = "  ".join(
+                f"{cell:>{w}}" if i in align_right else f"{cell:<{w}}"
+                for i, (cell, w) in enumerate(zip(row, widths))
+            )
+            out.write(line.rstrip() + "\n")
+            if k == 0:
+                out.write("  ".join("-" * w for w in widths) + "\n")
+        return out.getvalue()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-native form: ``{"title", "columns", "rows"}``.
+
+        Rows become lists of JSON-serializable cells; anything exotic is
+        stringified so the result always survives ``json.dumps``.
+        """
+        return {
+            "title": self.title,
+            "columns": list(self.headers),
+            "rows": [[_jsonify(c) for c in row] for row in self.rows],
+        }
+
+    def render_json(self) -> str:
+        """:meth:`to_dict` serialized as indented JSON text."""
+        return json.dumps(self.to_dict(), indent=2)
 
 
 def format_table(
@@ -15,31 +79,17 @@ def format_table(
     title: str | None = None,
     align_right: set[int] | None = None,
 ) -> str:
-    """Render rows as an aligned text table.
-
-    ``align_right`` holds the indices of right-aligned (numeric) columns;
-    by default every column after the first is right-aligned.
-    """
-    if align_right is None:
-        align_right = set(range(1, len(headers)))
-    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
-    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
-    out = StringIO()
-    if title:
-        out.write(title + "\n")
-        out.write("=" * len(title) + "\n")
-    for k, row in enumerate(cells):
-        line = "  ".join(
-            f"{cell:>{w}}" if i in align_right else f"{cell:<{w}}"
-            for i, (cell, w) in enumerate(zip(row, widths))
-        )
-        out.write(line.rstrip() + "\n")
-        if k == 0:
-            out.write("  ".join("-" * w for w in widths) + "\n")
-    return out.getvalue()
+    """Render rows as an aligned text table (see :meth:`Table.render`)."""
+    return Table(headers, rows, title=title).render(align_right=align_right)
 
 
 def _fmt(value: Any) -> str:
     if isinstance(value, float):
         return f"{value:.2f}"
+    return str(value)
+
+
+def _jsonify(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
     return str(value)

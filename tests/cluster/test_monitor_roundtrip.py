@@ -1,0 +1,97 @@
+"""Property-based round-trip tests for the monitoring CSV format.
+
+The CSV written by :func:`write_monitoring_csv` is the only persistence
+of monitoring data in a run archive, so it must reproduce the trace
+*exactly*: ``repr``-formatted floats survive ``float()`` parsing with no
+precision loss, empty traces survive as header-only files, and the
+sampling window arguments (``t0``/``t_end``) clip what gets persisted.
+"""
+
+import io
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.metrics import MetricsRecorder
+from repro.cluster.monitor import MonitoringAgent, read_monitoring_csv, write_monitoring_csv
+from repro.core.traces import ResourceTrace
+
+_names = st.sampled_from(["cpu@m0", "net@m1", "gc@m0", "disk io", 'odd"name'])
+_starts = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+_durations = st.floats(min_value=1e-9, max_value=1e3, allow_nan=False, allow_infinity=False)
+_values = st.floats(min_value=0.0, max_value=1e12, allow_nan=False, allow_infinity=False)
+_rows = st.lists(st.tuples(_names, _starts, _durations, _values), max_size=40)
+
+
+def _roundtrip(trace: ResourceTrace) -> ResourceTrace:
+    buf = io.StringIO()
+    write_monitoring_csv(trace, buf)
+    buf.seek(0)
+    return read_monitoring_csv(buf)
+
+
+class TestCsvRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(_rows)
+    def test_measurements_survive_exactly(self, rows):
+        trace = ResourceTrace()
+        for resource, t_start, duration, value in rows:
+            t_end = t_start + duration
+            assume(t_end > t_start)  # duration can underflow at large t_start
+            trace.add_measurement(resource, t_start, t_end, value)
+        back = _roundtrip(trace)
+        assert sorted(back.measured_resources()) == sorted(trace.measured_resources())
+        for resource in trace.measured_resources():
+            # repr-formatted floats must round-trip with zero precision loss.
+            assert back.measurements(resource) == trace.measurements(resource)
+
+    def test_empty_trace_is_header_only(self):
+        buf = io.StringIO()
+        write_monitoring_csv(ResourceTrace(), buf)
+        assert buf.getvalue().strip() == "resource,t_start,t_end,value"
+        buf.seek(0)
+        assert read_monitoring_csv(buf).measured_resources() == []
+
+    def test_file_path_round_trip(self, tmp_path):
+        trace = ResourceTrace()
+        trace.add_measurement("cpu@m0", 0.1, 0.5, 3.25)
+        path = tmp_path / "monitoring.csv"
+        write_monitoring_csv(trace, path)
+        back = read_monitoring_csv(path)
+        assert back.measurements("cpu@m0") == trace.measurements("cpu@m0")
+
+
+class TestSamplingWindowClipping:
+    def _recorder(self):
+        rec = MetricsRecorder()
+        rec.record("cpu@m0", 0.0, 10.0, 2.0)
+        return rec
+
+    def test_t0_clips_earlier_activity(self):
+        agent = MonitoringAgent(self._recorder(), interval=0.4)
+        trace = agent.collect(t0=2.0, t_end=4.0)
+        ms = trace.measurements("cpu@m0")
+        assert ms, "expected samples in the window"
+        assert min(m.t_start for m in ms) >= 2.0
+        # The covering grid may overshoot t_end by at most one interval.
+        assert max(m.t_end for m in ms) <= 4.0 + 0.4 + 1e-12
+
+    def test_empty_window_yields_empty_trace(self):
+        agent = MonitoringAgent(self._recorder(), interval=0.4)
+        assert agent.collect(t0=5.0, t_end=5.0).measured_resources() == []
+        assert agent.collect(t0=6.0, t_end=2.0).measured_resources() == []
+
+    def test_default_t_end_covers_the_whole_run(self):
+        agent = MonitoringAgent(self._recorder(), interval=0.5)
+        trace = agent.collect()
+        total = trace.total_consumption("cpu@m0")
+        assert abs(total - 20.0) < 1e-9  # 2.0 rate x 10 s, fully covered
+
+    def test_clipped_window_round_trips_through_csv(self, tmp_path):
+        agent = MonitoringAgent(self._recorder(), interval=0.4)
+        path = tmp_path / "clip.csv"
+        agent.collect_to_csv(path, t0=1.0, t_end=3.0)
+        back = read_monitoring_csv(path)
+        assert back.measurements("cpu@m0") == agent.collect(
+            t0=1.0, t_end=3.0
+        ).measurements("cpu@m0")

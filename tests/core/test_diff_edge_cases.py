@@ -1,0 +1,118 @@
+"""Edge cases of profile comparison: empty runs, disjoint phases, zero makespan.
+
+The workload-level diff tests (:mod:`tests.core.test_diff`) cover the
+paper's §IV-D story; these tests construct minimal profiles directly so
+the degenerate branches — a phase type present on only one side, an
+empty trace, a zero-makespan denominator — are pinned down exactly.
+"""
+
+import json
+import math
+
+from repro.core.bottlenecks import BottleneckReport
+from repro.core.diff import PhaseDelta, compare_profiles, diff_to_dict, render_diff
+from repro.core.issues import IssueReport
+from repro.core.outliers import OutlierReport
+from repro.core.profile import PerformanceProfile
+from repro.core.timeline import TimeGrid
+from repro.core.traces import ExecutionTrace
+
+
+def make_profile(phases=()):
+    """A minimal profile: only the fields compare_profiles touches are real.
+
+    ``phases`` is a list of ``(path, t_start, t_end)`` tuples; parents are
+    not required because comparison works on flat phase-type totals.
+    """
+    trace = ExecutionTrace()
+    for path, t_start, t_end in phases:
+        trace.record(path, t_start, t_end)
+    grid = TimeGrid.covering(0.0, max((t for _, _, t in phases), default=1.0), 0.1)
+    return PerformanceProfile(
+        grid=grid,
+        execution_trace=trace,
+        resource_trace=None,
+        demand=None,
+        upsampled=None,
+        attribution=None,
+        bottlenecks=BottleneckReport(grid, []),
+        issues=IssueReport(baseline_makespan=trace.makespan),
+        outliers=OutlierReport(groups=[]),
+    )
+
+
+class TestEmptyProfiles:
+    def test_empty_vs_nonempty(self):
+        diff = compare_profiles(make_profile(), make_profile([("/A", 0.0, 2.0)]))
+        assert diff.makespan_before == 0.0
+        assert diff.makespan_after == 2.0
+        delta = diff.phase("/A")
+        assert delta.before_total == 0.0 and delta.before_instances == 0
+        assert delta.after_total == 2.0 and delta.after_instances == 1
+        assert math.isinf(delta.ratio)
+
+    def test_both_empty(self):
+        diff = compare_profiles(make_profile(), make_profile())
+        assert diff.phases == []
+        assert math.isinf(diff.speedup)  # 0 -> 0 hits the _EPS guard
+        assert render_diff(diff)  # still renders without dividing by zero
+
+    def test_zero_makespan_after_is_infinite_speedup(self):
+        diff = compare_profiles(make_profile([("/A", 0.0, 1.0)]), make_profile())
+        assert math.isinf(diff.speedup)
+        assert diff.phase("/A").after_total == 0.0
+        assert diff.phase("/A").ratio == 0.0
+
+
+class TestDisjointPhaseSets:
+    def test_union_of_phase_types_is_compared(self):
+        before = make_profile([("/Load", 0.0, 1.0), ("/Load", 1.0, 2.5)])
+        after = make_profile([("/Store", 0.0, 0.5)])
+        diff = compare_profiles(before, after)
+        assert {p.phase_path for p in diff.phases} == {"/Load", "/Store"}
+        load, store = diff.phase("/Load"), diff.phase("/Store")
+        assert load.before_total == 2.5 and load.before_instances == 2
+        assert load.after_total == 0.0 and load.ratio == 0.0
+        assert store.before_total == 0.0 and math.isinf(store.ratio)
+
+    def test_improved_and_regressed_split(self):
+        before = make_profile([("/Load", 0.0, 2.0)])
+        after = make_profile([("/Store", 0.0, 1.0)])
+        diff = compare_profiles(before, after)
+        assert [p.phase_path for p in diff.improved_phases()] == ["/Load"]
+        assert [p.phase_path for p in diff.regressed_phases()] == ["/Store"]
+
+
+class TestEpsGuards:
+    def test_ratio_of_two_zero_totals_is_one(self):
+        delta = PhaseDelta("/A", 0.0, 0.0, 0, 0)
+        assert delta.ratio == 1.0
+
+    def test_ratio_below_eps_counts_as_zero(self):
+        delta = PhaseDelta("/A", 1e-13, 1e-13, 1, 1)
+        assert delta.ratio == 1.0  # both sides below _EPS
+
+
+class TestDiffToDict:
+    def test_infinite_values_become_none(self):
+        diff = compare_profiles(make_profile([("/A", 0.0, 1.0)]), make_profile())
+        data = diff_to_dict(diff)
+        assert data["makespan"]["speedup"] is None  # zero makespan after -> inf
+        assert data["phases"][0]["ratio"] == 0.0
+        gone = diff_to_dict(
+            compare_profiles(make_profile(), make_profile([("/A", 0.0, 1.0)]))
+        )
+        assert gone["phases"][0]["ratio"] is None  # inf ratio (absent before)
+        json.dumps(data)  # strict-JSON serializable
+        json.dumps(gone)
+
+    def test_round_trip_values(self):
+        before = make_profile([("/A", 0.0, 2.0)])
+        after = make_profile([("/A", 0.0, 1.0)])
+        data = diff_to_dict(compare_profiles(before, after))
+        assert data["makespan"] == {"before": 2.0, "after": 1.0, "speedup": 2.0}
+        (phase,) = data["phases"]
+        assert phase["phase"] == "/A"
+        assert phase["delta"] == -1.0
+        assert phase["ratio"] == 0.5
+        assert data["outliers"]["affected_fraction_before"] == 0.0

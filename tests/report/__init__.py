@@ -1,0 +1,1 @@
+"""Tests for the report-generation subsystem (repro.report + OpenMetrics)."""

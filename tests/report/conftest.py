@@ -1,0 +1,11 @@
+"""Shared fixtures for the report tests: one characterized tiny run."""
+
+import pytest
+
+from repro.workloads.archive import characterize_archive
+
+
+@pytest.fixture(scope="package")
+def tiny_profile(tiny_archive):
+    """The characterized profile of the session's shared tiny archive."""
+    return characterize_archive(tiny_archive)

@@ -1,0 +1,176 @@
+"""Golden-structure tests for the self-contained HTML run report."""
+
+import html as _html
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.core.diff import compare_profiles
+from repro.report import (
+    OPTIONAL_SECTIONS,
+    REPORT_SECTIONS,
+    cell_slug,
+    render_html_report,
+    report_sections,
+    write_html_report,
+    write_suite_report,
+)
+from repro.report.html import embed_json
+
+
+@pytest.fixture(scope="module")
+def document(tiny_profile):
+    return render_html_report(tiny_profile, title="golden run")
+
+
+class TestGoldenStructure:
+    def test_section_inventory(self, document):
+        assert report_sections(document) == list(REPORT_SECTIONS)
+
+    def test_every_phase_type_appears(self, tiny_profile, document):
+        paths = {i.phase_path for i in tiny_profile.execution_trace.instances()}
+        assert paths, "fixture profile must have phases"
+        for path in paths:
+            assert _html.escape(path) in document, path
+
+    def test_every_machine_appears(self, tiny_profile, document):
+        machines = {
+            r.split("@", 1)[1]
+            for r in tiny_profile.upsampled.resources()
+            if "@" in r
+        }
+        for machine in machines:
+            assert machine in document
+
+    def test_self_contained_no_external_assets(self, document):
+        # One file, zero network fetches: no scripts, stylesheets, images,
+        # fonts, or absolute URLs of any kind.
+        assert "http://" not in document and "https://" not in document
+        assert "<link" not in document
+        assert "<img" not in document
+        assert 'src="' not in document
+        # The only scripts are inline JSON data islands.
+        for m in re.finditer(r"<script\b([^>]*)>", document):
+            assert 'type="application/json"' in m.group(1)
+
+    def test_title_and_svg_present(self, document):
+        assert "golden run" in document
+        assert "<svg" in document  # flame view + heatmaps are inline SVG
+
+
+class TestOptionalSections:
+    def test_diff_section(self, tiny_profile):
+        diff = compare_profiles(tiny_profile, tiny_profile)
+        doc = render_html_report(tiny_profile, diff=diff)
+        assert "diff" in report_sections(doc)
+
+    def test_pipeline_section_from_trace_events(self, tiny_profile):
+        events = [
+            {"ph": "X", "name": "parse", "ts": 0.0, "dur": 1500.0, "pid": 1, "tid": 1},
+            {"ph": "C", "name": "cache.hit", "ts": 1.0, "pid": 1, "tid": 1,
+             "args": {"value": 2}},
+        ]
+        doc = render_html_report(tiny_profile, trace_events=events)
+        assert "pipeline" in report_sections(doc)
+        assert "parse" in doc
+
+    def test_bench_section(self, tiny_profile):
+        bench = {
+            "schema": "x", "preset": "tiny", "repeats": 1,
+            "systems": {"giraph": {
+                "total_s": {"mean": 0.5},
+                "stages": {"parse": {"mean_s": 0.1, "min_s": 0.1, "max_s": 0.1}},
+            }},
+        }
+        doc = render_html_report(tiny_profile, bench=bench)
+        assert "bench" in report_sections(doc)
+
+    def test_all_optional_sections_are_known(self, tiny_profile):
+        diff = compare_profiles(tiny_profile, tiny_profile)
+        doc = render_html_report(tiny_profile, diff=diff, trace_events=[], bench=None)
+        assert set(report_sections(doc)) <= set(REPORT_SECTIONS) | set(OPTIONAL_SECTIONS)
+
+
+class TestEmbedJson:
+    def test_escapes_closing_tag(self):
+        island = embed_json({"x": "</script><b>"}, "data")
+        assert "</script><b>" not in island
+        payload = re.search(r">(.*)</script>", island, re.S).group(1)
+        assert json.loads(payload) == {"x": "</script><b>"}
+
+
+class TestWriteHtmlReport:
+    def test_writes_one_file(self, tiny_profile, tmp_path):
+        path = write_html_report(tiny_profile, tmp_path / "report.html")
+        assert path.is_file()
+        assert report_sections(path.read_text()) == list(REPORT_SECTIONS)
+        assert list(tmp_path.iterdir()) == [path]  # self-contained: one file
+
+
+class TestSuiteReport:
+    @pytest.fixture(scope="class")
+    def suite_result(self):
+        from repro.workloads.graphalytics import run_suite
+
+        return run_suite(
+            preset="tiny", systems=("giraph",), characterize=True,
+            jobs=1, cache_dir=None,
+        )
+
+    def test_index_and_cells(self, suite_result, tmp_path):
+        index = write_suite_report(suite_result, tmp_path)
+        assert index == tmp_path / "index.html"
+        doc = index.read_text()
+        for entry in suite_result:
+            assert cell_slug(entry.label) + ".html" in doc
+            assert (tmp_path / "cells" / (cell_slug(entry.label) + ".html")).is_file()
+
+    def test_index_json_island(self, suite_result, tmp_path):
+        doc = write_suite_report(suite_result, tmp_path).read_text()
+        payload = re.search(
+            r'<script type="application/json" id="suite-data">(.*?)</script>',
+            doc, re.S,
+        ).group(1)
+        data = json.loads(payload)
+        assert len(data["cells"]) == len(list(suite_result))
+        assert all(c["report"] for c in data["cells"])
+
+    def test_cell_slug_is_filesystem_safe(self):
+        assert cell_slug("giraph/graph500/pr") == "giraph-graph500-pr"
+        assert cell_slug("///") == "cell"
+        assert re.fullmatch(r"[A-Za-z0-9._-]+", cell_slug("a b:c*d"))
+
+
+class TestReportCli:
+    def test_report_command(self, tiny_archive, tmp_path, capsys):
+        out = tmp_path / "r.html"
+        assert main(["report", str(tiny_archive), "--html", str(out)]) == 0
+        assert report_sections(out.read_text()) == list(REPORT_SECTIONS)
+        assert "report written to" in capsys.readouterr().err
+
+    def test_report_diff_json(self, tiny_archive, tmp_path, capsys):
+        out = tmp_path / "r.html"
+        assert main([
+            "report", str(tiny_archive), "--html", str(out),
+            "--diff-against", str(tiny_archive), "--format", "json",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["makespan"]["speedup"] == pytest.approx(1.0)
+        assert "diff" in report_sections(out.read_text())
+
+    def test_report_diff_text(self, tiny_archive, tmp_path, capsys):
+        assert main([
+            "report", str(tiny_archive), "--html", str(tmp_path / "r.html"),
+            "--diff-against", str(tiny_archive),
+        ]) == 0
+        assert "Profile comparison" in capsys.readouterr().out
+
+    def test_missing_archive_exits_2(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_suite_report_dir_requires_characterize(self, tmp_path, capsys):
+        assert main(["suite", "--report-dir", str(tmp_path / "rep")]) == 2
+        assert "--characterize" in capsys.readouterr().err

@@ -1,0 +1,223 @@
+"""Format-conformance and exactness tests for the OpenMetrics exposition."""
+
+import re
+
+import pytest
+
+from repro.obs import metrics_exposition, sanitize_label_name, sanitize_metric_name
+
+_NAME = r"[a-zA-Z_][a-zA-Z0-9_]*"
+_SAMPLE = re.compile(rf"^({_NAME})(?:\{{(.*)\}})? (\S+)$")
+_LABEL = re.compile(rf'({_NAME})="((?:[^"\\]|\\.)*)"(?:,|$)')
+
+
+def parse_exposition(text):
+    """Parse an exposition into (families, samples).
+
+    ``families`` maps family name -> (type, help); ``samples`` is a list of
+    ``(sample_name, labels_dict, value)`` with label values unescaped.
+    """
+    lines = text.splitlines()
+    families: dict[str, list[str | None]] = {}
+    samples = []
+    for line in lines[:-1]:
+        if line.startswith("# HELP "):
+            name, help_text = line[len("# HELP "):].split(" ", 1)
+            families.setdefault(name, [None, None])[1] = help_text
+        elif line.startswith("# TYPE "):
+            name, mtype = line[len("# TYPE "):].split(" ", 1)
+            families.setdefault(name, [None, None])[0] = mtype
+        else:
+            m = _SAMPLE.fullmatch(line)
+            assert m, f"malformed sample line: {line!r}"
+            labels = {}
+            if m.group(2):
+                consumed = "".join(x.group(0) for x in _LABEL.finditer(m.group(2)))
+                assert consumed == m.group(2), f"malformed labels: {m.group(2)!r}"
+                for x in _LABEL.finditer(m.group(2)):
+                    raw = x.group(2)
+                    labels[x.group(1)] = (
+                        raw.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+                    )
+            samples.append((m.group(1), labels, float(m.group(3))))
+    return families, samples
+
+
+@pytest.fixture(scope="module")
+def exposition(tiny_profile):
+    return metrics_exposition(
+        tiny_profile,
+        {"cache.hit": 3.0, "cache.miss": 5.0},
+        labels={"workload": "giraph/graph500/pr"},
+    )
+
+
+class TestConformance:
+    def test_ends_with_eof(self, exposition):
+        assert exposition.endswith("\n")
+        assert exposition.splitlines()[-1] == "# EOF"
+        assert exposition.count("# EOF") == 1
+
+    def test_every_sample_has_a_declared_family(self, exposition):
+        families, samples = parse_exposition(exposition)
+        for name, mtype_help in families.items():
+            mtype, help_text = mtype_help
+            assert mtype in ("gauge", "counter"), name
+            assert help_text, name
+        for sample_name, _, _ in samples:
+            family = (
+                sample_name[: -len("_total")]
+                if sample_name.endswith("_total")
+                else sample_name
+            )
+            assert family in families, sample_name
+
+    def test_help_precedes_type_precedes_samples(self, exposition):
+        seen_families = set()
+        current = None
+        for line in exposition.splitlines()[:-1]:
+            if line.startswith("# HELP "):
+                current = line.split(" ")[2]
+                assert current not in seen_families, "family emitted twice"
+                seen_families.add(current)
+            elif line.startswith("# TYPE "):
+                assert line.split(" ")[2] == current
+            else:
+                name = _SAMPLE.fullmatch(line).group(1)
+                assert name == current or name == f"{current}_total"
+
+    def test_counter_samples_use_total_suffix(self, exposition):
+        families, samples = parse_exposition(exposition)
+        counters = {n for n, (t, _) in families.items() if t == "counter"}
+        assert counters, "expected at least one counter family"
+        for sample_name, _, _ in samples:
+            base = sample_name[: -len("_total")] if sample_name.endswith("_total") else None
+            if base in counters:
+                continue
+            assert sample_name not in counters, (
+                f"counter {sample_name} sample lacks _total suffix"
+            )
+
+    def test_names_and_label_names_conform(self, exposition):
+        families, samples = parse_exposition(exposition)
+        for name in families:
+            assert re.fullmatch(_NAME, name), name
+        for _, labels, _ in samples:
+            for label in labels:
+                assert re.fullmatch(_NAME, label), label
+
+    def test_constant_labels_on_every_sample(self, exposition):
+        _, samples = parse_exposition(exposition)
+        assert samples
+        for name, labels, _ in samples:
+            assert labels.get("workload") == "giraph/graph500/pr", name
+
+
+class TestExactness:
+    def test_makespan_and_timeslices_exact(self, tiny_profile, exposition):
+        _, samples = parse_exposition(exposition)
+        by_name = {}
+        for name, labels, value in samples:
+            by_name.setdefault(name, []).append((labels, value))
+        ((_, makespan),) = by_name["grade10_makespan_seconds"]
+        assert makespan == tiny_profile.makespan  # repr round-trip: exact
+        ((_, slices),) = by_name["grade10_timeslices"]
+        assert slices == tiny_profile.grid.n_slices
+
+    def test_phase_totals_exact(self, tiny_profile, exposition):
+        _, samples = parse_exposition(exposition)
+        durations = {
+            labels["phase"]: value
+            for name, labels, value in samples
+            if name == "grade10_phase_duration_seconds"
+        }
+        instances = {
+            labels["phase"]: value
+            for name, labels, value in samples
+            if name == "grade10_phase_instances"
+        }
+        expected: dict[str, list[float]] = {}
+        for inst in tiny_profile.execution_trace.instances():
+            tot = expected.setdefault(inst.phase_path, [0.0, 0])
+            tot[0] += inst.duration
+            tot[1] += 1
+        assert set(durations) == set(expected)
+        for path, (dur, n) in expected.items():
+            assert durations[path] == dur, path
+            assert instances[path] == n, path
+
+    def test_counter_values_exact(self, exposition):
+        _, samples = parse_exposition(exposition)
+        events = {
+            labels["counter"]: value
+            for name, labels, value in samples
+            if name == "grade10_pipeline_events_total"
+        }
+        assert events == {"cache.hit": 3.0, "cache.miss": 5.0}
+
+    def test_counters_only_exposition(self):
+        text = metrics_exposition(counters={"a": 1.5})
+        families, samples = parse_exposition(text)
+        assert families["grade10_pipeline_events"][0] == "counter"
+        assert samples == [("grade10_pipeline_events_total", {"counter": "a"}, 1.5)]
+
+
+class TestSanitization:
+    def test_metric_name_charset(self):
+        assert sanitize_metric_name("cache.hit") == "cache_hit"
+        assert sanitize_metric_name("a-b c/d") == "a_b_c_d"
+        assert sanitize_metric_name("2fast") == "_2fast"
+        assert sanitize_metric_name("") == "_"
+        assert sanitize_label_name is sanitize_metric_name
+
+    def test_label_value_escaping_round_trips(self):
+        tricky = 'quote " backslash \\ newline \n end'
+        text = metrics_exposition(counters={"c": 1.0}, labels={"note": tricky})
+        _, samples = parse_exposition(text)
+        (sample,) = samples
+        assert sample[1]["note"] == tricky
+
+    def test_prefix_is_sanitized_into_names(self):
+        text = metrics_exposition(counters={"c": 1.0}, prefix="my-repro")
+        for line in text.splitlines():
+            if not line.startswith("#"):
+                assert line.startswith("my_repro_"), line
+
+
+class TestMetricsCli:
+    def test_stdout_exposition(self, tiny_archive, capsys):
+        from repro.cli import main
+
+        assert main(["metrics", str(tiny_archive)]) == 0
+        out = capsys.readouterr().out
+        families, samples = parse_exposition(out)
+        assert out.splitlines()[-1] == "# EOF"
+        assert "grade10_makespan_seconds" in families
+        # The archive's system name rides along as a constant label.
+        assert all(s[1].get("system") == "GiraphRun" for s in samples)
+
+    def test_out_file(self, tiny_archive, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "metrics.txt"
+        assert main(["metrics", str(tiny_archive), "--out", str(out)]) == 0
+        assert out.read_text().endswith("# EOF\n")
+        assert "exposition written to" in capsys.readouterr().err
+
+    def test_trace_counters_included(self, tiny_archive, tmp_path, capsys):
+        from repro import obs as _obs
+        from repro.cli import main
+
+        tracer = _obs.Tracer()
+        tracer.counter("cache.hit", 2.0)
+        trace = tmp_path / "trace.json"
+        tracer.export_chrome_trace(trace)
+        assert main(["metrics", str(tiny_archive), "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert 'counter="cache.hit"' in out
+
+    def test_missing_archive_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["metrics", str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err

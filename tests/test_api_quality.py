@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.adapters",
     "repro.workloads",
     "repro.viz",
+    "repro.report",
 ]
 
 

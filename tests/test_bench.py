@@ -8,7 +8,11 @@ from repro import obs
 from repro.bench import (
     BENCH_SCHEMA,
     PIPELINE_STAGES,
+    TOTAL_STAGE,
+    BenchDelta,
     bench_pipeline,
+    compare_bench_docs,
+    render_bench_comparison,
     validate_bench_doc,
     write_bench_json,
 )
@@ -91,3 +95,173 @@ class TestValidateBenchDoc:
         doc = json.loads(json.dumps(tiny_doc))
         doc["systems"]["giraph"]["total_s"]["mean"] = "fast"
         assert any("total_s" in p for p in validate_bench_doc(doc))
+
+
+def _doc(stages, *, total=None, overhead=0.0, system="giraph", **meta):
+    """A minimal bench document: stage name -> mean seconds."""
+    total = total if total is not None else sum(stages.values())
+    return {
+        "schema": BENCH_SCHEMA,
+        "preset": "tiny",
+        "dataset": "graph500",
+        "algorithm": "pr",
+        "tracing_overhead": overhead,
+        "systems": {
+            system: {
+                "total_s": {"mean": total},
+                "stages": {
+                    name: {"mean_s": mean, "min_s": mean, "max_s": mean, "calls": 1}
+                    for name, mean in stages.items()
+                },
+            }
+        },
+        **meta,
+    }
+
+
+class TestCompareBenchDocs:
+    def test_self_compare_is_clean(self, tiny_doc):
+        cmp = compare_bench_docs(tiny_doc, tiny_doc)
+        assert cmp.ok
+        assert cmp.regressions == [] and cmp.improvements == []
+        assert cmp.unchanged > 0
+        assert cmp.warnings == []
+
+    def test_inflated_stage_regresses(self):
+        base = _doc({"parse": 0.100, "demand": 0.050})
+        cand = _doc({"parse": 0.200, "demand": 0.050})
+        cmp = compare_bench_docs(base, cand)
+        assert not cmp.ok
+        # The inflated stage regresses, and so does the system total.
+        assert {(d.system, d.stage) for d in cmp.regressions} == {
+            ("giraph", "parse"), ("giraph", TOTAL_STAGE),
+        }
+        parse = next(d for d in cmp.regressions if d.stage == "parse")
+        assert parse.rel_delta == pytest.approx(1.0)
+        assert cmp.regressions[0].delta_s >= cmp.regressions[-1].delta_s  # sorted
+
+    def test_improvement_reported_symmetrically(self):
+        base = _doc({"parse": 0.200})
+        cand = _doc({"parse": 0.100})
+        cmp = compare_bench_docs(base, cand)
+        assert cmp.ok  # improvements never fail the gate
+        assert {d.stage for d in cmp.improvements} == {"parse", TOTAL_STAGE}
+
+    def test_noise_floor_raises_the_threshold(self):
+        # +50% on a stage: above the 30% default, below 4 x 15% overhead.
+        base = _doc({"parse": 0.100}, overhead=0.15)
+        cand = _doc({"parse": 0.150}, overhead=0.15)
+        cmp = compare_bench_docs(base, cand)
+        assert cmp.effective_threshold == pytest.approx(0.60)
+        assert cmp.noise_floor == pytest.approx(0.15)
+        assert cmp.ok
+
+    def test_noise_floor_uses_the_worse_document(self):
+        base = _doc({"parse": 0.100}, overhead=0.01)
+        cand = _doc({"parse": 0.150}, overhead=-0.2)  # sign is irrelevant
+        cmp = compare_bench_docs(base, cand)
+        assert cmp.noise_floor == pytest.approx(0.2)
+        assert cmp.ok
+
+    def test_min_abs_guard_ignores_microsecond_jitter(self):
+        # +300% relative, but only 3ms absolute: below the 5ms guard.
+        base = _doc({"parse": 0.001})
+        cand = _doc({"parse": 0.004})
+        cmp = compare_bench_docs(base, cand)
+        assert cmp.ok
+        assert cmp.unchanged == 2  # stage + total
+
+    def test_threshold_override(self):
+        base = _doc({"parse": 0.100})
+        cand = _doc({"parse": 0.115})
+        assert compare_bench_docs(base, cand).ok
+        cmp = compare_bench_docs(base, cand, rel_threshold=0.10)
+        assert not cmp.ok
+
+    def test_metadata_mismatch_warns_but_never_fails(self):
+        base = _doc({"parse": 0.1})
+        cand = dict(_doc({"parse": 0.1}), preset="small", schema="other/1")
+        cmp = compare_bench_docs(base, cand)
+        assert cmp.ok
+        assert any("preset" in w for w in cmp.warnings)
+        assert any("schema" in w for w in cmp.warnings)
+
+    def test_one_sided_systems_and_stages_warn(self):
+        base = _doc({"parse": 0.1, "demand": 0.1})
+        cand = _doc({"parse": 0.1}, system="powergraph")
+        cmp = compare_bench_docs(base, cand)
+        assert cmp.ok
+        assert any("giraph" in w and "candidate" in w for w in cmp.warnings)
+        assert any("powergraph" in w and "baseline" in w for w in cmp.warnings)
+
+    def test_render_verdict(self):
+        base = _doc({"parse": 0.100})
+        good = render_bench_comparison(compare_bench_docs(base, base))
+        assert good.splitlines()[-1].startswith("OK:")
+        bad = render_bench_comparison(
+            compare_bench_docs(base, _doc({"parse": 0.500}))
+        )
+        assert "REGRESSED" in bad
+        assert bad.splitlines()[-1].startswith("FAIL:")
+
+
+class TestBenchDelta:
+    def test_rel_delta_zero_baseline(self):
+        assert BenchDelta("s", "x", 0.0, 0.1).rel_delta == float("inf")
+        assert BenchDelta("s", "x", 0.0, 0.0).rel_delta == 0.0
+
+    def test_delta_seconds(self):
+        d = BenchDelta("s", "x", 0.2, 0.35)
+        assert d.delta_s == pytest.approx(0.15)
+        assert d.rel_delta == pytest.approx(0.75)
+
+
+class TestBenchDiffCli:
+    def _write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_self_compare_exits_0(self, tmp_path, capsys):
+        from repro.cli import main
+
+        base = self._write(tmp_path, "base.json", _doc({"parse": 0.1}))
+        assert main(["bench", "--diff", base, "--candidate", base]) == 0
+        assert "OK:" in capsys.readouterr().out
+
+    def test_regression_exits_4(self, tmp_path, capsys):
+        from repro.cli import main
+
+        base = self._write(tmp_path, "base.json", _doc({"parse": 0.1}))
+        cand = self._write(tmp_path, "cand.json", _doc({"parse": 0.5}))
+        assert main(["bench", "--diff", base, "--candidate", cand]) == 4
+        assert "FAIL:" in capsys.readouterr().out
+
+    def test_candidate_without_diff_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cand = self._write(tmp_path, "cand.json", _doc({"parse": 0.1}))
+        assert main(["bench", "--candidate", cand]) == 2
+        assert "--diff" in capsys.readouterr().err
+
+    def test_unreadable_baseline_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cand = self._write(tmp_path, "cand.json", _doc({"parse": 0.1}))
+        bad = self._write(tmp_path, "bad.json", {})
+        (tmp_path / "bad.json").write_text("{not json")
+        assert main(["bench", "--diff", str(tmp_path / "bad.json"),
+                     "--candidate", cand]) == 2
+        assert main(["bench", "--diff", str(tmp_path / "missing.json"),
+                     "--candidate", cand]) == 2
+        capsys.readouterr()
+
+    def test_threshold_flag_tightens_the_gate(self, tmp_path, capsys):
+        from repro.cli import main
+
+        base = self._write(tmp_path, "base.json", _doc({"parse": 0.100}))
+        cand = self._write(tmp_path, "cand.json", _doc({"parse": 0.115}))
+        assert main(["bench", "--diff", base, "--candidate", cand]) == 0
+        assert main(["bench", "--diff", base, "--candidate", cand,
+                     "--threshold", "0.05"]) == 4
+        capsys.readouterr()

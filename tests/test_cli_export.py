@@ -246,3 +246,47 @@ class TestTracingCli:
         assert validate_bench_doc(doc) == []
         out = capsys.readouterr().out
         assert "giraph" in out
+
+
+class TestStatsJson:
+    @pytest.fixture()
+    def trace(self, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(["run", "giraph", "graph500", "pr", "--preset", "tiny",
+                     "--trace", str(path)]) == 0
+        return path
+
+    def test_json_payload_shape(self, trace, capsys):
+        capsys.readouterr()
+        assert main(["stats", str(trace), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace"] == str(trace)
+        assert payload["wall_ms"] > 0
+        stages = payload["stages"]
+        assert stages["columns"][0] == "stage"
+        names = [row[0] for row in stages["rows"]]
+        assert "parse" in names and "generate" in names
+        # Numbers stay numbers in the JSON renderer.
+        for row in stages["rows"]:
+            assert isinstance(row[1], int)
+            assert isinstance(row[2], float)
+
+    def test_json_and_text_agree_on_stage_set(self, trace, capsys):
+        capsys.readouterr()
+        assert main(["stats", str(trace), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert main(["stats", str(trace)]) == 0
+        text = capsys.readouterr().out
+        for row in payload["stages"]["rows"]:
+            assert row[0] in text
+
+    def test_counters_table_included(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["suite", "--preset", "tiny", "--systems", "giraph",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(trace), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        counters = {row[0]: row[1] for row in payload["counters"]["rows"]}
+        assert counters.get("cache.miss", 0) > 0

@@ -52,6 +52,15 @@ class TestExamples:
         assert "Stage timeline" in out
         assert "Critical path" in out
 
+    def test_report_run(self, capsys, tmp_path):
+        run_example("report_run.py", ["tiny", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "HTML report:" in out
+        assert "OpenMetrics exposition:" in out
+        assert "Profile comparison" in out
+        assert (tmp_path / "report.html").is_file()
+        assert (tmp_path / "metrics.txt").read_text().endswith("# EOF\n")
+
     def test_infer_rules(self, capsys):
         run_example("infer_rules.py", ["small"])
         out = capsys.readouterr().out
@@ -68,5 +77,6 @@ class TestExamples:
             "compare_systems.py",
             "characterize_dataflow.py",
             "infer_rules.py",
+            "report_run.py",
         }
         assert scripts == tested, f"untested examples: {scripts - tested}"

@@ -98,3 +98,39 @@ class TestFormatTable:
     def test_title(self):
         out = format_table(["a"], [[1]], title="Table II")
         assert out.splitlines()[0] == "Table II"
+
+
+class TestTableRowModel:
+    def test_to_dict_preserves_native_types(self):
+        from repro.viz import Table
+
+        t = Table(["name", "n", "frac"], [["x", 3, 0.5], ["y", 1, None]], title="T")
+        data = t.to_dict()
+        assert data == {
+            "title": "T",
+            "columns": ["name", "n", "frac"],
+            "rows": [["x", 3, 0.5], ["y", 1, None]],
+        }
+
+    def test_exotic_cells_are_stringified(self):
+        import json
+
+        from repro.viz import Table
+
+        data = Table(["a"], [[object()]]).to_dict()
+        assert isinstance(data["rows"][0][0], str)
+        json.dumps(data)
+
+    def test_render_json_round_trips(self):
+        import json
+
+        from repro.viz import Table
+
+        t = Table(["a", "b"], [[1, 2.5]])
+        assert json.loads(t.render_json()) == t.to_dict()
+
+    def test_text_and_json_share_rows(self):
+        from repro.viz import Table, format_table
+
+        headers, rows = ["k", "v"], [["x", 1.5]]
+        assert Table(headers, rows).render() == format_table(headers, rows)
