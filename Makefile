@@ -1,6 +1,7 @@
 # Convenience targets; see README.md for details.
 
-.PHONY: install test bench bench-gate bench-paper experiments examples all
+.PHONY: install test bench bench-gate bench-paper experiments examples \
+	serve-smoke all
 
 # Dataset preset for the pipeline bench (tiny keeps CI smoke fast).
 BENCH_PRESET ?= small
@@ -26,6 +27,11 @@ bench-gate:
 # The paper's table/figure benchmarks (pytest-benchmark timings).
 bench-paper:
 	pytest benchmarks/ --benchmark-only
+
+# Launch `repro serve` on a tiny suite, scrape /metrics mid-run, stream
+# /events, and require a clean SIGTERM shutdown (docs/live-telemetry.md).
+serve-smoke:
+	python scripts/serve_smoke.py
 
 # Regenerate every paper table/figure at the default preset.
 experiments:

@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of ``repro serve`` (the CI ``serve-smoke`` job).
+
+Launches ``repro serve`` on a tiny suite as a real subprocess, then from
+the outside:
+
+1. polls ``/healthz`` until the server is up;
+2. scrapes ``/metrics`` and validates the exposition with the
+   conformance parser from ``tests/report/test_openmetrics.py``,
+   requiring at least one live run-status gauge;
+3. reads ``/events`` and requires at least one ``cell.finished`` SSE
+   frame (the gap-free backlog makes this race-free even if the tiny
+   suite finishes before we connect);
+4. waits for ``/runs`` to report the run finished;
+5. sends SIGTERM and requires a clean exit code 0.
+
+Run from the repo root: ``python scripts/serve_smoke.py`` (or
+``make serve-smoke``).
+"""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, REPO_ROOT)  # for tests.report.test_openmetrics
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from tests.report.test_openmetrics import parse_exposition  # noqa: E402
+
+DEADLINE_S = 120.0
+
+
+def wait_for(predicate, what, deadline_s=DEADLINE_S):
+    t0 = time.monotonic()
+    while time.monotonic() - t0 < deadline_s:
+        result = predicate()
+        if result:
+            return result
+        time.sleep(0.1)
+    raise SystemExit(f"timed out waiting for {what}")
+
+
+def get(base, path):
+    with urllib.request.urlopen(base + path, timeout=10) as resp:
+        return resp.read().decode()
+
+
+def healthy(base):
+    try:
+        return get(base, "/healthz") == "ok\n"
+    except OSError:
+        return False
+
+
+def read_sse_until(host, port, event, deadline_s=DEADLINE_S):
+    """Read /events frames until ``event`` is seen; returns the frames."""
+    conn = http.client.HTTPConnection(host, port, timeout=deadline_s)
+    try:
+        conn.request("GET", "/events?last_id=0")
+        resp = conn.getresponse()
+        assert resp.status == 200, resp.status
+        frames, current = [], {}
+        while True:
+            line = resp.fp.readline().decode().rstrip("\n")
+            if line.startswith(":"):
+                continue
+            if not line:
+                if current:
+                    frames.append(current)
+                    if current.get("event") == event:
+                        return frames
+                    current = {}
+                continue
+            key, _, value = line.partition(": ")
+            current[key] = value
+    finally:
+        conn.close()
+
+
+def main():
+    port_file = os.path.join(tempfile.mkdtemp(prefix="serve-smoke-"), "port")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--preset", "tiny", "--systems", "giraph", "--jobs", "2",
+            "--port", "0", "--port-file", port_file, "--no-cache",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    try:
+        wait_for(lambda: os.path.exists(port_file), "port file")
+        port = int(open(port_file).read().strip())
+        base = f"http://127.0.0.1:{port}"
+        wait_for(lambda: healthy(base), "/healthz")
+        print(f"serve-smoke: healthy on {base}")
+
+        # Scrape repeatedly while the suite runs; every exposition must be
+        # conformant and carry the live run gauges once a run registered.
+        saw_gauge = wait_for(
+            lambda: "grade10_run_cells" in get(base, "/metrics"),
+            "run gauges on /metrics",
+        )
+        assert saw_gauge
+        families, samples = parse_exposition(get(base, "/metrics"))
+        names = {name for name, _, _ in samples}
+        assert "grade10_run_cells" in names, sorted(names)
+        assert families["grade10_run_cells"][0] == "gauge"
+        print(f"serve-smoke: /metrics conformant ({len(samples)} samples)")
+
+        frames = read_sse_until("127.0.0.1", port, "cell.finished")
+        ids = [int(f["id"]) for f in frames]
+        assert ids == sorted(ids), f"event ids not increasing: {ids}"
+        print(f"serve-smoke: /events streamed {len(frames)} frames "
+              "including cell.finished")
+
+        runs = wait_for(
+            lambda: [
+                r for r in json.loads(get(base, "/runs")) if r["finished"]
+            ],
+            "a finished run on /runs",
+        )
+        assert runs[0]["counts"]["done"] + runs[0]["counts"]["cached"] > 0
+        print("serve-smoke: /runs reports the suite finished")
+
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=30)
+        assert code == 0, f"expected clean exit, got {code}"
+        print("serve-smoke: clean SIGTERM shutdown (exit 0)")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    main()

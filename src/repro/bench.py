@@ -49,6 +49,9 @@ from typing import Any, Sequence
 
 from . import obs
 from .ioutils import atomic_write_text
+from .obs_logging import get_logger
+
+_LOG = get_logger("repro.bench")
 
 __all__ = [
     "BENCH_SCHEMA",
@@ -123,6 +126,7 @@ def bench_pipeline(
         untraced_total = 0.0
         for system in systems:
             spec = WorkloadSpec(system, dataset, algorithm, preset=preset, seed=seed)
+            _LOG.debug("benching system", system=system, preset=preset, repeats=repeats)
             _run_once(spec)  # warmup: imports, caches, JIT-able paths
 
             per_stage: dict[str, list[tuple[float, int]]] = {}

@@ -45,6 +45,13 @@ Subcommands:
     ``python -m repro bench --preset small --out BENCH_pipeline.json``
     ``python -m repro bench --diff BENCH_pipeline.json --preset small``
 
+``serve``
+    Run the benchmark suite while serving live telemetry over HTTP —
+    ``/metrics`` (OpenMetrics), ``/healthz``, ``/runs`` (JSON status),
+    ``/events`` (SSE progress stream); see ``docs/live-telemetry.md``:
+    ``python -m repro serve --preset tiny --port 8321``
+    (``suite --serve PORT`` serves the same endpoints for one sweep)
+
 ``datasets``
     List the available datasets and their preset sizes.
 
@@ -55,6 +62,12 @@ Subcommands:
 invocation is traced through :mod:`repro.obs` (including pool workers)
 and exported as a Chrome-trace JSON loadable in ``chrome://tracing`` or
 https://ui.perfetto.dev.
+
+``run``, ``analyze``, ``suite``, ``bench``, ``report``, and ``serve``
+share one output option group: ``--quiet`` (warnings only),
+``--log-level LEVEL``, and ``--log-json`` (stderr diagnostics as JSON
+lines carrying the active span id; also ``REPRO_LOG=json``) — see
+:mod:`repro.obs_logging`.
 """
 
 from __future__ import annotations
@@ -65,7 +78,7 @@ import json
 import sys
 from statistics import median
 
-from . import obs
+from . import obs, obs_logging
 from .algorithms import ALGORITHMS
 from .bench import DEFAULT_REL_THRESHOLD
 from .core import render_report
@@ -89,6 +102,41 @@ from .workloads.experiments import FIG5_PHASES, RESOURCE_CLASSES
 from .workloads.runner import SYSTEMS
 
 __all__ = ["main", "build_parser"]
+
+_LOG = obs_logging.get_logger("repro.cli")
+
+
+def _add_output_options(parser: argparse.ArgumentParser) -> None:
+    """The shared verbosity/structured-logging option group.
+
+    One helper instead of per-command ad-hoc prints: every command that
+    emits informational stderr goes through :mod:`repro.obs_logging`, so
+    ``--quiet`` silences it uniformly and ``--log-json`` turns the same
+    stream into span-correlated JSON lines.
+    """
+    group = parser.add_argument_group("output")
+    group.add_argument(
+        "--quiet", action="store_true",
+        help="suppress informational stderr output (warnings still show)",
+    )
+    group.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"),
+        help="stderr verbosity (default: info)",
+    )
+    group.add_argument(
+        "--log-json", action="store_true",
+        help="emit stderr diagnostics as JSON lines with span-id "
+             "correlation (also: REPRO_LOG=json)",
+    )
+
+
+def _configure_logging(args: argparse.Namespace) -> None:
+    """Apply the shared output options (safe for commands without them)."""
+    mode = "json" if getattr(args, "log_json", False) else None
+    level = getattr(args, "log_level", None)
+    if getattr(args, "quiet", False):
+        level = "warning"
+    obs_logging.configure(mode=mode, level=level)
 
 
 def _positive_int(text: str) -> int:
@@ -129,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="PATH",
         help="capture a Chrome-trace of the pipeline run (open in Perfetto)",
     )
+    _add_output_options(p_run)
 
     p_an = sub.add_parser("analyze", help="characterize an archived run directory")
     p_an.add_argument("directory")
@@ -147,6 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="PATH",
         help="capture a Chrome-trace of the analysis (open in Perfetto)",
     )
+    _add_output_options(p_an)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument(
@@ -190,6 +240,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="write per-cell HTML reports plus an index.html here "
              "(requires --characterize)",
     )
+    p_suite.add_argument(
+        "--serve", type=int, metavar="PORT", dest="serve_port",
+        help="serve live telemetry (/metrics, /healthz, /runs, /events) "
+             "on this port for the duration of the sweep (0 = any free port)",
+    )
+    _add_output_options(p_suite)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the benchmark suite while serving live telemetry over HTTP",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=8321,
+        help="HTTP port (0 = any free port; default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--port-file", metavar="PATH",
+        help="write the bound port here once listening (for automation)",
+    )
+    p_serve.add_argument("--preset", default="small", choices=("tiny", "small", "full"))
+    p_serve.add_argument(
+        "--systems", default="giraph,powergraph", help="comma-separated system list"
+    )
+    p_serve.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes to fan the grid out across",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=".grade10-cache", metavar="DIR",
+        help="content-addressed run cache location (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--no-cache", action="store_true",
+        help="always re-simulate; neither read nor write the run cache",
+    )
+    p_serve.add_argument(
+        "--characterize", action="store_true",
+        help="also run the Grade10 pipeline on every cell",
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--no-linger", action="store_true",
+        help="exit when the suite completes instead of serving until "
+             "SIGTERM/SIGINT",
+    )
+    p_serve.add_argument(
+        "--heartbeat", type=float, default=5.0, metavar="SECONDS",
+        help="/events heartbeat cadence while idle (default: %(default)s)",
+    )
+    _add_output_options(p_serve)
 
     p_stats = sub.add_parser(
         "stats", help="per-stage timing table of a captured pipeline trace"
@@ -235,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument("--untuned", action="store_true")
     p_report.add_argument("--slice", type=float, default=0.01, help="timeslice duration (s)")
+    _add_output_options(p_report)
 
     p_metrics = sub.add_parser(
         "metrics", help="OpenMetrics text exposition of an archived run"
@@ -280,6 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="relative regression threshold for --diff "
              f"(default: {DEFAULT_REL_THRESHOLD})",
     )
+    _add_output_options(p_bench)
 
     p_faults = sub.add_parser(
         "faults", help="perturb a run archive with injected faults"
@@ -329,26 +432,26 @@ def _tracing(path: str | None):
     finally:
         obs.uninstall()
         tracer.export_chrome_trace(path)
-        print(f"trace written to {path} (open in chrome://tracing or "
-              "https://ui.perfetto.dev)", file=sys.stderr)
+        _LOG.info(f"trace written to {path} (open in chrome://tracing or "
+                  "https://ui.perfetto.dev)")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = WorkloadSpec(args.system, args.dataset, args.algorithm, preset=args.preset,
                         seed=args.seed)
-    print(f"running {spec.label} (preset={args.preset}) ...", file=sys.stderr)
+    _LOG.info(f"running {spec.label} (preset={args.preset}) ...")
     with _tracing(args.trace):
         run = run_workload(spec)
         profile = characterize_run(run, tuned=not args.untuned)
     print(render_report(profile, extended=args.extended))
     if args.json:
         write_profile_json(profile, args.json)
-        print(f"profile exported to {args.json}", file=sys.stderr)
+        _LOG.info(f"profile exported to {args.json}")
     if args.archive:
         from .workloads.archive import save_run
 
         save_run(run.system_run, args.archive)
-        print(f"run archived to {args.archive}", file=sys.stderr)
+        _LOG.info(f"run archived to {args.archive}")
     return 0
 
 
@@ -361,7 +464,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 args.directory, slice_duration=args.slice, tuned=not args.untuned
             )
     except ArchiveError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _LOG.error(f"error: {exc}")
         return 2
     print(render_report(profile, extended=args.extended))
     if args.check_invariants:
@@ -390,7 +493,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         print(format_table(["fault", "description"], rows, title="Fault taxonomy"))
         return 0
     if args.source is None:
-        print("error: a source archive is required (or use --list)", file=sys.stderr)
+        _LOG.error("error: a source archive is required (or use --list)")
         return 2
     try:
         if args.grid:
@@ -421,18 +524,15 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             ))
             return 0
         if args.dest is None or not args.fault:
-            print(
-                "error: perturbing needs SOURCE DEST and at least one --fault",
-                file=sys.stderr,
-            )
+            _LOG.error("error: perturbing needs SOURCE DEST and at least one --fault")
             return 2
         faults = [parse_fault(text) for text in args.fault]
         dest = apply_faults(args.source, args.dest, faults, seed=args.seed)
     except (FaultError, ArchiveError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _LOG.error(f"error: {exc}")
         return 2
     applied = ", ".join(f.describe() for f in faults)
-    print(f"perturbed archive written to {dest} ({applied})", file=sys.stderr)
+    _LOG.info(f"perturbed archive written to {dest} ({applied})")
     return 0
 
 
@@ -505,22 +605,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_suite(args: argparse.Namespace) -> int:
-    from .workloads.graphalytics import run_suite
-
-    if args.report_dir and not args.characterize:
-        print("error: --report-dir requires --characterize", file=sys.stderr)
-        return 2
-    systems = tuple(s.strip() for s in args.systems.split(",") if s.strip())
-    with _tracing(args.trace):
-        result = run_suite(
-            preset=args.preset,
-            systems=systems,
-            seed=args.seed,
-            characterize=args.characterize,
-            jobs=args.jobs,
-            cache_dir=None if args.no_cache else args.cache_dir,
-        )
+def _print_suite_result(result, preset: str) -> None:
     rows = [
         [e.label, f"{e.makespan:.2f}s", f"{e.processing_time:.2f}s",
          f"{e.evps / 1e6:.2f}M", e.n_iterations]
@@ -529,29 +614,116 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     print(format_table(
         ["workload", "makespan", "Tproc", "EVPS", "iterations"],
         rows,
-        title=f"Benchmark suite ({args.preset})",
+        title=f"Benchmark suite ({preset})",
     ))
     if result.stats is not None:
-        print(result.stats.summary(), file=sys.stderr)
+        _LOG.info(result.stats.summary())
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from .workloads.graphalytics import run_suite
+
+    if args.report_dir and not args.characterize:
+        _LOG.error("error: --report-dir requires --characterize")
+        return 2
+    systems = tuple(s.strip() for s in args.systems.split(",") if s.strip())
+    server = None
+    if args.serve_port is not None:
+        from .serve import TelemetryServer
+
+        server = TelemetryServer(port=args.serve_port).start()
+        _LOG.info(f"serving live telemetry on {server.url}")
+    try:
+        with _tracing(args.trace):
+            result = run_suite(
+                preset=args.preset,
+                systems=systems,
+                seed=args.seed,
+                characterize=args.characterize,
+                jobs=args.jobs,
+                cache_dir=None if args.no_cache else args.cache_dir,
+                on_status=server.register if server is not None else None,
+            )
+    finally:
+        if server is not None:
+            server.stop()
+    _print_suite_result(result, args.preset)
     if args.report_dir:
         from .report import write_suite_report
 
         index = write_suite_report(
             result, args.report_dir, title=f"Grade10 suite report ({args.preset})"
         )
-        print(f"suite report written to {index}", file=sys.stderr)
+        _LOG.info(f"suite report written to {index}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .serve import TelemetryServer
+    from .workloads.graphalytics import run_suite
+
+    systems = tuple(s.strip() for s in args.systems.split(",") if s.strip())
+    stop = threading.Event()
+
+    def _on_signal(signum: int, _frame: object) -> None:
+        _LOG.info(f"received signal {signum}, shutting down")
+        stop.set()
+
+    # Install before the suite starts so a mid-run SIGTERM still exits
+    # cleanly (the suite finishes its in-flight cells; KeyboardInterrupt
+    # semantics stay with Ctrl-C's default only until we take over here).
+    old_term = signal.signal(signal.SIGTERM, _on_signal)
+    old_int = signal.signal(signal.SIGINT, _on_signal)
+    server = TelemetryServer(
+        args.host, args.port, heartbeat_s=args.heartbeat
+    ).start()
+    try:
+        _LOG.info(f"serving live telemetry on {server.url}")
+        if args.port_file:
+            from .ioutils import atomic_write_text
+
+            atomic_write_text(args.port_file, f"{server.port}\n")
+        tracer = obs.install()
+        try:
+            result = run_suite(
+                preset=args.preset,
+                systems=systems,
+                seed=args.seed,
+                characterize=args.characterize,
+                jobs=args.jobs,
+                cache_dir=None if args.no_cache else args.cache_dir,
+                on_status=server.register,
+            )
+        finally:
+            obs.uninstall()
+            # /metrics keeps exposing the finished run's counters while
+            # the server lingers for late scrapes.
+            server.tracer_fn = lambda: tracer
+        _print_suite_result(result, args.preset)
+        if args.no_linger:
+            return 0
+        _LOG.info("suite finished; serving until SIGTERM/SIGINT")
+        while not stop.wait(0.2):
+            pass
+        return 0
+    finally:
+        server.stop()
+        signal.signal(signal.SIGTERM, old_term)
+        signal.signal(signal.SIGINT, old_int)
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     try:
         events = obs.read_trace_events(args.trace)
     except (OSError, ValueError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _LOG.error(f"error: {exc}")
         return 2
     stages = obs.aggregate_stages(events)
     if not stages:
-        print("trace holds no span events", file=sys.stderr)
+        _LOG.error("trace holds no span events")
         return 2
     wall_us = max(
         (e["ts"] + e.get("dur", 0.0) for e in events if e.get("ph") == "X"),
@@ -639,7 +811,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             )
             diff = compare_profiles(baseline, profile)
     except ArchiveError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _LOG.error(f"error: {exc}")
         return 2
 
     trace_events = None
@@ -647,7 +819,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         try:
             trace_events = obs.read_trace_events(args.trace)
         except (OSError, ValueError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
+            _LOG.error(f"error: {exc}")
             return 2
     bench = None
     if args.bench:
@@ -656,7 +828,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         try:
             bench = read_bench_json(args.bench)
         except (OSError, ValueError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
+            _LOG.error(f"error: {exc}")
             return 2
 
     meta = _read_archive_meta(args.directory)
@@ -670,7 +842,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         profile, args.html, title=title, diff=diff,
         trace_events=trace_events, bench=bench,
     )
-    print(f"report written to {path}", file=sys.stderr)
+    _LOG.info(f"report written to {path}")
     if diff is not None:
         if args.format == "json":
             print(json.dumps(diff_to_dict(diff), indent=2))
@@ -692,21 +864,21 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             args.directory, slice_duration=args.slice, tuned=not args.untuned
         )
     except ArchiveError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _LOG.error(f"error: {exc}")
         return 2
     counters = None
     if args.trace:
         try:
             counters = obs.final_counters(obs.read_trace_events(args.trace))
         except (OSError, ValueError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
+            _LOG.error(f"error: {exc}")
             return 2
     meta = _read_archive_meta(args.directory)
     labels = {"system": meta["system"]} if meta.get("system") else None
     text = obs.metrics_exposition(profile, counters, labels=labels)
     if args.out:
         atomic_write_text(args.out, text)
-        print(f"exposition written to {args.out}", file=sys.stderr)
+        _LOG.info(f"exposition written to {args.out}")
     else:
         sys.stdout.write(text)
     return 0
@@ -717,13 +889,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     baseline = None
     if args.candidate and not args.diff:
-        print("error: --candidate requires --diff BASELINE", file=sys.stderr)
+        _LOG.error("error: --candidate requires --diff BASELINE")
         return 2
     if args.diff:
         try:
             baseline = read_bench_json(args.diff)
         except (OSError, ValueError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
+            _LOG.error(f"error: {exc}")
             return 2
 
     def gate(candidate: dict) -> int:
@@ -738,7 +910,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         try:
             candidate = read_bench_json(args.candidate)
         except (OSError, ValueError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
+            _LOG.error(f"error: {exc}")
             return 2
         return gate(candidate)
     return _bench_run(args, baseline, gate)
@@ -748,10 +920,9 @@ def _bench_run(args: argparse.Namespace, baseline, gate) -> int:
     from .bench import bench_pipeline, validate_bench_doc, write_bench_json
 
     systems = tuple(s.strip() for s in args.systems.split(",") if s.strip())
-    print(
+    _LOG.info(
         f"benchmarking pipeline stages: systems={','.join(systems)} "
-        f"preset={args.preset} repeats={args.repeats} ...",
-        file=sys.stderr,
+        f"preset={args.preset} repeats={args.repeats} ..."
     )
     doc = bench_pipeline(
         preset=args.preset,
@@ -764,7 +935,7 @@ def _bench_run(args: argparse.Namespace, baseline, gate) -> int:
     problems = validate_bench_doc(doc)
     if problems:
         for p in problems:
-            print(f"error: bench document invalid: {p}", file=sys.stderr)
+            _LOG.error(f"error: bench document invalid: {p}")
         return 2
     write_bench_json(doc, args.out)
     rows = [
@@ -788,8 +959,8 @@ def _bench_run(args: argparse.Namespace, baseline, gate) -> int:
         title=f"Pipeline bench ({args.preset}, mean of {args.repeats})",
     ))
     if doc.get("tracing_overhead") is not None:
-        print(f"tracing overhead: {doc['tracing_overhead']:+.1%}", file=sys.stderr)
-    print(f"benchmark document written to {args.out}", file=sys.stderr)
+        _LOG.info(f"tracing overhead: {doc['tracing_overhead']:+.1%}")
+    _LOG.info(f"benchmark document written to {args.out}")
     if baseline is not None:
         return gate(doc)
     return 0
@@ -815,11 +986,13 @@ def _cmd_systems(_: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    _configure_logging(args)
     handlers = {
         "run": _cmd_run,
         "analyze": _cmd_analyze,
         "experiment": _cmd_experiment,
         "suite": _cmd_suite,
+        "serve": _cmd_serve,
         "faults": _cmd_faults,
         "stats": _cmd_stats,
         "report": _cmd_report,
@@ -833,7 +1006,7 @@ def main(argv: list[str] | None = None) -> int:
     except SimulationError as exc:
         # Same contract as the ArchiveError family: a typed, user-facing
         # failure maps to exit 2, never a raw traceback.
-        print(f"error: {exc}", file=sys.stderr)
+        _LOG.error(f"error: {exc}")
         return 2
 
 

@@ -46,7 +46,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Sequence
 
-from . import obs
+from . import obs, progress
+from .obs_logging import get_logger
 from .parallel import derive_cell_seed, parallel_map
 from .workloads.archive import (
     EVENTS_FILE,
@@ -58,6 +59,8 @@ from .workloads.archive import (
     ArchiveNotFoundError,
     REQUIRED_FILES,
 )
+
+_LOG = get_logger("repro.faults")
 
 __all__ = [
     "FAULTS",
@@ -560,6 +563,8 @@ def _fault_grid_cell(
     from .workloads.archive import characterize_archive
 
     dest = Path(work_dir) / f"{name}-{severity:g}"
+    label = f"{name}@{severity:g}"
+    progress.publish("cell.started", label, seed=seed)
     with obs.span("fault.perturb", fault=name, severity=severity):
         apply_faults(archive, dest, [fault_at(name, severity)], seed=seed)
     try:
@@ -567,6 +572,9 @@ def _fault_grid_cell(
             profile = characterize_archive(dest)
     except ArchiveError as exc:
         obs.counter("faults.error")
+        progress.publish("cell.finished", label, outcome="error")
+        _LOG.debug("fault cell errored", fault=name, severity=severity,
+                   error=f"{type(exc).__name__}: {exc}")
         return FaultGridCell(
             fault=name,
             severity=severity,
@@ -574,6 +582,12 @@ def _fault_grid_cell(
             detail=f"{type(exc).__name__}: {exc}",
         )
     report = profile.check_invariants()
+    progress.publish(
+        "cell.finished", label,
+        outcome="ok" if report.ok else "violations",
+    )
+    _LOG.debug("fault cell analyzed", fault=name, severity=severity,
+               outcome="ok" if report.ok else "violations")
     if report.ok:
         obs.counter("faults.ok")
         return FaultGridCell(fault=name, severity=severity, outcome="ok")

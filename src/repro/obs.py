@@ -58,6 +58,8 @@ __all__ = [
     "StageStat",
     "counter",
     "current",
+    "current_span_id",
+    "gauge",
     "install",
     "is_enabled",
     "span",
@@ -252,10 +254,14 @@ class Tracer:
             )
 
     # -- merging and reading -------------------------------------------- #
+    # Readers get *copies* down to the per-event dict: the serve thread
+    # iterates these while worker threads keep appending, and a caller
+    # mutating a returned event (``ingest`` rebases counter events, the
+    # exporter rebases timestamps) must never alias the live store.
     @property
     def events(self) -> list[dict[str, Any]]:
         with self._lock:
-            return list(self._events)
+            return [dict(e) for e in self._events]
 
     def counter_totals(self) -> dict[str, float]:
         """Current cumulative value of every counter/gauge track."""
@@ -265,7 +271,10 @@ class Tracer:
     def snapshot(self) -> dict[str, Any]:
         """Picklable dump of this tracer (what pool workers ship back)."""
         with self._lock:
-            return {"events": list(self._events), "counters": dict(self._counters)}
+            return {
+                "events": [dict(e) for e in self._events],
+                "counters": dict(self._counters),
+            }
 
     def ingest(self, snapshot: Mapping[str, Any]) -> None:
         """Merge a worker's :meth:`snapshot` into this tracer.
@@ -375,6 +384,28 @@ def counter(name: str, delta: float = 1.0) -> None:
     tracer.counter(name, delta)
 
 
+def gauge(name: str, value: float) -> None:
+    """Record an instantaneous level on the active tracer (no-op when disabled)."""
+    tracer = _TRACER
+    if tracer is None:
+        return
+    tracer.gauge(name, value)
+
+
+def current_span_id() -> str | None:
+    """Id of this thread's innermost open span (``None`` when outside one).
+
+    This is the correlation key the structured JSON logs
+    (:mod:`repro.obs_logging`) stamp on every record, so a log line, a
+    trace span, and a ``/metrics`` scrape can be joined on one id.
+    """
+    tracer = _TRACER
+    if tracer is None:
+        return None
+    stack = tracer._thread_state().stack
+    return stack[-1].span_id if stack else None
+
+
 # ---------------------------------------------------------------------- #
 # Trace-file analysis (``repro stats`` reads exported traces back)
 # ---------------------------------------------------------------------- #
@@ -441,7 +472,14 @@ sanitize_label_name = sanitize_metric_name
 
 
 def _escape_label_value(value: str) -> str:
-    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    # OpenMetrics has no carriage-return escape; a raw \r would split the
+    # sample line in any line-based parser, so CR normalizes to \n.
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\r", "\n")
+        .replace("\n", "\\n")
+    )
 
 
 def _format_value(value: float) -> str:
@@ -473,10 +511,25 @@ def _render_family(
             out.append(f"{name}{suffix} {_format_value(value)}")
 
 
+#: Help text of the live run-status gauge families (``/metrics``); gauges
+#: outside this table get a generic description.
+_GAUGE_HELP = {
+    "run_cells": "Total cells of the live (or last) grid run.",
+    "run_completed": "Cells that finished (executed or replayed from cache).",
+    "run_cache_hits": "Cells replayed from the content-addressed run cache.",
+    "run_failed": "Cells that raised instead of completing.",
+    "run_in_flight": "Cells currently executing.",
+    "run_queue_depth": "Cells submitted but not yet started.",
+    "run_eta_seconds": "Estimated seconds until the run completes.",
+    "run_throughput_cells_per_second": "Completed cells per elapsed second.",
+}
+
+
 def metrics_exposition(
     profile: Any = None,
     counters: Mapping[str, float] | None = None,
     *,
+    gauges: Mapping[str, float] | None = None,
     labels: Mapping[str, str] | None = None,
     prefix: str = "grade10",
 ) -> str:
@@ -491,9 +544,11 @@ def metrics_exposition(
 
     ``profile`` is a :class:`repro.core.PerformanceProfile` (optional);
     ``counters`` a counter-totals mapping such as
-    :meth:`Tracer.counter_totals` or :func:`final_counters`; ``labels``
-    attaches constant labels (e.g. ``workload="giraph/graph500/pr"``) to
-    every sample.
+    :meth:`Tracer.counter_totals` or :func:`final_counters`; ``gauges``
+    a mapping of live gauge values such as
+    :meth:`repro.progress.RunStatus.gauges`, each rendered as its own
+    ``<prefix>_<name>`` gauge family; ``labels`` attaches constant labels
+    (e.g. ``workload="giraph/graph500/pr"``) to every sample.
     """
     base = dict(labels or {})
     out: list[str] = []
@@ -638,6 +693,16 @@ def metrics_exposition(
             "Fraction of non-trivial concurrent groups with stragglers.",
             [(with_base({}), profile.outliers.affected_fraction)],
         )
+
+    if gauges:
+        for name, value in sorted(gauges.items()):
+            _render_family(
+                out,
+                f"{prefix}_{name}",
+                "gauge",
+                _GAUGE_HELP.get(name, "Live run-status gauge."),
+                [(with_base({}), float(value))],
+            )
 
     if counters:
         _render_family(

@@ -1,0 +1,250 @@
+"""Structured logging correlated with :mod:`repro.obs` spans.
+
+The third leg of the observability plane: traces (:mod:`repro.obs`),
+metrics (``/metrics`` exposition), and now logs — all joined on one key,
+the active span id.  Every record emitted through :func:`get_logger`
+carries the innermost open span of the calling thread
+(:func:`repro.obs.current_span_id`), so a JSON log line can be matched to
+the exact trace span and metric scrape it happened inside.
+
+Two renderings of the same records:
+
+* **text** (the default) — message-only lines on stderr, byte-identical
+  to the ad-hoc ``print(..., file=sys.stderr)`` status messages this
+  module replaced, with structured fields appended as ``key=value``;
+* **json** (``--log-json`` or ``REPRO_LOG=json``) — one JSON object per
+  line::
+
+      {"ts": "2026-08-06T12:00:00.123456+00:00", "level": "info",
+       "logger": "repro.parallel", "message": "cell finished",
+       "pid": 4711, "span": "4711:3:9",
+       "fields": {"label": "giraph/graph500/pr", "duration_s": 0.42}}
+
+  ``span`` is ``null`` outside any span or while tracing is disabled;
+  ``fields`` is omitted when a record carries none.
+
+Design notes:
+
+* Everything goes through the stdlib :mod:`logging` tree under the
+  ``"repro"`` logger (``propagate=False``), so host applications can
+  re-route it with standard handler surgery.
+* The handler resolves ``sys.stderr`` at *emit* time: the CLI calls
+  :func:`configure` once per invocation and captured/replaced stderr
+  streams (pytest's ``capsys``, redirections) keep working.
+* Library code logs unconditionally; until :func:`configure` runs the
+  ``"repro"`` logger has no handler and records at WARNING and above fall
+  back to stdlib's last-resort stderr handler — errors are never lost,
+  info stays opt-in.  The disabled path costs one ``isEnabledFor`` check.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import logging
+import os
+import sys
+from typing import Any
+
+from . import obs
+
+__all__ = [
+    "LOG_ENV",
+    "ROOT_LOGGER",
+    "JsonFormatter",
+    "StructuredLogger",
+    "TextFormatter",
+    "configure",
+    "get_logger",
+    "is_configured",
+]
+
+#: Environment opt-in: ``REPRO_LOG=json`` selects JSON lines, ``text``
+#: message lines, ``off`` silences the stderr handler entirely.
+LOG_ENV = "REPRO_LOG"
+
+#: Name of the package-root logger everything hangs off.
+ROOT_LOGGER = "repro"
+
+_MODES = ("text", "json", "off")
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+def _utc_iso(created: float) -> str:
+    return datetime.datetime.fromtimestamp(
+        created, tz=datetime.timezone.utc
+    ).isoformat(timespec="microseconds")
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record (the schema in the module docstring)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc: dict[str, Any] = {
+            "ts": _utc_iso(record.created),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+            "pid": record.process,
+            "span": getattr(record, "span", None),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            doc["fields"] = fields
+        if record.exc_info:
+            doc["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(doc, default=str)
+
+
+class TextFormatter(logging.Formatter):
+    """Message-only lines, structured fields appended as ``key=value``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        msg = record.getMessage()
+        fields = getattr(record, "fields", None)
+        if fields:
+            rendered = " ".join(f"{k}={v}" for k, v in fields.items())
+            msg = f"{msg} ({rendered})"
+        if record.exc_info:
+            msg = f"{msg}\n{self.formatException(record.exc_info)}"
+        return msg
+
+
+class _SpanFilter(logging.Filter):
+    """Stamp the caller's active span id on the record, at log-call time.
+
+    Filters run synchronously in the emitting thread, so the id is read
+    from the right thread's span stack even if a handler later formats
+    the record elsewhere.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if not hasattr(record, "span"):
+            record.span = obs.current_span_id()
+        return True
+
+
+class _DynamicStderrHandler(logging.Handler):
+    """Stderr handler that resolves ``sys.stderr`` at emit time."""
+
+    #: Marker so :func:`configure` can find and replace its own handlers.
+    _repro_handler = True
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            sys.stderr.write(self.format(record) + "\n")
+        except Exception:  # pragma: no cover - stdlib handler contract
+            self.handleError(record)
+
+
+def configure(
+    mode: str | None = None,
+    level: str | int | None = None,
+) -> logging.Logger:
+    """(Re)configure the ``"repro"`` logging tree; returns its root logger.
+
+    ``mode`` is ``"text"``/``"json"``/``"off"``; ``None`` reads the
+    :data:`LOG_ENV` environment variable and falls back to ``text``.
+    ``level`` accepts a name (``"debug"`` … ``"error"``) or a stdlib
+    level int; ``None`` means INFO.  Calling it again replaces the
+    previously installed handler — it is idempotent per invocation, which
+    is what lets the CLI configure on every ``main()`` call.
+    """
+    if mode is None:
+        mode = os.environ.get(LOG_ENV, "").strip().lower() or "text"
+    if mode not in _MODES:
+        raise ValueError(f"unknown log mode {mode!r}; choose from {_MODES}")
+    if level is None:
+        resolved_level = logging.INFO
+    elif isinstance(level, str):
+        try:
+            resolved_level = _LEVELS[level.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {level!r}; choose from {sorted(_LEVELS)}"
+            ) from None
+    else:
+        resolved_level = int(level)
+
+    root = logging.getLogger(ROOT_LOGGER)
+    root.propagate = False
+    root.setLevel(resolved_level)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_handler", False):
+            root.removeHandler(handler)
+    if mode != "off":
+        handler = _DynamicStderrHandler()
+        handler.setFormatter(JsonFormatter() if mode == "json" else TextFormatter())
+        handler.addFilter(_SpanFilter())
+        root.addHandler(handler)
+    elif not root.handlers:
+        # Silenced *and* handlerless: park a NullHandler so records don't
+        # leak through logging's last-resort stderr handler.
+        null = logging.NullHandler()
+        null._repro_handler = True
+        root.addHandler(null)
+    return root
+
+
+def is_configured() -> bool:
+    """True once :func:`configure` installed a handler on the root logger."""
+    root = logging.getLogger(ROOT_LOGGER)
+    return any(getattr(h, "_repro_handler", False) for h in root.handlers)
+
+
+class StructuredLogger:
+    """Thin wrapper adding keyword *fields* to stdlib logging calls.
+
+    ``log.info("cell finished", label=..., duration_s=...)`` attaches the
+    keywords as the record's structured ``fields`` payload — rendered as
+    a JSON object in json mode and as ``key=value`` suffixes in text
+    mode.  The disabled path is one ``isEnabledFor`` check.
+    """
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    @property
+    def name(self) -> str:
+        return self._logger.name
+
+    def isEnabledFor(self, level: int) -> bool:  # noqa: N802 - stdlib parity
+        """Whether a record at ``level`` would actually be emitted."""
+        return self._logger.isEnabledFor(level)
+
+    def _log(self, level: int, msg: str, fields: dict[str, Any], exc_info: bool = False) -> None:
+        if not self._logger.isEnabledFor(level):
+            return
+        extra = {"fields": fields} if fields else None
+        self._logger.log(level, msg, extra=extra, exc_info=exc_info)
+
+    def debug(self, msg: str, **fields: Any) -> None:
+        """Log ``msg`` at DEBUG with the keywords as structured fields."""
+        self._log(logging.DEBUG, msg, fields)
+
+    def info(self, msg: str, **fields: Any) -> None:
+        """Log ``msg`` at INFO with the keywords as structured fields."""
+        self._log(logging.INFO, msg, fields)
+
+    def warning(self, msg: str, **fields: Any) -> None:
+        """Log ``msg`` at WARNING with the keywords as structured fields."""
+        self._log(logging.WARNING, msg, fields)
+
+    def error(self, msg: str, exc_info: bool = False, **fields: Any) -> None:
+        """Log ``msg`` at ERROR; ``exc_info=True`` appends the traceback."""
+        self._log(logging.ERROR, msg, fields, exc_info=exc_info)
+
+
+def get_logger(name: str = ROOT_LOGGER) -> StructuredLogger:
+    """A :class:`StructuredLogger` for ``name`` (under the ``repro`` tree)."""
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return StructuredLogger(logging.getLogger(name))

@@ -40,9 +40,11 @@ from __future__ import annotations
 
 import hashlib
 import json
+import multiprocessing
 import os
 import shutil
 import tempfile
+import threading
 import time
 import uuid
 from concurrent.futures import ProcessPoolExecutor
@@ -50,7 +52,9 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
-from . import obs
+from . import obs, progress
+from .obs_logging import get_logger
+from .progress import RunStatus
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .core import PerformanceProfile
@@ -74,6 +78,8 @@ __all__ = [
 
 #: Bump to invalidate every cached payload (layout or semantics change).
 CACHE_FORMAT_VERSION = 1
+
+_LOG = get_logger("repro.parallel")
 
 #: Archive sampling parameters baked into the cache payload (and its key).
 _MONITORING_INTERVAL = 0.4
@@ -270,6 +276,12 @@ class EngineStats:
     jobs: int = 1
     wall_clock: float = 0.0
     cell_seconds: float = 0.0  # sum of per-cell wall-clock (serial equivalent)
+    # Live-telemetry snapshot (from the sweep's RunStatus).  After a
+    # completed run_grid() these settle to 0/0/0.0; a mid-run snapshot
+    # (repro serve) carries the live values.
+    in_flight: int = 0
+    queue_depth: int = 0
+    eta_s: float = 0.0
 
     @property
     def hit_rate(self) -> float:
@@ -291,7 +303,11 @@ class EngineStats:
         )
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-native form (embedded in suite report indexes)."""
+        """JSON-native form (embedded in suite report indexes).
+
+        The historical keys are stable for ``BENCH_pipeline.json`` and
+        suite-report consumers; the live-telemetry keys ride along.
+        """
         return {
             "n_cells": self.n_cells,
             "executed": self.executed,
@@ -301,6 +317,9 @@ class EngineStats:
             "wall_clock": self.wall_clock,
             "cell_seconds": self.cell_seconds,
             "speedup": self.speedup,
+            "in_flight": self.in_flight,
+            "queue_depth": self.queue_depth,
+            "eta_s": self.eta_s,
         }
 
 
@@ -411,8 +430,13 @@ def execute_cell(
         if active is None or active.pid != os.getpid():
             inherited = obs.uninstall()
             local_tracer = obs.install()
+    progress.publish("cell.started", cell.label, seed=cell.spec.seed)
     try:
         result = _execute_cell(cell, cache_dir)
+    except BaseException as exc:
+        progress.publish("cell.failed", cell.label, error=repr(exc))
+        _LOG.warning("cell failed", label=cell.label, error=repr(exc))
+        raise
     finally:
         if local_tracer is not None:
             obs.uninstall()
@@ -420,6 +444,19 @@ def execute_cell(
                 obs.install(inherited)
     if local_tracer is not None:
         result.trace = local_tracer.snapshot()
+    progress.publish(
+        "cell.finished",
+        cell.label,
+        duration=result.duration,
+        cached=result.cached,
+        makespan=result.makespan,
+    )
+    _LOG.debug(
+        "cell finished",
+        label=cell.label,
+        duration_s=result.duration,
+        cached=result.cached,
+    )
     return result
 
 
@@ -434,6 +471,7 @@ def _execute_cell(cell: CellSpec, cache_dir: str | Path | None) -> CellResult:
 
         if cache is not None and cache.has(key):
             obs.counter("cache.hit")
+            progress.publish("cell.cache_hit", cell.label, key=key)
             meta = cache.load_meta(key)
             profile = (
                 _characterize_payload(cell, cache.path_for(key)) if cell.characterize else None
@@ -454,6 +492,7 @@ def _execute_cell(cell: CellSpec, cache_dir: str | Path | None) -> CellResult:
 
         if cache is not None:
             obs.counter("cache.miss")
+        progress.publish("stage", cell.label, stage="simulate")
         run = run_workload(cell.spec)
         t_proc = processing_time(run.system_run)
         size = run.graph.n_vertices + run.graph.n_edges
@@ -479,13 +518,16 @@ def _execute_cell(cell: CellSpec, cache_dir: str | Path | None) -> CellResult:
                 )
                 (tmp / _CELL_JSON).write_text(json.dumps(metrics, indent=2))
 
+            progress.publish("stage", cell.label, stage="archive")
             with obs.span("archive", label=cell.label):
                 payload = cache.store(key, write_payload)
             # Characterize from the *payload*, not from memory: the warm path
             # reads the same files, so cold and warm profiles are identical.
             if cell.characterize:
+                progress.publish("stage", cell.label, stage="characterize")
                 profile = _characterize_payload(cell, payload)
         elif cell.characterize:
+            progress.publish("stage", cell.label, stage="characterize")
             from .workloads.runner import characterize_run
 
             profile = characterize_run(
@@ -510,11 +552,46 @@ def _execute_cell(cell: CellSpec, cache_dir: str | Path | None) -> CellResult:
 # ---------------------------------------------------------------------- #
 
 
+def _progress_worker_init(queue: "multiprocessing.Queue") -> None:
+    """Pool initializer: route this worker's progress events to the parent."""
+    progress.set_sink(queue.put)
+
+
+def _drain_progress(queue: "multiprocessing.Queue", status: RunStatus) -> None:
+    """Parent-side drainer thread: queue → :meth:`RunStatus.record`.
+
+    Runs until the ``None`` sentinel arrives, then keeps draining until
+    the queue first reads empty — worker feeder threads may still be
+    flushing when the parent enqueues the sentinel, so trailing events
+    get a grace window instead of being dropped.
+    """
+    from queue import Empty
+
+    sentinel_seen = False
+    while True:
+        try:
+            item = queue.get(timeout=0.25)
+        except Empty:
+            if sentinel_seen:
+                return
+            continue
+        except (EOFError, OSError):  # queue torn down under us
+            return
+        if item is None:
+            sentinel_seen = True
+            continue
+        try:
+            status.record(item)
+        except Exception:  # a malformed event must not kill the drainer
+            pass
+
+
 def run_grid(
     cells: Sequence[CellSpec],
     *,
     jobs: int = 1,
     cache_dir: str | Path | None = None,
+    on_status: Callable[[RunStatus], None] | None = None,
 ) -> tuple[list[CellResult], EngineStats]:
     """Execute a grid of cells, optionally in parallel and/or cached.
 
@@ -522,27 +599,63 @@ def run_grid(
     ``jobs=1`` executes inline through the exact same per-cell code path
     as the pooled variant — the serial/parallel equivalence the test
     layer asserts holds by construction plus per-cell determinism.
+
+    ``on_status`` receives the sweep's live :class:`~repro.progress.RunStatus`
+    *before* the first cell starts — ``repro serve`` registers it with the
+    telemetry server so ``/runs``, ``/metrics``, and ``/events`` observe
+    the run in flight.  Workers publish typed progress events (cell
+    started/finished/failed/cache-hit, stage transitions) over a
+    ``multiprocessing.Queue``; a parent-side drainer thread folds them
+    into the status model, which also enriches every event with the
+    current queue depth and in-flight count.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     t0 = time.perf_counter()
     tracer = obs.current()
-    if jobs == 1 or len(cells) <= 1:
-        results = [execute_cell(cell, cache_dir) for cell in cells]
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
-            futures = [
-                pool.submit(execute_cell, cell, cache_dir, tracer is not None)
-                for cell in cells
-            ]
-            results = [f.result() for f in futures]
-        if tracer is not None:
-            # Merge the workers' spans/counters into the parent's tracer;
-            # events keep their worker pids so Perfetto shows one track
-            # group per worker process.
-            for r in results:
-                if r.trace is not None:
-                    tracer.ingest(r.trace)
+    status = RunStatus((c.label for c in cells), jobs=jobs)
+    if on_status is not None:
+        on_status(status)
+    status.record(progress.ProgressEvent(kind="run.started"))
+    try:
+        if jobs == 1 or len(cells) <= 1:
+            previous = progress.set_sink(status.record)
+            try:
+                results = [execute_cell(cell, cache_dir) for cell in cells]
+            finally:
+                progress.set_sink(previous)
+        else:
+            queue: multiprocessing.Queue = multiprocessing.Queue()
+            drainer = threading.Thread(
+                target=_drain_progress, args=(queue, status),
+                name="grade10-progress-drain", daemon=True,
+            )
+            drainer.start()
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(cells)),
+                    initializer=_progress_worker_init,
+                    initargs=(queue,),
+                ) as pool:
+                    futures = [
+                        pool.submit(execute_cell, cell, cache_dir, tracer is not None)
+                        for cell in cells
+                    ]
+                    results = [f.result() for f in futures]
+            finally:
+                queue.put(None)
+                drainer.join(timeout=10.0)
+                queue.close()
+            if tracer is not None:
+                # Merge the workers' spans/counters into the parent's tracer;
+                # events keep their worker pids so Perfetto shows one track
+                # group per worker process.
+                for r in results:
+                    if r.trace is not None:
+                        tracer.ingest(r.trace)
+    finally:
+        status.finish()
+    gauges = status.gauges()
     stats = EngineStats(
         n_cells=len(results),
         executed=sum(1 for r in results if not r.cached),
@@ -550,6 +663,16 @@ def run_grid(
         jobs=jobs,
         wall_clock=time.perf_counter() - t0,
         cell_seconds=sum(r.duration for r in results),
+        in_flight=int(gauges["run_in_flight"]),
+        queue_depth=int(gauges["run_queue_depth"]),
+        eta_s=float(gauges.get("run_eta_seconds", 0.0)),
+    )
+    _LOG.debug(
+        "grid run finished",
+        run_id=status.run_id,
+        cells=stats.n_cells,
+        cache_hits=stats.cache_hits,
+        wall_clock_s=stats.wall_clock,
     )
     return results, stats
 

@@ -1,0 +1,253 @@
+"""Live telemetry over HTTP: ``repro serve`` and ``suite --serve``.
+
+A zero-dependency :class:`ThreadingHTTPServer` that watches grid runs
+*while they execute* instead of after they exit.  Endpoints:
+
+``GET /healthz``
+    ``200 ok`` while the server is up (the readiness probe automation
+    polls before scraping).
+
+``GET /metrics``
+    Live OpenMetrics text exposition
+    (:func:`repro.obs.metrics_exposition`): the active tracer's
+    cumulative pipeline counters (``cache.hit``/``cache.miss``/…) plus
+    the active run's :meth:`~repro.progress.RunStatus.gauges` (cells,
+    completed, in-flight, queue depth, ETA, throughput).  Scrapeable by
+    any Prometheus-family collector mid-run.
+
+``GET /runs``
+    JSON array of every registered run's
+    :meth:`~repro.progress.RunStatus.snapshot` (per-cell states, counts,
+    ETA, last event id).
+
+``GET /events``
+    Server-sent events stream of the active run's progress events.  Each
+    frame carries the run's strictly increasing, gap-free event id::
+
+        id: 17
+        event: cell.finished
+        data: {"id": 17, "kind": "cell.finished", "label": ..., ...}
+
+    Clients resume after a disconnect by sending the standard
+    ``Last-Event-ID`` header (or ``?last_id=N``): the server replays the
+    backlog strictly after that id, so no event is skipped or repeated.
+    Idle periods emit ``: heartbeat`` comment lines so proxies and
+    clients can distinguish silence from death.  ``?run=RUN_ID`` selects
+    a specific run instead of the most recently registered one.
+
+The server is deliberately read-only and stateless beyond the
+:class:`~repro.progress.RunRegistry` it is handed — it can be pointed at
+any process that registers its runs and installs a tracer.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Mapping
+from urllib.parse import parse_qs, urlparse
+
+from . import obs
+from .obs_logging import get_logger
+from .progress import RunRegistry, RunStatus
+
+__all__ = [
+    "DEFAULT_HEARTBEAT_S",
+    "TelemetryServer",
+    "format_sse_event",
+    "format_sse_heartbeat",
+]
+
+_LOG = get_logger("repro.serve")
+
+#: Seconds of ``/events`` silence between ``: heartbeat`` comment lines.
+DEFAULT_HEARTBEAT_S = 5.0
+
+#: Content type of the OpenMetrics exposition (what Prometheus negotiates).
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+
+def format_sse_event(event: Mapping[str, Any]) -> bytes:
+    """Render one recorded progress event as an SSE frame.
+
+    The ``id:`` field is the event's monotone id — exactly what a client
+    echoes back in ``Last-Event-ID`` to resume without loss.
+    """
+    payload = json.dumps(event, separators=(",", ":"), default=str)
+    return (
+        f"id: {event['id']}\nevent: {event['kind']}\ndata: {payload}\n\n"
+    ).encode("utf-8")
+
+
+def format_sse_heartbeat() -> bytes:
+    """An SSE comment frame: keeps idle connections visibly alive."""
+    return b": heartbeat\n\n"
+
+
+class _TelemetryHandler(BaseHTTPRequestHandler):
+    """Routes one request; all state lives on ``self.server``."""
+
+    server_version = "grade10-telemetry/1"
+
+    # -- plumbing ------------------------------------------------------- #
+    def log_message(self, fmt: str, *args: Any) -> None:  # noqa: A003
+        _LOG.debug("http " + fmt % args)
+
+    def _respond(self, code: int, content_type: str, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- routes --------------------------------------------------------- #
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        parsed = urlparse(self.path)
+        try:
+            if parsed.path == "/healthz":
+                self._respond(200, "text/plain; charset=utf-8", b"ok\n")
+            elif parsed.path == "/metrics":
+                self._get_metrics()
+            elif parsed.path == "/runs":
+                self._get_runs()
+            elif parsed.path == "/events":
+                self._get_events(parse_qs(parsed.query))
+            else:
+                self._respond(404, "text/plain; charset=utf-8", b"not found\n")
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to clean up
+
+    def _get_metrics(self) -> None:
+        server: TelemetryServer = self.server.telemetry  # type: ignore[attr-defined]
+        tracer = server.tracer_fn()
+        counters = tracer.counter_totals() if tracer is not None else None
+        active = server.registry.active()
+        gauges = active.gauges() if active is not None else None
+        text = obs.metrics_exposition(
+            counters=counters, gauges=gauges, labels=server.labels
+        )
+        self._respond(200, OPENMETRICS_CONTENT_TYPE, text.encode("utf-8"))
+
+    def _get_runs(self) -> None:
+        server: TelemetryServer = self.server.telemetry  # type: ignore[attr-defined]
+        body = json.dumps(server.registry.snapshots(), indent=2, default=str)
+        self._respond(200, "application/json", body.encode("utf-8"))
+
+    def _resolve_run(self, query: dict[str, list[str]]) -> RunStatus | None:
+        server: TelemetryServer = self.server.telemetry  # type: ignore[attr-defined]
+        run_ids = query.get("run")
+        if run_ids:
+            return server.registry.get(run_ids[0])
+        return server.registry.active()
+
+    def _get_events(self, query: dict[str, list[str]]) -> None:
+        server: TelemetryServer = self.server.telemetry  # type: ignore[attr-defined]
+        status = self._resolve_run(query)
+        if status is None:
+            self._respond(404, "text/plain; charset=utf-8", b"no runs registered\n")
+            return
+        last_id = 0
+        header = self.headers.get("Last-Event-ID")
+        raw = query.get("last_id", [header] if header else [])
+        if raw:
+            try:
+                last_id = max(int(raw[0]), 0)
+            except (TypeError, ValueError):
+                self._respond(400, "text/plain; charset=utf-8", b"bad last_id\n")
+                return
+
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        while not server.stopping.is_set():
+            events = status.events_since(last_id, timeout=server.heartbeat_s)
+            if events:
+                for event in events:
+                    self.wfile.write(format_sse_event(event))
+                    last_id = event["id"]
+            else:
+                self.wfile.write(format_sse_heartbeat())
+            self.wfile.flush()
+
+
+class TelemetryServer:
+    """The live-telemetry HTTP server (background daemon threads).
+
+    ``registry`` is the :class:`~repro.progress.RunRegistry` runs are
+    registered with (``run_grid(..., on_status=server.register)``);
+    ``tracer_fn`` resolves the tracer whose counters ``/metrics`` exposes
+    at scrape time (defaults to :func:`repro.obs.current`, i.e. whatever
+    is installed in this process when the scrape happens).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        registry: RunRegistry | None = None,
+        tracer_fn: Callable[[], obs.Tracer | None] = obs.current,
+        labels: Mapping[str, str] | None = None,
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+    ) -> None:
+        self.registry = registry if registry is not None else RunRegistry()
+        self.tracer_fn = tracer_fn
+        self.labels = dict(labels) if labels else None
+        self.heartbeat_s = heartbeat_s
+        self.stopping = threading.Event()
+        self._httpd = ThreadingHTTPServer((host, port), _TelemetryHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.telemetry = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ------------------------------------------------------ #
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (the OS's pick when constructed with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def register(self, status: RunStatus) -> RunStatus:
+        """Register a run (the shape of ``run_grid``'s ``on_status``)."""
+        return self.registry.register(status)
+
+    def start(self) -> "TelemetryServer":
+        """Serve in a background daemon thread; returns self."""
+        if self._thread is not None:
+            raise RuntimeError("telemetry server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="grade10-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+        _LOG.debug("telemetry server started", url=self.url)
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting requests and unblock every open SSE stream."""
+        self.stopping.set()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        _LOG.debug("telemetry server stopped", url=self.url)
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

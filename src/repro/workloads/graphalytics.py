@@ -15,9 +15,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable
 
 from ..core import PerformanceProfile
 from ..parallel import CellSpec, EngineStats, derive_cell_seed, run_grid
+from ..progress import RunStatus
 from .experiments import EVALUATION_GRID
 from .runner import WorkloadSpec, processing_time
 
@@ -84,6 +86,7 @@ def run_suite(
     jobs: int = 1,
     cache_dir: str | Path | None = None,
     per_cell_seeds: bool = False,
+    on_status: Callable[[RunStatus], None] | None = None,
 ) -> SuiteResult:
     """Run the benchmark grid on the requested systems.
 
@@ -94,7 +97,9 @@ def run_suite(
     ``per_cell_seeds=True`` each cell is seeded independently (but
     deterministically) from ``seed`` and its own identity, decorrelating
     the grid's random streams; the default keeps the historical behavior
-    of passing ``seed`` to every cell verbatim.
+    of passing ``seed`` to every cell verbatim.  ``on_status`` receives
+    the sweep's live :class:`~repro.progress.RunStatus` before the first
+    cell starts (how ``repro serve`` exposes the run over HTTP).
     """
     cells = [
         CellSpec(
@@ -112,7 +117,9 @@ def run_suite(
         for system in systems
         for dataset, algorithm in grid
     ]
-    results, stats = run_grid(cells, jobs=jobs, cache_dir=cache_dir)
+    results, stats = run_grid(
+        cells, jobs=jobs, cache_dir=cache_dir, on_status=on_status
+    )
     entries = [
         SuiteEntry(
             spec=r.spec,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from .. import obs
+from ..obs_logging import get_logger
 from ..adapters import (
     giraph_execution_model,
     giraph_resource_model,
@@ -62,6 +63,8 @@ __all__ = [
 ]
 
 SYSTEMS = ("giraph", "powergraph", "sparklike")
+
+_LOG = get_logger("repro.workloads.runner")
 
 
 @dataclass(frozen=True)
@@ -186,6 +189,7 @@ def run_workload(
     sparklike_config: SparkLikeConfig | None = None,
 ) -> WorkloadRun:
     """Execute one workload on the simulated cluster."""
+    _LOG.debug("workload started", label=spec.label, preset=spec.preset, seed=spec.seed)
     with obs.span("generate", label=spec.label, preset=spec.preset):
         with obs.span("generate.dataset", dataset=spec.dataset):
             graph = get_dataset(spec.dataset).graph(spec.preset)
@@ -200,6 +204,7 @@ def run_workload(
             else:
                 job = sparklike_job_for(spec, graph, algorithm, sparklike_config)
                 system_run = run_sparklike(job, sparklike_config, seed=spec.seed)
+    _LOG.debug("workload finished", label=spec.label, makespan_s=system_run.makespan)
     return WorkloadRun(spec=spec, graph=graph, algorithm=algorithm, system_run=system_run)
 
 

@@ -318,3 +318,115 @@ class TestIngest:
         worker.counter("cache.hit", 2.0)
         parent.ingest(worker.snapshot())
         assert parent.counter_totals() == {"cache.hit": 5.0}
+
+
+# ---------------------------------------------------------------------- #
+# Concurrent readers (the /metrics scrape path)
+# ---------------------------------------------------------------------- #
+
+
+class TestConcurrentReaders:
+    def test_snapshot_safe_under_concurrent_writes(self):
+        """Regression: a /metrics scrape must not race the hot write path.
+
+        ``events``/``snapshot``/``counter_totals`` used to hand out live
+        references that a concurrent ``counter()`` could mutate mid-read
+        (``RuntimeError: dictionary changed size during iteration`` when
+        json.dumps walked an event while a worker appended args to it).
+        Hammer all three readers while writer threads spin.
+        """
+        tracer = obs.install()
+        stop = threading.Event()
+        errors = []
+
+        def write():
+            i = 0
+            while not stop.is_set():
+                tracer.counter(f"c{i % 5}")
+                tracer.gauge(f"g{i % 5}", float(i))
+                with obs.span(f"s{i % 3}", n=i):
+                    pass
+                i += 1
+
+        def read():
+            while not stop.is_set():
+                try:
+                    json.dumps(tracer.snapshot())
+                    json.dumps(tracer.events)
+                    totals = tracer.counter_totals()
+                    assert all(v >= 0 for v in totals.values())
+                except Exception as exc:  # noqa: BLE001 - the regression
+                    errors.append(exc)
+                    return
+
+        writers = [threading.Thread(target=write) for _ in range(2)]
+        readers = [threading.Thread(target=read) for _ in range(2)]
+        for t in writers + readers:
+            t.start()
+        import time
+
+        time.sleep(0.5)
+        stop.set()
+        for t in writers + readers:
+            t.join(timeout=10.0)
+        assert not errors, errors[:1]
+
+    def test_events_returns_independent_copies(self):
+        tracer = obs.install()
+        with obs.span("parse"):
+            pass
+        first = tracer.events
+        first[0]["name"] = "mutated"
+        assert tracer.events[0]["name"] == "parse"
+
+
+# ---------------------------------------------------------------------- #
+# Span-id resolution (the log-correlation key)
+# ---------------------------------------------------------------------- #
+
+
+class TestCurrentSpanId:
+    def test_none_when_uninstalled_or_idle(self):
+        assert obs.current_span_id() is None
+        obs.install()
+        assert obs.current_span_id() is None  # installed but no open span
+
+    def test_innermost_open_span_wins(self):
+        obs.install()
+        with obs.span("outer"):
+            outer = obs.current_span_id()
+            with obs.span("inner"):
+                inner = obs.current_span_id()
+            assert obs.current_span_id() == outer
+        assert obs.current_span_id() is None
+        assert outer != inner
+        assert outer is not None and inner is not None
+
+    def test_thread_local(self):
+        obs.install()
+        seen = {}
+
+        def work():
+            with obs.span("worker"):
+                seen["worker"] = obs.current_span_id()
+
+        with obs.span("main"):
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+            assert obs.current_span_id() != seen["worker"]
+
+
+# ---------------------------------------------------------------------- #
+# Module-level gauge helper
+# ---------------------------------------------------------------------- #
+
+
+def test_module_gauge_records_on_installed_tracer():
+    tracer = obs.install()
+    obs.gauge("queue_depth", 4.0)
+    (event,) = [e for e in tracer.events if e["ph"] == "C"]
+    assert event["name"] == "queue_depth"
+    assert event["args"] == {"value": 4.0}
+    obs.uninstall()
+    obs.gauge("queue_depth", 9.0)  # disabled path: silent no-op

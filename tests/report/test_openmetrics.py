@@ -16,11 +16,17 @@ def parse_exposition(text):
 
     ``families`` maps family name -> (type, help); ``samples`` is a list of
     ``(sample_name, labels_dict, value)`` with label values unescaped.
+
+    Lines split strictly on ``\\n`` — the format's only line terminator.
+    Other Unicode line breaks (NEL, vertical tab, ...) are ordinary label
+    payload and must not end a line.
     """
-    lines = text.splitlines()
+    lines = text.split("\n")
+    assert lines[-1] == "", "exposition must end with a newline"
+    assert lines[-2] == "# EOF", "exposition must end with # EOF"
     families: dict[str, list[str | None]] = {}
     samples = []
-    for line in lines[:-1]:
+    for line in lines[:-2]:
         if line.startswith("# HELP "):
             name, help_text = line[len("# HELP "):].split(" ", 1)
             families.setdefault(name, [None, None])[1] = help_text
@@ -221,3 +227,70 @@ class TestMetricsCli:
 
         assert main(["metrics", str(tmp_path / "nope")]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestGauges:
+    """The ``gauges=`` channel (live RunStatus values on ``/metrics``)."""
+
+    def test_gauges_render_as_gauge_families(self):
+        text = metrics_exposition(
+            gauges={"run_cells": 8.0, "run_in_flight": 2.0},
+            labels={"host": "w1"},
+        )
+        families, samples = parse_exposition(text)
+        assert families["grade10_run_cells"][0] == "gauge"
+        assert families["grade10_run_in_flight"][0] == "gauge"
+        values = {name: (labels, value) for name, labels, value in samples}
+        assert values["grade10_run_cells"] == ({"host": "w1"}, 8.0)
+        assert values["grade10_run_in_flight"] == ({"host": "w1"}, 2.0)
+
+    def test_gauges_mix_with_counters_and_profile(self, tiny_profile):
+        text = metrics_exposition(
+            tiny_profile, {"cache.hit": 1.0}, gauges={"run_eta_seconds": 3.5}
+        )
+        families, samples = parse_exposition(text)
+        assert "grade10_run_eta_seconds" in families
+        assert "grade10_pipeline_events" in families
+        assert "grade10_makespan_seconds" in families
+
+    def test_live_runstatus_gauges_are_conformant(self):
+        from repro.progress import ProgressEvent, RunStatus
+
+        status = RunStatus(["a", "b"], jobs=2)
+        status.record(ProgressEvent(kind="cell.finished", label="a",
+                                    data={"duration": 1.0}))
+        text = metrics_exposition(gauges=status.gauges())
+        families, samples = parse_exposition(text)
+        names = {name for name, _, _ in samples}
+        assert "grade10_run_eta_seconds" in names
+        assert "grade10_run_completed" in names
+
+
+# ---------------------------------------------------------------------- #
+# Name sanitization, property-tested
+# ---------------------------------------------------------------------- #
+
+from hypothesis import given  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+_LEGAL = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+
+
+class TestSanitizeProperties:
+    @given(st.text(max_size=64))
+    def test_always_legal(self, name):
+        assert _LEGAL.fullmatch(sanitize_metric_name(name))
+
+    @given(st.text(max_size=64))
+    def test_idempotent(self, name):
+        once = sanitize_metric_name(name)
+        assert sanitize_metric_name(once) == once
+
+    @given(st.from_regex(_LEGAL, fullmatch=True))
+    def test_legal_names_pass_through(self, name):
+        assert sanitize_metric_name(name) == name
+
+    @given(st.text(max_size=32))
+    def test_exposition_with_arbitrary_counter_names_parses(self, name):
+        text = metrics_exposition(counters={name: 1.0})
+        parse_exposition(text)  # conformance parser accepts the result

@@ -1,0 +1,182 @@
+"""Tests for span-correlated structured logging (:mod:`repro.obs_logging`).
+
+Pins the JSON record schema, the span-id join with :mod:`repro.obs`, the
+emit-time stderr resolution (what keeps pytest's ``capsys`` working), the
+``REPRO_LOG`` environment opt-in, and the CLI's shared ``--quiet`` /
+``--log-level`` / ``--log-json`` flags.
+"""
+
+import json
+import logging
+
+import pytest
+
+from repro import cli, obs, obs_logging
+from repro.obs_logging import JsonFormatter, TextFormatter, configure, get_logger
+
+
+@pytest.fixture(autouse=True)
+def _reset_logging():
+    """Leave the ``repro`` logging tree the way each test found it."""
+    root = logging.getLogger(obs_logging.ROOT_LOGGER)
+    saved_handlers = list(root.handlers)
+    saved_level = root.level
+    yield
+    root.handlers[:] = saved_handlers
+    root.setLevel(saved_level)
+
+
+def _records(capsys):
+    return [line for line in capsys.readouterr().err.splitlines() if line]
+
+
+class TestConfigure:
+    def test_defaults_to_text_info(self, capsys):
+        configure()
+        log = get_logger("repro.test")
+        log.info("hello")
+        log.debug("hidden")
+        assert _records(capsys) == ["hello"]
+
+    def test_text_appends_fields(self, capsys):
+        configure()
+        get_logger("repro.test").info("cell finished", label="a", n=3)
+        assert _records(capsys) == ["cell finished (label=a n=3)"]
+
+    def test_quiet_level_suppresses_info(self, capsys):
+        configure(level="warning")
+        log = get_logger("repro.test")
+        log.info("hidden")
+        log.warning("shown")
+        assert _records(capsys) == ["shown"]
+
+    def test_off_mode_emits_nothing(self, capsys):
+        configure(mode="off")
+        get_logger("repro.test").error("swallowed")
+        assert _records(capsys) == []
+
+    def test_env_selects_json(self, monkeypatch, capsys):
+        monkeypatch.setenv(obs_logging.LOG_ENV, "json")
+        configure()
+        get_logger("repro.test").info("hi")
+        (line,) = _records(capsys)
+        assert json.loads(line)["message"] == "hi"
+
+    def test_explicit_mode_beats_env(self, monkeypatch, capsys):
+        monkeypatch.setenv(obs_logging.LOG_ENV, "json")
+        configure(mode="text")
+        get_logger("repro.test").info("hi")
+        assert _records(capsys) == ["hi"]
+
+    def test_reconfigure_replaces_handler(self, capsys):
+        configure()
+        configure()
+        get_logger("repro.test").info("once")
+        assert _records(capsys) == ["once"]  # no duplicate handlers
+        assert obs_logging.is_configured()
+
+    def test_bad_mode_and_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure(mode="xml")
+        with pytest.raises(ValueError):
+            configure(level="loud")
+
+    def test_emit_time_stderr_resolution(self, capsys):
+        # configure() before capsys swaps stderr; the record must still
+        # land in the captured stream.
+        configure()
+        capsys.readouterr()
+        get_logger("repro.test").info("captured")
+        assert _records(capsys) == ["captured"]
+
+
+class TestJsonSchema:
+    def test_record_shape(self, capsys):
+        configure(mode="json")
+        get_logger("repro.parallel").info("cell finished", label="a")
+        (line,) = _records(capsys)
+        doc = json.loads(line)
+        assert doc["level"] == "info"
+        assert doc["logger"] == "repro.parallel"
+        assert doc["message"] == "cell finished"
+        assert doc["fields"] == {"label": "a"}
+        assert isinstance(doc["pid"], int)
+        assert doc["span"] is None  # no tracer installed
+        assert doc["ts"].endswith("+00:00")  # UTC ISO-8601
+
+    def test_fields_omitted_when_empty(self, capsys):
+        configure(mode="json")
+        get_logger("repro.test").info("bare")
+        doc = json.loads(_records(capsys)[0])
+        assert "fields" not in doc
+
+    def test_span_id_joins_log_to_trace(self, capsys):
+        configure(mode="json")
+        tracer = obs.install()
+        try:
+            with obs.span("parse"):
+                get_logger("repro.test").info("inside")
+                span_id = obs.current_span_id()
+        finally:
+            obs.uninstall()
+        doc = json.loads(_records(capsys)[0])
+        assert doc["span"] == span_id
+        assert doc["span"] is not None
+        # the id is resolvable back to the recorded span event
+        (event,) = [e for e in tracer.events if e["ph"] == "X"]
+        assert doc["span"].startswith(f"{event['pid']}:")
+
+    def test_exc_info_rendered(self, capsys):
+        configure(mode="json")
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            get_logger("repro.test").error("failed", exc_info=True)
+        doc = json.loads(_records(capsys)[0])
+        assert "ValueError: boom" in doc["exc_info"]
+
+
+class TestFormatters:
+    def test_json_formatter_is_valid_json_per_line(self):
+        record = logging.LogRecord(
+            "repro.x", logging.INFO, __file__, 1, "msg", None, None
+        )
+        record.span = "1:2:3"
+        doc = json.loads(JsonFormatter().format(record))
+        assert doc["span"] == "1:2:3"
+
+    def test_text_formatter_message_only(self):
+        record = logging.LogRecord(
+            "repro.x", logging.INFO, __file__, 1, "plain", None, None
+        )
+        assert TextFormatter().format(record) == "plain"
+
+
+class TestGetLogger:
+    def test_names_forced_under_repro_tree(self):
+        assert get_logger("cli").name == "repro.cli"
+        assert get_logger("repro.cli").name == "repro.cli"
+        assert get_logger().name == "repro"
+
+
+class TestCliFlags:
+    def test_quiet_silences_informational_stderr(self, capsys, tmp_path):
+        out = tmp_path / "m.txt"
+        cli.main(["run", "giraph", "graph500", "pr", "--preset", "tiny",
+                  "--json", str(out)])
+        assert "profile exported to" in capsys.readouterr().err
+        cli.main(["run", "giraph", "graph500", "pr", "--preset", "tiny",
+                  "--json", str(out), "--quiet"])
+        assert "profile exported to" not in capsys.readouterr().err
+
+    def test_log_json_emits_json_lines(self, capsys):
+        cli.main(["run", "giraph", "graph500", "pr", "--preset", "tiny",
+                  "--log-json"])
+        err_lines = _records(capsys)
+        docs = [json.loads(line) for line in err_lines]
+        assert any("running giraph/graph500/pr" in d["message"] for d in docs)
+
+    def test_errors_survive_quiet(self, capsys, tmp_path):
+        code = cli.main(["analyze", str(tmp_path / "missing"), "--quiet"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

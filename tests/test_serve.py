@@ -1,0 +1,279 @@
+"""Tests for the live-telemetry HTTP server (``repro serve``).
+
+Every test binds port 0 on the loopback interface, so the suite never
+collides with a real service.  The SSE tests use a raw
+``http.client`` connection because ``urllib`` buffers streamed bodies.
+"""
+
+import http.client
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.parallel import CellSpec, run_grid
+from repro.progress import ProgressEvent, RunRegistry, RunStatus
+from repro.serve import (
+    TelemetryServer,
+    format_sse_event,
+    format_sse_heartbeat,
+)
+from repro.workloads import WorkloadSpec
+
+from .report.test_openmetrics import parse_exposition
+
+
+@pytest.fixture()
+def server():
+    with TelemetryServer(port=0, heartbeat_s=0.1) as srv:
+        yield srv
+
+
+def _get(server, path):
+    with urllib.request.urlopen(f"{server.url}{path}", timeout=10) as resp:
+        return resp.status, resp.headers, resp.read().decode()
+
+
+def _event(kind, label="", **data):
+    return ProgressEvent(kind=kind, label=label, data=data)
+
+
+def _sse_frames(server, path, *, min_frames=1, until_event=None, timeout=10):
+    """Collect SSE data frames (``id``/``event``/``data`` triples)."""
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=timeout)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        assert resp.status == 200
+        assert resp.headers["Content-Type"] == "text/event-stream"
+        frames, current = [], {}
+
+        def done():
+            if len(frames) < min_frames:
+                return False
+            if until_event is not None:
+                return any(f.get("event") == until_event for f in frames)
+            return True
+
+        while not done():
+            line = resp.fp.readline().decode().rstrip("\n")
+            if line.startswith(":"):
+                continue  # heartbeat comment
+            if not line:
+                if current:
+                    frames.append(current)
+                    current = {}
+                continue
+            key, _, value = line.partition(": ")
+            current[key] = value
+        return frames
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------- #
+# Frame formatting
+# ---------------------------------------------------------------------- #
+
+
+class TestFrames:
+    def test_event_frame_shape(self):
+        frame = format_sse_event(
+            {"id": 7, "kind": "cell.finished", "label": "a"}
+        ).decode()
+        lines = frame.splitlines()
+        assert lines[0] == "id: 7"
+        assert lines[1] == "event: cell.finished"
+        assert lines[2].startswith("data: ")
+        assert json.loads(lines[2][len("data: "):])["label"] == "a"
+        assert frame.endswith("\n\n")
+
+    def test_heartbeat_is_comment(self):
+        assert format_sse_heartbeat() == b": heartbeat\n\n"
+
+
+# ---------------------------------------------------------------------- #
+# Endpoints
+# ---------------------------------------------------------------------- #
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, _, body = _get(server, "/healthz")
+        assert status == 200 and body == "ok\n"
+
+    def test_unknown_path_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _get(server, "/nope")
+        assert exc.value.code == 404
+
+    def test_metrics_conformant_when_idle(self, server):
+        status, headers, body = _get(server, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/openmetrics-text")
+        families, _ = parse_exposition(body)  # asserts well-formedness
+        assert body.splitlines()[-1] == "# EOF"
+
+    def test_metrics_exposes_run_gauges(self, server):
+        run = RunStatus(["a", "b"], jobs=2)
+        server.register(run)
+        run.record(_event("cell.started", "a"))
+        _, _, body = _get(server, "/metrics")
+        families, samples = parse_exposition(body)
+        values = {name: value for name, labels, value in samples}
+        assert families["grade10_run_cells"][0] == "gauge"
+        assert values["grade10_run_cells"] == 2.0
+        assert values["grade10_run_in_flight"] == 1.0
+        assert values["grade10_run_queue_depth"] == 1.0
+
+    def test_metrics_exposes_tracer_counters(self, server):
+        tracer = obs.install()
+        try:
+            tracer.counter("cache.hit", 3)
+            _, _, body = _get(server, "/metrics")
+        finally:
+            obs.uninstall()
+        _, samples = parse_exposition(body)
+        values = {name: value for name, labels, value in samples}
+        assert values["grade10_pipeline_events_total"] == 3.0
+
+    def test_runs_lists_snapshots(self, server):
+        first, second = RunStatus(["a"]), RunStatus(["b"])
+        server.register(first)
+        server.register(second)
+        _, _, body = _get(server, "/runs")
+        docs = json.loads(body)
+        assert [d["run_id"] for d in docs] == [first.run_id, second.run_id]
+        assert docs[0]["cells"] == {"a": "pending"}
+
+    def test_events_404_without_runs(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _get(server, "/events")
+        assert exc.value.code == 404
+
+    def test_events_400_on_bad_last_id(self, server):
+        server.register(RunStatus(["a"]))
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _get(server, "/events?last_id=banana")
+        assert exc.value.code == 400
+
+
+# ---------------------------------------------------------------------- #
+# SSE streaming
+# ---------------------------------------------------------------------- #
+
+
+class TestSse:
+    def test_streams_backlog_and_live_events(self, server):
+        run = RunStatus(["a"], jobs=1)
+        server.register(run)
+        run.record(_event("cell.started", "a"))  # backlog
+
+        def finish_later():
+            run.record(_event("cell.finished", "a", duration=0.1))
+
+        timer = threading.Timer(0.2, finish_later)
+        timer.start()
+        try:
+            frames = _sse_frames(server, "/events", min_frames=2)
+        finally:
+            timer.cancel()
+        assert [f["event"] for f in frames] == ["cell.started", "cell.finished"]
+        assert [int(f["id"]) for f in frames] == [1, 2]
+        payload = json.loads(frames[1]["data"])
+        assert payload["data"]["duration"] == 0.1
+
+    def test_resume_via_last_event_id_header(self, server):
+        run = RunStatus(["a"], jobs=1)
+        server.register(run)
+        run.record(_event("cell.started", "a"))
+        run.record(_event("cell.finished", "a"))
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            conn.request("GET", "/events", headers={"Last-Event-ID": "1"})
+            resp = conn.getresponse()
+            line = resp.fp.readline().decode().strip()
+            assert line == "id: 2"  # nothing skipped, nothing repeated
+        finally:
+            conn.close()
+
+    def test_resume_via_query_param(self, server):
+        run = RunStatus(["a"], jobs=1)
+        server.register(run)
+        for _ in range(3):
+            run.record(_event("stage", "a"))
+        frames = _sse_frames(server, "/events?last_id=2", min_frames=1)
+        assert int(frames[0]["id"]) == 3
+
+    def test_heartbeats_on_idle_stream(self, server):
+        run = RunStatus(["a"], jobs=1)
+        server.register(run)
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            conn.request("GET", "/events")
+            resp = conn.getresponse()
+            line = resp.fp.readline().decode()
+            assert line.startswith(": heartbeat")
+        finally:
+            conn.close()
+
+    def test_run_query_selects_specific_run(self, server):
+        first, second = RunStatus(["a"]), RunStatus(["b"])
+        server.register(first)
+        server.register(second)
+        first.record(_event("cell.started", "a"))
+        frames = _sse_frames(
+            server, f"/events?run={first.run_id}", min_frames=1
+        )
+        assert json.loads(frames[0]["data"])["label"] == "a"
+
+
+# ---------------------------------------------------------------------- #
+# Lifecycle and integration
+# ---------------------------------------------------------------------- #
+
+
+class TestLifecycle:
+    def test_stop_unblocks_open_sse_stream(self):
+        server = TelemetryServer(port=0, heartbeat_s=0.05).start()
+        server.register(RunStatus(["a"]))
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        conn.request("GET", "/events")
+        resp = conn.getresponse()
+        resp.fp.readline()  # stream is live
+        server.stop()  # must not hang on the open stream
+        conn.close()
+
+    def test_start_twice_rejected(self):
+        with TelemetryServer(port=0) as server:
+            with pytest.raises(RuntimeError):
+                server.start()
+
+    def test_registry_can_be_shared(self):
+        registry = RunRegistry()
+        run = RunStatus(["a"])
+        registry.register(run)
+        with TelemetryServer(port=0, registry=registry) as server:
+            _, _, body = _get(server, "/runs")
+            assert json.loads(body)[0]["run_id"] == run.run_id
+
+    def test_live_run_grid_observed_over_http(self):
+        """End-to-end: a real sweep watched through /metrics and /events."""
+        cells = [
+            CellSpec(WorkloadSpec("giraph", "graph500", a, preset="tiny"))
+            for a in ("pr", "bfs")
+        ]
+        with TelemetryServer(port=0, heartbeat_s=0.1) as server:
+            run_grid(cells, jobs=1, on_status=server.register)
+            _, _, metrics = _get(server, "/metrics")
+            _, samples = parse_exposition(metrics)
+            values = {name: value for name, labels, value in samples}
+            assert values["grade10_run_completed"] == 2.0
+            frames = _sse_frames(server, "/events", until_event="run.finished")
+            kinds = [f["event"] for f in frames]
+            assert kinds[0] == "run.started"
+            assert kinds[-1] == "run.finished"
+            assert kinds.count("cell.finished") == 2
