@@ -1,7 +1,11 @@
 # Convenience targets; see README.md for details.
 
-.PHONY: install test bench bench-gate bench-paper experiments examples \
-	serve-smoke all
+.PHONY: install test bench bench-gate bench-serve bench-paper experiments \
+	examples serve-smoke all
+
+# Open-loop load profile for bench-serve (docs/serving.md).
+SERVE_RATE ?= 2
+SERVE_DURATION ?= 30
 
 # Dataset preset for the pipeline bench (tiny keeps CI smoke fast).
 BENCH_PRESET ?= small
@@ -23,6 +27,14 @@ bench:
 bench-gate:
 	PYTHONPATH=src python -m repro bench --preset $(BENCH_PRESET) \
 		--repeats 3 --out .bench-candidate.json --diff BENCH_pipeline.json
+
+# Drive a live `repro serve --no-suite` with the open-loop load
+# generator for $(SERVE_DURATION)s and (re)write BENCH_serve.json — the
+# service-latency baseline (schema grade10-bench-serve/1).  Gate a later
+# run with: python -m repro bench --diff BENCH_serve.json --candidate DOC
+bench-serve:
+	python scripts/bench_serve.py --rate $(SERVE_RATE) \
+		--duration $(SERVE_DURATION) --out BENCH_serve.json
 
 # The paper's table/figure benchmarks (pytest-benchmark timings).
 bench-paper:

@@ -12,7 +12,10 @@ the outside:
    frame (the gap-free backlog makes this race-free even if the tiny
    suite finishes before we connect);
 4. waits for ``/runs`` to report the run finished;
-5. sends SIGTERM and requires a clean exit code 0.
+5. exercises the write side: ``POST /jobs`` submits a tiny job (202),
+   streams ``/events?run=<job id>`` to its terminal ``run.finished``
+   frame, and requires ``GET /jobs/<id>`` to report state ``done``;
+6. sends SIGTERM and requires a clean exit code 0.
 
 Run from the repo root: ``python scripts/serve_smoke.py`` (or
 ``make serve-smoke``).
@@ -59,11 +62,23 @@ def healthy(base):
         return False
 
 
-def read_sse_until(host, port, event, deadline_s=DEADLINE_S):
+def post_json(base, path, doc):
+    """POST ``doc`` as JSON; returns ``(status, parsed response body)``."""
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(doc).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as resp:
+        return resp.status, json.loads(resp.read().decode())
+
+
+def read_sse_until(host, port, event, deadline_s=DEADLINE_S, query="last_id=0"):
     """Read /events frames until ``event`` is seen; returns the frames."""
     conn = http.client.HTTPConnection(host, port, timeout=deadline_s)
     try:
-        conn.request("GET", "/events?last_id=0")
+        conn.request("GET", f"/events?{query}")
         resp = conn.getresponse()
         assert resp.status == 200, resp.status
         frames, current = [], {}
@@ -131,6 +146,25 @@ def main():
         )
         assert runs[0]["counts"]["done"] + runs[0]["counts"]["cached"] > 0
         print("serve-smoke: /runs reports the suite finished")
+
+        # Write side: submit a tiny job and follow it to completion.
+        status, job = post_json(base, "/jobs", {"preset": "tiny"})
+        assert status == 202, f"expected 202 from POST /jobs, got {status}"
+        job_id = job["id"]
+        frames = read_sse_until(
+            "127.0.0.1", port, "run.finished",
+            query=f"run={job_id}&last_id=0",
+        )
+        ids = [int(f["id"]) for f in frames]
+        assert ids == list(range(1, len(ids) + 1)), f"gappy job stream: {ids}"
+        terminal = wait_for(
+            lambda: (lambda d: d if d["state"] in ("done", "failed", "cancelled")
+                     else None)(json.loads(get(base, f"/jobs/{job_id}"))),
+            "job terminal state",
+        )
+        assert terminal["state"] == "done", terminal
+        print(f"serve-smoke: POST /jobs ran {job_id} to state=done "
+              f"({len(frames)} gap-free SSE frames)")
 
         proc.send_signal(signal.SIGTERM)
         code = proc.wait(timeout=30)

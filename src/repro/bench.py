@@ -58,6 +58,7 @@ __all__ = [
     "DEFAULT_MIN_ABS_S",
     "DEFAULT_NOISE_FACTOR",
     "DEFAULT_REL_THRESHOLD",
+    "SERVE_BENCH_SCHEMA",
     "BenchComparison",
     "BenchDelta",
     "bench_pipeline",
@@ -66,11 +67,16 @@ __all__ = [
     "read_bench_json",
     "render_bench_comparison",
     "validate_bench_doc",
+    "validate_serve_bench_doc",
     "write_bench_json",
 ]
 
 #: Schema identifier stamped into every benchmark document.
 BENCH_SCHEMA = "grade10-bench-pipeline/1"
+
+#: Schema identifier of the service load-test baseline
+#: (``BENCH_serve.json``, written by :mod:`repro.loadgen`).
+SERVE_BENCH_SCHEMA = "grade10-bench-serve/1"
 
 #: Stages every bench document must report for every system (exact span
 #: names; the trace also holds nested ``generate.*`` / ``simulate.build``
@@ -219,6 +225,47 @@ def validate_bench_doc(doc: dict[str, Any]) -> list[str]:
         total = entry.get("total_s", {}).get("mean")
         if not isinstance(total, (int, float)) or not (0.0 < total < float("inf")):
             problems.append(f"{system}: bad total_s.mean={total!r}")
+    return problems
+
+
+def validate_serve_bench_doc(doc: dict[str, Any]) -> list[str]:
+    """Sanity-check a ``grade10-bench-serve/1`` document (empty = ok).
+
+    Checked: the schema id, a non-empty ``ops`` section with finite
+    non-negative latency stats, the mirrored ``systems`` section that
+    feeds :func:`compare_bench_docs`, and the load-harness health
+    invariants — zero SSE id gaps, zero dropped (incomplete) streams,
+    and zero transport-level HTTP errors.  Backpressure rejections
+    (``errors.rejected``) are a legitimate outcome and never a problem.
+    """
+    problems: list[str] = []
+    if doc.get("schema") != SERVE_BENCH_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {SERVE_BENCH_SCHEMA!r}"
+        )
+    ops = doc.get("ops")
+    if not isinstance(ops, dict) or not ops:
+        return problems + ["no ops section"]
+    for op, stats in ops.items():
+        count = stats.get("count")
+        if not isinstance(count, int) or count < 1:
+            problems.append(f"{op}: bad count={count!r}")
+        for key in ("mean_s", "p50_s", "p90_s", "p99_s", "max_s"):
+            value = stats.get(key)
+            if not isinstance(value, (int, float)) or not (0.0 <= value < float("inf")):
+                problems.append(f"{op}: bad {key}={value!r}")
+    systems = doc.get("systems")
+    if not isinstance(systems, dict) or set(systems) != set(ops):
+        problems.append("systems section must mirror the ops section")
+    sse = doc.get("sse", {})
+    if sse.get("gaps", 0) != 0:
+        problems.append(f"sse id gaps detected: {sse.get('gaps')}")
+    errors = doc.get("errors", {})
+    for key in ("http", "incomplete"):
+        if errors.get(key, 0) != 0:
+            problems.append(f"errors.{key}={errors.get(key)} (expected 0)")
+    if not doc.get("periods"):
+        problems.append("no periods section (per-period latency tables missing)")
     return problems
 
 

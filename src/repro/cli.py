@@ -48,9 +48,20 @@ Subcommands:
 ``serve``
     Run the benchmark suite while serving live telemetry over HTTP —
     ``/metrics`` (OpenMetrics), ``/healthz``, ``/runs`` (JSON status),
-    ``/events`` (SSE progress stream); see ``docs/live-telemetry.md``:
-    ``python -m repro serve --preset tiny --port 8321``
-    (``suite --serve PORT`` serves the same endpoints for one sweep)
+    ``/events`` (SSE progress stream) — plus the job API:
+    ``POST /jobs`` enqueues analysis runs onto a bounded queue drained
+    by ``--workers`` threads (429 + ``Retry-After`` when full), and
+    ``DELETE /jobs/<id>`` cancels queued jobs.  ``--no-suite`` skips the
+    local sweep and serves the job API only; see ``docs/serving.md``:
+    ``python -m repro serve --no-suite --port 8321``
+    (``suite --serve PORT`` serves the read-only endpoints for one sweep)
+
+``loadgen``
+    Open-loop load generator against a live ``serve``: submit jobs at a
+    fixed arrival rate, stream every job's SSE events to completion, and
+    print per-period p50/p90/p99 latency tables; ``--out`` writes a
+    ``grade10-bench-serve/1`` document gateable with ``bench --diff``:
+    ``python -m repro loadgen http://127.0.0.1:8321 --rate 2 --duration 30``
 
 ``datasets``
     List the available datasets and their preset sizes.
@@ -290,7 +301,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--heartbeat", type=float, default=5.0, metavar="SECONDS",
         help="/events heartbeat cadence while idle (default: %(default)s)",
     )
+    p_serve.add_argument(
+        "--no-suite", action="store_true",
+        help="skip the local benchmark sweep; serve the job API only",
+    )
+    p_serve.add_argument(
+        "--queue-size", type=_positive_int, default=32, metavar="N",
+        help="bounded job-queue capacity; a full queue answers POST /jobs "
+             "with 429 + Retry-After (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--workers", type=_positive_int, default=2, metavar="N",
+        help="worker threads draining the job queue (default: %(default)s)",
+    )
     _add_output_options(p_serve)
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="open-loop load generator against a live `repro serve`",
+    )
+    p_loadgen.add_argument(
+        "url", help="base URL of the service, e.g. http://127.0.0.1:8321"
+    )
+    p_loadgen.add_argument(
+        "--rate", type=float, default=2.0, metavar="OPS_PER_S",
+        help="fixed arrival rate of job submissions (default: %(default)s)",
+    )
+    p_loadgen.add_argument(
+        "--duration", type=float, default=30.0, metavar="SECONDS",
+        help="length of the arrival schedule (default: %(default)s)",
+    )
+    p_loadgen.add_argument(
+        "--period", type=float, default=5.0, metavar="SECONDS",
+        help="latency-table reporting period (default: %(default)s)",
+    )
+    p_loadgen.add_argument(
+        "--max-in-flight", type=_positive_int, default=64, metavar="N",
+        help="client-side concurrency cap; arrivals beyond it count as "
+             "overload instead of shifting the schedule (default: %(default)s)",
+    )
+    p_loadgen.add_argument("--preset", default="tiny", choices=("tiny", "small", "full"))
+    p_loadgen.add_argument(
+        "--systems", default="giraph", help="comma-separated system list"
+    )
+    p_loadgen.add_argument(
+        "--grid", default="graph500/pr",
+        help="comma-separated dataset/algorithm cells (default: %(default)s)",
+    )
+    p_loadgen.add_argument("--seed", type=int, default=0)
+    p_loadgen.add_argument(
+        "--characterize", action="store_true",
+        help="submitted jobs also run the Grade10 pipeline",
+    )
+    p_loadgen.add_argument(
+        "--spec", metavar="PATH",
+        help="JSON job-spec file posted verbatim; overrides the spec flags",
+    )
+    p_loadgen.add_argument(
+        "--out", metavar="PATH",
+        help="write the grade10-bench-serve/1 document here",
+    )
+    _add_output_options(p_loadgen)
 
     p_stats = sub.add_parser(
         "stats", help="per-stage timing table of a captured pipeline trace"
@@ -662,8 +733,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
     import threading
 
+    from .jobs import JobQueue
     from .serve import TelemetryServer
-    from .workloads.graphalytics import run_suite
 
     systems = tuple(s.strip() for s in args.systems.split(",") if s.strip())
     stop = threading.Event()
@@ -677,42 +748,110 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # semantics stay with Ctrl-C's default only until we take over here).
     old_term = signal.signal(signal.SIGTERM, _on_signal)
     old_int = signal.signal(signal.SIGINT, _on_signal)
+    queue = JobQueue(
+        capacity=args.queue_size,
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
     server = TelemetryServer(
-        args.host, args.port, heartbeat_s=args.heartbeat
+        args.host, args.port, heartbeat_s=args.heartbeat, queue=queue
     ).start()
+    queue.start()
     try:
-        _LOG.info(f"serving live telemetry on {server.url}")
+        _LOG.info(f"serving live telemetry and job API on {server.url}")
         if args.port_file:
             from .ioutils import atomic_write_text
 
             atomic_write_text(args.port_file, f"{server.port}\n")
-        tracer = obs.install()
-        try:
-            result = run_suite(
-                preset=args.preset,
-                systems=systems,
-                seed=args.seed,
-                characterize=args.characterize,
-                jobs=args.jobs,
-                cache_dir=None if args.no_cache else args.cache_dir,
-                on_status=server.register,
-            )
-        finally:
-            obs.uninstall()
-            # /metrics keeps exposing the finished run's counters while
-            # the server lingers for late scrapes.
-            server.tracer_fn = lambda: tracer
-        _print_suite_result(result, args.preset)
-        if args.no_linger:
+        if not args.no_suite:
+            from .workloads.graphalytics import run_suite
+
+            tracer = obs.install()
+            try:
+                result = run_suite(
+                    preset=args.preset,
+                    systems=systems,
+                    seed=args.seed,
+                    characterize=args.characterize,
+                    jobs=args.jobs,
+                    cache_dir=None if args.no_cache else args.cache_dir,
+                    on_status=server.register,
+                )
+            finally:
+                obs.uninstall()
+                # /metrics keeps exposing the finished run's counters while
+                # the server lingers for late scrapes.
+                server.tracer_fn = lambda: tracer
+            _print_suite_result(result, args.preset)
+            if args.no_linger:
+                return 0
+            _LOG.info("suite finished; serving until SIGTERM/SIGINT")
+        elif args.no_linger:
             return 0
-        _LOG.info("suite finished; serving until SIGTERM/SIGINT")
+        else:
+            _LOG.info("job API ready; serving until SIGTERM/SIGINT")
         while not stop.wait(0.2):
             pass
         return 0
     finally:
+        # Clean drain: in-flight jobs finish, still-queued jobs are
+        # cancelled (each ends with its terminal run.finished event).
+        queue.shutdown(drain=False, timeout=30.0)
         server.stop()
         signal.signal(signal.SIGTERM, old_term)
         signal.signal(signal.SIGINT, old_int)
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .jobs import JobSpecError
+    from .loadgen import LoadgenError, render_load_summary, run_loadgen
+
+    if args.spec:
+        from pathlib import Path
+
+        try:
+            spec = json.loads(Path(args.spec).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            _LOG.error(f"error: cannot read spec {args.spec}: {exc}")
+            return 2
+    else:
+        spec = {
+            "preset": args.preset,
+            "systems": [s.strip() for s in args.systems.split(",") if s.strip()],
+            "grid": [g.strip() for g in args.grid.split(",") if g.strip()],
+            "seed": args.seed,
+            "characterize": args.characterize,
+        }
+    try:
+        doc = run_loadgen(
+            args.url,
+            rate=args.rate,
+            duration_s=args.duration,
+            spec=spec,
+            period_s=args.period,
+            max_in_flight=args.max_in_flight,
+            echo=print,
+        )
+    except JobSpecError as exc:
+        _LOG.error(f"error: invalid job spec: {exc}")
+        return 2
+    except (LoadgenError, ValueError) as exc:
+        _LOG.error(f"error: {exc}")
+        return 2
+    print(render_load_summary(doc))
+    if args.out:
+        from .bench import write_bench_json
+
+        write_bench_json(doc, args.out)
+        _LOG.info(f"load document written to {args.out}")
+    from .bench import validate_serve_bench_doc
+
+    problems = validate_serve_bench_doc(doc)
+    if problems:
+        for p in problems:
+            _LOG.error(f"error: load run unhealthy: {p}")
+        return 3
+    return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -993,6 +1132,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "suite": _cmd_suite,
         "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
         "faults": _cmd_faults,
         "stats": _cmd_stats,
         "report": _cmd_report,

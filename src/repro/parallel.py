@@ -592,6 +592,7 @@ def run_grid(
     jobs: int = 1,
     cache_dir: str | Path | None = None,
     on_status: Callable[[RunStatus], None] | None = None,
+    status: RunStatus | None = None,
 ) -> tuple[list[CellResult], EngineStats]:
     """Execute a grid of cells, optionally in parallel and/or cached.
 
@@ -608,22 +609,32 @@ def run_grid(
     ``multiprocessing.Queue``; a parent-side drainer thread folds them
     into the status model, which also enriches every event with the
     current queue depth and in-flight count.
+
+    ``status`` reuses an externally constructed
+    :class:`~repro.progress.RunStatus` (same cell labels) instead of
+    creating a fresh one — the analysis service (:mod:`repro.jobs`)
+    builds a job's status at *submission* time so ``/runs`` and
+    ``/events`` report the job while it is still queued, then hands it to
+    ``run_grid`` when a worker picks the job up.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     t0 = time.perf_counter()
     tracer = obs.current()
-    status = RunStatus((c.label for c in cells), jobs=jobs)
+    if status is None:
+        status = RunStatus((c.label for c in cells), jobs=jobs)
     if on_status is not None:
         on_status(status)
     status.record(progress.ProgressEvent(kind="run.started"))
     try:
         if jobs == 1 or len(cells) <= 1:
-            previous = progress.set_sink(status.record)
+            # Thread-local: concurrent inline sweeps on different threads
+            # (job-queue workers) must not publish into each other's run.
+            previous = progress.set_thread_sink(status.record)
             try:
                 results = [execute_cell(cell, cache_dir) for cell in cells]
             finally:
-                progress.set_sink(previous)
+                progress.set_thread_sink(previous)
         else:
             queue: multiprocessing.Queue = multiprocessing.Queue()
             drainer = threading.Thread(

@@ -45,9 +45,13 @@ __all__ = [
     "current_sink",
     "publish",
     "set_sink",
+    "set_thread_sink",
 ]
 
-#: The typed event vocabulary workers may publish.
+#: The typed event vocabulary workers may publish.  The ``job.*`` kinds
+#: are recorded by the analysis service's :class:`repro.jobs.JobQueue`
+#: (submission, scheduling, cancellation); ``run.finished`` stays the one
+#: terminal event of every lifecycle, including cancelled jobs.
 EVENT_KINDS = (
     "cell.started",
     "cell.cache_hit",
@@ -56,6 +60,10 @@ EVENT_KINDS = (
     "stage",
     "run.started",
     "run.finished",
+    "job.queued",
+    "job.started",
+    "job.failed",
+    "job.cancelled",
 )
 
 #: States of the per-cell state machine tracked by :class:`RunStatus`.
@@ -81,6 +89,11 @@ class ProgressEvent:
 
 _SINK: Callable[[ProgressEvent], None] | None = None
 
+#: Thread-local sink overlay: lets several inline sweeps run concurrently
+#: in one process (the job-queue worker threads of :mod:`repro.jobs`)
+#: without publishing into each other's :class:`RunStatus`.
+_TLS = threading.local()
+
 
 def set_sink(sink: Callable[[ProgressEvent], None] | None) -> Callable[[ProgressEvent], None] | None:
     """Install the process-local event sink; returns the previous one.
@@ -93,14 +106,33 @@ def set_sink(sink: Callable[[ProgressEvent], None] | None) -> Callable[[Progress
     return previous
 
 
+def set_thread_sink(
+    sink: Callable[[ProgressEvent], None] | None,
+) -> Callable[[ProgressEvent], None] | None:
+    """Install a sink for the *calling thread* only; returns the previous one.
+
+    A thread-local sink shadows the process-wide one installed with
+    :func:`set_sink`.  The inline (``jobs=1``) sweep path uses this so two
+    jobs executing concurrently on different worker threads keep their
+    events separate; pool worker *processes* keep using the process-wide
+    sink installed by the pool initializer.
+    """
+    previous = getattr(_TLS, "sink", None)
+    _TLS.sink = sink
+    return previous
+
+
 def current_sink() -> Callable[[ProgressEvent], None] | None:
-    """The installed sink, or ``None`` while publication is disabled."""
-    return _SINK
+    """The effective sink for this thread (``None`` while disabled)."""
+    local = getattr(_TLS, "sink", None)
+    return local if local is not None else _SINK
 
 
 def publish(kind: str, label: str = "", **data: Any) -> None:
     """Publish one progress event (no-op unless a sink is installed)."""
-    sink = _SINK
+    sink = getattr(_TLS, "sink", None)
+    if sink is None:
+        sink = _SINK
     if sink is None:
         return
     try:
@@ -130,10 +162,21 @@ class RunStatus:
     (reconnect with the last id seen; nothing is skipped or repeated).
     """
 
-    def __init__(self, labels: Iterable[str], *, jobs: int = 1, run_id: str | None = None) -> None:
+    def __init__(
+        self,
+        labels: Iterable[str],
+        *,
+        jobs: int = 1,
+        run_id: str | None = None,
+        meta: Mapping[str, Any] | None = None,
+    ) -> None:
         labels = list(labels)
         self.run_id = run_id or f"run-{os.getpid()}-{next(_RUN_SERIAL)}"
         self.jobs = max(int(jobs), 1)
+        #: Immutable JSON-native provenance attached at construction (the
+        #: analysis service stores the submitted job spec here so ``/runs``
+        #: round-trips it without any new read-side code).
+        self.meta = dict(meta) if meta is not None else None
         self.t0 = time.time()
         self._t0_perf = time.perf_counter()
         self._cond = threading.Condition()
@@ -263,6 +306,7 @@ class RunStatus:
         eta = self.eta_s()
         return {
             "run_id": self.run_id,
+            "meta": dict(self.meta) if self.meta is not None else None,
             "jobs": self.jobs,
             "started_at": self.t0,
             "elapsed_s": time.perf_counter() - self._t0_perf,

@@ -35,22 +35,46 @@ A zero-dependency :class:`ThreadingHTTPServer` that watches grid runs
     clients can distinguish silence from death.  ``?run=RUN_ID`` selects
     a specific run instead of the most recently registered one.
 
-The server is deliberately read-only and stateless beyond the
-:class:`~repro.progress.RunRegistry` it is handed — it can be pointed at
-any process that registers its runs and installs a tracer.
+With a :class:`~repro.jobs.JobQueue` attached (``queue=``), the server
+also carries the *write side* of the analysis service:
+
+``POST /jobs``
+    Submit a run/suite spec (JSON body validated by
+    :func:`repro.jobs.parse_job_spec`).  ``202`` with the job document on
+    admission; ``400`` with a structured error on an invalid spec
+    (nothing enqueued); ``429`` with a ``Retry-After`` header when the
+    bounded queue is full; ``503`` while shutting down or when no queue
+    is attached (read-only mode, e.g. ``suite --serve``).
+
+``GET /jobs`` / ``GET /jobs/<id>``
+    Job documents (state, spec, timestamps, ``run_id``/``last_event_id``).
+
+``DELETE /jobs/<id>``
+    Cancel a *queued* job (``200``); ``409`` once it is running or
+    terminal (in-flight work is never killed), ``404`` for unknown ids.
+
+Every admitted job's :class:`~repro.progress.RunStatus` is registered
+with the same :class:`~repro.progress.RunRegistry` the read side already
+serves, so submitted jobs show up on ``/runs``, ``/events`` (SSE with
+resume), and ``/metrics`` with zero new read-side code.  Without a
+queue the server stays the deliberately read-only window it always was.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 from urllib.parse import parse_qs, urlparse
 
 from . import obs
 from .obs_logging import get_logger
 from .progress import RunRegistry, RunStatus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .jobs import JobQueue
 
 __all__ = [
     "DEFAULT_HEARTBEAT_S",
@@ -96,12 +120,20 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
     def log_message(self, fmt: str, *args: Any) -> None:  # noqa: A003
         _LOG.debug("http " + fmt % args)
 
-    def _respond(self, code: int, content_type: str, body: bytes) -> None:
+    def _respond(self, code: int, content_type: str, body: bytes,
+                 extra_headers: Mapping[str, str] | None = None) -> None:
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _respond_json(self, code: int, doc: Any,
+                      extra_headers: Mapping[str, str] | None = None) -> None:
+        body = json.dumps(doc, indent=2, default=str).encode("utf-8") + b"\n"
+        self._respond(code, "application/json", body, extra_headers)
 
     # -- routes --------------------------------------------------------- #
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
@@ -115,19 +147,121 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
                 self._get_runs()
             elif parsed.path == "/events":
                 self._get_events(parse_qs(parsed.query))
+            elif parsed.path == "/jobs" or parsed.path.startswith("/jobs/"):
+                self._get_jobs(parsed.path)
             else:
                 self._respond(404, "text/plain; charset=utf-8", b"not found\n")
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away; nothing to clean up
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        parsed = urlparse(self.path)
+        try:
+            if parsed.path == "/jobs":
+                self._post_job()
+            else:
+                self._respond_json(404, {"error": "not found"})
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        parsed = urlparse(self.path)
+        try:
+            if parsed.path.startswith("/jobs/"):
+                self._delete_job(parsed.path[len("/jobs/"):])
+            else:
+                self._respond_json(404, {"error": "not found"})
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def _queue(self) -> "JobQueue | None":
+        server: TelemetryServer = self.server.telemetry  # type: ignore[attr-defined]
+        return server.queue
+
+    def _post_job(self) -> None:
+        from .jobs import JobSpecError, QueueClosedError, QueueFullError
+
+        queue = self._queue()
+        if queue is None:
+            self._respond_json(
+                503, {"error": "job submission disabled (read-only telemetry)"}
+            )
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        raw = self.rfile.read(length) if length > 0 else b""
+        try:
+            body = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._respond_json(400, {"error": f"body is not valid JSON: {exc}"})
+            return
+        try:
+            job = queue.submit(body)
+        except JobSpecError as exc:
+            self._respond_json(400, exc.to_doc())
+            return
+        except QueueFullError as exc:
+            self._respond_json(
+                429,
+                {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                {"Retry-After": str(int(math.ceil(exc.retry_after_s)))},
+            )
+            return
+        except QueueClosedError as exc:
+            self._respond_json(503, {"error": str(exc)})
+            return
+        self._respond_json(202, job.to_dict())
+
+    def _delete_job(self, job_id: str) -> None:
+        from .jobs import JobNotCancellableError, UnknownJobError
+
+        queue = self._queue()
+        if queue is None:
+            self._respond_json(
+                503, {"error": "job submission disabled (read-only telemetry)"}
+            )
+            return
+        try:
+            job = queue.cancel(job_id)
+        except UnknownJobError as exc:
+            self._respond_json(404, {"error": str(exc)})
+            return
+        except JobNotCancellableError as exc:
+            self._respond_json(409, {"error": str(exc), "state": exc.state})
+            return
+        self._respond_json(200, job.to_dict())
+
+    def _get_jobs(self, path: str) -> None:
+        from .jobs import UnknownJobError
+
+        queue = self._queue()
+        if queue is None:
+            self._respond_json(
+                503, {"error": "job submission disabled (read-only telemetry)"}
+            )
+            return
+        if path == "/jobs":
+            self._respond_json(200, [job.to_dict() for job in queue.jobs()])
+            return
+        try:
+            job = queue.get(path[len("/jobs/"):])
+        except UnknownJobError as exc:
+            self._respond_json(404, {"error": str(exc)})
+            return
+        self._respond_json(200, job.to_dict())
 
     def _get_metrics(self) -> None:
         server: TelemetryServer = self.server.telemetry  # type: ignore[attr-defined]
         tracer = server.tracer_fn()
         counters = tracer.counter_totals() if tracer is not None else None
         active = server.registry.active()
-        gauges = active.gauges() if active is not None else None
+        gauges = dict(active.gauges()) if active is not None else {}
+        if server.queue is not None:
+            gauges.update(server.queue.gauges())
         text = obs.metrics_exposition(
-            counters=counters, gauges=gauges, labels=server.labels
+            counters=counters, gauges=gauges or None, labels=server.labels
         )
         self._respond(200, OPENMETRICS_CONTENT_TYPE, text.encode("utf-8"))
 
@@ -182,7 +316,10 @@ class TelemetryServer:
     registered with (``run_grid(..., on_status=server.register)``);
     ``tracer_fn`` resolves the tracer whose counters ``/metrics`` exposes
     at scrape time (defaults to :func:`repro.obs.current`, i.e. whatever
-    is installed in this process when the scrape happens).
+    is installed in this process when the scrape happens).  ``queue``
+    attaches a :class:`~repro.jobs.JobQueue` and with it the write-side
+    ``/jobs`` API; the queue should share this server's ``registry`` so
+    submitted jobs are readable through the existing endpoints.
     """
 
     def __init__(
@@ -194,8 +331,16 @@ class TelemetryServer:
         tracer_fn: Callable[[], obs.Tracer | None] = obs.current,
         labels: Mapping[str, str] | None = None,
         heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+        queue: "JobQueue | None" = None,
     ) -> None:
-        self.registry = registry if registry is not None else RunRegistry()
+        if registry is None:
+            # Adopt the queue's registry: jobs the queue admits must be
+            # the runs the read side reports.
+            registry = queue.registry if queue is not None else RunRegistry()
+        if queue is not None and queue.registry is not registry:
+            raise ValueError("queue.registry must be the server's registry")
+        self.registry = registry
+        self.queue = queue
         self.tracer_fn = tracer_fn
         self.labels = dict(labels) if labels else None
         self.heartbeat_s = heartbeat_s

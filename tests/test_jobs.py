@@ -1,0 +1,481 @@
+"""Tests for the job model behind ``POST /jobs`` (:mod:`repro.jobs`).
+
+Three layers:
+
+* spec validation units and Hypothesis properties — every rejected body
+  raises a typed :class:`JobSpecError` and leaves no trace, every
+  accepted body round-trips through its canonical JSON form unchanged;
+* :class:`JobQueue` lifecycle with an injected executor (no real
+  simulation, so the suite stays fast): queued → running → terminal,
+  cancellation, backpressure, both shutdown modes;
+* the concurrency contract: many submitters racing many cancellers never
+  lose or duplicate a job id, and the gauges stay consistent.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import ALGORITHMS
+from repro.jobs import (
+    JOB_STATES,
+    MAX_CELLS_PER_JOB,
+    MAX_JOBS_PER_JOB,
+    TERMINAL_STATES,
+    JobNotCancellableError,
+    JobQueue,
+    JobSpec,
+    JobSpecError,
+    QueueClosedError,
+    QueueFullError,
+    UnknownJobError,
+    parse_job_spec,
+)
+from repro.progress import RunRegistry
+from repro.workloads import dataset_names
+from repro.workloads.runner import SYSTEMS
+
+# ---------------------------------------------------------------------- #
+# Spec validation
+# ---------------------------------------------------------------------- #
+
+
+class TestParseJobSpec:
+    def test_empty_body_is_the_default_spec(self):
+        assert parse_job_spec({}) == JobSpec()
+
+    def test_defaults_round_trip(self):
+        spec = parse_job_spec({})
+        assert parse_job_spec(spec.to_dict()) == spec
+
+    def test_string_grid_entries(self):
+        spec = parse_job_spec({"grid": ["graph500/pr", ["datagen", "bfs"]]})
+        assert spec.grid == (("graph500", "pr"), ("datagen", "bfs"))
+
+    def test_single_system_string_promoted(self):
+        assert parse_job_spec({"systems": "giraph"}).systems == ("giraph",)
+
+    def test_labels_and_cells_expand_systems_times_grid(self):
+        spec = parse_job_spec(
+            {"systems": ["giraph", "powergraph"], "grid": ["graph500/pr", "datagen/bfs"]}
+        )
+        assert spec.n_cells == 4
+        assert spec.labels() == [
+            "giraph/graph500/pr", "giraph/datagen/bfs",
+            "powergraph/graph500/pr", "powergraph/datagen/bfs",
+        ]
+        cells = spec.cells()
+        assert len(cells) == 4
+        assert cells[0].spec.system == "giraph"
+
+    @pytest.mark.parametrize(
+        "body, field",
+        [
+            (["not", "an", "object"], None),
+            ({"bogus_key": 1}, "bogus_key"),
+            ({"preset": "huge"}, "preset"),
+            ({"preset": 3}, "preset"),
+            ({"systems": []}, "systems"),
+            ({"systems": ["warpdrive"]}, "systems"),
+            ({"systems": ["giraph", "giraph"]}, "systems"),
+            ({"grid": []}, "grid"),
+            ({"grid": ["no-slash"]}, "grid"),
+            ({"grid": [["graph500"]]}, "grid"),
+            ({"grid": [["graph500", "zz"]]}, "grid"),
+            ({"grid": [["nope", "pr"]]}, "grid"),
+            ({"grid": ["graph500/pr", "graph500/pr"]}, "grid"),
+            ({"seed": "zero"}, "seed"),
+            ({"seed": True}, "seed"),
+            ({"characterize": 1}, "characterize"),
+            ({"cache": "yes"}, "cache"),
+            ({"jobs": 0}, "jobs"),
+            ({"jobs": MAX_JOBS_PER_JOB + 1}, "jobs"),
+        ],
+    )
+    def test_rejections_are_typed_with_field(self, body, field):
+        with pytest.raises(JobSpecError) as exc:
+            parse_job_spec(body)
+        doc = exc.value.to_doc()
+        assert doc["error"]
+        assert doc.get("field") == (field if field is not None else None) or field is None
+
+    def test_cell_budget_enforced(self):
+        # 3 systems × 8 grid entries = 24 is fine; inflate past the cap.
+        grid = [[d, a] for d in dataset_names() for a in sorted(ALGORITHMS)]
+        body = {"systems": list(SYSTEMS), "grid": grid * 4}
+        with pytest.raises(JobSpecError):
+            parse_job_spec(body)
+
+    def test_error_doc_is_json_native(self):
+        with pytest.raises(JobSpecError) as exc:
+            parse_job_spec({"preset": "huge"})
+        json.dumps(exc.value.to_doc())  # must not raise
+
+
+# ---------------------------------------------------------------------- #
+# Hypothesis properties
+# ---------------------------------------------------------------------- #
+
+_DATASETS = tuple(dataset_names())
+_ALGOS = tuple(sorted(ALGORITHMS))
+
+valid_bodies = st.fixed_dictionaries(
+    {},
+    optional={
+        "preset": st.sampled_from(("tiny", "small", "full")),
+        "systems": st.lists(
+            st.sampled_from(SYSTEMS), min_size=1, max_size=len(SYSTEMS), unique=True
+        ),
+        "grid": st.lists(
+            st.tuples(st.sampled_from(_DATASETS), st.sampled_from(_ALGOS)).map(list),
+            min_size=1,
+            max_size=6,
+            unique_by=tuple,
+        ),
+        "seed": st.integers(min_value=-(2**31), max_value=2**31 - 1),
+        "characterize": st.booleans(),
+        "cache": st.booleans(),
+        "jobs": st.integers(min_value=1, max_value=MAX_JOBS_PER_JOB),
+    },
+)
+
+_json_scalars = st.one_of(
+    st.none(), st.booleans(), st.integers(), st.floats(allow_nan=False), st.text()
+)
+invalid_bodies = st.one_of(
+    # Not an object at all.
+    _json_scalars,
+    st.lists(_json_scalars, max_size=3),
+    # An unknown field sneaks in.
+    valid_bodies.map(lambda b: {**b, "surprise": 1}),
+    # A known field with a hostile scalar type.
+    st.tuples(
+        valid_bodies,
+        st.sampled_from(("preset", "systems", "grid", "seed", "characterize", "jobs")),
+        st.sampled_from((None, 1.5, {}, "warpdrive", [], True)),
+    ).map(lambda t: {**t[0], t[1]: t[2]}),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(body=valid_bodies)
+def test_accepted_bodies_round_trip_unchanged(body):
+    """parse → to_dict → parse is the identity on canonical specs."""
+    spec = parse_job_spec(body)
+    canonical = spec.to_dict()
+    assert parse_job_spec(canonical) == spec
+    assert parse_job_spec(canonical).to_dict() == canonical
+    json.dumps(canonical)  # canonical form is always JSON-serializable
+
+
+@settings(max_examples=60, deadline=None)
+@given(body=invalid_bodies)
+def test_rejected_bodies_raise_typed_and_enqueue_nothing(body):
+    """Invalid bodies are either rejected with a JSON-able JobSpecError
+
+    and never reach the queue/registry, or (for the randomized
+    known-field mutations that happen to be valid) accepted cleanly.
+    """
+    registry = RunRegistry()
+    q = JobQueue(capacity=4, workers=1, registry=registry, executor=lambda job: None)
+    try:
+        spec = parse_job_spec(body)
+    except JobSpecError as exc:
+        json.dumps(exc.to_doc())
+        with pytest.raises(JobSpecError):
+            q.submit(body)
+        assert len(q) == 0 and len(registry) == 0
+    else:
+        assert parse_job_spec(spec.to_dict()) == spec
+
+
+# ---------------------------------------------------------------------- #
+# Queue lifecycle (injected executor; no real simulation)
+# ---------------------------------------------------------------------- #
+
+
+def _wait_terminal(q, job_id, timeout=10.0):
+    t0 = time.monotonic()
+    while time.monotonic() - t0 < timeout:
+        job = q.get(job_id)
+        if job.state in TERMINAL_STATES:
+            return job
+        time.sleep(0.002)
+    raise AssertionError(f"job {job_id} not terminal: {q.get(job_id).state}")
+
+
+class TestJobQueue:
+    def test_submit_and_done(self):
+        with JobQueue(capacity=4, workers=1, executor=lambda job: None) as q:
+            job = q.submit({})
+            assert job.state in ("queued", "running", "done")
+            done = _wait_terminal(q, job.id)
+        assert done.state == "done"
+        assert done.error is None
+        assert done.started_at is not None and done.finished_at is not None
+        assert done.status.finished  # terminal run.finished recorded
+
+    def test_event_log_order_and_terminal(self):
+        with JobQueue(capacity=4, workers=1, executor=lambda job: None) as q:
+            job = q.submit({})
+            _wait_terminal(q, job.id)
+        kinds = [e["kind"] for e in job.status.events_since(0)]
+        assert kinds[0] == "job.queued"
+        assert "job.started" in kinds
+        assert kinds[-1] == "run.finished"
+        ids = [e["id"] for e in job.status.events_since(0)]
+        assert ids == list(range(1, len(ids) + 1))
+
+    def test_failed_executor_reported(self):
+        def boom(job):
+            raise RuntimeError("kaput")
+
+        with JobQueue(capacity=4, workers=1, executor=boom) as q:
+            job = q.submit({})
+            failed = _wait_terminal(q, job.id)
+        assert failed.state == "failed"
+        assert "kaput" in failed.error
+        kinds = [e["kind"] for e in job.status.events_since(0)]
+        assert "job.failed" in kinds
+        assert kinds[-1] == "run.finished"
+
+    def test_registry_sees_job_at_submission(self):
+        registry = RunRegistry()
+        q = JobQueue(capacity=4, workers=1, registry=registry, executor=lambda j: None)
+        job = q.submit({})  # queue not started: job stays queued
+        snap = registry.snapshots()[0]
+        assert snap["run_id"] == job.id
+        assert snap["meta"] == {"kind": "job", "spec": job.spec.to_dict()}
+        q.shutdown()
+
+    def test_jobs_listing_preserves_submission_order(self):
+        q = JobQueue(capacity=8, workers=1, executor=lambda j: None)
+        ids = [q.submit({}).id for _ in range(3)]
+        assert [j.id for j in q.jobs()] == ids
+        assert len(q) == 3
+        q.shutdown()
+
+    def test_ids_are_unique_and_stable(self):
+        q = JobQueue(capacity=8, workers=1, executor=lambda j: None)
+        a, b = q.submit({}), q.submit({})
+        assert a.id != b.id
+        assert q.get(a.id) is a
+        with pytest.raises(UnknownJobError):
+            q.get("job-999999-deadbeef")
+        q.shutdown()
+
+    def test_backpressure_full_queue_raises_retry_after(self):
+        gate = threading.Event()
+        q = JobQueue(capacity=1, workers=1, executor=lambda j: gate.wait(10)).start()
+        try:
+            first = q.submit({})  # picked up by the worker
+            t0 = time.monotonic()
+            while q.get(first.id).state != "running":
+                assert time.monotonic() - t0 < 5
+                time.sleep(0.002)
+            q.submit({})  # occupies the single queue slot
+            with pytest.raises(QueueFullError) as exc:
+                q.submit({})
+            assert exc.value.retry_after_s >= 1.0
+            assert len(q) == 2  # the rejected job left no trace
+        finally:
+            gate.set()
+            q.shutdown()
+
+    def test_cancel_queued_job(self):
+        q = JobQueue(capacity=4, workers=1, executor=lambda j: None)
+        job = q.submit({})  # not started: stays queued
+        cancelled = q.cancel(job.id)
+        assert cancelled.state == "cancelled"
+        kinds = [e["kind"] for e in job.status.events_since(0)]
+        assert kinds[-2:] == ["job.cancelled", "run.finished"]
+        # A worker starting later must skip it.
+        q.start()
+        time.sleep(0.05)
+        assert q.get(job.id).state == "cancelled"
+        q.shutdown()
+
+    def test_cancel_running_job_rejected(self):
+        gate = threading.Event()
+        q = JobQueue(capacity=4, workers=1, executor=lambda j: gate.wait(10)).start()
+        try:
+            job = q.submit({})
+            t0 = time.monotonic()
+            while q.get(job.id).state != "running":
+                assert time.monotonic() - t0 < 5
+                time.sleep(0.002)
+            with pytest.raises(JobNotCancellableError) as exc:
+                q.cancel(job.id)
+            assert exc.value.state == "running"
+        finally:
+            gate.set()
+            q.shutdown()
+
+    def test_cancel_unknown_job(self):
+        q = JobQueue(capacity=2, workers=1, executor=lambda j: None)
+        with pytest.raises(UnknownJobError):
+            q.cancel("job-000000-nothere")
+        q.shutdown()
+
+    def test_submit_after_shutdown_rejected(self):
+        q = JobQueue(capacity=2, workers=1, executor=lambda j: None)
+        q.shutdown()
+        with pytest.raises(QueueClosedError):
+            q.submit({})
+
+    def test_shutdown_without_drain_cancels_backlog(self):
+        q = JobQueue(capacity=8, workers=1, executor=lambda j: None)
+        jobs = [q.submit({}) for _ in range(4)]  # never started
+        q.shutdown(drain=False)
+        assert all(q.get(j.id).state == "cancelled" for j in jobs)
+        assert all(j.status.finished for j in jobs)
+
+    def test_shutdown_with_drain_executes_backlog(self):
+        executed = []
+        q = JobQueue(capacity=8, workers=1, executor=lambda j: executed.append(j.id))
+        jobs = [q.submit({}) for _ in range(4)]
+        q.start()
+        q.shutdown(drain=True)
+        assert executed == [j.id for j in jobs]
+        assert all(q.get(j.id).state == "done" for j in jobs)
+
+    def test_shutdown_is_idempotent(self):
+        q = JobQueue(capacity=2, workers=1, executor=lambda j: None).start()
+        q.shutdown()
+        q.shutdown()  # must not raise or hang
+
+    def test_start_twice_rejected(self):
+        q = JobQueue(capacity=2, workers=1, executor=lambda j: None).start()
+        with pytest.raises(RuntimeError):
+            q.start()
+        q.shutdown()
+
+    def test_gauges_reflect_counts(self):
+        q = JobQueue(capacity=8, workers=3, executor=lambda j: None)
+        q.submit({})
+        gauges = q.gauges()
+        assert gauges["jobqueue_capacity"] == 8.0
+        assert gauges["jobqueue_workers"] == 3.0
+        assert gauges["jobqueue_depth"] == 1.0
+        q.shutdown()
+        assert q.gauges()["jobqueue_cancelled"] == 1.0
+
+    def test_retry_after_grows_with_backlog(self):
+        q = JobQueue(capacity=8, workers=1, executor=lambda j: None)
+        assert q.retry_after_s() == pytest.approx(1.0)
+        # Fake a history of slow jobs and a deep backlog.
+        q._job_durations.extend([2.0] * 4)
+        for _ in range(6):
+            q.submit({})
+        assert q.retry_after_s() > 1.0
+        q.shutdown()
+
+    def test_real_executor_runs_tiny_cell(self):
+        """One real tiny job through run_grid — the integration seam."""
+        with JobQueue(capacity=2, workers=1) as q:
+            job = q.submit({"preset": "tiny", "cache": False})
+            done = _wait_terminal(q, job.id, timeout=60.0)
+        assert done.state == "done"
+        counts = done.status.snapshot()["counts"]
+        assert counts["done"] + counts["cached"] == 1
+
+
+# ---------------------------------------------------------------------- #
+# Concurrency: racing submitters and cancellers
+# ---------------------------------------------------------------------- #
+
+
+class TestConcurrency:
+    def test_racing_submit_and_cancel_never_lose_or_duplicate_jobs(self):
+        """8 submitters × 25 jobs race 4 cancellers; every id is unique,
+        every job terminal, and the state counts add up."""
+        q = JobQueue(
+            capacity=256, workers=4, executor=lambda j: time.sleep(0.001)
+        ).start()
+        submitted: list[str] = []
+        submitted_lock = threading.Lock()
+        rejected = [0]
+        stop_cancelling = threading.Event()
+
+        def submitter():
+            for _ in range(25):
+                try:
+                    job = q.submit({})
+                except QueueFullError:
+                    with submitted_lock:
+                        rejected[0] += 1
+                    continue
+                with submitted_lock:
+                    submitted.append(job.id)
+
+        def canceller():
+            while not stop_cancelling.is_set():
+                with submitted_lock:
+                    backlog = list(submitted)
+                for job_id in backlog[-5:]:
+                    try:
+                        q.cancel(job_id)
+                    except (JobNotCancellableError, UnknownJobError):
+                        pass
+                time.sleep(0.001)
+
+        submitters = [threading.Thread(target=submitter) for _ in range(8)]
+        cancellers = [threading.Thread(target=canceller) for _ in range(4)]
+        for t in submitters + cancellers:
+            t.start()
+        for t in submitters:
+            t.join(timeout=30)
+        stop_cancelling.set()
+        for t in cancellers:
+            t.join(timeout=30)
+
+        # No lost or duplicated ids.
+        assert len(submitted) == len(set(submitted))
+        assert len(submitted) + rejected[0] == 8 * 25
+        tracked = {j.id for j in q.jobs()}
+        assert set(submitted) == tracked
+
+        for job_id in submitted:
+            _wait_terminal(q, job_id, timeout=30.0)
+        counts = q.counts()
+        assert counts["queued"] == 0 and counts["running"] == 0
+        assert sum(counts[s] for s in JOB_STATES) == len(submitted)
+        assert counts["done"] + counts["cancelled"] == len(submitted)
+        assert counts["failed"] == 0
+
+        # Gauge consistency with the settled counts.
+        gauges = q.gauges()
+        assert gauges["jobqueue_depth"] == 0.0
+        assert gauges["jobqueue_done"] == float(counts["done"])
+        assert gauges["jobqueue_cancelled"] == float(counts["cancelled"])
+
+        # Every job — cancelled or done — ended with its terminal event.
+        for job in q.jobs():
+            assert job.status.finished
+        q.shutdown()
+
+    def test_sigterm_style_drain_with_in_flight_jobs(self):
+        """shutdown(drain=False) mid-traffic: in-flight jobs finish,
+        queued jobs cancel, nothing hangs, every status is terminal."""
+        release = threading.Event()
+
+        def slowish(job):
+            release.wait(10)
+
+        q = JobQueue(capacity=64, workers=2, executor=slowish).start()
+        jobs = [q.submit({}) for _ in range(10)]
+        t0 = time.monotonic()
+        while sum(1 for j in q.jobs() if j.state == "running") < 2:
+            assert time.monotonic() - t0 < 5
+            time.sleep(0.002)
+        release.set()  # let in-flight jobs complete during the drain
+        q.shutdown(drain=False, timeout=30.0)
+        states = {j.id: q.get(j.id).state for j in jobs}
+        assert set(states.values()) <= {"done", "cancelled"}
+        assert all(q.get(j.id).status.finished for j in jobs)
+        with pytest.raises(QueueClosedError):
+            q.submit({})

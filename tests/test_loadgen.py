@@ -1,0 +1,232 @@
+"""Tests for the open-loop load generator (:mod:`repro.loadgen`).
+
+Statistics units, the ``grade10-bench-serve/1`` document validator, a
+live end-to-end run against a real :class:`~repro.serve.TelemetryServer`
+with an instant injected executor, and the regression-gate wiring: the
+produced document self-compares clean and an inflated copy regresses
+through the unchanged :func:`repro.bench.compare_bench_docs`.
+"""
+
+import copy
+
+import pytest
+
+from repro.bench import (
+    SERVE_BENCH_SCHEMA,
+    compare_bench_docs,
+    validate_serve_bench_doc,
+)
+from repro.jobs import JobQueue, JobSpecError
+from repro.loadgen import (
+    LoadgenError,
+    percentile,
+    render_load_summary,
+    render_period_table,
+    run_loadgen,
+    summarize_latencies,
+)
+from repro.serve import TelemetryServer
+
+
+# ---------------------------------------------------------------------- #
+# Statistics
+# ---------------------------------------------------------------------- #
+
+
+class TestStats:
+    def test_percentile_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.90) == 90.0
+        assert percentile(values, 0.99) == 99.0
+        assert percentile(values, 1.0) == 100.0
+        assert percentile(values, 0.0) == 1.0
+
+    def test_percentile_unsorted_input(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_percentile_rejects_empty_and_bad_q(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_summarize_latencies(self):
+        summary = summarize_latencies([0.1, 0.2, 0.3, 0.4])
+        assert summary["count"] == 4
+        assert summary["mean_s"] == pytest.approx(0.25)
+        assert summary["p50_s"] == 0.2
+        assert summary["max_s"] == 0.4
+
+    def test_summarize_empty(self):
+        assert summarize_latencies([]) == {"count": 0}
+
+
+# ---------------------------------------------------------------------- #
+# Document validation
+# ---------------------------------------------------------------------- #
+
+
+def _minimal_doc():
+    op = {
+        "count": 3,
+        "mean_s": 0.01,
+        "p50_s": 0.01,
+        "p90_s": 0.02,
+        "p99_s": 0.02,
+        "max_s": 0.02,
+    }
+    return {
+        "schema": SERVE_BENCH_SCHEMA,
+        "ops": {"submit": dict(op), "e2e": dict(op)},
+        "periods": [{"elapsed_s": 5.0, "ops": {}}],
+        "sse": {"streams": 3, "events": 21, "gaps": 0},
+        "errors": {"rejected": 0, "http": 0, "overload": 0, "incomplete": 0},
+        "systems": {"submit": {}, "e2e": {}},
+    }
+
+
+class TestValidator:
+    def test_minimal_doc_valid(self):
+        assert validate_serve_bench_doc(_minimal_doc()) == []
+
+    def test_wrong_schema_rejected(self):
+        doc = _minimal_doc()
+        doc["schema"] = "grade10-bench/1"
+        assert any("schema" in p for p in validate_serve_bench_doc(doc))
+
+    def test_sse_gaps_rejected(self):
+        doc = _minimal_doc()
+        doc["sse"]["gaps"] = 2
+        assert any("gap" in p for p in validate_serve_bench_doc(doc))
+
+    def test_http_errors_rejected_but_backpressure_allowed(self):
+        doc = _minimal_doc()
+        doc["errors"]["rejected"] = 5  # 429s are legitimate backpressure
+        doc["errors"]["overload"] = 2
+        assert validate_serve_bench_doc(doc) == []
+        doc["errors"]["http"] = 1
+        assert any("http" in p for p in validate_serve_bench_doc(doc))
+
+    def test_incomplete_streams_rejected(self):
+        doc = _minimal_doc()
+        doc["errors"]["incomplete"] = 1
+        assert validate_serve_bench_doc(doc)
+
+    def test_systems_must_mirror_ops(self):
+        doc = _minimal_doc()
+        del doc["systems"]["e2e"]
+        assert any("systems" in p for p in validate_serve_bench_doc(doc))
+
+    def test_non_finite_latency_rejected(self):
+        doc = _minimal_doc()
+        doc["ops"]["submit"]["p99_s"] = float("nan")
+        assert validate_serve_bench_doc(doc)
+
+    def test_empty_periods_rejected(self):
+        doc = _minimal_doc()
+        doc["periods"] = []
+        assert validate_serve_bench_doc(doc)
+
+
+# ---------------------------------------------------------------------- #
+# Live end-to-end
+# ---------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def live_service():
+    """A real server+queue whose jobs complete instantly."""
+    queue = JobQueue(capacity=32, workers=2, executor=lambda job: None)
+    srv = TelemetryServer(port=0, heartbeat_s=0.05, queue=queue).start()
+    queue.start()
+    try:
+        yield srv
+    finally:
+        queue.shutdown()
+        srv.stop()
+
+
+class TestRunLoadgen:
+    def test_unreachable_service_raises(self):
+        with pytest.raises(LoadgenError):
+            run_loadgen("http://127.0.0.1:9", rate=1.0, duration_s=0.1)
+
+    def test_invalid_spec_fails_fast(self, live_service):
+        with pytest.raises(JobSpecError):
+            run_loadgen(live_service.url, spec={"preset": "huge"})
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            run_loadgen("http://127.0.0.1:9", rate=0.0)
+        with pytest.raises(ValueError):
+            run_loadgen("http://127.0.0.1:9", duration_s=-1.0)
+
+    def test_open_loop_run_document(self, live_service):
+        lines = []
+        doc = run_loadgen(
+            live_service.url,
+            rate=20.0,
+            duration_s=1.0,
+            period_s=0.5,
+            echo=lines.append,
+        )
+        assert doc["schema"] == SERVE_BENCH_SCHEMA
+        assert validate_serve_bench_doc(doc) == [], validate_serve_bench_doc(doc)
+        # All 20 arrivals submitted and streamed to their terminal frame.
+        assert doc["ops"]["submit"]["count"] == 20
+        assert doc["ops"]["e2e"]["count"] == 20
+        assert doc["sse"]["streams"] == 20
+        assert doc["sse"]["gaps"] == 0
+        assert doc["errors"] == {
+            "rejected": 0, "http": 0, "overload": 0, "incomplete": 0,
+        }
+        # The open loop held its schedule: actual duration ≈ duration_s.
+        assert doc["duration_actual_s"] == pytest.approx(1.0, abs=0.8)
+        # Periodic tables were echoed as the run progressed.
+        assert lines and any("p99 ms" in line for line in lines)
+        # Period docs accumulate the same ops the totals report.
+        period_ops = sum(
+            p["ops"]["submit"].get("count", 0) for p in doc["periods"]
+        )
+        assert period_ops == 20
+
+    def test_rendering_helpers(self, live_service):
+        doc = run_loadgen(live_service.url, rate=10.0, duration_s=0.5, period_s=0.25)
+        summary = render_load_summary(doc)
+        assert "Load summary" in summary and "sse:" in summary
+        table = render_period_table(doc["periods"][0], 0.25)
+        assert "ops/s" in table
+
+    def test_document_gates_through_compare_bench_docs(self, live_service):
+        """Satellite/tentpole seam: the serve doc drives the existing
+        noise-aware regression gate with zero bench-side changes."""
+        doc = run_loadgen(live_service.url, rate=10.0, duration_s=0.5, period_s=0.25)
+        assert doc["systems"], "systems mirror missing"
+        self_cmp = compare_bench_docs(doc, doc)
+        assert self_cmp.ok and not self_cmp.warnings
+        inflated = copy.deepcopy(doc)
+        for entry in inflated["systems"].values():
+            entry["total_s"]["mean"] = entry["total_s"]["mean"] * 10 + 1.0
+            for stage in entry["stages"].values():
+                stage["mean_s"] = stage["mean_s"] * 10 + 1.0
+        bad_cmp = compare_bench_docs(doc, inflated)
+        assert not bad_cmp.ok
+        assert len(bad_cmp.regressions) >= 2  # both ops tripped
+
+    def test_overload_counted_not_blocking(self, live_service):
+        """With max_in_flight=1 and slow streams the client drops
+        arrivals as overload instead of stretching the schedule."""
+        # Slow the service: executor sleeps via a gated queue.
+        doc = run_loadgen(
+            live_service.url,
+            rate=50.0,
+            duration_s=0.4,
+            period_s=0.2,
+            max_in_flight=1,
+        )
+        submitted = doc["ops"]["submit"]["count"]
+        overload = doc["errors"]["overload"]
+        assert submitted + overload == 20
+        # The schedule was still open-loop: wall clock near duration.
+        assert doc["duration_actual_s"] < 5.0

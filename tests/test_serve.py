@@ -8,12 +8,14 @@ collides with a real service.  The SSE tests use a raw
 import http.client
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
 import pytest
 
 from repro import obs
+from repro.jobs import JobQueue
 from repro.parallel import CellSpec, run_grid
 from repro.progress import ProgressEvent, RunRegistry, RunStatus
 from repro.serve import (
@@ -32,9 +34,38 @@ def server():
         yield srv
 
 
+@pytest.fixture()
+def job_server():
+    """A server with the write side enabled (instant injected executor)."""
+    queue = JobQueue(capacity=4, workers=1, executor=lambda job: None)
+    srv = TelemetryServer(port=0, heartbeat_s=0.1, queue=queue).start()
+    queue.start()
+    try:
+        yield srv
+    finally:
+        queue.shutdown()
+        srv.stop()
+
+
 def _get(server, path):
     with urllib.request.urlopen(f"{server.url}{path}", timeout=10) as resp:
         return resp.status, resp.headers, resp.read().decode()
+
+
+def _request_json(server, method, path, doc=None):
+    """Issue ``method`` with an optional JSON body; returns (status, headers, doc)."""
+    data = None if doc is None else json.dumps(doc).encode()
+    request = urllib.request.Request(
+        f"{server.url}{path}",
+        data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+        method=method,
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as resp:
+            return resp.status, resp.headers, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.headers, json.loads(exc.read().decode())
 
 
 def _event(kind, label="", **data):
@@ -229,6 +260,175 @@ class TestSse:
             server, f"/events?run={first.run_id}", min_frames=1
         )
         assert json.loads(frames[0]["data"])["label"] == "a"
+
+
+# ---------------------------------------------------------------------- #
+# The job API (write side)
+# ---------------------------------------------------------------------- #
+
+
+class TestJobApi:
+    def test_post_job_accepted_and_visible_on_reads(self, job_server):
+        status, _, job = _request_json(job_server, "POST", "/jobs", {"preset": "tiny"})
+        assert status == 202
+        assert job["state"] in ("queued", "running", "done")
+        assert job["spec"]["preset"] == "tiny"
+        # The job appears on /runs (read side untouched) with its spec.
+        _, _, runs_body = _get(job_server, "/runs")
+        runs = {r["run_id"]: r for r in json.loads(runs_body)}
+        assert job["id"] in runs
+        assert runs[job["id"]]["meta"]["kind"] == "job"
+        assert runs[job["id"]]["meta"]["spec"] == job["spec"]
+
+    def test_post_job_empty_body_is_default_spec(self, job_server):
+        request = urllib.request.Request(
+            f"{job_server.url}/jobs", data=b"", method="POST"
+        )
+        with urllib.request.urlopen(request, timeout=10) as resp:
+            job = json.loads(resp.read().decode())
+        assert resp.status == 202
+        assert job["spec"]["systems"] == ["giraph"]
+
+    def test_post_invalid_spec_400_structured(self, job_server):
+        status, _, doc = _request_json(
+            job_server, "POST", "/jobs", {"preset": "huge"}
+        )
+        assert status == 400
+        assert "huge" in doc["error"]
+        assert doc["field"] == "preset"
+        # Nothing enqueued: /jobs stays empty.
+        _, _, listing = _request_json(job_server, "GET", "/jobs")
+        assert listing == []
+
+    def test_post_unparseable_body_400(self, job_server):
+        request = urllib.request.Request(
+            f"{job_server.url}/jobs", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(request, timeout=10)
+        assert exc.value.code == 400
+        assert "JSON" in json.loads(exc.value.read().decode())["error"]
+
+    def test_post_other_path_404(self, job_server):
+        status, _, _ = _request_json(job_server, "POST", "/runs", {})
+        assert status == 404
+
+    def test_queue_full_429_with_retry_after(self):
+        gate = threading.Event()
+        queue = JobQueue(capacity=1, workers=1, executor=lambda job: gate.wait(10))
+        srv = TelemetryServer(port=0, heartbeat_s=0.1, queue=queue).start()
+        queue.start()
+        try:
+            _, _, first = _request_json(srv, "POST", "/jobs", {})
+            t0 = time.monotonic()
+            while queue.get(first["id"]).state != "running":
+                assert time.monotonic() - t0 < 5
+                time.sleep(0.002)
+            _request_json(srv, "POST", "/jobs", {})  # fills the only slot
+            status, headers, doc = _request_json(srv, "POST", "/jobs", {})
+            assert status == 429
+            assert int(headers["Retry-After"]) >= 1
+            assert doc["retry_after_s"] >= 1.0
+        finally:
+            gate.set()
+            queue.shutdown()
+            srv.stop()
+
+    def test_get_jobs_listing_and_detail(self, job_server):
+        _, _, job = _request_json(job_server, "POST", "/jobs", {})
+        status, _, listing = _request_json(job_server, "GET", "/jobs")
+        assert status == 200
+        assert [j["id"] for j in listing] == [job["id"]]
+        status, _, detail = _request_json(job_server, "GET", f"/jobs/{job['id']}")
+        assert status == 200 and detail["id"] == job["id"]
+        status, _, _ = _request_json(job_server, "GET", "/jobs/job-000000-nothere")
+        assert status == 404
+
+    def test_delete_cancels_queued_job(self):
+        # No workers running: the job stays queued and is cancellable.
+        queue = JobQueue(capacity=4, workers=1, executor=lambda job: None)
+        srv = TelemetryServer(port=0, heartbeat_s=0.1, queue=queue).start()
+        try:
+            _, _, job = _request_json(srv, "POST", "/jobs", {})
+            status, _, doc = _request_json(srv, "DELETE", f"/jobs/{job['id']}")
+            assert status == 200 and doc["state"] == "cancelled"
+            status, _, doc = _request_json(srv, "DELETE", f"/jobs/{job['id']}")
+            assert status == 409 and doc["state"] == "cancelled"
+            status, _, _ = _request_json(srv, "DELETE", "/jobs/job-000000-nothere")
+            assert status == 404
+        finally:
+            queue.shutdown()
+            srv.stop()
+
+    def test_write_endpoints_503_without_queue(self, server):
+        status, _, doc = _request_json(server, "POST", "/jobs", {})
+        assert status == 503 and "read-only" in doc["error"]
+        status, _, _ = _request_json(server, "GET", "/jobs")
+        assert status == 503
+        status, _, _ = _request_json(server, "DELETE", "/jobs/x")
+        assert status == 503
+
+    def test_metrics_include_queue_gauges(self, job_server):
+        _request_json(job_server, "POST", "/jobs", {})
+        _, _, body = _get(job_server, "/metrics")
+        _, samples = parse_exposition(body)
+        values = {name: value for name, labels, value in samples}
+        assert values["grade10_jobqueue_capacity"] == 4.0
+        assert values["grade10_jobqueue_workers"] == 1.0
+        assert "grade10_jobqueue_depth" in values
+
+    def test_mismatched_registry_rejected(self):
+        queue = JobQueue(capacity=2, workers=1, executor=lambda job: None)
+        with pytest.raises(ValueError):
+            TelemetryServer(port=0, registry=RunRegistry(), queue=queue)
+
+    def test_sse_end_to_end_submit_stream_resume(self):
+        """Satellite 3: POST a job, stream its SSE, resume mid-job with
+        Last-Event-ID; the reconstructed log is gap-free and terminal."""
+        release = threading.Event()
+        queue = JobQueue(capacity=4, workers=1, executor=lambda job: release.wait(10))
+        srv = TelemetryServer(port=0, heartbeat_s=0.05, queue=queue).start()
+        queue.start()
+        try:
+            _, _, job = _request_json(srv, "POST", "/jobs", {})
+            run_path = f"/events?run={job['id']}"
+            # First connection sees job.queued (and possibly job.started).
+            first = _sse_frames(srv, run_path, min_frames=1)
+            assert first[0]["event"] == "job.queued"
+            last_seen = int(first[-1]["id"])
+            release.set()  # let the job finish while we are disconnected
+            # Resume from where the first connection stopped.
+            conn = http.client.HTTPConnection(srv.host, srv.port, timeout=10)
+            try:
+                conn.request(
+                    "GET", run_path, headers={"Last-Event-ID": str(last_seen)}
+                )
+                resp = conn.getresponse()
+                frames, current = [], {}
+                while not any(f.get("event") == "run.finished" for f in frames):
+                    line = resp.fp.readline().decode().rstrip("\n")
+                    if line.startswith(":"):
+                        continue
+                    if not line:
+                        if current:
+                            frames.append(current)
+                            current = {}
+                        continue
+                    key, _, value = line.partition(": ")
+                    current[key] = value
+            finally:
+                conn.close()
+            # Reconstructed log: consecutive ids across both connections.
+            ids = [int(f["id"]) for f in first] + [int(f["id"]) for f in frames]
+            assert ids == list(range(1, len(ids) + 1)), ids
+            kinds = [f["event"] for f in first + frames]
+            assert kinds[0] == "job.queued"
+            assert "job.started" in kinds
+            assert kinds[-1] == "run.finished"
+        finally:
+            release.set()
+            queue.shutdown()
+            srv.stop()
 
 
 # ---------------------------------------------------------------------- #
