@@ -53,7 +53,7 @@ from .issues import (
 )
 from .outliers import OutlierGroup, OutlierPhase, OutlierReport, find_outliers
 from .phases import ExecutionModel, PhaseType, parent_path, split_path
-from .profile import Grade10, PerformanceProfile
+from .profile import PROFILE_BACKENDS, Grade10, PerformanceProfile
 from .report import render_report
 from .resources import BlockingResource, ConsumableResource, ResourceModel
 from .rules import ExactRule, NoneRule, Rule, RuleMatrix, VariableRule
@@ -145,6 +145,7 @@ __all__ = [
     "split_path",
     "Grade10",
     "PerformanceProfile",
+    "PROFILE_BACKENDS",
     "render_report",
     "BlockingResource",
     "ConsumableResource",

@@ -1,0 +1,52 @@
+"""Dense columnar profile core (ROADMAP item 2).
+
+``repro.core.columnar`` re-expresses profiles and timelines as flat numpy
+column arrays — phase-instance tables, per-resource sample grids, and
+demand/usage matrices — instead of per-event Python object graphs:
+
+* :class:`ColumnarProfile` (:mod:`.arrays`) is the interchange form: a
+  string pool plus a fixed inventory of typed columns, losslessly
+  convertible to and from :class:`~repro.core.profile.PerformanceProfile`
+  via ``from_profile``/``to_profile``.
+* :mod:`.storage` gives it a versioned memmap-backed on-disk layout
+  (``ColumnarProfile.save``/``ColumnarProfile.open``) so million-slice
+  grids stream through constant memory.
+* :mod:`.pipeline` holds batched fast paths for the hottest pipeline
+  stages — activity rasterization, demand estimation, and the
+  water-filling upsampler — selected through
+  ``Grade10(..., profile_backend="columnar")``.
+
+The contract for the fast paths is *equivalence*: identical integer/id
+outputs and float outputs within the tolerances documented in
+``docs/columnar.md``, enforced by the differential suite in
+``tests/core/test_columnar_equivalence.py``.
+"""
+
+from .arrays import COLUMN_SPECS, ColumnarProfile
+from .pipeline import (
+    attributable_activity,
+    estimate_demand_columnar,
+    rasterize_rows,
+    upsample_columnar,
+)
+from .storage import (
+    COLUMNAR_FORMAT,
+    COLUMNAR_MAGIC,
+    ColumnarFormatError,
+    open_columnar,
+    save_columnar,
+)
+
+__all__ = [
+    "COLUMN_SPECS",
+    "COLUMNAR_FORMAT",
+    "COLUMNAR_MAGIC",
+    "ColumnarFormatError",
+    "ColumnarProfile",
+    "attributable_activity",
+    "estimate_demand_columnar",
+    "open_columnar",
+    "rasterize_rows",
+    "save_columnar",
+    "upsample_columnar",
+]

@@ -1,0 +1,495 @@
+"""The columnar profile data model and its object-graph converters.
+
+A :class:`ColumnarProfile` is a string pool plus a fixed, versioned
+inventory of dense numpy columns (:data:`COLUMN_SPECS`).  Variable-length
+structure is flattened the way column stores flatten it: child lists become
+``(owner_row, payload...)`` event tables grouped by owner, adjacency
+becomes CSR index pairs, and per-slice series become 2-D ``(axis,
+n_slices)`` matrices.  Strings appear exactly once in the pool; every
+column cell that names something holds an ``int32`` pool index (``-1``
+encodes "absent").
+
+``from_profile``/``to_profile`` are lossless on pipeline-produced
+profiles: traces, demand entries, and upsampled grids are stored verbatim
+(float64 bits preserved), while attribution, bottlenecks, issues, and
+outliers — deterministic functions of the stored stages — are recomputed
+on ``to_profile`` from the embedded execution model and analysis
+parameters rather than serialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable
+
+import numpy as np
+
+from ..attribution import attribute
+from ..bottlenecks import EXACT_CAP_THRESHOLD, SATURATION_THRESHOLD, find_bottlenecks
+from ..demand import DemandEntry, DemandEstimate, ResourceDemand
+from ..issues import DEFAULT_MIN_IMPROVEMENT, detect_issues
+from ..model_io import execution_model_from_dict, execution_model_to_dict
+from ..outliers import DEFAULT_MIN_PHASE_DURATION, DEFAULT_THRESHOLD, find_outliers
+from ..phases import ExecutionModel
+from ..profile import PerformanceProfile
+from ..timeline import TimeGrid
+from ..traces import ExecutionTrace, PhaseInstance, ResourceTrace
+from ..upsample import UpsampledResource, UpsampledTrace
+
+__all__ = ["COLUMN_SPECS", "ColumnarProfile"]
+
+#: Pool index used for absent strings (machine/worker/thread, parents).
+_NULL = -1
+
+#: The full column inventory: ``name -> (dtype, ndim)``.  Order is the
+#: on-disk layout order; 2-D columns always have ``n_slices`` as their
+#: second dimension.
+COLUMN_SPECS: dict[str, tuple[str, int]] = {
+    # Phase-instance table, one row per instance in trace insertion order
+    # (parents always precede children, so re-adding row-by-row is valid).
+    "inst_id": ("<i4", 1),
+    "inst_path": ("<i4", 1),
+    "inst_t_start": ("<f8", 1),
+    "inst_t_end": ("<f8", 1),
+    "inst_parent": ("<i8", 1),  # parent row index, -1 for roots
+    "inst_machine": ("<i4", 1),
+    "inst_worker": ("<i4", 1),
+    "inst_thread": ("<i4", 1),
+    # Per-instance blocking events, flattened and grouped by instance row.
+    "blk_inst": ("<i8", 1),
+    "blk_resource": ("<i4", 1),
+    "blk_t_start": ("<f8", 1),
+    "blk_t_end": ("<f8", 1),
+    # depends_on adjacency in CSR form; targets are pool ids (an id may
+    # reference an instance outside the trace, so row indices cannot be used).
+    "dep_indptr": ("<i8", 1),  # length n_instances + 1
+    "dep_target": ("<i4", 1),
+    # Resource-trace measurement table, grouped by resource, sorted by start.
+    "meas_resource": ("<i4", 1),
+    "meas_t_start": ("<f8", 1),
+    "meas_t_end": ("<f8", 1),
+    "meas_value": ("<f8", 1),
+    # Resource-trace blocking events, flattened and grouped by resource.
+    "rblk_resource": ("<i4", 1),
+    "rblk_t_start": ("<f8", 1),
+    "rblk_t_end": ("<f8", 1),
+    # Demand: the resource axis plus per-slice totals.
+    "dres_name": ("<i4", 1),
+    "dres_capacity": ("<f8", 1),
+    "demand_exact": ("<f8", 2),  # (n_dres, n_slices)
+    "demand_variable": ("<f8", 2),  # (n_dres, n_slices)
+    # Deduplicated attributable-activity matrix: demand entries for the
+    # same instance share one activity row across every resource.
+    "attr_inst": ("<i8", 1),  # instance row per activity row
+    "attr_activity": ("<f8", 2),  # (n_attr, n_slices)
+    # Demand entries, grouped by demand resource in entry order.
+    "ent_res": ("<i8", 1),
+    "ent_attr": ("<i8", 1),
+    "ent_exact": ("|u1", 1),
+    "ent_magnitude": ("<f8", 1),
+    # Upsampled per-resource grids.
+    "ures_name": ("<i4", 1),
+    "ures_capacity": ("<f8", 1),
+    "ups_rate": ("<f8", 2),
+    "ups_coverage": ("<f8", 2),
+    "ups_unexplained": ("<f8", 2),
+}
+
+
+class _StringPool:
+    """Insertion-ordered string interning for column construction."""
+
+    def __init__(self) -> None:
+        self.strings: list[str] = []
+        self._index: dict[str, int] = {}
+
+    def add(self, s: str | None) -> int:
+        if s is None:
+            return _NULL
+        i = self._index.get(s)
+        if i is None:
+            i = len(self.strings)
+            self._index[s] = i
+            self.strings.append(s)
+        return i
+
+
+def _col(values: Iterable, dtype: str) -> np.ndarray:
+    return np.asarray(list(values), dtype=np.dtype(dtype)).reshape(-1)
+
+
+def _stack2d(rows: list[np.ndarray], n_slices: int) -> np.ndarray:
+    if not rows:
+        return np.zeros((0, n_slices), dtype=np.float64)
+    return np.stack([np.asarray(r, dtype=np.float64) for r in rows])
+
+
+@dataclass
+class ColumnarProfile:
+    """A performance profile as dense column arrays.
+
+    ``meta`` holds the grid scalars, the analysis parameters, and the
+    serialized execution model; ``strings`` is the shared pool; ``columns``
+    maps every :data:`COLUMN_SPECS` name to its array (in-memory or a
+    read-only memmap when opened from disk).
+    """
+
+    meta: dict[str, Any]
+    strings: list[str]
+    columns: dict[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        missing = COLUMN_SPECS.keys() - self.columns.keys()
+        extra = self.columns.keys() - COLUMN_SPECS.keys()
+        if missing or extra:
+            raise ValueError(
+                f"column inventory mismatch: missing {sorted(missing)}, "
+                f"unexpected {sorted(extra)}"
+            )
+        n_slices = self.grid.n_slices
+        for name, (dtype, ndim) in COLUMN_SPECS.items():
+            arr = self.columns[name]
+            if arr.ndim != ndim:
+                raise ValueError(f"column {name!r}: expected ndim {ndim}, got {arr.ndim}")
+            if arr.dtype != np.dtype(dtype):
+                raise ValueError(f"column {name!r}: expected dtype {dtype}, got {arr.dtype}")
+            if ndim == 2 and arr.shape[1] != n_slices:
+                raise ValueError(
+                    f"column {name!r}: expected {n_slices} slices, got {arr.shape[1]}"
+                )
+        if len(self.columns["dep_indptr"]) != len(self.columns["inst_id"]) + 1:
+            raise ValueError("dep_indptr must have n_instances + 1 entries")
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+    @property
+    def grid(self) -> TimeGrid:
+        g = self.meta["grid"]
+        return TimeGrid(
+            t0=float(g["t0"]),
+            slice_duration=float(g["slice_duration"]),
+            n_slices=int(g["n_slices"]),
+        )
+
+    @property
+    def n_instances(self) -> int:
+        return len(self.columns["inst_id"])
+
+    @property
+    def n_slices(self) -> int:
+        return int(self.meta["grid"]["n_slices"])
+
+    @property
+    def nbytes(self) -> int:
+        """Total array payload size (excludes pool and metadata)."""
+        return int(sum(a.nbytes for a in self.columns.values()))
+
+    def equals(self, other: "ColumnarProfile") -> bool:
+        """Exact equality: same metadata, pool, and column bits."""
+        return (
+            self.meta == other.meta
+            and self.strings == other.strings
+            and all(
+                np.array_equal(self.columns[n], other.columns[n], equal_nan=True)
+                for n in COLUMN_SPECS
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Conversion from the object graph
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_profile(
+        cls,
+        profile: PerformanceProfile,
+        *,
+        execution_model: ExecutionModel | None = None,
+        analysis_params: dict[str, Any] | None = None,
+    ) -> "ColumnarProfile":
+        """Flatten a :class:`PerformanceProfile` into columns.
+
+        The execution model and analysis parameters default to the ones the
+        profile carries (attached by :class:`~repro.core.profile.Grade10`);
+        pass them explicitly for hand-built profiles.
+        """
+        model = execution_model if execution_model is not None else profile.execution_model
+        params = dict(
+            analysis_params if analysis_params is not None else profile.analysis_params or {}
+        )
+        grid = profile.grid
+        pool = _StringPool()
+        cols: dict[str, np.ndarray] = {}
+
+        trace = profile.execution_trace
+        insts = trace.instances()
+        row_of = {inst.instance_id: r for r, inst in enumerate(insts)}
+        cols["inst_id"] = _col((pool.add(i.instance_id) for i in insts), "<i4")
+        cols["inst_path"] = _col((pool.add(i.phase_path) for i in insts), "<i4")
+        cols["inst_t_start"] = _col((i.t_start for i in insts), "<f8")
+        cols["inst_t_end"] = _col((i.t_end for i in insts), "<f8")
+        cols["inst_parent"] = _col(
+            (row_of[i.parent_id] if i.parent_id is not None else -1 for i in insts), "<i8"
+        )
+        cols["inst_machine"] = _col((pool.add(i.machine) for i in insts), "<i4")
+        cols["inst_worker"] = _col((pool.add(i.worker) for i in insts), "<i4")
+        cols["inst_thread"] = _col((pool.add(i.thread) for i in insts), "<i4")
+
+        blk = [
+            (r, pool.add(b.resource), b.t_start, b.t_end)
+            for r, inst in enumerate(insts)
+            for b in inst.blocking
+        ]
+        cols["blk_inst"] = _col((b[0] for b in blk), "<i8")
+        cols["blk_resource"] = _col((b[1] for b in blk), "<i4")
+        cols["blk_t_start"] = _col((b[2] for b in blk), "<f8")
+        cols["blk_t_end"] = _col((b[3] for b in blk), "<f8")
+
+        indptr = np.zeros(len(insts) + 1, dtype=np.int64)
+        targets: list[int] = []
+        for r, inst in enumerate(insts):
+            targets.extend(pool.add(d) for d in inst.depends_on)
+            indptr[r + 1] = len(targets)
+        cols["dep_indptr"] = indptr
+        cols["dep_target"] = _col(targets, "<i4")
+
+        rtrace = profile.resource_trace
+        meas = [
+            (pool.add(name), m.t_start, m.t_end, m.value)
+            for name in rtrace.measured_resources()
+            for m in rtrace.measurements(name)
+        ]
+        cols["meas_resource"] = _col((m[0] for m in meas), "<i4")
+        cols["meas_t_start"] = _col((m[1] for m in meas), "<f8")
+        cols["meas_t_end"] = _col((m[2] for m in meas), "<f8")
+        cols["meas_value"] = _col((m[3] for m in meas), "<f8")
+
+        rblk = [
+            (pool.add(name), b.t_start, b.t_end)
+            for name in rtrace.blocking_resources()
+            for b in rtrace.blocking_events(name)
+        ]
+        cols["rblk_resource"] = _col((b[0] for b in rblk), "<i4")
+        cols["rblk_t_start"] = _col((b[1] for b in rblk), "<f8")
+        cols["rblk_t_end"] = _col((b[2] for b in rblk), "<f8")
+
+        dem = profile.demand
+        dnames = dem.resources()
+        cols["dres_name"] = _col((pool.add(n) for n in dnames), "<i4")
+        cols["dres_capacity"] = _col((dem[n].capacity for n in dnames), "<f8")
+        cols["demand_exact"] = _stack2d([dem[n].exact_total for n in dnames], grid.n_slices)
+        cols["demand_variable"] = _stack2d(
+            [dem[n].variable_total for n in dnames], grid.n_slices
+        )
+
+        attr_index: dict[str, int] = {}
+        attr_inst: list[int] = []
+        attr_rows: list[np.ndarray] = []
+        ent: list[tuple[int, int, int, float]] = []
+        for di, rname in enumerate(dnames):
+            for e in dem[rname].entries:
+                iid = e.instance.instance_id
+                ai = attr_index.get(iid)
+                if ai is None:
+                    ai = len(attr_rows)
+                    attr_index[iid] = ai
+                    attr_inst.append(row_of[iid])
+                    attr_rows.append(e.activity)
+                ent.append((di, ai, 1 if e.is_exact else 0, e.magnitude))
+        cols["attr_inst"] = _col(attr_inst, "<i8")
+        cols["attr_activity"] = _stack2d(attr_rows, grid.n_slices)
+        cols["ent_res"] = _col((e[0] for e in ent), "<i8")
+        cols["ent_attr"] = _col((e[1] for e in ent), "<i8")
+        cols["ent_exact"] = _col((e[2] for e in ent), "|u1")
+        cols["ent_magnitude"] = _col((e[3] for e in ent), "<f8")
+
+        ups = profile.upsampled
+        unames = ups.resources()
+        cols["ures_name"] = _col((pool.add(n) for n in unames), "<i4")
+        cols["ures_capacity"] = _col((ups[n].capacity for n in unames), "<f8")
+        cols["ups_rate"] = _stack2d([ups[n].rate for n in unames], grid.n_slices)
+        cols["ups_coverage"] = _stack2d([ups[n].coverage for n in unames], grid.n_slices)
+        cols["ups_unexplained"] = _stack2d(
+            [ups[n].unexplained for n in unames], grid.n_slices
+        )
+
+        meta = {
+            "grid": {
+                "t0": grid.t0,
+                "slice_duration": grid.slice_duration,
+                "n_slices": grid.n_slices,
+            },
+            "params": params,
+            "execution_model": execution_model_to_dict(model) if model is not None else None,
+        }
+        return cls(meta=meta, strings=pool.strings, columns=cols)
+
+    # ------------------------------------------------------------------ #
+    # Conversion back to the object graph
+    # ------------------------------------------------------------------ #
+    def to_profile(self) -> PerformanceProfile:
+        """Rebuild the full :class:`PerformanceProfile`.
+
+        Traces, demand, and upsampled grids are reconstructed bit-for-bit
+        from the columns; attribution, bottlenecks, issues, and outliers
+        are recomputed from those inputs with the stored analysis
+        parameters, which reproduces the originals exactly because every
+        downstream stage is a deterministic function of the stored ones.
+        """
+        grid = self.grid
+        model_doc = self.meta.get("execution_model")
+        if model_doc is None:
+            raise ValueError(
+                "columnar profile carries no execution model; issue/outlier "
+                "reports cannot be rebuilt (pass execution_model= to from_profile)"
+            )
+        model = execution_model_from_dict(model_doc)
+        params = dict(self.meta.get("params") or {})
+        c = self.columns
+        s = self.strings
+
+        def sname(i: int) -> str | None:
+            return None if i < 0 else s[i]
+
+        trace = ExecutionTrace()
+        n = self.n_instances
+        ids = [s[int(i)] for i in c["inst_id"]]
+        indptr = c["dep_indptr"]
+        insts: list[PhaseInstance] = []
+        for r in range(n):
+            p = int(c["inst_parent"][r])
+            deps = [s[int(t)] for t in c["dep_target"][int(indptr[r]) : int(indptr[r + 1])]]
+            insts.append(
+                trace.add(
+                    PhaseInstance(
+                        instance_id=ids[r],
+                        phase_path=s[int(c["inst_path"][r])],
+                        t_start=float(c["inst_t_start"][r]),
+                        t_end=float(c["inst_t_end"][r]),
+                        parent_id=ids[p] if p >= 0 else None,
+                        machine=sname(int(c["inst_machine"][r])),
+                        worker=sname(int(c["inst_worker"][r])),
+                        thread=sname(int(c["inst_thread"][r])),
+                        depends_on=deps,
+                    )
+                )
+            )
+        for k in range(len(c["blk_inst"])):
+            insts[int(c["blk_inst"][k])].add_blocking(
+                s[int(c["blk_resource"][k])],
+                float(c["blk_t_start"][k]),
+                float(c["blk_t_end"][k]),
+            )
+
+        rtrace = ResourceTrace()
+        for k in range(len(c["meas_resource"])):
+            rtrace.add_measurement(
+                s[int(c["meas_resource"][k])],
+                float(c["meas_t_start"][k]),
+                float(c["meas_t_end"][k]),
+                float(c["meas_value"][k]),
+            )
+        for k in range(len(c["rblk_resource"])):
+            rtrace.add_blocking_event(
+                s[int(c["rblk_resource"][k])],
+                float(c["rblk_t_start"][k]),
+                float(c["rblk_t_end"][k]),
+            )
+
+        dnames = [s[int(i)] for i in c["dres_name"]]
+        per_resource = {
+            rname: ResourceDemand(
+                resource=rname,
+                capacity=float(c["dres_capacity"][di]),
+                exact_total=np.array(c["demand_exact"][di], dtype=np.float64),
+                variable_total=np.array(c["demand_variable"][di], dtype=np.float64),
+                entries=[],
+            )
+            for di, rname in enumerate(dnames)
+        }
+        # Rebuild the shared-activity structure: one materialized array per
+        # attr row, shared by every entry that references it.
+        attr_arrays = [
+            np.array(c["attr_activity"][a], dtype=np.float64)
+            for a in range(len(c["attr_inst"]))
+        ]
+        for k in range(len(c["ent_res"])):
+            ai = int(c["ent_attr"][k])
+            per_resource[dnames[int(c["ent_res"][k])]].entries.append(
+                DemandEntry(
+                    instance=insts[int(c["attr_inst"][ai])],
+                    is_exact=bool(c["ent_exact"][k]),
+                    magnitude=float(c["ent_magnitude"][k]),
+                    activity=attr_arrays[ai],
+                )
+            )
+        demand = DemandEstimate(grid=grid, per_resource=per_resource)
+
+        ups_per_resource = {}
+        for ui in range(len(c["ures_name"])):
+            rname = s[int(c["ures_name"][ui])]
+            ups_per_resource[rname] = UpsampledResource(
+                resource=rname,
+                capacity=float(c["ures_capacity"][ui]),
+                rate=np.array(c["ups_rate"][ui], dtype=np.float64),
+                coverage=np.array(c["ups_coverage"][ui], dtype=np.float64),
+                unexplained=np.array(c["ups_unexplained"][ui], dtype=np.float64),
+            )
+        upsampled = UpsampledTrace(grid=grid, per_resource=ups_per_resource)
+
+        attribution = attribute(upsampled, demand, trace)
+        bottlenecks = find_bottlenecks(
+            trace,
+            upsampled,
+            attribution,
+            saturation_threshold=float(
+                params.get("saturation_threshold", SATURATION_THRESHOLD)
+            ),
+            exact_cap_threshold=float(params.get("exact_cap_threshold", EXACT_CAP_THRESHOLD)),
+        )
+        issues = detect_issues(
+            trace,
+            model,
+            bottlenecks,
+            upsampled,
+            attribution,
+            min_improvement=float(params.get("min_improvement", DEFAULT_MIN_IMPROVEMENT)),
+        )
+        outliers = find_outliers(
+            trace,
+            model,
+            threshold=float(params.get("outlier_threshold", DEFAULT_THRESHOLD)),
+            min_phase_duration=float(
+                params.get("min_phase_duration", DEFAULT_MIN_PHASE_DURATION)
+            ),
+        )
+        return PerformanceProfile(
+            grid=grid,
+            execution_trace=trace,
+            resource_trace=rtrace,
+            demand=demand,
+            upsampled=upsampled,
+            attribution=attribution,
+            bottlenecks=bottlenecks,
+            issues=issues,
+            outliers=outliers,
+            execution_model=model,
+            analysis_params=params or None,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Persistence (delegates to .storage; lazy import avoids a cycle)
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path) -> Path:
+        """Write the versioned memmap layout atomically; returns the path."""
+        from .storage import save_columnar
+
+        return save_columnar(self, path)
+
+    @classmethod
+    def open(cls, path: str | Path, *, mmap: bool = True) -> "ColumnarProfile":
+        """Open a saved profile; columns are read-only memmaps by default."""
+        from .storage import open_columnar
+
+        return open_columnar(path, mmap=mmap)

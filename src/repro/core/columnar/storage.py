@@ -1,0 +1,172 @@
+"""Versioned memmap-backed on-disk layout for columnar profiles.
+
+File format ``grade10-columnar/1``::
+
+    bytes 0..7    magic b"G10COL01"
+    bytes 8..15   little-endian uint64: header length H
+    bytes 16..16+H
+                  UTF-8 JSON header (sorted keys, compact separators)
+    data section  starts at the first 64-byte-aligned offset >= 16 + H;
+                  every column is raw little-endian C-order bytes at a
+                  64-byte-aligned offset *relative to the data section*
+
+Header schema::
+
+    {"format": "grade10-columnar/1",
+     "meta": {...},                    # grid scalars, params, execution model
+     "strings": ["..."],               # the shared pool
+     "columns": {name: {"dtype": "<f8", "shape": [r, c], "offset": 0}}}
+
+The header is canonical JSON (``sort_keys``, compact separators), so
+``open`` followed by ``save`` reproduces the file byte-for-byte — the
+round-trip property the test suite pins.  Writes go through a same-
+directory tempfile + ``os.replace`` so readers never observe a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from .arrays import COLUMN_SPECS, ColumnarProfile
+
+__all__ = [
+    "COLUMNAR_FORMAT",
+    "COLUMNAR_MAGIC",
+    "ColumnarFormatError",
+    "open_columnar",
+    "save_columnar",
+]
+
+COLUMNAR_MAGIC = b"G10COL01"
+COLUMNAR_FORMAT = "grade10-columnar/1"
+_ALIGN = 64
+
+
+class ColumnarFormatError(ValueError):
+    """Raised when a file is not a readable columnar profile."""
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def save_columnar(cp: ColumnarProfile, path: str | Path) -> Path:
+    """Serialize ``cp`` to ``path`` atomically; returns the path."""
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    col_specs: dict[str, dict] = {}
+    offset = 0
+    for name, (dtype, _) in COLUMN_SPECS.items():
+        arr = np.ascontiguousarray(cp.columns[name], dtype=np.dtype(dtype))
+        offset = _align(offset)
+        col_specs[name] = {"dtype": dtype, "shape": list(arr.shape), "offset": offset}
+        arrays[name] = arr
+        offset += arr.nbytes
+
+    header = {
+        "format": COLUMNAR_FORMAT,
+        "meta": cp.meta,
+        "strings": cp.strings,
+        "columns": col_specs,
+    }
+    hdr = json.dumps(header, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    preamble = len(COLUMNAR_MAGIC) + 8 + len(hdr)
+    data_start = _align(preamble)
+
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            f.write(COLUMNAR_MAGIC)
+            f.write(len(hdr).to_bytes(8, "little"))
+            f.write(hdr)
+            f.write(b"\0" * (data_start - preamble))
+            pos = 0
+            for name in COLUMN_SPECS:
+                spec = col_specs[name]
+                f.write(b"\0" * (spec["offset"] - pos))
+                f.write(arrays[name].tobytes())
+                pos = spec["offset"] + arrays[name].nbytes
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def open_columnar(path: str | Path, *, mmap: bool = True) -> ColumnarProfile:
+    """Open a saved columnar profile.
+
+    With ``mmap=True`` (the default) columns are read-only ``np.memmap``
+    views — slices page in on demand, so a million-slice profile streams
+    through constant resident memory.  ``mmap=False`` materializes plain
+    in-memory arrays instead.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as f:
+            magic = f.read(len(COLUMNAR_MAGIC))
+            if magic != COLUMNAR_MAGIC:
+                raise ColumnarFormatError(
+                    f"{path}: bad magic {magic!r} (expected {COLUMNAR_MAGIC!r})"
+                )
+            hlen = int.from_bytes(f.read(8), "little")
+            try:
+                header = json.loads(f.read(hlen).decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ColumnarFormatError(f"{path}: unreadable header: {exc}") from exc
+    except OSError as exc:
+        raise ColumnarFormatError(f"{path}: {exc}") from exc
+
+    if header.get("format") != COLUMNAR_FORMAT:
+        raise ColumnarFormatError(
+            f"{path}: unsupported format {header.get('format')!r} "
+            f"(expected {COLUMNAR_FORMAT!r})"
+        )
+    specs = header.get("columns") or {}
+    unknown = specs.keys() - COLUMN_SPECS.keys()
+    if unknown:
+        raise ColumnarFormatError(f"{path}: unknown columns {sorted(unknown)}")
+    data_start = _align(len(COLUMNAR_MAGIC) + 8 + hlen)
+
+    columns: dict[str, np.ndarray] = {}
+    for name, (dtype, ndim) in COLUMN_SPECS.items():
+        spec = specs.get(name)
+        if spec is None:
+            raise ColumnarFormatError(f"{path}: missing column {name!r}")
+        if spec.get("dtype") != dtype or len(spec.get("shape", ())) != ndim:
+            raise ColumnarFormatError(
+                f"{path}: column {name!r} has layout {spec!r}, "
+                f"expected dtype {dtype} ndim {ndim}"
+            )
+        shape = tuple(int(x) for x in spec["shape"])
+        dt = np.dtype(dtype)
+        count = int(np.prod(shape))
+        if count == 0:
+            columns[name] = np.empty(shape, dtype=dt)
+        elif mmap:
+            columns[name] = np.memmap(
+                path, dtype=dt, mode="r", offset=data_start + int(spec["offset"]), shape=shape
+            )
+        else:
+            with open(path, "rb") as f:
+                f.seek(data_start + int(spec["offset"]))
+                data = np.fromfile(f, dtype=dt, count=count)
+            if data.size != count:
+                raise ColumnarFormatError(f"{path}: column {name!r} truncated")
+            columns[name] = data.reshape(shape)
+
+    try:
+        return ColumnarProfile(
+            meta=header.get("meta") or {}, strings=list(header.get("strings") or []),
+            columns=columns,
+        )
+    except (ValueError, KeyError, TypeError) as exc:
+        raise ColumnarFormatError(f"{path}: invalid column data: {exc}") from exc

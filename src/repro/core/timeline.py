@@ -131,6 +131,35 @@ class TimeGrid:
         hi = int(np.clip(np.ceil(hi_raw), 0, self.n_slices))
         return lo, max(hi, lo)
 
+    def slice_range_batch(
+        self, t_start: np.ndarray, t_end: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`slice_range` over arrays of intervals.
+
+        Returns ``(lo, hi)`` int64 arrays with the same boundary snapping
+        as the scalar path — the columnar upsampler maps every
+        measurement window to its slice span in one call instead of one
+        Python-level ``slice_range`` per window.
+        """
+        t_start = np.asarray(t_start, dtype=np.float64)
+        t_end = np.asarray(t_end, dtype=np.float64)
+        if np.any(t_end < t_start):
+            raise ValueError("t_end < t_start in at least one interval")
+        lo_raw = (t_start - self.t0) / self.slice_duration
+        hi_raw = (t_end - self.t0) / self.slice_duration
+        lo_snap, hi_snap = np.round(lo_raw), np.round(hi_raw)
+        lo_raw = np.where(
+            np.abs(lo_raw - lo_snap) <= _SNAP_RTOL * np.maximum(1.0, np.abs(lo_snap)),
+            lo_snap, lo_raw,
+        )
+        hi_raw = np.where(
+            np.abs(hi_raw - hi_snap) <= _SNAP_RTOL * np.maximum(1.0, np.abs(hi_snap)),
+            hi_snap, hi_raw,
+        )
+        lo = np.clip(np.floor(lo_raw), 0, self.n_slices).astype(np.int64)
+        hi = np.clip(np.ceil(hi_raw), 0, self.n_slices).astype(np.int64)
+        return lo, np.maximum(hi, lo)
+
     def time_of(self, slice_index: int) -> float:
         """Absolute time of the left edge of ``slice_index``."""
         return self.t0 + slice_index * self.slice_duration

@@ -282,28 +282,56 @@ class ExecutionTrace:
         arr = np.asarray(ivs, dtype=np.float64)
         return rasterize_intervals(grid, arr[:, 0], arr[:, 1])
 
-    def attributable_instances(self, grid: TimeGrid) -> list[tuple[PhaseInstance, np.ndarray]]:
-        """Instances that receive direct resource attribution, with activity.
+    def iter_attributable_instances(self, grid: TimeGrid):
+        """Lazily yield ``(instance, active_fraction_per_slice)`` pairs.
 
         An instance is attributable during the parts of its lifetime when
         none of its children are active: inner phases' resource usage is the
         roll-up of their descendants, so attributing to both a parent and
-        its running child would double-count.  Returns
-        ``(instance, active_fraction_per_slice)`` pairs with any strictly
-        positive activity.
+        its running child would double-count.  Only pairs with strictly
+        positive activity somewhere are yielded.
+
+        Each instance's raw activity is rasterized exactly once (it is
+        needed both at its own visit and — as a child — at its parent's
+        visit) and evicted from the memo as soon as its last consumer has
+        seen it, so the trace never holds more per-slice arrays than the
+        deepest parent/child frontier requires.
         """
-        out: list[tuple[PhaseInstance, np.ndarray]] = []
+        # An instance's raw activity is read at its own visit, plus once at
+        # its parent's visit when it has one; parents precede children in
+        # insertion order, so the parent's read always happens first.
+        remaining = {
+            iid: (2 if inst.parent_id is not None else 1)
+            for iid, inst in self._instances.items()
+        }
+        cache: dict[str, np.ndarray] = {}
+
+        def consume(inst: PhaseInstance) -> np.ndarray:
+            iid = inst.instance_id
+            arr = cache.get(iid)
+            if arr is None:
+                arr = self.activity_fraction(inst, grid)
+            remaining[iid] -= 1
+            if remaining[iid] > 0:
+                cache[iid] = arr
+            else:
+                cache.pop(iid, None)
+            return arr
+
         for inst in self._instances.values():
-            frac = self.activity_fraction(inst, grid)
+            frac = consume(inst)
             kids = self.children_of(inst)
             if kids:
                 child_activity = np.zeros(grid.n_slices)
                 for kid in kids:
-                    child_activity += self.activity_fraction(kid, grid)
+                    child_activity += consume(kid)
                 frac = np.clip(frac - child_activity, 0.0, 1.0)
             if np.any(frac > 0.0):
-                out.append((inst, frac))
-        return out
+                yield inst, frac
+
+    def attributable_instances(self, grid: TimeGrid) -> list[tuple[PhaseInstance, np.ndarray]]:
+        """Materialized form of :meth:`iter_attributable_instances`."""
+        return list(self.iter_attributable_instances(grid))
 
     def concurrent_groups(self) -> dict[tuple[str | None, str], list[PhaseInstance]]:
         """Group instances by (parent, phase type).
@@ -381,6 +409,10 @@ class ResourceTrace:
             self._measurements.setdefault(resource, []).sort(key=lambda m: m.t_start)
             self._sorted.add(resource)
         return self._measurements.get(resource, [])
+
+    def blocking_resources(self) -> list[str]:
+        """Names of resources with at least one blocking event."""
+        return list(self._blocking_events)
 
     def blocking_events(self, resource: str | None = None) -> list[BlockingEvent]:
         """Blocking events, optionally filtered to one resource."""

@@ -209,6 +209,7 @@ class CellSpec:
     tuned: bool = True
     slice_duration: float = 0.01
     min_phase_duration: float = 0.05
+    profile_backend: str = "objects"
 
     @property
     def label(self) -> str:
@@ -221,9 +222,10 @@ def cell_key_material(cell: CellSpec) -> dict[str, Any]:
     Composition: dataset spec, system name + effective config (every
     tunable constant, including the nested sync-bug config), algorithm,
     seed, model/rule fingerprints, and the archive sampling parameters.
-    The analysis-side options (``characterize``/``slice_duration``) are
-    deliberately **excluded**: they are applied on top of the cached
-    artifacts, so one payload serves every analysis variant.
+    The analysis-side options (``characterize``/``slice_duration``/
+    ``profile_backend``) are deliberately **excluded**: they are applied
+    on top of the cached artifacts, so one payload serves every analysis
+    variant.
     """
     spec = cell.spec
     config = _system_config(spec)
@@ -405,6 +407,7 @@ def _characterize_payload(cell: CellSpec, directory: Path) -> "PerformanceProfil
         slice_duration=cell.slice_duration,
         tuned=cell.tuned,
         min_phase_duration=cell.min_phase_duration,
+        profile_backend=cell.profile_backend,
     )
 
 
@@ -535,6 +538,7 @@ def _execute_cell(cell: CellSpec, cache_dir: str | Path | None) -> CellResult:
                 tuned=cell.tuned,
                 slice_duration=cell.slice_duration,
                 min_phase_duration=cell.min_phase_duration,
+                profile_backend=cell.profile_backend,
             )
 
         return CellResult(

@@ -1,0 +1,195 @@
+"""Differential equivalence suite: columnar backend vs the object graph.
+
+The columnar pipeline core (:mod:`repro.core.columnar`) promises outputs
+equivalent to the historical object-graph implementation.  This suite
+proves it differentially on the same cells the golden-profile fixtures
+pin — every simulated system's ``graph500/pr`` tiny run characterized
+under **both** backends and compared field by field:
+
+* identifiers, paths, counts, kinds, and orderings compare **exactly**;
+* floats compare with ``math.isclose(rel_tol=1e-9, abs_tol=1e-12)``.
+
+Tolerance policy (see ``docs/columnar.md``): the columnar kernels
+replicate the scalar code's operation order, so in practice the outputs
+are bitwise identical on these cells; the tolerance exists only to keep
+the contract honest on platforms (or future widths > numpy's pairwise
+summation block) where associativity could shift the last bits.  It is
+three orders of magnitude tighter than the golden fixtures' own 1e-6.
+
+The suite also extends the fault-injection acceptance criterion to the
+columnar backend: every shipped :class:`repro.faults.FaultSpec`, applied
+to the tiny archive, must degrade identically under both backends —
+same typed error, or same invariant-violation set — and the CLI's
+``analyze --check-invariants`` exit-3 contract must hold for
+``--profile-backend columnar`` too.
+"""
+
+import functools
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.export import profile_to_dict
+from repro.core.invariants import INVARIANTS
+from repro.faults import FAULTS, ClockSkew, apply_faults, fault_at
+from repro.workloads import WorkloadSpec, characterize_run, run_workload
+from repro.workloads.archive import ArchiveError, characterize_archive
+
+#: The pinned differential cells — same as the golden-profile fixtures.
+SYSTEMS = ("giraph", "powergraph", "sparklike")
+
+#: Float tolerance of the equivalence contract (docs/columnar.md).
+REL_TOL = 1e-9
+ABS_TOL = 1e-12
+
+
+@functools.lru_cache(maxsize=None)
+def _run(system: str):
+    return run_workload(WorkloadSpec(system, "graph500", "pr", preset="tiny", seed=0))
+
+
+@functools.lru_cache(maxsize=None)
+def _profile(system: str, backend: str):
+    return characterize_run(_run(system), tuned=True, profile_backend=backend)
+
+
+def _assert_equivalent(objects, columnar, path="$"):
+    """Structural comparison: exact for ints/ids/strings, isclose for floats."""
+    if isinstance(objects, dict):
+        assert isinstance(columnar, dict), f"{path}: backend changed the type"
+        assert sorted(objects) == sorted(columnar), (
+            f"{path}: keys differ: {sorted(set(objects) ^ set(columnar))}"
+        )
+        for k in objects:
+            _assert_equivalent(objects[k], columnar[k], f"{path}.{k}")
+    elif isinstance(objects, list):
+        assert isinstance(columnar, list), f"{path}: backend changed the type"
+        assert len(objects) == len(columnar), (
+            f"{path}: length {len(columnar)} != {len(objects)}"
+        )
+        for i, (o, c) in enumerate(zip(objects, columnar)):
+            _assert_equivalent(o, c, f"{path}[{i}]")
+    elif isinstance(objects, float) and not isinstance(objects, bool):
+        assert isinstance(columnar, (int, float)), f"{path}: expected a number"
+        assert math.isclose(columnar, objects, rel_tol=REL_TOL, abs_tol=ABS_TOL), (
+            f"{path}: columnar {columnar!r} != objects {objects!r}"
+        )
+    else:
+        assert columnar == objects, f"{path}: columnar {columnar!r} != {objects!r}"
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+class TestBackendEquivalence:
+    """Full-pipeline differential checks on each system's golden cell."""
+
+    def test_exported_profiles_equivalent(self, system):
+        objects = profile_to_dict(_profile(system, "objects"), series=True)
+        columnar = profile_to_dict(_profile(system, "columnar"), series=True)
+        _assert_equivalent(objects, columnar)
+
+    def test_demand_arrays_equivalent(self, system):
+        od, cd = _profile(system, "objects").demand, _profile(system, "columnar").demand
+        assert sorted(od.per_resource) == sorted(cd.per_resource)
+        for name, o in od.per_resource.items():
+            c = cd.per_resource[name]
+            np.testing.assert_allclose(
+                c.exact_total, o.exact_total, rtol=REL_TOL, atol=ABS_TOL
+            )
+            np.testing.assert_allclose(
+                c.variable_total, o.variable_total, rtol=REL_TOL, atol=ABS_TOL
+            )
+            assert [(e.instance.instance_id, e.is_exact) for e in o.entries] == [
+                (e.instance.instance_id, e.is_exact) for e in c.entries
+            ]
+
+    def test_upsampled_arrays_equivalent(self, system):
+        ou = _profile(system, "objects").upsampled
+        cu = _profile(system, "columnar").upsampled
+        assert sorted(ou.resources()) == sorted(cu.resources())
+        for name in ou.resources():
+            o, c = ou[name], cu[name]
+            np.testing.assert_allclose(c.rate, o.rate, rtol=REL_TOL, atol=ABS_TOL)
+            np.testing.assert_allclose(
+                c.coverage, o.coverage, rtol=REL_TOL, atol=ABS_TOL
+            )
+            np.testing.assert_allclose(
+                c.unexplained, o.unexplained, rtol=REL_TOL, atol=ABS_TOL
+            )
+
+    def test_reports_equivalent(self, system):
+        o, c = _profile(system, "objects"), _profile(system, "columnar")
+        assert [
+            (b.kind.value, b.instance_id, b.phase_path, b.resource)
+            for b in o.bottlenecks
+        ] == [
+            (b.kind.value, b.instance_id, b.phase_path, b.resource)
+            for b in c.bottlenecks
+        ]
+        np.testing.assert_allclose(
+            [b.duration for b in c.bottlenecks],
+            [b.duration for b in o.bottlenecks],
+            rtol=REL_TOL, atol=ABS_TOL,
+        )
+        assert [(i.kind, i.subject) for i in o.issues] == [
+            (i.kind, i.subject) for i in c.issues
+        ]
+        assert [g.phase_path for g in o.outliers] == [
+            g.phase_path for g in c.outliers
+        ]
+
+    def test_invariants_hold_under_columnar(self, system):
+        report = _profile(system, "columnar").check_invariants()
+        assert report.ok, report.render()
+
+
+class TestFaultEquivalence:
+    """Every shipped fault degrades identically under both backends."""
+
+    @pytest.mark.parametrize("name", sorted(FAULTS))
+    def test_fault_outcome_matches_objects_backend(self, tiny_archive, tmp_path, name):
+        dest = tmp_path / name
+        apply_faults(tiny_archive, dest, [fault_at(name, 1.0)], seed=11)
+        outcomes = {}
+        for backend in ("objects", "columnar"):
+            try:
+                profile = characterize_archive(dest, profile_backend=backend)
+            except ArchiveError as exc:
+                outcomes[backend] = ("error", type(exc).__name__)
+                continue
+            report = profile.check_invariants()
+            assert all(v.invariant in INVARIANTS for v in report)
+            assert math.isfinite(profile.makespan) and profile.makespan > 0
+            outcomes[backend] = (
+                "profile",
+                sorted({v.invariant for v in report}),
+            )
+        assert outcomes["columnar"] == outcomes["objects"]
+
+    def test_analyze_cli_exit_3_with_columnar_backend(
+        self, tiny_archive, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        dest = tmp_path / "skewed"
+        apply_faults(tiny_archive, dest, [ClockSkew(delta=1.0, machines=("m0",))], seed=0)
+        code = main(
+            [
+                "analyze", str(dest),
+                "--check-invariants", "--profile-backend", "columnar",
+            ]
+        )
+        assert code == 3
+        assert "[nesting]" in capsys.readouterr().out
+
+    def test_analyze_cli_clean_exit_0_with_columnar_backend(self, tiny_archive, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "analyze", str(tiny_archive),
+                "--check-invariants", "--profile-backend", "columnar",
+            ]
+        )
+        assert code == 0
+        assert "invariant check: OK" in capsys.readouterr().out
