@@ -131,8 +131,10 @@ class ColumnarProfile:
 
     ``meta`` holds the grid scalars, the analysis parameters, and the
     serialized execution model; ``strings`` is the shared pool; ``columns``
-    maps every :data:`COLUMN_SPECS` name to its array (in-memory or a
-    read-only memmap when opened from disk).
+    maps every :data:`COLUMN_SPECS` name to its array (in-memory, or
+    read-only views into one shared file mapping when opened from disk
+    with ``mmap=True`` — release it with :meth:`close` or by using the
+    profile as a context manager).
     """
 
     meta: dict[str, Any]
@@ -493,3 +495,27 @@ class ColumnarProfile:
         from .storage import open_columnar
 
         return open_columnar(path, mmap=mmap)
+
+    def close(self) -> None:
+        """Release the file mapping (and its descriptor) of a memmapped open.
+
+        The profile's columns become unusable afterwards.  No-op for
+        in-memory profiles (``from_profile`` or ``open(mmap=False)``) and
+        when called twice.  If column arrays are still referenced outside
+        the profile, the descriptor is released when they are garbage
+        collected instead.
+        """
+        mm = self.__dict__.pop("_mmap", None)
+        if mm is None:
+            return
+        self.columns = {}  # drop our buffer views so the mapping can unmap
+        try:
+            mm.close()
+        except BufferError:
+            pass  # external views still alive; freed when they are collected
+
+    def __enter__(self) -> "ColumnarProfile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

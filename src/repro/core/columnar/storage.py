@@ -20,18 +20,28 @@ Header schema::
 The header is canonical JSON (``sort_keys``, compact separators), so
 ``open`` followed by ``save`` reproduces the file byte-for-byte — the
 round-trip property the test suite pins.  Writes go through a same-
-directory tempfile + ``os.replace`` so readers never observe a torn file.
+directory tempfile + file fsync + ``os.replace`` + parent-directory fsync,
+so readers never observe a torn file and a published file survives a
+crash right after the rename.
+
+Memmapped opens share a **single** read-only mapping across all columns
+(one file descriptor per profile, released by
+:meth:`~repro.core.columnar.arrays.ColumnarProfile.close` or the profile's
+context manager) instead of one ``np.memmap`` — and one descriptor — per
+column.
 """
 
 from __future__ import annotations
 
 import json
+import mmap as _mmap_module
 import os
 import tempfile
 from pathlib import Path
 
 import numpy as np
 
+from ...ioutils import fsync_dir
 from .arrays import COLUMN_SPECS, ColumnarProfile
 
 __all__ = [
@@ -91,7 +101,10 @@ def save_columnar(cp: ColumnarProfile, path: str | Path) -> Path:
                 f.write(b"\0" * (spec["offset"] - pos))
                 f.write(arrays[name].tobytes())
                 pos = spec["offset"] + arrays[name].nbytes
+            f.flush()
+            os.fsync(f.fileno())
         os.replace(tmp, path)
+        fsync_dir(path.parent if str(path.parent) else ".")
     except BaseException:
         try:
             os.unlink(tmp)
@@ -104,10 +117,13 @@ def save_columnar(cp: ColumnarProfile, path: str | Path) -> Path:
 def open_columnar(path: str | Path, *, mmap: bool = True) -> ColumnarProfile:
     """Open a saved columnar profile.
 
-    With ``mmap=True`` (the default) columns are read-only ``np.memmap``
-    views — slices page in on demand, so a million-slice profile streams
-    through constant resident memory.  ``mmap=False`` materializes plain
-    in-memory arrays instead.
+    With ``mmap=True`` (the default) all columns are read-only views into
+    one shared memory mapping — slices page in on demand, so a
+    million-slice profile streams through constant resident memory, and
+    the whole profile holds a single file descriptor (call
+    :meth:`ColumnarProfile.close` or use the profile as a context manager
+    to release it).  ``mmap=False`` materializes plain in-memory arrays
+    instead and holds no descriptor.
     """
     path = Path(path)
     try:
@@ -136,37 +152,59 @@ def open_columnar(path: str | Path, *, mmap: bool = True) -> ColumnarProfile:
         raise ColumnarFormatError(f"{path}: unknown columns {sorted(unknown)}")
     data_start = _align(len(COLUMNAR_MAGIC) + 8 + hlen)
 
-    columns: dict[str, np.ndarray] = {}
-    for name, (dtype, ndim) in COLUMN_SPECS.items():
-        spec = specs.get(name)
-        if spec is None:
-            raise ColumnarFormatError(f"{path}: missing column {name!r}")
-        if spec.get("dtype") != dtype or len(spec.get("shape", ())) != ndim:
-            raise ColumnarFormatError(
-                f"{path}: column {name!r} has layout {spec!r}, "
-                f"expected dtype {dtype} ndim {ndim}"
-            )
-        shape = tuple(int(x) for x in spec["shape"])
-        dt = np.dtype(dtype)
-        count = int(np.prod(shape))
-        if count == 0:
-            columns[name] = np.empty(shape, dtype=dt)
-        elif mmap:
-            columns[name] = np.memmap(
-                path, dtype=dt, mode="r", offset=data_start + int(spec["offset"]), shape=shape
-            )
-        else:
+    shared: _mmap_module.mmap | None = None
+    if mmap:
+        try:
             with open(path, "rb") as f:
-                f.seek(data_start + int(spec["offset"]))
-                data = np.fromfile(f, dtype=dt, count=count)
-            if data.size != count:
-                raise ColumnarFormatError(f"{path}: column {name!r} truncated")
-            columns[name] = data.reshape(shape)
+                shared = _mmap_module.mmap(f.fileno(), 0, access=_mmap_module.ACCESS_READ)
+        except (OSError, ValueError) as exc:
+            raise ColumnarFormatError(f"{path}: {exc}") from exc
 
     try:
-        return ColumnarProfile(
-            meta=header.get("meta") or {}, strings=list(header.get("strings") or []),
-            columns=columns,
-        )
-    except (ValueError, KeyError, TypeError) as exc:
-        raise ColumnarFormatError(f"{path}: invalid column data: {exc}") from exc
+        columns: dict[str, np.ndarray] = {}
+        for name, (dtype, ndim) in COLUMN_SPECS.items():
+            spec = specs.get(name)
+            if spec is None:
+                raise ColumnarFormatError(f"{path}: missing column {name!r}")
+            if spec.get("dtype") != dtype or len(spec.get("shape", ())) != ndim:
+                raise ColumnarFormatError(
+                    f"{path}: column {name!r} has layout {spec!r}, "
+                    f"expected dtype {dtype} ndim {ndim}"
+                )
+            shape = tuple(int(x) for x in spec["shape"])
+            dt = np.dtype(dtype)
+            count = int(np.prod(shape))
+            col_start = data_start + int(spec["offset"])
+            if count == 0:
+                columns[name] = np.empty(shape, dtype=dt)
+            elif shared is not None:
+                if col_start + count * dt.itemsize > len(shared):
+                    raise ColumnarFormatError(f"{path}: column {name!r} truncated")
+                columns[name] = np.frombuffer(
+                    shared, dtype=dt, count=count, offset=col_start
+                ).reshape(shape)
+            else:
+                with open(path, "rb") as f:
+                    f.seek(col_start)
+                    data = np.fromfile(f, dtype=dt, count=count)
+                if data.size != count:
+                    raise ColumnarFormatError(f"{path}: column {name!r} truncated")
+                columns[name] = data.reshape(shape)
+
+        try:
+            cp = ColumnarProfile(
+                meta=header.get("meta") or {}, strings=list(header.get("strings") or []),
+                columns=columns,
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ColumnarFormatError(f"{path}: invalid column data: {exc}") from exc
+    except BaseException:
+        if shared is not None:
+            del columns  # release buffer exports so the mapping can close
+            try:
+                shared.close()
+            except BufferError:  # pragma: no cover - defensive
+                pass
+        raise
+    cp._mmap = shared
+    return cp

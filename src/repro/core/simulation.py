@@ -26,6 +26,8 @@ import difflib
 from dataclasses import dataclass
 from typing import Mapping
 
+import numpy as np
+
 from .. import obs
 from .phases import ExecutionModel
 from .traces import ExecutionTrace, PhaseInstance
@@ -102,8 +104,12 @@ class ReplaySimulator:
     """Replays an execution trace with (optionally adjusted) phase durations.
 
     The dependency graph is built once from the trace and the execution
-    model; each :meth:`simulate` call is then a single topological sweep, so
-    what-if scenarios are cheap to evaluate in bulk.
+    model and compiled into level-scheduled index arrays (level = longest
+    predecessor chain); each :meth:`simulate` call is then a handful of
+    vectorized sweeps — one scatter-max per level — so what-if scenarios
+    are cheap to evaluate in bulk.  :meth:`_simulate_scalar` is the
+    per-instance reference implementation the array path replicates
+    operation-for-operation.
     """
 
     def __init__(self, trace: ExecutionTrace, model: ExecutionModel | None = None) -> None:
@@ -229,6 +235,85 @@ class ReplaySimulator:
 
         self._preds = {iid: sorted(s) for iid, s in deps.items()}
 
+        # The cheap per-node arrays are built eagerly; the O(edges) level
+        # compilation is deferred to the first replay, where its cost is
+        # amortized across every what-if scenario the simulator answers.
+        self._ids = [inst.instance_id for inst in self._order]
+        self._idx = {iid: k for k, iid in enumerate(self._ids)}
+        n = len(self._order)
+        base = np.zeros(n, dtype=np.float64)
+        wait = np.zeros(n, dtype=bool)
+        for k, inst in enumerate(self._order):
+            if inst.phase_path in self._wait_paths:
+                wait[k] = True
+            else:
+                base[k] = inst.duration
+        self._base_dur = base
+        self._is_wait = wait
+        self._levels_ready = False
+
+    def _compile_levels(self) -> None:
+        """Compile the dependency graph into level-scheduled index arrays.
+
+        Nodes are indexed by their position in ``self._order``; an edge is
+        kept only when the predecessor precedes the successor in that order
+        (the scalar sweep ignores predecessors whose end time has not been
+        computed yet, so the array path must too).  A node's *level* is the
+        length of its longest kept predecessor chain; within a level every
+        start time can be resolved with one scatter-max over the incoming
+        edges, because all predecessor end times are already final.
+        """
+        n = len(self._order)
+        idx = self._idx
+
+        # Flatten the predecessor lists into edge index arrays (the only
+        # remaining per-edge Python work is the id -> index translation).
+        preds_by_node = [self._preds.get(iid, ()) for iid in self._ids]
+        counts = np.fromiter((len(ps) for ps in preds_by_node), dtype=np.intp, count=n)
+        flat = [pid for ps in preds_by_node for pid in ps]
+        pred = np.fromiter(map(idx.__getitem__, flat), dtype=np.intp, count=len(flat))
+        succ = np.repeat(np.arange(n, dtype=np.intp), counts)
+        keep = pred < succ
+        pred, succ = pred[keep], succ[keep]
+
+        # Longest-chain levels via vectorized Kahn peeling: a node enters
+        # the frontier when its last predecessor is removed, i.e. at
+        # 1 + max(pred levels).
+        indeg = np.bincount(succ, minlength=n).astype(np.intp)
+        by_pred = np.argsort(pred, kind="stable")
+        out_succ = succ[by_pred]
+        out_indptr = np.searchsorted(pred[by_pred], np.arange(n + 1, dtype=np.intp))
+        level = np.zeros(n, dtype=np.intp)
+        frontier = np.flatnonzero(indeg == 0)
+        self._level_nodes: list[np.ndarray] = []
+        depth = 0
+        while frontier.size:
+            self._level_nodes.append(frontier)
+            level[frontier] = depth
+            depth += 1
+            c = out_indptr[frontier + 1] - out_indptr[frontier]
+            total = int(c.sum())
+            starts = np.repeat(out_indptr[frontier], c)
+            within = np.arange(total, dtype=np.intp) - np.repeat(
+                np.cumsum(c) - c, c
+            )
+            succs = out_succ[starts + within]
+            np.subtract.at(indeg, succs, 1)
+            frontier = np.unique(succs[indeg[succs] == 0])
+
+        # Group the in-edges by the successor's level so _simulate can
+        # resolve one contiguous slice per scatter-max sweep.
+        by_level = np.argsort(level[succ], kind="stable") if succ.size else succ
+        self._edge_pred = pred[by_level]
+        self._edge_succ = succ[by_level]
+        bounds = np.searchsorted(
+            level[self._edge_succ], np.arange(depth + 1, dtype=np.intp)
+        )
+        self._level_edges: list[tuple[int, int]] = [
+            (int(bounds[d]), int(bounds[d + 1])) for d in range(depth)
+        ]
+        self._levels_ready = True
+
     def _leaf_descendants(self, inst: PhaseInstance) -> list[PhaseInstance]:
         cached = self._leaf_cache.get(inst.instance_id)
         if cached is not None:
@@ -259,6 +344,32 @@ class ReplaySimulator:
             return self._simulate(durations)
 
     def _simulate(self, durations: Mapping[str, float] | None) -> SimulationResult:
+        if not self._levels_ready:
+            self._compile_levels()
+        dur = self._base_dur.copy()
+        if durations:
+            for iid, d in durations.items():
+                k = self._idx.get(iid)
+                # Unknown ids and wait-path instances are ignored, exactly
+                # as in the scalar sweep (wait phases always replay at 0).
+                if k is not None and not self._is_wait[k]:
+                    dur[k] = d
+        np.maximum(dur, 0.0, out=dur)
+
+        n = len(self._ids)
+        start = np.zeros(n, dtype=np.float64)
+        end = np.zeros(n, dtype=np.float64)
+        for nodes, (lo, hi) in zip(self._level_nodes, self._level_edges):
+            if hi > lo:
+                np.maximum.at(start, self._edge_succ[lo:hi], end[self._edge_pred[lo:hi]])
+            end[nodes] = start[nodes] + dur[nodes]
+        return SimulationResult(
+            start=dict(zip(self._ids, start.tolist())),
+            end=dict(zip(self._ids, end.tolist())),
+        )
+
+    def _simulate_scalar(self, durations: Mapping[str, float] | None) -> SimulationResult:
+        """Reference implementation: one instance at a time, in trace order."""
         start: dict[str, float] = {}
         end: dict[str, float] = {}
         for inst in self._order:

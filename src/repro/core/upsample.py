@@ -16,9 +16,13 @@ consumption over the timeslices it covers, guided by the demand estimate:
    window and reported as *unexplained*, so model gaps are visible rather
    than silently absorbed.
 
-Each measurement is processed independently, exactly as in the paper, so
-the cost is ``O(windows × water-fill iterations)`` with vectorized inner
-steps.
+Each measurement is processed independently, exactly as in the paper.
+:func:`upsample` executes all of a resource's windows at once through the
+shared batched kernel (:func:`repro.core.columnar.pipeline.upsample_columnar`
+— padded ``(n_windows, max_width)`` matrices, row-wise water-filling), the
+same code path the columnar backend uses; the per-window scalar functions
+(:func:`_upsample_window`, :func:`_water_fill`) are kept as the readable
+reference implementation the batched kernel is checked against.
 
 The module also implements the **constant-rate strawman** the paper
 compares against in Table II (assume consumption is constant over the
@@ -189,9 +193,18 @@ def upsample(
     demand: DemandEstimate,
     grid: TimeGrid,
 ) -> UpsampledTrace:
-    """Upsample all measured consumable resources to timeslice granularity."""
+    """Upsample all measured consumable resources to timeslice granularity.
+
+    Runs the batched water-filling kernel shared with the columnar backend
+    (all of a resource's windows in one ``(n_windows, max_width)`` sweep).
+    :func:`_upsample` below is the per-window scalar reference the kernel
+    replicates operation-for-operation.
+    """
     with obs.span("upsample", n_slices=grid.n_slices):
-        return _upsample(resource_trace, demand, grid)
+        # Lazy import: the pipeline module imports this one at load time.
+        from .columnar.pipeline import _upsample_columnar
+
+        return _upsample_columnar(resource_trace, demand, grid)
 
 
 def _upsample(
@@ -199,6 +212,7 @@ def _upsample(
     demand: DemandEstimate,
     grid: TimeGrid,
 ) -> UpsampledTrace:
+    """Scalar reference implementation (one window at a time)."""
     per_resource: dict[str, UpsampledResource] = {}
     for name in resource_trace.measured_resources():
         if name not in demand:

@@ -4,8 +4,9 @@ The one rule every artifact writer in this repo follows: readers must
 never observe a half-written file.  :func:`atomic_write_text` is the
 file-level counterpart of :meth:`repro.parallel.RunCache.store`'s
 directory-level publish — write the full content to a temporary sibling,
-fsync, then :func:`os.replace` into place, so an interrupted writer
-leaves either the old file or no file, never a truncated one.
+fsync, :func:`os.replace` into place, then fsync the parent directory so
+the rename itself is durable; an interrupted writer leaves either the old
+file or no file, never a truncated one.
 """
 
 from __future__ import annotations
@@ -15,12 +16,32 @@ import os
 import tempfile
 from pathlib import Path
 
-__all__ = ["atomic_write_text"]
+__all__ = ["atomic_write_text", "fsync_dir"]
 
 
 def _spill(fh, text: str) -> None:
     """Write the payload (split out so tests can kill the write midway)."""
     fh.write(text)
+
+
+def fsync_dir(path: str | Path) -> None:
+    """Fsync a directory so a just-published rename survives a crash.
+
+    ``os.replace`` makes the swap atomic, but the new directory entry only
+    becomes durable once the directory itself is flushed.  Best-effort:
+    platforms without directory file descriptors (e.g. Windows) silently
+    skip, matching the atomicity-first contract of the writers here.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def atomic_write_text(path: str | Path, text: str, *, encoding: str = "utf-8") -> Path:
@@ -41,6 +62,7 @@ def atomic_write_text(path: str | Path, text: str, *, encoding: str = "utf-8") -
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        fsync_dir(path.parent if str(path.parent) else ".")
     except BaseException:
         with contextlib.suppress(OSError):
             os.unlink(tmp)

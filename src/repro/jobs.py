@@ -83,8 +83,15 @@ JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
 #: States a job never leaves.
 TERMINAL_STATES = ("done", "failed", "cancelled")
 
-#: Fallback ``Retry-After`` hint when no job has completed yet.
+#: Fallback ``Retry-After`` hint when no job has completed yet.  Also the
+#: floor of every hint: HTTP clients round the header down to whole
+#: seconds, so anything below 1 reads as "retry immediately" and turns
+#: backpressure into a retry storm when jobs finish in microseconds.
 _DEFAULT_RETRY_AFTER_S = 1.0
+
+#: How many recent job durations feed the backpressure estimate (and the
+#: bound on the duration history — older entries never influence it).
+_RETRY_WINDOW = 16
 
 
 class JobError(Exception):
@@ -583,9 +590,29 @@ class JobQueue:
         )
         if not self._job_durations:
             return _DEFAULT_RETRY_AFTER_S
-        recent = self._job_durations[-16:]
+        recent = self._job_durations[-_RETRY_WINDOW:]
         mean = sum(recent) / len(recent)
-        return max(_DEFAULT_RETRY_AFTER_S, mean * backlog / self.workers)
+        hint = mean * backlog / self.workers
+        # The recorded durations are clamped to finite non-negatives, but
+        # keep the floor unconditional: near-zero job durations (or an
+        # empty backlog) must never advertise a zero/negative Retry-After.
+        if not (hint >= _DEFAULT_RETRY_AFTER_S):  # also catches NaN
+            return _DEFAULT_RETRY_AFTER_S
+        return hint
+
+    def _record_duration_locked(self, seconds: float) -> None:
+        """Record one job's wall-clock duration for the backpressure hint.
+
+        ``time.time`` is not monotonic — NTP steps can make ``finished_at``
+        precede ``started_at`` — so negative or non-finite samples are
+        dropped rather than poisoning the mean.  The history is bounded to
+        the estimate's window.
+        """
+        if not (0.0 <= seconds < float("inf")):
+            return
+        self._job_durations.append(seconds)
+        if len(self._job_durations) > _RETRY_WINDOW:
+            del self._job_durations[: -_RETRY_WINDOW]
 
     def __len__(self) -> int:
         with self._lock:
@@ -643,6 +670,6 @@ class JobQueue:
             finally:
                 with self._lock:
                     if job.started_at is not None and job.finished_at is not None:
-                        self._job_durations.append(job.finished_at - job.started_at)
+                        self._record_duration_locked(job.finished_at - job.started_at)
                 if not job.status.finished:
                     job.status.finish()

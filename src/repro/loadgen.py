@@ -449,7 +449,13 @@ def run_loadgen(
     duration_actual = time.monotonic() - t0
     final = recorder.drain_period()
     if any(final.values()):
-        period = _period_doc(duration_actual, period_s, final)
+        # The trailing partial period is rated over its real length, not a
+        # full period_s — everything the reporter already drained belongs
+        # to the len(periods) full periods before it.
+        final_len = duration_actual - len(periods) * period_s
+        if final_len <= 0.0:
+            final_len = period_s
+        period = _period_doc(duration_actual, final_len, final)
         periods.append(period)
         if echo is not None:
             echo(render_period_table(period, period_s))

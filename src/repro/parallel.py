@@ -9,15 +9,26 @@ experiment drivers:
 * :func:`run_grid` fans a list of :class:`CellSpec` out across a
   ``ProcessPoolExecutor`` (``jobs=1`` runs inline through the identical
   code path, which is what the equivalence tests pin down);
-* :class:`RunCache` is a content-addressed on-disk store: each cell's
-  artifacts are written in the run-archive format (see
-  :mod:`repro.workloads.archive`) under a directory named by
-  :func:`cache_key` — a stable SHA-256 over the cell's full input
-  material (dataset spec, system config, algorithm, seed, model/rule
-  fingerprints, archive parameters).  Unchanged cells are replayed from
-  cache instead of re-simulated;
-* :class:`EngineStats` summarizes a sweep: cells run, cache hits,
-  wall-clock, and the serial-equivalent speedup.
+* :class:`RunCache` is a content-addressed on-disk store, layered by
+  sub-artifact so grid cells share upstream work:
+
+  - the ``graph/`` layer holds generated graphs, keyed on the dataset
+    spec (name, preset, family) and the generator seed — every cell of a
+    sweep that touches the same dataset replays one generation;
+  - the ``trace/`` layer holds run archives (see
+    :mod:`repro.workloads.archive`), keyed on the graph key plus the
+    *trace-affecting* inputs only (system name + effective config,
+    algorithm, preset, seed, tuned model fingerprints, archive sampling
+    parameters).  Downstream knobs — ``tuned``, ``characterize``,
+    ``slice_duration``, ``profile_backend``, fault specs applied later —
+    are excluded, so cells differing only in analysis options share one
+    simulated trace instead of re-simulating it.
+
+  Every layer uses the same publish discipline: write into a temp
+  directory, mark completeness with the layer's marker file, then
+  ``os.replace`` into place — concurrent workers race benignly;
+* :class:`EngineStats` summarizes a sweep: cells run, per-layer cache
+  hits, wall-clock, and the serial-equivalent speedup.
 
 Cache-key invariants (locked down by Hypothesis property tests):
 
@@ -71,13 +82,16 @@ __all__ = [
     "cell_key_material",
     "derive_cell_seed",
     "execute_cell",
+    "graph_key_material",
     "model_fingerprints",
     "parallel_map",
     "run_grid",
+    "trace_key_material",
 ]
 
 #: Bump to invalidate every cached payload (layout or semantics change).
-CACHE_FORMAT_VERSION = 1
+#: Version 2 introduced the layered ``graph/`` + ``trace/`` store.
+CACHE_FORMAT_VERSION = 2
 
 _LOG = get_logger("repro.parallel")
 
@@ -85,7 +99,12 @@ _LOG = get_logger("repro.parallel")
 _MONITORING_INTERVAL = 0.4
 _GROUND_TRUTH_INTERVAL = 0.05
 
-_CELL_JSON = "cell.json"
+#: Per-layer completeness markers: a payload directory without its marker
+#: (a crashed writer) is treated as a miss.  The trace layer's marker is
+#: ``cell.json`` — the suite-level metrics the warm path replays.
+_LAYER_MARKERS = {"graph": "graph.json", "trace": "cell.json"}
+_CELL_JSON = _LAYER_MARKERS["trace"]
+_GRAPH_EDGES = "edges.npy"
 
 
 # ---------------------------------------------------------------------- #
@@ -217,7 +236,7 @@ class CellSpec:
 
 
 def cell_key_material(cell: CellSpec) -> dict[str, Any]:
-    """The full input material hashed into a cell's cache key.
+    """The full input material identifying one cell (its complete identity).
 
     Composition: dataset spec, system name + effective config (every
     tunable constant, including the nested sync-bug config), algorithm,
@@ -226,6 +245,12 @@ def cell_key_material(cell: CellSpec) -> dict[str, Any]:
     ``profile_backend``) are deliberately **excluded**: they are applied
     on top of the cached artifacts, so one payload serves every analysis
     variant.
+
+    Storage no longer keys on this hash directly — payloads live under the
+    layered :func:`graph_key_material` / :func:`trace_key_material` keys,
+    which additionally drop ``tuned`` (the archive is independent of it) —
+    but it remains the stable identity of a cell for invalidation
+    reasoning and for external tooling.
     """
     spec = cell.spec
     config = _system_config(spec)
@@ -237,6 +262,59 @@ def cell_key_material(cell: CellSpec) -> dict[str, Any]:
         "seed": spec.seed,
         "models": model_fingerprints(spec.system, config, tuned=cell.tuned),
         "tuned": cell.tuned,
+        "archive": {
+            "monitoring_interval": _MONITORING_INTERVAL,
+            "ground_truth_interval": _GROUND_TRUTH_INTERVAL,
+        },
+    }
+
+
+def graph_key_material(spec: "WorkloadSpec") -> dict[str, Any]:
+    """The input material of the ``graph/`` cache layer.
+
+    A generated graph depends on the dataset spec (name, family, preset)
+    and the generator seed — and on nothing else.  System, algorithm, and
+    the per-cell simulation seed are deliberately absent: every cell of a
+    sweep that reads the same dataset shares one generation.
+    """
+    from .workloads.datasets import GENERATOR_SEED, get_dataset
+
+    dataset = get_dataset(spec.dataset)
+    return {
+        "format": CACHE_FORMAT_VERSION,
+        "kind": "graph",
+        "dataset": {
+            "name": dataset.name,
+            "family": dataset.family,
+            "preset": spec.preset,
+        },
+        "seed": GENERATOR_SEED,
+    }
+
+
+def trace_key_material(cell: CellSpec) -> dict[str, Any]:
+    """The input material of the ``trace/`` cache layer.
+
+    Composition: the graph key plus everything that shapes the simulated
+    run — system name + effective config, algorithm, preset (it sets the
+    iteration counts), seed, the *tuned* model fingerprints (the archive's
+    ``models.json`` always stores the tuned models, whatever the analysis
+    later selects), and the archive sampling parameters.  Downstream knobs
+    (``tuned``, ``characterize``, ``slice_duration``, ``profile_backend``)
+    are excluded: they are applied on top of the archived trace, so one
+    payload serves every analysis variant.
+    """
+    spec = cell.spec
+    config = _system_config(spec)
+    return {
+        "format": CACHE_FORMAT_VERSION,
+        "kind": "trace",
+        "graph": cache_key(graph_key_material(spec)),
+        "system": {"name": spec.system, "config": asdict(config)},
+        "algorithm": spec.algorithm,
+        "preset": spec.preset,
+        "seed": spec.seed,
+        "models": model_fingerprints(spec.system, config, tuned=True),
         "archive": {
             "monitoring_interval": _MONITORING_INTERVAL,
             "ground_truth_interval": _GROUND_TRUTH_INTERVAL,
@@ -259,6 +337,11 @@ class CellResult:
     profile: "PerformanceProfile | None" = None
     cached: bool = False
     duration: float = 0.0  # wall-clock seconds spent on this cell
+    #: Per-layer cache outcome: ``True``/``False`` hit/miss, ``None`` when
+    #: the layer was not consulted (no cache dir; graph layer skipped on a
+    #: trace hit).  ``cached`` above mirrors ``trace_hit is True``.
+    trace_hit: bool | None = None
+    graph_hit: bool | None = None
     #: Tracer snapshot recorded by a pool worker (``None`` unless the sweep
     #: ran with tracing enabled and this cell executed out-of-process).
     trace: dict | None = None
@@ -278,6 +361,13 @@ class EngineStats:
     jobs: int = 1
     wall_clock: float = 0.0
     cell_seconds: float = 0.0  # sum of per-cell wall-clock (serial equivalent)
+    # Per-layer cache outcomes (counted only when the layer was consulted):
+    # trace hits mirror cache_hits; graph hits count replayed generations
+    # on the trace-miss path.
+    graph_hits: int = 0
+    graph_misses: int = 0
+    trace_hits: int = 0
+    trace_misses: int = 0
     # Live-telemetry snapshot (from the sweep's RunStatus).  After a
     # completed run_grid() these settle to 0/0/0.0; a mid-run snapshot
     # (repro serve) carries the live values.
@@ -296,13 +386,19 @@ class EngineStats:
 
     def summary(self) -> str:
         """One-line human-readable sweep report (the CLI prints this)."""
-        return (
+        line = (
             f"{self.n_cells} cells: {self.executed} run, "
             f"{self.cache_hits} cache hits ({self.hit_rate:.0%}); "
             f"wall-clock {self.wall_clock:.2f}s, "
             f"serial-equivalent {self.cell_seconds:.2f}s "
             f"(speedup {self.speedup:.1f}x, jobs={self.jobs})"
         )
+        if self.graph_hits or self.graph_misses or self.trace_hits or self.trace_misses:
+            line += (
+                f"; layers: graph {self.graph_hits}h/{self.graph_misses}m, "
+                f"trace {self.trace_hits}h/{self.trace_misses}m"
+            )
+        return line
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-native form (embedded in suite report indexes).
@@ -319,6 +415,10 @@ class EngineStats:
             "wall_clock": self.wall_clock,
             "cell_seconds": self.cell_seconds,
             "speedup": self.speedup,
+            "graph_hits": self.graph_hits,
+            "graph_misses": self.graph_misses,
+            "trace_hits": self.trace_hits,
+            "trace_misses": self.trace_misses,
             "in_flight": self.in_flight,
             "queue_depth": self.queue_depth,
             "eta_s": self.eta_s,
@@ -331,40 +431,66 @@ class EngineStats:
 
 
 class RunCache:
-    """Content-addressed store of run archives, keyed by input material.
+    """Layered content-addressed store of sub-artifacts, keyed by material.
 
-    Layout: ``<root>/<key[:2]>/<key>/`` holding the run-archive files
-    (``events.jsonl``, ``monitoring.csv``, ``models.json``, ``meta.json``,
-    …) plus ``cell.json`` with the suite-level metrics.  ``cell.json`` is
-    written last and doubles as the completeness marker: a directory
-    without it (a crashed writer) is treated as a miss.  Writes go to a
-    temp directory and are published with an atomic rename, so concurrent
-    workers computing the same cell race benignly.
+    Layout: ``<root>/<layer>/<key[:2]>/<key>/`` with one directory tree
+    per layer:
+
+    ``trace/``
+        run archives (``events.jsonl``, ``monitoring.csv``,
+        ``models.json``, ``meta.json``, …) plus ``cell.json`` with the
+        suite-level metrics;
+    ``graph/``
+        generated graphs (``edges.npy``) plus ``graph.json`` with the
+        vertex/edge counts.
+
+    Each layer's marker file is written last and doubles as the
+    completeness marker: a directory without it (a crashed writer) is
+    treated as a miss.  Writes go to a temp directory and are published
+    with an atomic rename, so concurrent workers computing the same
+    artifact race benignly.  The default layer is ``trace`` — the layer
+    whose payloads back whole cells — so single-layer callers keep the
+    historical one-argument API.
     """
+
+    LAYERS = tuple(_LAYER_MARKERS)
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
 
-    def path_for(self, key: str) -> Path:
+    def _marker(self, layer: str) -> str:
+        try:
+            return _LAYER_MARKERS[layer]
+        except KeyError:
+            raise ValueError(
+                f"unknown cache layer {layer!r}; choose from {self.LAYERS}"
+            ) from None
+
+    def path_for(self, key: str, layer: str = "trace") -> Path:
         """The payload directory for one key (fanned out over 256 shards)."""
-        return self.root / key[:2] / key
+        self._marker(layer)
+        return self.root / layer / key[:2] / key
 
-    def has(self, key: str) -> bool:
+    def has(self, key: str, layer: str = "trace") -> bool:
         """True when a *complete* payload exists (marker file present)."""
-        return (self.path_for(key) / _CELL_JSON).is_file()
+        return (self.path_for(key, layer) / self._marker(layer)).is_file()
 
-    def load_meta(self, key: str) -> dict[str, Any]:
-        """The cached cell's suite-level metrics (from ``cell.json``)."""
-        return json.loads((self.path_for(key) / _CELL_JSON).read_text())
+    def load_meta(self, key: str, layer: str = "trace") -> dict[str, Any]:
+        """The cached payload's metadata (from the layer's marker file)."""
+        return json.loads(
+            (self.path_for(key, layer) / self._marker(layer)).read_text()
+        )
 
-    def store(self, key: str, write_payload: Callable[[Path], None]) -> Path:
+    def store(
+        self, key: str, write_payload: Callable[[Path], None], layer: str = "trace"
+    ) -> Path:
         """Publish a payload: write into a temp dir, atomically rename in.
 
         ``write_payload`` receives the temp directory and must leave a
-        complete payload (including ``cell.json``) inside it.
+        complete payload (including the layer's marker file) inside it.
         """
-        final = self.path_for(key)
-        if self.has(key):
+        final = self.path_for(key, layer)
+        if self.has(key, layer):
             return final
         final.parent.mkdir(parents=True, exist_ok=True)
         tmp = Path(
@@ -376,7 +502,7 @@ class RunCache:
             try:
                 os.replace(tmp, final)
             except OSError:
-                if self.has(key):
+                if self.has(key, layer):
                     # Lost the publication race: keep the winner's payload.
                     shutil.rmtree(tmp, ignore_errors=True)
                 else:
@@ -388,15 +514,57 @@ class RunCache:
             raise
         return final
 
-    def __len__(self) -> int:
-        if not self.root.is_dir():
+    def count(self, layer: str = "trace") -> int:
+        """Complete payloads in one layer."""
+        marker = self._marker(layer)
+        base = self.root / layer
+        if not base.is_dir():
             return 0
-        return sum(1 for p in self.root.glob("??/*") if (p / _CELL_JSON).is_file())
+        return sum(1 for p in base.glob("??/*") if (p / marker).is_file())
+
+    def __len__(self) -> int:
+        return self.count("trace")
 
 
 # ---------------------------------------------------------------------- #
 # Cell execution (top-level: must be picklable for the process pool)
 # ---------------------------------------------------------------------- #
+
+
+def _write_graph_payload(graph: Any, spec: "WorkloadSpec", tmp: Path) -> None:
+    """Write one graph-layer payload (edge arrays + marker) into ``tmp``."""
+    import numpy as np
+
+    src, dst = graph.edges()
+    np.save(tmp / _GRAPH_EDGES, np.stack([src, dst]))
+    (tmp / _LAYER_MARKERS["graph"]).write_text(
+        json.dumps(
+            {
+                "n_vertices": int(graph.n_vertices),
+                "n_edges": int(graph.n_edges),
+                "dataset": spec.dataset,
+                "preset": spec.preset,
+            },
+            indent=2,
+        )
+    )
+
+
+def _load_graph_payload(directory: Path):
+    """Rebuild a :class:`~repro.graph.Graph` from a graph-layer payload.
+
+    The edge arrays were saved in CSR order, so reconstruction's stable
+    lexsort is the identity permutation — the round-tripped graph carries
+    the exact arrays of the generated one (and with it, bit-identical
+    downstream traces).
+    """
+    import numpy as np
+
+    from .graph import Graph
+
+    meta = json.loads((directory / _LAYER_MARKERS["graph"]).read_text())
+    edges = np.load(directory / _GRAPH_EDGES)
+    return Graph(int(meta["n_vertices"]), edges[0], edges[1])
 
 
 def _characterize_payload(cell: CellSpec, directory: Path) -> "PerformanceProfile":
@@ -469,15 +637,18 @@ def _execute_cell(cell: CellSpec, cache_dir: str | Path | None) -> CellResult:
 
     t0 = time.perf_counter()
     with obs.span("cell", label=cell.label, seed=cell.spec.seed):
-        key = cache_key(cell_key_material(cell))
         cache = RunCache(cache_dir) if cache_dir is not None else None
+        key = cache_key(trace_key_material(cell))
 
-        if cache is not None and cache.has(key):
+        if cache is not None and cache.has(key, "trace"):
             obs.counter("cache.hit")
+            obs.counter("cache.trace.hit")
             progress.publish("cell.cache_hit", cell.label, key=key)
-            meta = cache.load_meta(key)
+            meta = cache.load_meta(key, "trace")
             profile = (
-                _characterize_payload(cell, cache.path_for(key)) if cell.characterize else None
+                _characterize_payload(cell, cache.path_for(key, "trace"))
+                if cell.characterize
+                else None
             )
             return CellResult(
                 spec=cell.spec,
@@ -490,13 +661,30 @@ def _execute_cell(cell: CellSpec, cache_dir: str | Path | None) -> CellResult:
                 n_edges=meta["n_edges"],
                 profile=profile,
                 cached=True,
+                trace_hit=True,
                 duration=time.perf_counter() - t0,
             )
 
+        graph = None
+        graph_hit: bool | None = None
+        graph_key = None
         if cache is not None:
             obs.counter("cache.miss")
+            obs.counter("cache.trace.miss")
+            # Trace miss: the generated graph may still be shared — every
+            # cell on the same (dataset, preset) replays one generation.
+            graph_key = cache_key(graph_key_material(cell.spec))
+            if cache.has(graph_key, "graph"):
+                obs.counter("cache.graph.hit")
+                graph_hit = True
+                progress.publish("cell.graph_hit", cell.label, key=graph_key)
+                with obs.span("generate.dataset.cached", dataset=cell.spec.dataset):
+                    graph = _load_graph_payload(cache.path_for(graph_key, "graph"))
+            else:
+                obs.counter("cache.graph.miss")
+                graph_hit = False
         progress.publish("stage", cell.label, stage="simulate")
-        run = run_workload(cell.spec)
+        run = run_workload(cell.spec, graph=graph)
         t_proc = processing_time(run.system_run)
         size = run.graph.n_vertices + run.graph.n_edges
         metrics = {
@@ -511,6 +699,12 @@ def _execute_cell(cell: CellSpec, cache_dir: str | Path | None) -> CellResult:
 
         profile = None
         if cache is not None:
+            if graph_hit is False:
+                cache.store(
+                    graph_key,
+                    lambda tmp: _write_graph_payload(run.graph, cell.spec, tmp),
+                    "graph",
+                )
 
             def write_payload(tmp: Path) -> None:
                 save_run(
@@ -523,7 +717,7 @@ def _execute_cell(cell: CellSpec, cache_dir: str | Path | None) -> CellResult:
 
             progress.publish("stage", cell.label, stage="archive")
             with obs.span("archive", label=cell.label):
-                payload = cache.store(key, write_payload)
+                payload = cache.store(key, write_payload, "trace")
             # Characterize from the *payload*, not from memory: the warm path
             # reads the same files, so cold and warm profiles are identical.
             if cell.characterize:
@@ -546,6 +740,8 @@ def _execute_cell(cell: CellSpec, cache_dir: str | Path | None) -> CellResult:
             key=key,
             profile=profile,
             cached=False,
+            trace_hit=False if cache is not None else None,
+            graph_hit=graph_hit,
             duration=time.perf_counter() - t0,
             **{k: v for k, v in metrics.items() if k != "label"},
         )
@@ -678,6 +874,10 @@ def run_grid(
         jobs=jobs,
         wall_clock=time.perf_counter() - t0,
         cell_seconds=sum(r.duration for r in results),
+        graph_hits=sum(1 for r in results if r.graph_hit is True),
+        graph_misses=sum(1 for r in results if r.graph_hit is False),
+        trace_hits=sum(1 for r in results if r.trace_hit is True),
+        trace_misses=sum(1 for r in results if r.trace_hit is False),
         in_flight=int(gauges["run_in_flight"]),
         queue_depth=int(gauges["run_queue_depth"]),
         eta_s=float(gauges.get("run_eta_seconds", 0.0)),

@@ -55,6 +55,7 @@ __all__ = [
 EVENT_KINDS = (
     "cell.started",
     "cell.cache_hit",
+    "cell.graph_hit",
     "cell.finished",
     "cell.failed",
     "stage",

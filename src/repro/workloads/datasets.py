@@ -22,10 +22,24 @@ import numpy as np
 
 from ..graph import Graph, ldbc_like, rmat
 
-__all__ = ["Dataset", "DATASETS", "get_dataset", "dataset_names", "traversal_source"]
+__all__ = [
+    "Dataset",
+    "DATASETS",
+    "GENERATOR_SEED",
+    "get_dataset",
+    "dataset_names",
+    "traversal_source",
+]
 
 #: Size presets: generator parameters per preset.
 _PRESETS = ("tiny", "small", "full")
+
+#: The seed every dataset generator runs with.  Fixed — the paper's
+#: datasets are fixed inputs; per-cell seeds randomize the *simulation*,
+#: never the graph — and part of the graph-layer cache key
+#: (:func:`repro.parallel.graph_key_material`), so changing it invalidates
+#: cached generations.
+GENERATOR_SEED = 42
 
 
 @dataclass(frozen=True)
@@ -46,12 +60,12 @@ class Dataset:
 
 def _graph500(preset: str) -> Graph:
     scale = {"tiny": 8, "small": 13, "full": 15}[preset]
-    return rmat(scale, edge_factor=16, seed=42)
+    return rmat(scale, edge_factor=16, seed=GENERATOR_SEED)
 
 
 def _datagen(preset: str) -> Graph:
     n = {"tiny": 300, "small": 8_000, "full": 40_000}[preset]
-    return ldbc_like(n, avg_degree=14.0, intra_fraction=0.8, seed=42)
+    return ldbc_like(n, avg_degree=14.0, intra_fraction=0.8, seed=GENERATOR_SEED)
 
 
 DATASETS: dict[str, Dataset] = {

@@ -93,8 +93,12 @@ def run_suite(
 
     With ``characterize=True`` every job also gets a Grade10 profile (the
     low-overhead sweep workflow of §IV-D).  ``jobs`` fans the grid out
-    across a process pool; ``cache_dir`` enables the content-addressed run
-    cache, replaying unchanged cells instead of re-simulating them.  With
+    across a process pool; ``cache_dir`` enables the layered
+    content-addressed run cache — unchanged cells replay their archived
+    trace instead of re-simulating, and even on a trace miss the generated
+    graph is shared across all cells of the same (dataset, preset) through
+    the ``graph/`` layer.  Per-layer hit/miss counts land on
+    :attr:`SuiteResult.stats` (:class:`~repro.parallel.EngineStats`).  With
     ``per_cell_seeds=True`` each cell is seeded independently (but
     deterministically) from ``seed`` and its own identity, decorrelating
     the grid's random streams; the default keeps the historical behavior

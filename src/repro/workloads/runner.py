@@ -187,12 +187,22 @@ def run_workload(
     giraph_config: GiraphConfig | None = None,
     powergraph_config: PowerGraphConfig | None = None,
     sparklike_config: SparkLikeConfig | None = None,
+    graph: Graph | None = None,
 ) -> WorkloadRun:
-    """Execute one workload on the simulated cluster."""
+    """Execute one workload on the simulated cluster.
+
+    ``graph`` short-circuits dataset generation with a pre-built graph —
+    how the run cache's ``graph/`` layer (:mod:`repro.parallel`) shares
+    one generation across every cell of a sweep.  The caller is
+    responsible for passing the graph the dataset would have generated;
+    the deterministic generators make that a pure function of
+    ``(spec.dataset, spec.preset)``.
+    """
     _LOG.debug("workload started", label=spec.label, preset=spec.preset, seed=spec.seed)
     with obs.span("generate", label=spec.label, preset=spec.preset):
-        with obs.span("generate.dataset", dataset=spec.dataset):
-            graph = get_dataset(spec.dataset).graph(spec.preset)
+        if graph is None:
+            with obs.span("generate.dataset", dataset=spec.dataset):
+                graph = get_dataset(spec.dataset).graph(spec.preset)
         with obs.span("generate.algorithm", algorithm=spec.algorithm):
             algorithm = _run_algorithm(spec, graph)
         with obs.span("generate.system", system=spec.system):

@@ -286,3 +286,86 @@ class TestStorageFailureModes:
         assert a.equals(b)
         b.columns["meas_value"] = b.columns["meas_value"] + 1.0
         assert not a.equals(b)
+
+
+# ---------------------------------------------------------------------------
+# Durability and descriptor lifetime of the on-disk layer.
+# ---------------------------------------------------------------------------
+
+
+def _open_fd_count() -> int:
+    import os
+
+    return len(os.listdir("/proc/self/fd"))
+
+
+class TestDurabilityAndFdLifetime:
+    def test_save_fsyncs_file_and_parent_directory(self, saved, tmp_path, monkeypatch):
+        import os
+        import stat
+
+        import repro.core.columnar.storage as storage
+
+        file_syncs = []
+        dir_syncs = []
+        real_fsync = os.fsync
+
+        def fsync_spy(fd):
+            if stat.S_ISREG(os.fstat(fd).st_mode):
+                file_syncs.append(fd)
+            real_fsync(fd)
+
+        monkeypatch.setattr(storage.os, "fsync", fsync_spy)
+        monkeypatch.setattr(storage, "fsync_dir", dir_syncs.append)
+        cp = ColumnarProfile.open(saved, mmap=False)
+        cp.save(tmp_path / "copy.g10col")
+        assert len(file_syncs) == 1  # payload flushed before the rename
+        assert dir_syncs == [tmp_path]  # rename flushed after it
+
+    @pytest.mark.skipif(
+        not Path("/proc/self/fd").exists(), reason="needs /proc fd accounting"
+    )
+    def test_mmap_open_holds_one_fd_and_close_releases_it(self, saved):
+        baseline = _open_fd_count()
+        for _ in range(20):
+            cp = ColumnarProfile.open(saved, mmap=True)
+            assert _open_fd_count() == baseline + 1  # one mapping, not one per column
+            # Touch several columns: all views share the single mapping.
+            for name in ("meas_value", "inst_t_start", "dep_indptr"):
+                np.asarray(cp.columns[name]).sum()
+            cp.close()
+            assert _open_fd_count() == baseline
+        assert _open_fd_count() == baseline
+
+    @pytest.mark.skipif(
+        not Path("/proc/self/fd").exists(), reason="needs /proc fd accounting"
+    )
+    def test_context_manager_releases_the_mapping(self, saved):
+        baseline = _open_fd_count()
+        with ColumnarProfile.open(saved, mmap=True) as cp:
+            assert cp.n_instances > 0
+            assert _open_fd_count() == baseline + 1
+        assert _open_fd_count() == baseline
+
+    def test_close_is_idempotent_and_safe_for_in_memory_profiles(self, saved):
+        cp = ColumnarProfile.open(saved, mmap=True)
+        cp.close()
+        cp.close()  # second close is a no-op
+        eager = ColumnarProfile.open(saved, mmap=False)
+        eager.close()  # no mapping to release
+        assert eager.n_instances > 0  # eager columns survive close
+
+    def test_mmap_and_eager_opens_agree(self, saved):
+        with ColumnarProfile.open(saved, mmap=True) as mapped:
+            eager = ColumnarProfile.open(saved, mmap=False)
+            assert eager.equals(mapped)
+
+    def test_truncated_data_rejected_under_mmap_without_leaking(self, saved, tmp_path):
+        data = saved.read_bytes()
+        bad = tmp_path / "truncated-mmap"
+        bad.write_bytes(data[: len(data) - 16])
+        baseline = _open_fd_count() if Path("/proc/self/fd").exists() else None
+        with pytest.raises(ColumnarFormatError):
+            open_columnar(bad, mmap=True)
+        if baseline is not None:
+            assert _open_fd_count() == baseline

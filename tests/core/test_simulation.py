@@ -178,3 +178,46 @@ class TestUnknownInstanceError:
         res = self._result()
         assert res.duration_of("ss0-c0") == pytest.approx(2.0)
         assert res.start_of("ss0-c1") == pytest.approx(res.end_of("ss0-c0"))
+
+
+class TestVectorizedReplayEquivalence:
+    """The level-scheduled array replay must match the scalar reference."""
+
+    def _simulator(self) -> ReplaySimulator:
+        from repro.adapters import giraph_execution_model, parse_execution_trace
+        from repro.workloads.runner import WorkloadSpec, run_workload
+
+        run = run_workload(WorkloadSpec("giraph", "datagen", "bfs", preset="tiny", seed=5))
+        trace = parse_execution_trace(
+            run.system_run.log, include_blocking=True, include_gc_phases=True
+        )
+        return ReplaySimulator(trace, giraph_execution_model())
+
+    def test_baseline_matches_scalar_reference(self):
+        sim = self._simulator()
+        fast, ref = sim._simulate(None), sim._simulate_scalar(None)
+        assert fast.start == ref.start
+        assert fast.end == ref.end
+
+    def test_overrides_match_scalar_reference(self):
+        import random
+
+        sim = self._simulator()
+        rng = random.Random(11)
+        ids = sim._ids
+        for _ in range(3):
+            overrides = {
+                ids[rng.randrange(len(ids))]: rng.uniform(-0.5, 2.0)
+                for _ in range(min(25, len(ids)))
+            }
+            overrides["no-such-instance"] = 1.0  # silently ignored by both
+            fast, ref = sim._simulate(overrides), sim._simulate_scalar(overrides)
+            assert fast.start == ref.start
+            assert fast.end == ref.end
+
+    def test_synthetic_bsp_matches_scalar_reference(self):
+        sim = ReplaySimulator(make_bsp_trace([[1.0, 3.0], [2.0, 0.5]]), bsp_model())
+        for overrides in (None, {"ss0-c0": 0.1}, {"ss1-c1": 4.0, "ss0-c1": -1.0}):
+            fast, ref = sim._simulate(overrides), sim._simulate_scalar(overrides)
+            assert fast.start == ref.start
+            assert fast.end == ref.end

@@ -61,3 +61,52 @@ class TestAtomicWriteText:
             atomic_write_text(target, "0123456789")
         assert not target.exists()
         assert list(tmp_path.iterdir()) == []
+
+
+class TestFsyncDir:
+    def test_atomic_write_fsyncs_parent_directory(self, tmp_path, monkeypatch):
+        """The rename only becomes durable once the directory is flushed."""
+        synced = []
+        monkeypatch.setattr(ioutils, "fsync_dir", synced.append)
+        atomic_write_text(tmp_path / "out.txt", "payload")
+        assert synced == [tmp_path]
+
+    def test_fsync_dir_syncs_a_directory_descriptor(self, tmp_path, monkeypatch):
+        import os
+        import stat
+
+        seen = {}
+        real_fsync = os.fsync
+
+        def spy(fd):
+            seen["is_dir"] = stat.S_ISDIR(os.fstat(fd).st_mode)
+            real_fsync(fd)
+
+        monkeypatch.setattr(ioutils.os, "fsync", spy)
+        ioutils.fsync_dir(tmp_path)
+        assert seen["is_dir"] is True
+
+    def test_fsync_dir_closes_the_descriptor_even_when_fsync_fails(
+        self, tmp_path, monkeypatch
+    ):
+        """Best-effort contract: odd filesystems may reject directory fsync."""
+        import os
+
+        closed = []
+        real_close = os.close
+
+        def failing_fsync(fd):
+            raise OSError("fsync not supported here")
+
+        def close_spy(fd):
+            closed.append(fd)
+            real_close(fd)
+
+        monkeypatch.setattr(ioutils.os, "fsync", failing_fsync)
+        monkeypatch.setattr(ioutils.os, "close", close_spy)
+        ioutils.fsync_dir(tmp_path)  # must not raise
+        assert len(closed) == 1
+
+    def test_fsync_dir_tolerates_unopenable_directories(self, tmp_path):
+        """Platforms without directory fds surface as os.open failures."""
+        ioutils.fsync_dir(tmp_path / "does-not-exist")  # must not raise

@@ -479,3 +479,53 @@ class TestConcurrency:
         assert all(q.get(j.id).status.finished for j in jobs)
         with pytest.raises(QueueClosedError):
             q.submit({})
+
+
+class TestRetryAfterClamping:
+    """The 429 backpressure hint must never tell clients to hammer back.
+
+    HTTP Retry-After is rounded down to whole seconds, so any hint below
+    1s reads as "retry immediately" — with microsecond job durations the
+    naive mean*backlog/workers estimate would do exactly that.
+    """
+
+    def test_instant_jobs_still_advertise_one_second(self):
+        q = JobQueue(capacity=8, workers=2, executor=lambda j: None)
+        q._job_durations.extend([0.0, 1e-7, 2e-7])  # near-zero job durations
+        for _ in range(4):
+            q.submit({})
+        assert q.retry_after_s() == pytest.approx(1.0)
+        q.shutdown()
+
+    def test_polluted_history_never_yields_negative_hint(self):
+        q = JobQueue(capacity=8, workers=1, executor=lambda j: None)
+        q._job_durations.extend([-30.0, -5.0])  # as if recorded under clock skew
+        for _ in range(4):
+            q.submit({})
+        assert q.retry_after_s() >= 1.0
+        q.shutdown()
+
+    def test_recorder_drops_negative_and_non_finite_durations(self):
+        q = JobQueue(capacity=4, workers=1, executor=lambda j: None)
+        for bad in (-0.001, -10.0, float("nan"), float("inf")):
+            q._record_duration_locked(bad)
+        assert q._job_durations == []
+        assert q.retry_after_s() == pytest.approx(1.0)
+        q._record_duration_locked(0.0)  # zero is a legal duration
+        assert q._job_durations == [0.0]
+        q.shutdown()
+
+    def test_duration_history_is_bounded_to_the_estimate_window(self):
+        q = JobQueue(capacity=4, workers=1, executor=lambda j: None)
+        for i in range(100):
+            q._record_duration_locked(float(i))
+        assert len(q._job_durations) == 16
+        assert q._job_durations == [float(i) for i in range(84, 100)]
+        q.shutdown()
+
+    def test_completed_jobs_feed_the_recorder(self):
+        with JobQueue(capacity=4, workers=1, executor=lambda j: time.sleep(0.01)) as q:
+            job = q.submit({})
+            _wait_terminal(q, job.id, timeout=10.0)
+            assert len(q._job_durations) == 1
+            assert q._job_durations[0] >= 0.0

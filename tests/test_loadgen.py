@@ -230,3 +230,96 @@ class TestRunLoadgen:
         assert submitted + overload == 20
         # The schedule was still open-loop: wall clock near duration.
         assert doc["duration_actual_s"] < 5.0
+
+
+# ---------------------------------------------------------------------- #
+# Period bucketing
+# ---------------------------------------------------------------------- #
+
+
+class TestPeriodBucketing:
+    """Every completed op lands in exactly one period latency table.
+
+    Bucketing is drain-based: an op completing exactly on a period
+    boundary goes to whichever drain (the boundary tick's or the next)
+    observes it first — but never to both and never to neither — and the
+    final partial period drains whatever is left after the workers join.
+    """
+
+    def test_boundary_completion_counted_exactly_once(self):
+        from repro.loadgen import _Recorder
+
+        rec = _Recorder()
+        rec.add("submit", 0.010)  # completes inside period 1
+        tick1 = rec.drain_period()  # the boundary drain
+        rec.add("submit", 0.020)  # completes exactly at the boundary, lost
+        # the race with the tick-1 drain — so it belongs to period 2
+        tick2 = rec.drain_period()
+        final = rec.drain_period()
+        assert [len(p["submit"]) for p in (tick1, tick2, final)] == [1, 1, 0]
+
+    def test_period_counts_partition_the_totals(self):
+        from repro.loadgen import _Recorder, _period_doc
+
+        rec = _Recorder()
+        drained = []
+        sample = 0
+        for tick in range(1, 5):
+            for _ in range(tick):  # 1 + 2 + 3 + 4 samples
+                sample += 1
+                rec.add("submit", sample * 1e-3)
+                rec.add("e2e", sample * 2e-3)
+            drained.append(_period_doc(tick * 5.0, 5.0, rec.drain_period()))
+        rec.add("e2e", 0.5)  # straggler: finishes after the last tick
+        final = _period_doc(21.0, 1.0, rec.drain_period())
+        totals = rec.totals()
+        for op in ("submit", "e2e"):
+            in_periods = sum(p["ops"][op].get("count", 0) for p in drained)
+            in_periods += final["ops"][op].get("count", 0)
+            assert in_periods == len(totals[op])
+
+    def test_concurrent_completions_never_lost_or_duplicated(self):
+        import threading
+
+        from repro.loadgen import _Recorder
+
+        rec = _Recorder()
+        n_threads, per_thread = 4, 200
+        start = threading.Barrier(n_threads + 1)
+
+        def worker():
+            start.wait()
+            for i in range(per_thread):
+                rec.add("submit", i * 1e-6)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        start.wait()
+        drained = 0
+        for _ in range(50):  # drain repeatedly while adds race the lock
+            drained += len(rec.drain_period()["submit"])
+        for t in threads:
+            t.join()
+        drained += len(rec.drain_period()["submit"])
+        assert drained == n_threads * per_thread
+        assert len(rec.totals()["submit"]) == n_threads * per_thread
+
+    def test_final_partial_period_rated_over_its_real_length(self):
+        """Regression: a 2.5s tail period must not divide its rate by 5s."""
+        from repro.loadgen import _period_doc
+
+        doc = _period_doc(12.5, 2.5, {"submit": [0.01] * 5, "e2e": []})
+        assert doc["ops"]["submit"]["count"] == 5
+        assert doc["ops"]["submit"]["ops_per_s"] == pytest.approx(5 / 2.5)
+        assert doc["ops"]["e2e"] == {"count": 0, "ops_per_s": pytest.approx(0.0)}
+
+    def test_percentiles_at_exact_rank_boundaries(self):
+        assert percentile([3.0], 0.5) == 3.0  # a single sample is every rank
+        assert percentile([1.0, 2.0], 0.50) == 1.0  # ceil(0.5 * 2) = rank 1
+        assert percentile([1.0, 2.0], 0.51) == 2.0  # just past the boundary
+        assert percentile([1.0, 2.0], 0.0) == 1.0  # rank floor clamps to 1
+        assert percentile([1.0, 2.0], 1.0) == 2.0
+        # p99 of exactly 100 samples is the 99th smallest, not the max.
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 0.99) == 99.0

@@ -20,8 +20,10 @@ from repro.parallel import (
     cell_key_material,
     derive_cell_seed,
     execute_cell,
+    graph_key_material,
     model_fingerprints,
     run_grid,
+    trace_key_material,
 )
 from repro.workloads import WorkloadSpec
 from repro.workloads.graphalytics import run_suite
@@ -161,6 +163,146 @@ class TestRunCache:
         s = stats.summary()
         assert "4 cells" in s and "3 cache hits" in s and "2.0x" in s
         assert stats.hit_rate == pytest.approx(0.75)
+
+    def test_stats_summary_reports_layers_when_cache_used(self):
+        stats = EngineStats(n_cells=2, executed=1, cache_hits=1,
+                            graph_hits=1, graph_misses=1,
+                            trace_hits=1, trace_misses=1)
+        assert "graph 1h/1m" in stats.summary()
+        assert "trace 1h/1m" in stats.summary()
+        doc = stats.to_dict()
+        assert doc["graph_hits"] == 1 and doc["trace_misses"] == 1
+
+
+# ---------------------------------------------------------------------- #
+# Layered sub-artifact caches (graph / trace)
+# ---------------------------------------------------------------------- #
+
+
+class TestLayeredCache:
+    def test_graph_layer_shared_across_systems_and_algorithms(self, tmp_path):
+        """One (dataset, preset) generates exactly once across the sweep."""
+        cells = [
+            CellSpec(WorkloadSpec(system, "graph500", alg, preset="tiny"))
+            for system in ("giraph", "powergraph")
+            for alg in ("pr", "bfs")
+        ]
+        _, stats = run_grid(cells, cache_dir=tmp_path)
+        assert stats.graph_misses == 1  # first cell generates
+        assert stats.graph_hits == len(cells) - 1  # the rest replay it
+        assert stats.trace_misses == len(cells)
+        assert RunCache(tmp_path).count("graph") == 1
+
+    def test_downstream_knobs_share_one_trace(self, tmp_path):
+        """Cells differing only in analysis options simulate exactly once."""
+        spec = WorkloadSpec("giraph", "graph500", "pr", preset="tiny")
+        variants = [
+            CellSpec(spec, characterize=True),
+            CellSpec(spec, characterize=True, tuned=False),
+            CellSpec(spec, characterize=True, slice_duration=0.02),
+            CellSpec(spec, characterize=False, profile_backend="columnar"),
+        ]
+        results, stats = run_grid(variants, cache_dir=tmp_path)
+        assert stats.trace_misses == 1 and stats.trace_hits == len(variants) - 1
+        assert stats.graph_misses == 1 and stats.graph_hits == 0
+        cache = RunCache(tmp_path)
+        assert cache.count("trace") == 1 and cache.count("graph") == 1
+        assert len({r.key for r in results}) == 1  # all back one payload
+
+    def test_trace_key_excludes_downstream_knobs_only(self):
+        spec = WorkloadSpec("giraph", "graph500", "pr", preset="tiny", seed=3)
+        base = cache_key(trace_key_material(CellSpec(spec)))
+        assert base == cache_key(trace_key_material(CellSpec(spec, tuned=False)))
+        assert base == cache_key(
+            trace_key_material(CellSpec(spec, characterize=True, slice_duration=0.2))
+        )
+        upstream = [
+            WorkloadSpec("powergraph", "graph500", "pr", preset="tiny", seed=3),
+            WorkloadSpec("giraph", "datagen", "pr", preset="tiny", seed=3),
+            WorkloadSpec("giraph", "graph500", "bfs", preset="tiny", seed=3),
+            WorkloadSpec("giraph", "graph500", "pr", preset="small", seed=3),
+            WorkloadSpec("giraph", "graph500", "pr", preset="tiny", seed=4),
+        ]
+        keys = [cache_key(trace_key_material(CellSpec(s))) for s in upstream]
+        assert base not in keys and len(set(keys)) == len(keys)
+
+    def test_graph_key_ignores_simulation_seed_and_system(self):
+        a = WorkloadSpec("giraph", "graph500", "pr", preset="tiny", seed=0)
+        b = WorkloadSpec("powergraph", "graph500", "bfs", preset="tiny", seed=9)
+        assert graph_key_material(a) == graph_key_material(b)
+        c = WorkloadSpec("giraph", "graph500", "pr", preset="small", seed=0)
+        d = WorkloadSpec("giraph", "datagen", "pr", preset="tiny", seed=0)
+        assert graph_key_material(c) != graph_key_material(a)
+        assert graph_key_material(d) != graph_key_material(a)
+
+    def test_graph_payload_round_trips_exact_arrays(self, tmp_path):
+        import numpy as np
+
+        from repro.parallel import _load_graph_payload
+        from repro.workloads.datasets import get_dataset
+
+        spec = WorkloadSpec("giraph", "graph500", "pr", preset="tiny")
+        execute_cell(CellSpec(spec), tmp_path)
+        cache = RunCache(tmp_path)
+        gkey = cache_key(graph_key_material(spec))
+        assert cache.has(gkey, "graph")
+        loaded = _load_graph_payload(cache.path_for(gkey, "graph"))
+        generated = get_dataset("graph500").graph("tiny")
+        assert loaded.n_vertices == generated.n_vertices
+        assert np.array_equal(loaded.edges()[0], generated.edges()[0])
+        assert np.array_equal(loaded.edges()[1], generated.edges()[1])
+        assert np.array_equal(loaded.indptr, generated.indptr)
+
+    def test_truncated_graph_payload_is_a_miss_and_heals(self, tmp_path):
+        spec = WorkloadSpec("giraph", "graph500", "pr", preset="tiny")
+        execute_cell(CellSpec(spec), tmp_path)
+        cache = RunCache(tmp_path)
+        gkey = cache_key(graph_key_material(spec))
+        (cache.path_for(gkey, "graph") / "graph.json").unlink()
+        assert not cache.has(gkey, "graph")
+        # A different cell on the same dataset regenerates and republishes.
+        result = execute_cell(
+            CellSpec(WorkloadSpec("giraph", "graph500", "bfs", preset="tiny")),
+            tmp_path,
+        )
+        assert result.graph_hit is False
+        assert cache.has(gkey, "graph")
+
+    def test_unknown_layer_rejected(self, tmp_path):
+        cache = RunCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.has("00" * 32, "nope")
+
+    def test_layer_counters_reach_the_tracer(self, tmp_path):
+        from repro import obs
+
+        tracer = obs.install()
+        try:
+            cells = [
+                CellSpec(WorkloadSpec("giraph", "graph500", alg, preset="tiny"))
+                for alg in ("pr", "bfs")
+            ]
+            run_grid(cells, cache_dir=tmp_path)
+            run_grid(cells, cache_dir=tmp_path)
+            totals = tracer.counter_totals()
+        finally:
+            obs.uninstall()
+        assert totals["cache.graph.miss"] == 1.0
+        assert totals["cache.graph.hit"] == 1.0
+        assert totals["cache.trace.miss"] == 2.0
+        assert totals["cache.trace.hit"] == 2.0
+        assert totals["cache.hit"] == 2.0  # historical counter still fed
+
+    def test_warm_path_profiles_bit_identical_across_layers(self, tmp_path):
+        """The layered warm path preserves the bit-identity guarantee."""
+        cell = CellSpec(
+            WorkloadSpec("powergraph", "graph500", "cdlp", preset="tiny"),
+            characterize=True,
+        )
+        cold = execute_cell(cell, tmp_path)
+        warm = execute_cell(cell, tmp_path)
+        assert warm.cached and warm.trace_hit is True and warm.graph_hit is None
+        assert profile_to_dict(cold.profile) == profile_to_dict(warm.profile)
 
 
 # ---------------------------------------------------------------------- #
