@@ -12,10 +12,16 @@ the outside:
    frame (the gap-free backlog makes this race-free even if the tiny
    suite finishes before we connect);
 4. waits for ``/runs`` to report the run finished;
-5. exercises the write side: ``POST /jobs`` submits a tiny job (202),
-   streams ``/events?run=<job id>`` to its terminal ``run.finished``
-   frame, and requires ``GET /jobs/<id>`` to report state ``done``;
-6. sends SIGTERM and requires a clean exit code 0.
+5. exercises the write side: ``POST /jobs`` submits a tiny job stamped
+   with a ``traceparent`` header (202), streams ``/events?run=<job id>``
+   to its terminal ``run.finished`` frame, and requires
+   ``GET /jobs/<id>`` to report state ``done``;
+6. fetches ``GET /jobs/<id>/trace`` and validates it as one merged
+   Chrome-trace JSON: the submitted trace id everywhere, the server-side
+   ``http.request`` span and the worker-side ``job.queued-wait`` /
+   ``job.execute`` spans in one rooted tree with no dangling parents,
+   and re-scrapes ``/metrics`` for the three latency histogram families;
+7. sends SIGTERM and requires a clean exit code 0.
 
 Run from the repo root: ``python scripts/serve_smoke.py`` (or
 ``make serve-smoke``).
@@ -62,16 +68,42 @@ def healthy(base):
         return False
 
 
-def post_json(base, path, doc):
-    """POST ``doc`` as JSON; returns ``(status, parsed response body)``."""
+def post_json(base, path, doc, headers=None):
+    """POST ``doc`` as JSON; returns ``(status, headers, parsed body)``."""
+    request_headers = {"Content-Type": "application/json"}
+    request_headers.update(headers or {})
     request = urllib.request.Request(
         base + path,
         data=json.dumps(doc).encode(),
-        headers={"Content-Type": "application/json"},
+        headers=request_headers,
         method="POST",
     )
     with urllib.request.urlopen(request, timeout=10) as resp:
-        return resp.status, json.loads(resp.read().decode())
+        return resp.status, resp.headers, json.loads(resp.read().decode())
+
+
+def audit_job_trace(doc, trace_id, job_id):
+    """Assert ``doc`` is one rooted Chrome trace for ``trace_id``."""
+    assert doc["displayTimeUnit"] == "ms", doc.get("displayTimeUnit")
+    assert doc["otherData"]["trace_id"] == trace_id, doc["otherData"]
+    assert doc["otherData"]["job_id"] == job_id, doc["otherData"]
+    spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+    by_id = {e["args"]["id"]: e for e in spans}
+    assert len(by_id) == len(spans), "duplicate span ids"
+    roots = [e for e in spans if "parent" not in e["args"]]
+    assert len(roots) == 1 and roots[0]["name"] == "job", [
+        e["name"] for e in roots
+    ]
+    for event in spans:
+        parent = event["args"].get("parent")
+        assert parent is None or parent in by_id, (
+            f"orphan span {event['name']}: parent {parent} missing"
+        )
+    names = {e["name"] for e in spans}
+    required = {"job", "http.request", "job.queued-wait", "job.execute"}
+    assert required <= names, f"missing spans: {sorted(required - names)}"
+    assert {e["args"]["trace"] for e in spans} == {trace_id}
+    return names
 
 
 def read_sse_until(host, port, event, deadline_s=DEADLINE_S, query="last_id=0"):
@@ -147,9 +179,20 @@ def main():
         assert runs[0]["counts"]["done"] + runs[0]["counts"]["cached"] > 0
         print("serve-smoke: /runs reports the suite finished")
 
-        # Write side: submit a tiny job and follow it to completion.
-        status, job = post_json(base, "/jobs", {"preset": "tiny"})
+        # Write side: submit a traced tiny job and follow it to completion.
+        from repro import obs
+
+        trace_id = obs.new_trace_id()
+        traceparent = obs.format_traceparent(trace_id, obs.new_span_id())
+        status, resp_headers, job = post_json(
+            base, "/jobs", {"preset": "tiny"},
+            headers={"traceparent": traceparent},
+        )
         assert status == 202, f"expected 202 from POST /jobs, got {status}"
+        assert resp_headers["X-Request-Id"] == trace_id, (
+            f"X-Request-Id {resp_headers['X-Request-Id']!r} != {trace_id!r}"
+        )
+        assert job["trace_id"] == trace_id, job
         job_id = job["id"]
         frames = read_sse_until(
             "127.0.0.1", port, "run.finished",
@@ -165,6 +208,29 @@ def main():
         assert terminal["state"] == "done", terminal
         print(f"serve-smoke: POST /jobs ran {job_id} to state=done "
               f"({len(frames)} gap-free SSE frames)")
+
+        # The assembled end-to-end trace: client submit -> HTTP handling
+        # -> queue wait -> execution -> pipeline stages, one rooted tree.
+        trace_doc = json.loads(get(base, f"/jobs/{job_id}/trace"))
+        names = audit_job_trace(trace_doc, trace_id, job_id)
+        print(f"serve-smoke: /jobs/{job_id}/trace is one rooted Chrome "
+              f"trace ({len(trace_doc['traceEvents'])} events, "
+              f"{len(names)} span kinds)")
+
+        # The executed job must have populated the latency histograms.
+        families, samples = parse_exposition(get(base, "/metrics"))
+        for family in (
+            "grade10_http_request_duration_seconds",
+            "grade10_job_queue_wait_seconds",
+            "grade10_job_execute_seconds",
+        ):
+            assert families.get(family, [None])[0] == "histogram", family
+        execute_counts = sum(
+            value for name, labels, value in samples
+            if name == "grade10_job_execute_seconds_count"
+        )
+        assert execute_counts >= 1, "no job execution observed in /metrics"
+        print("serve-smoke: latency histogram families conformant")
 
         proc.send_signal(signal.SIGTERM)
         code = proc.wait(timeout=30)

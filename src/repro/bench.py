@@ -289,6 +289,20 @@ def validate_serve_bench_doc(doc: dict[str, Any]) -> list[str]:
     systems = doc.get("systems")
     if not isinstance(systems, dict) or set(systems) != set(ops):
         problems.append("systems section must mirror the ops section")
+    server = doc.get("server")
+    if server is not None:
+        # Optional: the server-measured submit latency scraped from the
+        # http_request_duration_seconds histogram during the run.
+        submit = server.get("submit") if isinstance(server, dict) else None
+        if not isinstance(submit, dict):
+            problems.append("server section present but has no submit stats")
+        else:
+            count = submit.get("count")
+            if not isinstance(count, int) or count < 1:
+                problems.append(f"server.submit: bad count={count!r}")
+            mean = submit.get("mean_s")
+            if not isinstance(mean, (int, float)) or not (0.0 <= mean < float("inf")):
+                problems.append(f"server.submit: bad mean_s={mean!r}")
     sse = doc.get("sse", {})
     if sse.get("gaps", 0) != 0:
         problems.append(f"sse id gaps detected: {sse.get('gaps')}")

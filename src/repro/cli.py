@@ -47,19 +47,30 @@ Subcommands:
 
 ``serve``
     Run the benchmark suite while serving live telemetry over HTTP —
-    ``/metrics`` (OpenMetrics), ``/healthz``, ``/runs`` (JSON status),
-    ``/events`` (SSE progress stream) — plus the job API:
-    ``POST /jobs`` enqueues analysis runs onto a bounded queue drained
-    by ``--workers`` threads (429 + ``Retry-After`` when full), and
-    ``DELETE /jobs/<id>`` cancels queued jobs.  ``--no-suite`` skips the
-    local sweep and serves the job API only; see ``docs/serving.md``:
+    ``/metrics`` (OpenMetrics counters, gauges, and latency histograms:
+    ``http_request_duration_seconds``, ``job_queue_wait_seconds``,
+    ``job_execute_seconds``, ``pipeline_stage_duration_seconds``),
+    ``/healthz``, ``/runs`` (JSON status), ``/events`` (SSE progress
+    stream) — plus the job API: ``POST /jobs`` enqueues analysis runs
+    onto a bounded queue drained by ``--workers`` threads (429 +
+    ``Retry-After`` when full), ``DELETE /jobs/<id>`` cancels queued
+    jobs, and ``GET /jobs/<id>/trace`` returns the job's end-to-end
+    Chrome trace (HTTP handling, queue wait, execution, and every
+    pipeline stage in one span tree).  Requests may carry a W3C
+    ``traceparent`` header; every response echoes the trace id as
+    ``X-Request-Id``.  ``--no-suite`` skips the local sweep and serves
+    the job API only; see ``docs/serving.md``:
     ``python -m repro serve --no-suite --port 8321``
     (``suite --serve PORT`` serves the read-only endpoints for one sweep)
 
 ``loadgen``
     Open-loop load generator against a live ``serve``: submit jobs at a
-    fixed arrival rate, stream every job's SSE events to completion, and
-    print per-period p50/p90/p99 latency tables; ``--out`` writes a
+    fixed arrival rate (each request stamped with a fresh ``traceparent``
+    header), stream every job's SSE events to completion, and print
+    per-period p50/p90/p99 latency tables.  Each period also shows the
+    server-measured submit latency (scraped from ``/metrics``) next to
+    the client-measured one and warns when they disagree by more than
+    10%; ``--no-server-latency`` skips the scrapes.  ``--out`` writes a
     ``grade10-bench-serve/1`` document gateable with ``bench --diff``:
     ``python -m repro loadgen http://127.0.0.1:8321 --rate 2 --duration 30``
 
@@ -370,6 +381,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_loadgen.add_argument(
         "--spec", metavar="PATH",
         help="JSON job-spec file posted verbatim; overrides the spec flags",
+    )
+    p_loadgen.add_argument(
+        "--no-server-latency", action="store_true",
+        help="skip the per-period /metrics scrapes that report "
+             "server-measured submit latency next to the client-measured one",
     )
     p_loadgen.add_argument(
         "--out", metavar="PATH",
@@ -855,6 +871,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             spec=spec,
             period_s=args.period,
             max_in_flight=args.max_in_flight,
+            server_latency=not args.no_server_latency,
             echo=print,
         )
     except JobSpecError as exc:

@@ -28,6 +28,18 @@ engine (:func:`repro.parallel.run_grid`).  Three pieces:
 Events recorded on a job's status beyond the batch engine's own:
 ``job.queued`` (admission), ``job.started`` (a worker picked it up),
 ``job.failed`` (executor raised) and ``job.cancelled``.
+
+Every job also carries a distributed trace: :meth:`JobQueue.submit`
+accepts the ``trace_id``/``parent_span_id`` the HTTP layer parsed off the
+client's ``traceparent`` header, the worker records explicit
+``job.queued-wait`` and ``job.execute`` spans onto a per-job
+:class:`~repro.obs.Tracer` (installed as the worker thread's tracer
+overlay so every pipeline-stage span lands on it too), and
+:func:`assemble_job_trace` merges the server-side HTTP spans with the
+job's own into one Chrome-trace document for ``GET /jobs/<id>/trace``.
+Queue-wait and execution durations additionally feed the
+``job_queue_wait_seconds`` / ``job_execute_seconds`` histogram families
+exposed on ``/metrics``.
 """
 
 from __future__ import annotations
@@ -39,8 +51,9 @@ import time
 import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
+from . import obs
 from .obs_logging import get_logger
 from .progress import ProgressEvent, RunRegistry, RunStatus
 
@@ -61,6 +74,7 @@ __all__ = [
     "QueueClosedError",
     "QueueFullError",
     "UnknownJobError",
+    "assemble_job_trace",
     "parse_job_spec",
 ]
 
@@ -369,7 +383,16 @@ _JOB_SERIAL = itertools.count(1)
 
 @dataclass
 class Job:
-    """One submitted job: spec, live status, and lifecycle bookkeeping."""
+    """One submitted job: spec, live status, and lifecycle bookkeeping.
+
+    ``trace_id`` ties the job to the distributed trace it belongs to
+    (the client's ``traceparent`` trace id, or a freshly minted one);
+    ``submit_span_id`` is the server-side HTTP span that admitted it —
+    the parent of the ``job.queued-wait`` span.  ``tracer`` collects
+    every span the job produces (queue wait, execution, pipeline
+    stages); ``submitted_perf`` anchors the queue-wait interval on the
+    monotonic clock the tracer uses.
+    """
 
     id: str
     spec: JobSpec
@@ -379,6 +402,10 @@ class Job:
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
+    trace_id: str = ""
+    submit_span_id: str | None = None
+    tracer: obs.Tracer = field(default_factory=obs.Tracer, repr=False)
+    submitted_perf: float = field(default_factory=time.perf_counter, repr=False)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-native job document (``POST /jobs`` and ``GET /jobs`` body)."""
@@ -393,6 +420,7 @@ class Job:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "last_event_id": self.status.last_event_id,
+            "trace_id": self.trace_id,
         }
 
 
@@ -433,6 +461,18 @@ class JobQueue:
         self._job_durations: list[float] = []
         self._closed = False
         self._threads: list[threading.Thread] = []
+        self.queue_wait_seconds = obs.HistogramFamily(
+            "job_queue_wait_seconds",
+            "Time a job spent queued between admission and worker pickup.",
+        )
+        self.execute_seconds = obs.HistogramFamily(
+            "job_execute_seconds",
+            "Wall-clock execution time of one job, by terminal state.",
+            label_names=("state",),
+        )
+        #: Stage-name → merged :class:`~repro.obs.Histogram` folded in from
+        #: every finished job's tracer (pipeline stage durations).
+        self._stage_hists: dict[str, obs.Histogram] = {}
 
     # -- lifecycle ------------------------------------------------------ #
     def start(self) -> "JobQueue":
@@ -477,22 +517,41 @@ class JobQueue:
         self.shutdown()
 
     # -- submission and cancellation ------------------------------------ #
-    def submit(self, body: Any) -> Job:
+    def submit(
+        self,
+        body: Any,
+        *,
+        trace_id: str | None = None,
+        parent_span_id: str | None = None,
+    ) -> Job:
         """Validate, admit, and enqueue one job; returns it.
 
         Admission is all-or-nothing: on :class:`JobSpecError` /
         :class:`QueueFullError` / :class:`QueueClosedError` nothing is
         registered and no id is allocated to the caller.
+
+        ``trace_id``/``parent_span_id`` continue a distributed trace
+        (the HTTP layer passes the client's trace id and its own request
+        span); omitted, the job mints a fresh trace id so its spans are
+        always joinable.
         """
         spec = body if isinstance(body, JobSpec) else parse_job_spec(body)
         job_id = f"job-{next(_JOB_SERIAL):06d}-{uuid.uuid4().hex[:8]}"
+        if trace_id is None:
+            trace_id = obs.new_trace_id()
         status = RunStatus(
             spec.labels(),
             jobs=spec.jobs,
             run_id=job_id,
-            meta={"kind": "job", "spec": spec.to_dict()},
+            meta={"kind": "job", "spec": spec.to_dict(), "trace_id": trace_id},
         )
-        job = Job(id=job_id, spec=spec, status=status)
+        job = Job(
+            id=job_id,
+            spec=spec,
+            status=status,
+            trace_id=trace_id,
+            submit_span_id=parent_span_id,
+        )
         with self._lock:
             if self._closed:
                 raise QueueClosedError("job queue is shutting down")
@@ -579,6 +638,46 @@ class JobQueue:
             "jobqueue_cancelled": float(counts["cancelled"]),
         }
 
+    def histogram_families(self) -> list[obs.HistogramFamily]:
+        """The queue's latency families for the ``/metrics`` exposition."""
+        return [self.queue_wait_seconds, self.execute_seconds]
+
+    def stage_snapshots(self) -> dict[str, dict[str, Any]]:
+        """Stage-name → histogram snapshot folded from finished jobs.
+
+        Same shape as :meth:`~repro.obs.Tracer.histogram_snapshots`, so
+        it merges with the live tracer's through
+        :func:`~repro.obs.stage_histogram_family`.
+        """
+        with self._lock:
+            hists = dict(self._stage_hists)
+        return {name: hist.snapshot() for name, hist in hists.items()}
+
+    def _fold_job_histograms(self, job: Job) -> None:
+        """Merge a finished job's per-stage histograms into the queue's.
+
+        ``job.queued-wait``/``job.execute`` are skipped — they are already
+        first-class families — so what remains is the pipeline-stage
+        distribution (``cell``, ``generate``, ``parse``, …).
+        """
+        snaps = job.tracer.histogram_snapshots()
+        with self._lock:
+            for name, snap in snaps.items():
+                if name in ("job.queued-wait", "job.execute"):
+                    continue
+                hist = self._stage_hists.get(name)
+                if hist is None:
+                    try:
+                        hist = self._stage_hists[name] = obs.Histogram(
+                            tuple(snap.get("bounds", ()))
+                        )
+                    except (TypeError, ValueError):
+                        continue
+                try:
+                    hist.ingest(snap)
+                except (KeyError, TypeError, ValueError):
+                    continue  # mismatched bounds or malformed: drop
+
     def retry_after_s(self) -> float:
         """The backpressure hint sent with a 429 (seconds, >= 1)."""
         with self._lock:
@@ -646,11 +745,39 @@ class JobQueue:
                     continue  # cancelled while waiting in the queue
                 job.state = "running"
                 job.started_at = time.time()
+            # The queue-wait interval starts on the submitting thread and
+            # ends here, so it is recorded retroactively from its measured
+            # endpoints rather than held open as a context manager.
+            wait_s = max(time.perf_counter() - job.submitted_perf, 0.0)
+            wait_span = job.tracer.record_span(
+                "job.queued-wait",
+                start_s=job.submitted_perf,
+                duration_s=wait_s,
+                parent_id=job.submit_span_id,
+                trace_id=job.trace_id,
+                job_id=job_id,
+            )
+            self.queue_wait_seconds.observe(
+                wait_s, exemplar={"span_id": wait_span, "trace_id": job.trace_id}
+            )
             job.status.record(
                 ProgressEvent(kind="job.started", data={"job_id": job_id})
             )
+            # The job tracer becomes this thread's tracer overlay for the
+            # duration: every pipeline-stage span the executor opens (and
+            # every worker snapshot run_grid ingests) lands on it.
+            previous = obs.set_thread_tracer(job.tracer)
+            execute_span = job.tracer.span(
+                "job.execute",
+                parent_id=wait_span,
+                trace_id=job.trace_id,
+                job_id=job_id,
+            )
+            t0 = time.perf_counter()
+            state = "failed"
             try:
-                self._executor(job)
+                with execute_span:
+                    self._executor(job)
             except Exception as exc:
                 with self._lock:
                     job.state = "failed"
@@ -663,13 +790,123 @@ class JobQueue:
                 )
                 _LOG.warning("job failed", job_id=job_id, error=repr(exc))
             else:
+                state = "done"
                 with self._lock:
                     job.state = "done"
                     job.finished_at = time.time()
                 _LOG.debug("job done", job_id=job_id)
             finally:
+                obs.set_thread_tracer(previous)
+                self.execute_seconds.observe(
+                    max(time.perf_counter() - t0, 0.0),
+                    labels={"state": state},
+                    exemplar={
+                        "span_id": execute_span.span_id,
+                        "trace_id": job.trace_id,
+                    },
+                )
+                self._fold_job_histograms(job)
                 with self._lock:
                     if job.started_at is not None and job.finished_at is not None:
                         self._record_duration_locked(job.finished_at - job.started_at)
                 if not job.status.finished:
                     job.status.finish()
+
+
+# ---------------------------------------------------------------------- #
+# Trace assembly: one Chrome-trace document per job
+# ---------------------------------------------------------------------- #
+
+
+def assemble_job_trace(
+    job: Job, extra_events: Iterable[Mapping[str, Any]] = ()
+) -> dict[str, Any]:
+    """Merge a job's spans with the server's into one Chrome trace.
+
+    ``extra_events`` is the serving process's HTTP-span event list; only
+    complete (``"X"``) events tagged with the job's trace id are taken —
+    the submitting ``POST /jobs`` request span, plus any other request
+    the client stamped with the same ``traceparent``.  The job tracer
+    contributes ``job.queued-wait``, ``job.execute``, and every pipeline
+    stage span (both threads share the machine-wide monotonic clock, so
+    the merged intervals nest without translation).
+
+    The result is one rooted tree: a synthetic ``job`` span covering the
+    whole interval adopts every span whose recorded parent is outside
+    the document (e.g. the HTTP span's client-side parent, preserved as
+    ``args.client_parent``), preferring the smallest span that strictly
+    encloses the orphan.  Timestamps are rebased so the trace starts at
+    zero.  No span in the output has a dangling parent reference.
+    """
+    trace_id = job.trace_id
+    events: list[dict[str, Any]] = []
+    for event in extra_events:
+        if event.get("ph") != "X":
+            continue
+        args = event.get("args") or {}
+        if args.get("trace") != trace_id:
+            continue
+        events.append({**event, "args": dict(args)})
+    for event in job.tracer.snapshot()["events"]:
+        if event.get("ph") != "X":
+            continue
+        args = dict(event.get("args") or {})
+        args.setdefault("trace", trace_id)
+        events.append({**event, "args": args})
+
+    t_min = min((e["ts"] for e in events), default=0.0)
+    t_max = max((e["ts"] + float(e.get("dur", 0.0)) for e in events), default=0.0)
+    root_id = f"job:{job.id}"
+    known = {args["id"] for e in events if (args := e["args"]).get("id")}
+    known.add(root_id)
+    # Longest-first, so the smallest strictly-enclosing candidate wins.
+    by_size = sorted(events, key=lambda e: -float(e.get("dur", 0.0)))
+    for e in events:
+        parent = e["args"].get("parent")
+        if parent in known:
+            continue
+        if parent is not None:
+            # The client's span id off the traceparent header: outside
+            # this document but worth keeping for cross-system joins.
+            e["args"]["client_parent"] = parent
+        ts, dur = e["ts"], float(e.get("dur", 0.0))
+        adoptive = root_id
+        for other in by_size:
+            if other is e or float(other.get("dur", 0.0)) <= dur:
+                continue
+            o_ts, o_dur = other["ts"], float(other.get("dur", 0.0))
+            if o_ts <= ts and ts + dur <= o_ts + o_dur and other["args"].get("id"):
+                adoptive = other["args"]["id"]
+        e["args"]["parent"] = adoptive
+
+    events.append(
+        {
+            "ph": "X",
+            "cat": "job",
+            "name": "job",
+            "pid": job.tracer.pid,
+            "tid": 0,
+            "ts": t_min,
+            "dur": max(t_max - t_min, 0.0),
+            "args": {
+                "id": root_id,
+                "trace": trace_id,
+                "job_id": job.id,
+                "state": job.state,
+            },
+        }
+    )
+    for e in events:
+        e["ts"] = e["ts"] - t_min
+    events.sort(key=lambda e: (e["ts"], -float(e.get("dur", 0.0))))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "job_id": job.id,
+            "run_id": job.status.run_id,
+            "trace_id": trace_id,
+            "state": job.state,
+        },
+    }

@@ -21,6 +21,18 @@ Two operations are measured per job:
   checked frame by frame (any id gap is counted, and a stream that ends
   without a terminal frame counts as ``incomplete``).
 
+Every request carries a fresh W3C ``traceparent`` header
+(:func:`repro.obs.format_traceparent`), so the server opens its
+``http.request`` span as a child of this client and
+``GET /jobs/<id>/trace`` returns the whole causal chain — client submit,
+admission, queue wait, execution, pipeline stages — as one Chrome trace.
+Alongside the client-measured latencies, each reporting period scrapes
+``/metrics`` once and reports the **server-measured** ``POST /jobs``
+latency (from the ``http_request_duration_seconds`` histogram) side by
+side, warning when client and server disagree by more than 10% — the
+signal that queueing happens *outside* the service (client pool, kernel
+accept queue) rather than inside it.
+
 The result document (schema ``grade10-bench-serve/1``, seeded at
 ``BENCH_serve.json`` by ``make bench-serve``) mirrors its per-op summary
 into a ``systems``/``stages`` section, so the existing noise-aware
@@ -35,6 +47,7 @@ import http.client
 import json
 import math
 import platform
+import re
 import threading
 import time
 import urllib.error
@@ -42,6 +55,7 @@ import urllib.request
 from typing import Any, Callable, Mapping
 from urllib.parse import urlparse
 
+from . import obs
 from .bench import SERVE_BENCH_SCHEMA
 from .jobs import parse_job_spec
 from .obs_logging import get_logger
@@ -49,11 +63,13 @@ from .viz import format_table
 
 __all__ = [
     "DEFAULT_PERIOD_S",
+    "SKEW_WARN_THRESHOLD",
     "LoadgenError",
     "percentile",
     "render_load_summary",
     "render_period_table",
     "run_loadgen",
+    "skew_warning",
     "summarize_latencies",
 ]
 
@@ -64,6 +80,10 @@ DEFAULT_PERIOD_S = 5.0
 
 #: The two measured operations.
 _OPS = ("submit", "e2e")
+
+#: Relative client-vs-server submit-latency disagreement that triggers a
+#: warning line in the per-period output.
+SKEW_WARN_THRESHOLD = 0.10
 
 
 class LoadgenError(Exception):
@@ -149,16 +169,29 @@ class _Recorder:
 # ---------------------------------------------------------------------- #
 
 
+def _traceparent() -> str:
+    """A fresh client-side trace context for one request."""
+    return obs.format_traceparent(obs.new_trace_id(), obs.new_span_id())
+
+
 def _http_get(base_url: str, path: str, timeout: float = 10.0) -> str:
-    with urllib.request.urlopen(base_url + path, timeout=timeout) as resp:
+    request = urllib.request.Request(
+        base_url + path, headers={"traceparent": _traceparent()}
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as resp:
         return resp.read().decode("utf-8")
 
 
-def _post_job(base_url: str, body: bytes, timeout: float) -> tuple[int, dict[str, Any]]:
+def _post_job(
+    base_url: str, body: bytes, timeout: float, traceparent: str | None = None
+) -> tuple[int, dict[str, Any]]:
     request = urllib.request.Request(
         base_url + "/jobs",
         data=body,
-        headers={"Content-Type": "application/json"},
+        headers={
+            "Content-Type": "application/json",
+            "traceparent": traceparent or _traceparent(),
+        },
         method="POST",
     )
     try:
@@ -171,6 +204,37 @@ def _post_job(base_url: str, body: bytes, timeout: float) -> tuple[int, dict[str
         except json.JSONDecodeError:
             doc = {"error": raw}
         return exc.code, doc
+
+
+# Scrape-side parsing: the two sample shapes the server-latency column
+# needs (``_sum``/``_count`` of the POST /jobs histogram series).
+_METRIC_LINE = re.compile(r"^(\w+)\{(.*?)\} (\S+)(?: # .*)?$")
+
+
+def _scrape_submit_stats(base_url: str, timeout: float = 10.0) -> tuple[int, float]:
+    """Server-measured ``POST /jobs`` latency off one ``/metrics`` scrape.
+
+    Returns cumulative ``(count, sum_seconds)`` of the
+    ``http_request_duration_seconds`` histogram summed over every status
+    code of the ``POST /jobs`` route — the deltas between two scrapes
+    give the server-side mean for that interval.
+    """
+    text = _http_get(base_url, "/metrics", timeout=timeout)
+    count, total = 0, 0.0
+    for line in text.splitlines():
+        if not line.startswith("grade10_http_request_duration_seconds_"):
+            continue
+        m = _METRIC_LINE.match(line)
+        if m is None:
+            continue
+        name, labels, value = m.groups()
+        if 'method="POST"' not in labels or 'route="/jobs"' not in labels:
+            continue
+        if name.endswith("_count"):
+            count += int(float(value))
+        elif name.endswith("_sum"):
+            total += float(value)
+    return count, total
 
 
 def _stream_job_events(
@@ -186,7 +250,11 @@ def _stream_job_events(
     events = gaps = 0
     expected = 1
     try:
-        conn.request("GET", f"/events?run={run_id}&last_id=0")
+        conn.request(
+            "GET",
+            f"/events?run={run_id}&last_id=0",
+            headers={"traceparent": _traceparent()},
+        )
         resp = conn.getresponse()
         if resp.status != 200:
             return 0, 0, False
@@ -258,17 +326,69 @@ _TABLE_HEADERS = [
 ]
 
 
-def render_period_table(period: Mapping[str, Any], period_s: float) -> str:
-    """One reporting period as a dbworkload-style latency table."""
-    rows = [
-        _stat_row(
-            op, summary,
-            elapsed_s=period["elapsed_s"],
-            ops_per_s=summary.get("ops_per_s", 0.0),
-        )
-        for op, summary in period["ops"].items()
+def _server_row(op: str, summary: Mapping[str, Any], *, elapsed_s: float) -> list[str]:
+    """A server-measured row: count and mean only (histogram sum/count
+    deltas carry no percentiles)."""
+    if summary.get("count", 0) == 0:
+        return [f"{elapsed_s:.0f}", op, "0", "-", "-", "-", "-", "-", "-"]
+    return [
+        f"{elapsed_s:.0f}",
+        op,
+        str(summary["count"]),
+        "-",
+        f"{summary['mean_s'] * 1e3:.1f}",
+        "-", "-", "-", "-",
     ]
+
+
+def render_period_table(period: Mapping[str, Any], period_s: float) -> str:
+    """One reporting period as a dbworkload-style latency table.
+
+    When the period carries a ``server`` section (the per-period
+    ``/metrics`` scrape), the server-measured submit latency renders
+    directly under the client-measured row for eyeball comparison.
+    """
+    rows = []
+    for op, summary in period["ops"].items():
+        rows.append(
+            _stat_row(
+                op, summary,
+                elapsed_s=period["elapsed_s"],
+                ops_per_s=summary.get("ops_per_s", 0.0),
+            )
+        )
+        server = period.get("server", {}).get(op)
+        if server is not None:
+            rows.append(
+                _server_row(f"{op} (server)", server, elapsed_s=period["elapsed_s"])
+            )
     return format_table(_TABLE_HEADERS, rows)
+
+
+def skew_warning(period: Mapping[str, Any]) -> str | None:
+    """A warning line when client and server submit latency disagree.
+
+    Returns ``None`` while the two agree within
+    :data:`SKEW_WARN_THRESHOLD` (or either side is missing).  Large skew
+    means latency accrues outside the service — client thread pool,
+    kernel accept queue — and the client-measured numbers stop being a
+    statement about the server.
+    """
+    client = period.get("ops", {}).get("submit", {})
+    server = period.get("server", {}).get("submit", {})
+    if client.get("count", 0) == 0 or server.get("count", 0) == 0:
+        return None
+    client_mean, server_mean = client["mean_s"], server["mean_s"]
+    if server_mean <= 0.0:
+        return None
+    skew = abs(client_mean - server_mean) / server_mean
+    if skew <= SKEW_WARN_THRESHOLD:
+        return None
+    return (
+        f"warning: submit latency skew {skew:.0%} — client "
+        f"{client_mean * 1e3:.1f} ms vs server {server_mean * 1e3:.1f} ms "
+        f"(threshold {SKEW_WARN_THRESHOLD:.0%})"
+    )
 
 
 def render_load_summary(doc: Mapping[str, Any]) -> str:
@@ -347,6 +467,7 @@ def run_loadgen(
     max_in_flight: int = 64,
     op_timeout_s: float = 120.0,
     echo: Callable[[str], None] | None = None,
+    server_latency: bool = True,
 ) -> dict[str, Any]:
     """Drive an open-loop load run against a live ``repro serve``.
 
@@ -356,6 +477,13 @@ def run_loadgen(
     submission posts (validated locally first, so a typo fails fast
     instead of producing a run of 400s); ``echo`` receives the per-period
     latency tables as they are produced (e.g. ``print``).
+
+    With ``server_latency`` (the default) each reporting period also
+    scrapes ``/metrics`` once and reports the server-measured
+    ``POST /jobs`` latency next to the client-measured one, emitting a
+    warning line through ``echo`` when the two disagree by more than
+    :data:`SKEW_WARN_THRESHOLD`; the result document gains a ``server``
+    section with the whole-run server-side mean and skew.
 
     Raises :class:`LoadgenError` when the service is unreachable and
     :class:`repro.jobs.JobSpecError` on an invalid ``spec``.
@@ -384,6 +512,33 @@ def run_loadgen(
     threads: list[threading.Thread] = []
     periods: list[dict[str, Any]] = []
     stop_reporting = threading.Event()
+
+    # Server-side latency baseline: the histogram is cumulative, so each
+    # period's server mean is the delta between consecutive scrapes.
+    scrape_state = {"count": 0, "sum": 0.0, "enabled": server_latency}
+    if server_latency:
+        try:
+            count0, sum0 = _scrape_submit_stats(base_url)
+            scrape_state.update(count=count0, sum=sum0)
+        except (OSError, ValueError):
+            scrape_state["enabled"] = False
+    baseline = (scrape_state["count"], scrape_state["sum"])
+
+    def _server_delta() -> dict[str, Any] | None:
+        """One ``/metrics`` scrape → this interval's server submit stats."""
+        if not scrape_state["enabled"]:
+            return None
+        try:
+            count, total = _scrape_submit_stats(base_url)
+        except (OSError, ValueError):
+            return None
+        d_count = count - scrape_state["count"]
+        d_sum = total - scrape_state["sum"]
+        scrape_state["count"], scrape_state["sum"] = count, total
+        if d_count <= 0:
+            return {"count": 0}
+        return {"count": d_count, "mean_s": max(d_sum, 0.0) / d_count}
+
     t0 = time.monotonic()
 
     def one_op() -> None:
@@ -414,9 +569,15 @@ def run_loadgen(
         tick = 1
         while not stop_reporting.wait(max(t0 + tick * period_s - time.monotonic(), 0.0)):
             period = _period_doc(tick * period_s, period_s, recorder.drain_period())
+            server = _server_delta()
+            if server is not None:
+                period["server"] = {"submit": server}
             periods.append(period)
             if echo is not None:
                 echo(render_period_table(period, period_s))
+                warning = skew_warning(period)
+                if warning is not None:
+                    echo(warning)
             tick += 1
 
     report_thread = threading.Thread(target=reporter, name="loadgen-report", daemon=True)
@@ -456,9 +617,15 @@ def run_loadgen(
         if final_len <= 0.0:
             final_len = period_s
         period = _period_doc(duration_actual, final_len, final)
+        server = _server_delta()
+        if server is not None:
+            period["server"] = {"submit": server}
         periods.append(period)
         if echo is not None:
             echo(render_period_table(period, period_s))
+            warning = skew_warning(period)
+            if warning is not None:
+                echo(warning)
 
     totals = recorder.totals()
     ops_summary: dict[str, Any] = {}
@@ -492,4 +659,31 @@ def run_loadgen(
             "platform": platform.platform(),
         },
     }
+
+    if scrape_state["enabled"]:
+        try:
+            end_count, end_sum = _scrape_submit_stats(base_url)
+        except (OSError, ValueError):
+            end_count, end_sum = baseline
+        n = end_count - baseline[0]
+        if n > 0:
+            server_submit: dict[str, Any] = {
+                "count": n,
+                "mean_s": max(end_sum - baseline[1], 0.0) / n,
+            }
+            client = ops_summary.get("submit", {})
+            if client.get("count", 0) > 0 and server_submit["mean_s"] > 0.0:
+                skew = (
+                    abs(client["mean_s"] - server_submit["mean_s"])
+                    / server_submit["mean_s"]
+                )
+                server_submit["skew_vs_client"] = skew
+                if skew > SKEW_WARN_THRESHOLD:
+                    _LOG.warning(
+                        "client/server submit latency skew",
+                        skew=f"{skew:.0%}",
+                        client_mean_s=client["mean_s"],
+                        server_mean_s=server_submit["mean_s"],
+                    )
+            doc["server"] = {"submit": server_submit}
     return doc

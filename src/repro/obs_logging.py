@@ -17,11 +17,13 @@ Two renderings of the same records:
 
       {"ts": "2026-08-06T12:00:00.123456+00:00", "level": "info",
        "logger": "repro.parallel", "message": "cell finished",
-       "pid": 4711, "span": "4711:3:9",
+       "pid": 4711, "span": "4711:3:9", "trace": "4bf92f35…",
        "fields": {"label": "giraph/graph500/pr", "duration_s": 0.42}}
 
   ``span`` is ``null`` outside any span or while tracing is disabled;
-  ``fields`` is omitted when a record carries none.
+  ``trace`` is the enclosing distributed trace id (the value echoed as
+  the ``X-Request-Id`` response header), ``null`` outside one; ``fields``
+  is omitted when a record carries none.
 
 Design notes:
 
@@ -93,6 +95,7 @@ class JsonFormatter(logging.Formatter):
             "message": record.getMessage(),
             "pid": record.process,
             "span": getattr(record, "span", None),
+            "trace": getattr(record, "trace", None),
         }
         fields = getattr(record, "fields", None)
         if fields:
@@ -117,16 +120,21 @@ class TextFormatter(logging.Formatter):
 
 
 class _SpanFilter(logging.Filter):
-    """Stamp the caller's active span id on the record, at log-call time.
+    """Stamp the caller's active span and trace ids, at log-call time.
 
-    Filters run synchronously in the emitting thread, so the id is read
+    Filters run synchronously in the emitting thread, so the ids are read
     from the right thread's span stack even if a handler later formats
-    the record elsewhere.
+    the record elsewhere.  ``trace`` is the distributed trace id the
+    innermost span belongs to — the same value the HTTP layer returns as
+    ``X-Request-Id``, which is what makes a log line, a span, and a
+    metrics exemplar joinable on one key.
     """
 
     def filter(self, record: logging.LogRecord) -> bool:
         if not hasattr(record, "span"):
             record.span = obs.current_span_id()
+        if not hasattr(record, "trace"):
+            record.trace = obs.current_trace_id()
         return True
 
 

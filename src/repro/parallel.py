@@ -753,7 +753,16 @@ def _execute_cell(cell: CellSpec, cache_dir: str | Path | None) -> CellResult:
 
 
 def _progress_worker_init(queue: "multiprocessing.Queue") -> None:
-    """Pool initializer: route this worker's progress events to the parent."""
+    """Pool initializer: route this worker's progress events to the parent.
+
+    Also drops any tracer overlay inherited across ``fork``: a job
+    worker thread in the parent may have had a per-job tracer installed
+    as its thread overlay (:func:`repro.obs.set_thread_tracer`) at fork
+    time, and its spans belong to the parent, not this worker.  The
+    overlay resolver already ignores wrong-pid tracers; clearing it here
+    just releases the reference.
+    """
+    obs.set_thread_tracer(None)
     progress.set_sink(queue.put)
 
 
@@ -816,6 +825,11 @@ def run_grid(
     builds a job's status at *submission* time so ``/runs`` and
     ``/events`` report the job while it is still queued, then hands it to
     ``run_grid`` when a worker picks the job up.
+
+    Tracing resolves through :func:`repro.obs.current`, which honors the
+    calling thread's tracer overlay: a job worker that installed a
+    per-job tracer gets every span of this sweep — inline spans directly,
+    pooled workers' snapshots via ingest — merged into that job's trace.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")

@@ -175,8 +175,10 @@ class RunStatus:
         self.run_id = run_id or f"run-{os.getpid()}-{next(_RUN_SERIAL)}"
         self.jobs = max(int(jobs), 1)
         #: Immutable JSON-native provenance attached at construction (the
-        #: analysis service stores the submitted job spec here so ``/runs``
-        #: round-trips it without any new read-side code).
+        #: analysis service stores the submitted job spec and the job's
+        #: distributed ``trace_id`` here, so ``/runs`` both round-trips a
+        #: resubmittable spec and names the trace a run belongs to without
+        #: any new read-side code).
         self.meta = dict(meta) if meta is not None else None
         self.t0 = time.time()
         self._t0_perf = time.perf_counter()

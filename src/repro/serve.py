@@ -47,11 +47,30 @@ also carries the *write side* of the analysis service:
     is attached (read-only mode, e.g. ``suite --serve``).
 
 ``GET /jobs`` / ``GET /jobs/<id>``
-    Job documents (state, spec, timestamps, ``run_id``/``last_event_id``).
+    Job documents (state, spec, timestamps, ``run_id``/``last_event_id``,
+    ``trace_id``).
+
+``GET /jobs/<id>/trace``
+    The job's assembled distributed trace as one Chrome-trace JSON
+    document (:func:`repro.jobs.assemble_job_trace`): the server-side
+    HTTP request span that admitted it, the explicit ``job.queued-wait``
+    and ``job.execute`` spans, and every pipeline-stage span the
+    execution produced, merged into a single rooted tree.
 
 ``DELETE /jobs/<id>``
     Cancel a *queued* job (``200``); ``409`` once it is running or
     terminal (in-flight work is never killed), ``404`` for unknown ids.
+
+Every request is traced end to end: the handler honors the client's
+``traceparent`` header (W3C trace-context format, as stamped by
+``repro loadgen``) or mints a fresh trace id, opens an ``http.request``
+span on the server's own tracer, echoes the trace id back as an
+``X-Request-Id`` response header (joinable against JSON log lines and
+exemplars), and observes the request latency into the
+``http_request_duration_seconds`` histogram family — exposed on
+``/metrics`` alongside the job queue's ``job_queue_wait_seconds`` /
+``job_execute_seconds`` families and the merged per-stage
+``pipeline_stage_duration_seconds`` family.
 
 Every admitted job's :class:`~repro.progress.RunStatus` is registered
 with the same :class:`~repro.progress.RunRegistry` the read side already
@@ -65,6 +84,7 @@ from __future__ import annotations
 import json
 import math
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Any, Callable, Mapping
 from urllib.parse import parse_qs, urlparse
@@ -111,6 +131,32 @@ def format_sse_heartbeat() -> bytes:
     return b": heartbeat\n\n"
 
 
+#: Routes whose path carries no variable segment (safe as a label value).
+_STATIC_ROUTES = frozenset(
+    {"/healthz", "/metrics", "/runs", "/events", "/jobs"}
+)
+
+
+def _route_template(path: str) -> str:
+    """Collapse a request path to its route template.
+
+    Histogram label values must be low-cardinality: job ids (and
+    arbitrary probe paths) are folded into ``/jobs/<id>``,
+    ``/jobs/<id>/trace``, and ``<other>`` so the
+    ``http_request_duration_seconds`` family stays bounded no matter
+    what clients request.
+    """
+    if path in _STATIC_ROUTES:
+        return path
+    if path.startswith("/jobs/"):
+        rest = path[len("/jobs/"):]
+        if rest.endswith("/trace") and "/" in rest:
+            return "/jobs/<id>/trace"
+        if "/" not in rest:
+            return "/jobs/<id>"
+    return "<other>"
+
+
 class _TelemetryHandler(BaseHTTPRequestHandler):
     """Routes one request; all state lives on ``self.server``."""
 
@@ -122,9 +168,14 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
 
     def _respond(self, code: int, content_type: str, body: bytes,
                  extra_headers: Mapping[str, str] | None = None) -> None:
+        self._status_code = code
+        if self._span is not None:
+            self._span.args["code"] = code
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self._trace_id:
+            self.send_header("X-Request-Id", self._trace_id)
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -135,10 +186,67 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
         body = json.dumps(doc, indent=2, default=str).encode("utf-8") + b"\n"
         self._respond(code, "application/json", body, extra_headers)
 
+    # Per-request trace state; class-level defaults keep ``_respond``
+    # safe even off the traced dispatch path.
+    _trace_id: str = ""
+    _status_code: int = 0
+    _span: Any = None
+
     # -- routes --------------------------------------------------------- #
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("DELETE")
+
+    def _dispatch(self, method: str) -> None:
+        """Trace one request: span, ``X-Request-Id``, latency histogram.
+
+        The client's ``traceparent`` header (if well-formed) supplies the
+        trace id and the parent span id, so the server-side
+        ``http.request`` span continues the client's trace; otherwise a
+        fresh trace id is minted — every response carries one either way.
+        """
+        server: TelemetryServer = self.server.telemetry  # type: ignore[attr-defined]
         parsed = urlparse(self.path)
+        route = _route_template(parsed.path)
+        ctx = obs.parse_traceparent(self.headers.get("traceparent"))
+        if ctx is not None:
+            trace_id, client_parent = ctx
+        else:
+            trace_id, client_parent = obs.new_trace_id(), None
+        self._trace_id = trace_id
+        self._status_code = 0
+        span = server.tracer.span(
+            "http.request",
+            parent_id=client_parent,
+            trace_id=trace_id,
+            method=method,
+            route=route,
+        )
+        self._span = span
+        t0 = time.perf_counter()
         try:
+            with span:
+                self._route(method, parsed)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to clean up
+        finally:
+            server.http_seconds.observe(
+                max(time.perf_counter() - t0, 0.0),
+                labels={
+                    "method": method,
+                    "route": route,
+                    "code": str(self._status_code),
+                },
+                exemplar={"span_id": span.span_id, "trace_id": trace_id},
+            )
+
+    def _route(self, method: str, parsed: Any) -> None:
+        if method == "GET":
             if parsed.path == "/healthz":
                 self._respond(200, "text/plain; charset=utf-8", b"ok\n")
             elif parsed.path == "/metrics":
@@ -151,28 +259,16 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
                 self._get_jobs(parsed.path)
             else:
                 self._respond(404, "text/plain; charset=utf-8", b"not found\n")
-        except (BrokenPipeError, ConnectionResetError):
-            pass  # client went away; nothing to clean up
-
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        parsed = urlparse(self.path)
-        try:
+        elif method == "POST":
             if parsed.path == "/jobs":
                 self._post_job()
             else:
                 self._respond_json(404, {"error": "not found"})
-        except (BrokenPipeError, ConnectionResetError):
-            pass
-
-    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
-        parsed = urlparse(self.path)
-        try:
+        elif method == "DELETE":
             if parsed.path.startswith("/jobs/"):
                 self._delete_job(parsed.path[len("/jobs/"):])
             else:
                 self._respond_json(404, {"error": "not found"})
-        except (BrokenPipeError, ConnectionResetError):
-            pass
 
     def _queue(self) -> "JobQueue | None":
         server: TelemetryServer = self.server.telemetry  # type: ignore[attr-defined]
@@ -198,7 +294,11 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
             self._respond_json(400, {"error": f"body is not valid JSON: {exc}"})
             return
         try:
-            job = queue.submit(body)
+            job = queue.submit(
+                body,
+                trace_id=self._trace_id or None,
+                parent_span_id=self._span.span_id if self._span is not None else None,
+            )
         except JobSpecError as exc:
             self._respond_json(400, exc.to_doc())
             return
@@ -245,10 +345,22 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
         if path == "/jobs":
             self._respond_json(200, [job.to_dict() for job in queue.jobs()])
             return
+        rest = path[len("/jobs/"):]
+        want_trace = rest.endswith("/trace")
+        if want_trace:
+            rest = rest[: -len("/trace")]
         try:
-            job = queue.get(path[len("/jobs/"):])
+            job = queue.get(rest)
         except UnknownJobError as exc:
             self._respond_json(404, {"error": str(exc)})
+            return
+        if want_trace:
+            from .jobs import assemble_job_trace
+
+            server: TelemetryServer = self.server.telemetry  # type: ignore[attr-defined]
+            self._respond_json(
+                200, assemble_job_trace(job, extra_events=server.tracer.events)
+            )
             return
         self._respond_json(200, job.to_dict())
 
@@ -260,8 +372,25 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
         gauges = dict(active.gauges()) if active is not None else {}
         if server.queue is not None:
             gauges.update(server.queue.gauges())
+        histograms = [server.http_seconds]
+        if server.queue is not None:
+            histograms.extend(server.queue.histogram_families())
+        # One merged per-stage family per scrape: the live tracer's span
+        # histograms plus every finished job's fold-in, never two
+        # families under the same name.
+        stage_sources = []
+        if tracer is not None:
+            stage_sources.append(tracer.histogram_snapshots())
+        if server.queue is not None:
+            stage_sources.append(server.queue.stage_snapshots())
+        stage_family = obs.stage_histogram_family(stage_sources)
+        if stage_family.series():
+            histograms.append(stage_family)
         text = obs.metrics_exposition(
-            counters=counters, gauges=gauges or None, labels=server.labels
+            counters=counters,
+            gauges=gauges or None,
+            histograms=histograms,
+            labels=server.labels,
         )
         self._respond(200, OPENMETRICS_CONTENT_TYPE, text.encode("utf-8"))
 
@@ -293,10 +422,15 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
                 self._respond(400, "text/plain; charset=utf-8", b"bad last_id\n")
                 return
 
+        self._status_code = 200
+        if self._span is not None:
+            self._span.args["code"] = 200
         self.send_response(200)
         self.send_header("Content-Type", "text/event-stream")
         self.send_header("Cache-Control", "no-cache")
         self.send_header("Connection", "close")
+        if self._trace_id:
+            self.send_header("X-Request-Id", self._trace_id)
         self.end_headers()
         while not server.stopping.is_set():
             events = status.events_since(last_id, timeout=server.heartbeat_s)
@@ -344,6 +478,16 @@ class TelemetryServer:
         self.tracer_fn = tracer_fn
         self.labels = dict(labels) if labels else None
         self.heartbeat_s = heartbeat_s
+        #: The server's own tracer: one ``http.request`` span per request
+        #: (kept separate from the pipeline tracer so request spans never
+        #: leak into suite traces); :func:`repro.jobs.assemble_job_trace`
+        #: reads it to stitch the HTTP side into a job's trace.
+        self.tracer = obs.Tracer()
+        self.http_seconds = obs.HistogramFamily(
+            "http_request_duration_seconds",
+            "HTTP request latency by method, route template, and status code.",
+            label_names=("method", "route", "code"),
+        )
         self.stopping = threading.Event()
         self._httpd = ThreadingHTTPServer((host, port), _TelemetryHandler)
         self._httpd.daemon_threads = True

@@ -430,3 +430,293 @@ def test_module_gauge_records_on_installed_tracer():
     assert event["args"] == {"value": 4.0}
     obs.uninstall()
     obs.gauge("queue_depth", 9.0)  # disabled path: silent no-op
+
+# ---------------------------------------------------------------------- #
+# Histogram primitive
+# ---------------------------------------------------------------------- #
+
+
+class TestHistogram:
+    def test_bucketing_is_le_inclusive(self):
+        hist = obs.Histogram(bounds=(0.1, 1.0))
+        hist.observe(0.1)   # == first bound -> first bucket
+        hist.observe(0.5)
+        hist.observe(1.0)   # == last bound -> second bucket
+        hist.observe(2.0)   # overflow
+        assert hist.counts == [1, 2, 1]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(3.6)
+
+    def test_cumulative_ends_with_inf_equal_to_count(self):
+        hist = obs.Histogram(bounds=(0.1, 1.0))
+        for v in (0.05, 0.5, 99.0):
+            hist.observe(v)
+        cumulative = hist.cumulative()
+        bounds = [b for b, _ in cumulative]
+        counts = [c for _, c in cumulative]
+        assert bounds == [0.1, 1.0, float("inf")]
+        assert counts == sorted(counts)  # monotone non-decreasing
+        assert counts[-1] == hist.count
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            obs.Histogram(bounds=())
+        with pytest.raises(ValueError):
+            obs.Histogram(bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            obs.Histogram(bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            obs.Histogram(bounds=(1.0, float("inf")))
+
+    def test_snapshot_ingest_is_exact_merge(self):
+        a = obs.Histogram(bounds=(0.1, 1.0))
+        b = obs.Histogram(bounds=(0.1, 1.0))
+        for v in (0.05, 0.5):
+            a.observe(v)
+        for v in (0.5, 5.0):
+            b.observe(v)
+        a.ingest(b.snapshot())
+        assert a.counts == [1, 2, 1]
+        assert a.count == 4
+        assert a.sum == pytest.approx(6.05)
+
+    def test_ingest_rejects_mismatched_bounds(self):
+        a = obs.Histogram(bounds=(0.1, 1.0))
+        b = obs.Histogram(bounds=(0.2, 2.0))
+        with pytest.raises(ValueError):
+            a.ingest(b.snapshot())
+
+    def test_exemplar_tracks_last_observation_per_bucket(self):
+        hist = obs.Histogram(bounds=(0.1, 1.0))
+        hist.observe(0.05, exemplar={"span_id": "a"})
+        hist.observe(0.07, exemplar={"span_id": "b"})
+        hist.observe(0.5)  # no exemplar: bucket stays exemplar-less
+        exemplars = hist.exemplars()
+        assert exemplars[0] == {"labels": {"span_id": "b"}, "value": 0.07}
+        assert exemplars[1] is None
+
+    def test_ingest_carries_exemplars_over(self):
+        src = obs.Histogram()
+        src.observe(0.003, exemplar={"span_id": "7:1:3", "trace_id": "ab" * 16})
+        dst = obs.Histogram()
+        dst.ingest(src.snapshot())
+        labelled = [e for e in dst.exemplars() if e]
+        assert labelled == [
+            {"labels": {"span_id": "7:1:3", "trace_id": "ab" * 16}, "value": 0.003}
+        ]
+
+
+class TestHistogramFamily:
+    def test_unknown_label_raises(self):
+        family = obs.HistogramFamily("f", "help", label_names=("method",))
+        with pytest.raises(ValueError):
+            family.observe(0.1, labels={"verb": "GET"})
+
+    def test_series_materialize_per_label_values(self):
+        family = obs.HistogramFamily("f", "help", label_names=("method", "code"))
+        family.observe(0.1, labels={"method": "GET", "code": "200"})
+        family.observe(0.2, labels={"method": "GET", "code": "200"})
+        family.observe(0.3, labels={"method": "POST", "code": "202"})
+        series = {tuple(sorted(labels.items())): h.count for labels, h in family.series()}
+        assert series == {
+            (("code", "200"), ("method", "GET")): 2,
+            (("code", "202"), ("method", "POST")): 1,
+        }
+
+    def test_family_snapshot_round_trips_through_ingest(self):
+        src = obs.HistogramFamily("f", "help", label_names=("state",))
+        src.observe(0.1, labels={"state": "done"})
+        src.observe(9.0, labels={"state": "failed"})
+        dst = obs.HistogramFamily("f", "help", label_names=("state",))
+        dst.ingest(src.snapshot())
+        dst.ingest(src.snapshot())
+        counts = {labels["state"]: h.count for labels, h in dst.series()}
+        assert counts == {"done": 2, "failed": 2}
+
+    def test_stage_histogram_family_merges_and_skips_bad_bounds(self):
+        worker_a = Tracer()
+        worker_a.observe("cell", 0.2)
+        worker_b = Tracer()
+        worker_b.observe("cell", 0.4)
+        worker_b.observe("upsample", 0.1)
+        bad = {"weird": {"bounds": [1.0, 2.0], "counts": [0, 1, 0], "sum": 1.5, "count": 1}}
+        family = obs.stage_histogram_family(
+            [worker_a.histogram_snapshots(), worker_b.histogram_snapshots(), bad]
+        )
+        assert family.name == obs.PIPELINE_STAGE_FAMILY
+        counts = {labels["stage"]: h.count for labels, h in family.series()}
+        assert counts == {"cell": 2, "upsample": 1}  # "weird" dropped, not raised
+
+
+# ---------------------------------------------------------------------- #
+# Trace-context propagation
+# ---------------------------------------------------------------------- #
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        trace_id = obs.new_trace_id()
+        span_id = obs.new_span_id()
+        header = obs.format_traceparent(trace_id, span_id)
+        assert obs.parse_traceparent(header) == (trace_id, span_id)
+
+    def test_id_shapes(self):
+        assert len(obs.new_trace_id()) == 32
+        assert len(obs.new_span_id()) == 16
+        assert obs.new_trace_id() != obs.new_trace_id()
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "garbage",
+            "00-short-0011223344556677-01",
+            "00-" + "0" * 32 + "-0011223344556677-01",  # all-zero trace id
+            "00-" + "ab" * 16 + "-" + "0" * 16 + "-01",  # all-zero parent
+            "ff-" + "ab" * 16 + "-0011223344556677-01",  # forbidden version
+            "00-" + "XY" * 16 + "-0011223344556677-01",  # non-hex
+        ],
+    )
+    def test_malformed_headers_rejected(self, header):
+        assert obs.parse_traceparent(header) is None
+
+    def test_case_and_whitespace_tolerant(self):
+        header = "  00-" + "AB" * 16 + "-0011223344556677-01  "
+        assert obs.parse_traceparent(header) == ("ab" * 16, "0011223344556677")
+
+
+class TestSpanTraceContext:
+    def test_explicit_parent_and_trace_override_stack(self):
+        tracer = obs.install()
+        trace_id = obs.new_trace_id()
+        with obs.span("outer"):
+            with tracer.span("http.request", parent_id="remote-span", trace_id=trace_id):
+                pass
+        http, _outer = _spans(tracer)
+        assert http["args"]["parent"] == "remote-span"
+        assert http["args"]["trace"] == trace_id
+
+    def test_children_inherit_trace_id_through_stack(self):
+        tracer = obs.install()
+        trace_id = obs.new_trace_id()
+        with tracer.span("http.request", trace_id=trace_id):
+            assert obs.current_trace_id() == trace_id
+            with obs.span("inner"):
+                assert obs.current_trace_id() == trace_id
+        inner, _http = _spans(tracer)
+        assert inner["args"]["trace"] == trace_id
+        assert obs.current_trace_id() is None
+
+    def test_span_auto_observes_duration_histogram(self):
+        tracer = obs.install()
+        with obs.span("parse"):
+            pass
+        snaps = tracer.histogram_snapshots()
+        assert snaps["parse"]["count"] == 1
+        (event,) = _spans(tracer)
+        exemplars = [e for e in snaps["parse"]["exemplars"] if e]
+        assert exemplars and exemplars[0]["labels"]["span_id"] == event["args"]["id"]
+
+    def test_record_span_emits_event_and_histogram(self):
+        tracer = Tracer()
+        import time as _time
+
+        start = _time.perf_counter() - 0.5
+        span_id = tracer.record_span(
+            "job.queued-wait", start_s=start, duration_s=0.5,
+            parent_id="p1", trace_id="t" * 32, job_id="j1",
+        )
+        (event,) = _spans(tracer)
+        assert event["name"] == "job.queued-wait"
+        assert event["args"] == {
+            "id": span_id, "parent": "p1", "trace": "t" * 32, "job_id": "j1",
+        }
+        assert event["ts"] == pytest.approx(start * 1e6)
+        assert event["dur"] == pytest.approx(0.5e6)
+        snap = tracer.histogram_snapshots()["job.queued-wait"]
+        assert snap["count"] == 1
+
+    def test_record_span_clamps_negative_duration(self):
+        tracer = Tracer()
+        tracer.record_span("x", start_s=1.0, duration_s=-2.0)
+        (event,) = _spans(tracer)
+        assert event["dur"] == 0.0
+
+
+class TestThreadTracerOverlay:
+    def test_overlay_outranks_global(self):
+        global_tracer = obs.install()
+        overlay = Tracer()
+        previous = obs.set_thread_tracer(overlay)
+        try:
+            assert obs.current() is overlay
+            with obs.span("work"):
+                pass
+            obs.observe("stage", 0.1)
+        finally:
+            obs.set_thread_tracer(previous)
+        assert obs.current() is global_tracer
+        assert len(_spans(overlay)) == 1
+        assert "stage" in overlay.histogram_snapshots()
+        assert _spans(global_tracer) == []
+
+    def test_overlay_is_per_thread(self):
+        obs.install()
+        overlay = Tracer()
+        obs.set_thread_tracer(overlay)
+        seen = {}
+
+        def work():
+            seen["current"] = obs.current()
+
+        try:
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+        finally:
+            obs.set_thread_tracer(None)
+        assert seen["current"] is not overlay  # other thread: global resolution
+
+    def test_stale_pid_overlay_ignored(self):
+        """A fork-inherited overlay (pid mismatch) must not receive spans."""
+        global_tracer = obs.install()
+        stale = Tracer()
+        stale.pid = stale.pid + 1  # simulate an inherited post-fork overlay
+        previous = obs.set_thread_tracer(stale)
+        try:
+            assert obs.current() is global_tracer
+            with obs.span("work"):
+                pass
+        finally:
+            obs.set_thread_tracer(previous)
+        assert _spans(stale) == []
+        assert len(_spans(global_tracer)) == 1
+
+    def test_set_thread_tracer_returns_previous(self):
+        first = Tracer()
+        second = Tracer()
+        assert obs.set_thread_tracer(first) is None
+        assert obs.set_thread_tracer(second) is first
+        assert obs.set_thread_tracer(None) is second
+
+
+class TestTracerHistogramIngest:
+    def test_snapshot_includes_histograms_and_merges_exactly(self):
+        worker = Tracer()
+        with worker.span("cell"):
+            pass
+        worker.observe("cell", 0.25)
+        parent = obs.install()
+        parent.observe("cell", 0.5)
+        snap = worker.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        parent.ingest(snap)
+        merged = parent.histogram_snapshots()["cell"]
+        assert merged["count"] == 3  # span auto-observe + 0.25 + 0.5
+
+    def test_ingest_drops_malformed_histograms(self):
+        parent = obs.install()
+        parent.ingest({"histograms": {"bad": {"bounds": [], "counts": []}}})
+        parent.ingest({"histograms": {"worse": "not-a-dict-shape"}})
+        assert parent.histogram_snapshots() == {}

@@ -1,21 +1,71 @@
 """Format-conformance and exactness tests for the OpenMetrics exposition."""
 
+import math
 import re
 
 import pytest
 
-from repro.obs import metrics_exposition, sanitize_label_name, sanitize_metric_name
+from repro.obs import (
+    Histogram,
+    HistogramFamily,
+    metrics_exposition,
+    sanitize_label_name,
+    sanitize_metric_name,
+)
 
 _NAME = r"[a-zA-Z_][a-zA-Z0-9_]*"
-_SAMPLE = re.compile(rf"^({_NAME})(?:\{{(.*)\}})? (\S+)$")
+# A sample line: name, optional {labels}, value, optional exemplar
+# (`` # {labels} value``, the OpenMetrics exemplar syntax).
+_SAMPLE = re.compile(
+    rf"^({_NAME})(?:\{{(.*?)\}})? (\S+)(?: # \{{(.*)\}} (\S+))?$"
+)
 _LABEL = re.compile(rf'({_NAME})="((?:[^"\\]|\\.)*)"(?:,|$)')
 
+#: Sample-name suffixes that resolve to a base family (counter ``_total``,
+#: histogram ``_bucket``/``_sum``/``_count``).
+FAMILY_SUFFIXES = ("_total", "_bucket", "_sum", "_count")
 
-def parse_exposition(text):
+
+def family_of(sample_name, families):
+    """The family a sample name belongs to (exact match wins over suffix)."""
+    if sample_name in families:
+        return sample_name
+    for suffix in FAMILY_SUFFIXES:
+        base = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+        if base in families:
+            return base
+    return sample_name
+
+
+def _parse_labelset(raw):
+    consumed = "".join(x.group(0) for x in _LABEL.finditer(raw))
+    assert consumed == raw, f"malformed labels: {raw!r}"
+    labels = {}
+    for x in _LABEL.finditer(raw):
+        value = x.group(2)
+        labels[x.group(1)] = (
+            value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+        )
+    return labels
+
+
+def _parse_value(raw):
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    return float(raw)
+
+
+def parse_exposition(text, with_exemplars=False):
     """Parse an exposition into (families, samples).
 
     ``families`` maps family name -> (type, help); ``samples`` is a list of
-    ``(sample_name, labels_dict, value)`` with label values unescaped.
+    ``(sample_name, labels_dict, value)`` with label values unescaped —
+    histogram ``_bucket`` samples carry their ``le`` bound as a label like
+    any other (``+Inf`` parses to ``math.inf``).  With
+    ``with_exemplars=True`` each sample is a 4-tuple whose last element is
+    ``(exemplar_labels, exemplar_value)`` or ``None``.
 
     Lines split strictly on ``\\n`` — the format's only line terminator.
     Other Unicode line breaks (NEL, vertical tab, ...) are ordinary label
@@ -36,16 +86,15 @@ def parse_exposition(text):
         else:
             m = _SAMPLE.fullmatch(line)
             assert m, f"malformed sample line: {line!r}"
-            labels = {}
-            if m.group(2):
-                consumed = "".join(x.group(0) for x in _LABEL.finditer(m.group(2)))
-                assert consumed == m.group(2), f"malformed labels: {m.group(2)!r}"
-                for x in _LABEL.finditer(m.group(2)):
-                    raw = x.group(2)
-                    labels[x.group(1)] = (
-                        raw.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
-                    )
-            samples.append((m.group(1), labels, float(m.group(3))))
+            labels = _parse_labelset(m.group(2)) if m.group(2) else {}
+            exemplar = None
+            if m.group(5) is not None:
+                exemplar = (
+                    _parse_labelset(m.group(4)) if m.group(4) else {},
+                    _parse_value(m.group(5)),
+                )
+            sample = (m.group(1), labels, _parse_value(m.group(3)))
+            samples.append(sample + (exemplar,) if with_exemplars else sample)
     return families, samples
 
 
@@ -68,15 +117,10 @@ class TestConformance:
         families, samples = parse_exposition(exposition)
         for name, mtype_help in families.items():
             mtype, help_text = mtype_help
-            assert mtype in ("gauge", "counter"), name
+            assert mtype in ("gauge", "counter", "histogram"), name
             assert help_text, name
         for sample_name, _, _ in samples:
-            family = (
-                sample_name[: -len("_total")]
-                if sample_name.endswith("_total")
-                else sample_name
-            )
-            assert family in families, sample_name
+            assert family_of(sample_name, families) in families, sample_name
 
     def test_help_precedes_type_precedes_samples(self, exposition):
         seen_families = set()
@@ -90,7 +134,7 @@ class TestConformance:
                 assert line.split(" ")[2] == current
             else:
                 name = _SAMPLE.fullmatch(line).group(1)
-                assert name == current or name == f"{current}_total"
+                assert family_of(name, {current}) == current
 
     def test_counter_samples_use_total_suffix(self, exposition):
         families, samples = parse_exposition(exposition)
@@ -264,6 +308,168 @@ class TestGauges:
         names = {name for name, _, _ in samples}
         assert "grade10_run_eta_seconds" in names
         assert "grade10_run_completed" in names
+
+
+class TestHistogramExposition:
+    """Histogram family rendering: ``_bucket``/``le``/``+Inf``/``_sum``/
+    ``_count`` conformance plus exemplar and determinism guarantees."""
+
+    @pytest.fixture()
+    def family(self):
+        fam = HistogramFamily(
+            "http_request_duration_seconds",
+            "HTTP request latency.",
+            label_names=("method", "route", "code"),
+        )
+        fam.observe(
+            0.003,
+            labels={"method": "GET", "route": "/metrics", "code": "200"},
+            exemplar={"span_id": "7:1:3", "trace_id": "ab" * 16},
+        )
+        fam.observe(0.2, labels={"method": "GET", "route": "/metrics", "code": "200"})
+        fam.observe(0.004, labels={"method": "POST", "route": "/jobs", "code": "202"})
+        fam.observe(120.0, labels={"method": "POST", "route": "/jobs", "code": "202"})
+        return fam
+
+    @pytest.fixture()
+    def hist_exposition(self, family):
+        return metrics_exposition(
+            counters={"cache.hit": 1.0}, histograms=[family], labels={"host": "w1"}
+        )
+
+    def test_family_declared_as_histogram(self, hist_exposition):
+        families, _ = parse_exposition(hist_exposition)
+        mtype, help_text = families["grade10_http_request_duration_seconds"]
+        assert mtype == "histogram"
+        assert help_text
+
+    def _series(self, hist_exposition):
+        """Bucket/sum/count samples grouped per label set (minus ``le``)."""
+        _, samples = parse_exposition(hist_exposition)
+        series = {}
+        for name, labels, value in samples:
+            if not name.startswith("grade10_http_request_duration_seconds"):
+                continue
+            key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            doc = series.setdefault(key, {"buckets": [], "sum": None, "count": None})
+            if name.endswith("_bucket"):
+                doc["buckets"].append((float(labels["le"]) if labels["le"] != "+Inf"
+                                       else math.inf, value))
+            elif name.endswith("_sum"):
+                doc["sum"] = value
+            elif name.endswith("_count"):
+                doc["count"] = value
+        assert series, "no histogram series parsed"
+        return series
+
+    def test_buckets_cumulative_and_monotone(self, hist_exposition):
+        for doc in self._series(hist_exposition).values():
+            bounds = [b for b, _ in doc["buckets"]]
+            counts = [c for _, c in doc["buckets"]]
+            assert bounds == sorted(bounds)
+            assert counts == sorted(counts), "bucket counts must be cumulative"
+
+    def test_inf_bucket_equals_count(self, hist_exposition):
+        for doc in self._series(hist_exposition).values():
+            bound, last = doc["buckets"][-1]
+            assert bound == math.inf
+            assert last == doc["count"]
+
+    def test_sum_exact(self, family, hist_exposition):
+        series = self._series(hist_exposition)
+        for labels, hist in family.series():
+            key = tuple(sorted({**labels, "host": "w1"}.items()))
+            assert series[key]["sum"] == hist.sum  # repr round-trip: exact
+            assert series[key]["count"] == hist.count
+
+    def test_exemplar_carries_span_id(self, hist_exposition):
+        _, samples = parse_exposition(hist_exposition, with_exemplars=True)
+        exemplars = [s[3] for s in samples if s[3] is not None]
+        assert exemplars, "expected at least one exemplar"
+        ex_labels, ex_value = exemplars[0]
+        assert ex_labels["span_id"] == "7:1:3"
+        assert ex_labels["trace_id"] == "ab" * 16
+        assert ex_value == 0.003
+
+    def test_overflow_lands_in_inf_bucket_only(self, hist_exposition):
+        key = (("code", "202"), ("host", "w1"), ("method", "POST"),
+               ("route", "/jobs"))
+        doc = self._series(hist_exposition)[key]
+        finite_max = max(c for b, c in doc["buckets"] if b != math.inf)
+        assert doc["buckets"][-1][1] == finite_max + 1  # the 120s sample
+
+    def test_repeated_scrapes_byte_identical(self, family):
+        kwargs = dict(counters={"cache.hit": 1.0}, histograms=[family])
+        assert metrics_exposition(**kwargs) == metrics_exposition(**kwargs)
+
+    def test_insertion_order_never_leaks(self, family):
+        """Families and label sets render sorted, not insertion-ordered."""
+        other = HistogramFamily("a_first_family", "Sorts before the rest.")
+        other.observe(0.5)
+        forward = metrics_exposition(
+            counters={"z.late": 1.0, "a.early": 2.0},
+            gauges={"zz": 1.0, "aa": 2.0},
+            histograms=[family, other],
+        )
+        reordered = metrics_exposition(
+            counters={"a.early": 2.0, "z.late": 1.0},
+            gauges={"aa": 2.0, "zz": 1.0},
+            histograms=[other, family],
+        )
+        assert forward == reordered
+        families, _ = parse_exposition(forward)
+        assert list(families) == sorted(families)
+
+    def test_histogram_exposition_is_conformant(self, hist_exposition):
+        families, samples = parse_exposition(hist_exposition)
+        for sample_name, _, _ in samples:
+            assert family_of(sample_name, families) in families, sample_name
+
+
+class TestHistogramMergeProperties:
+    """``ingest`` merges exactly: a merged histogram equals one that
+    observed the concatenated samples."""
+
+    from hypothesis import given as _given
+    from hypothesis import strategies as _st
+
+    _values = _st.lists(
+        _st.floats(min_value=0.0, max_value=1e4, allow_nan=False), max_size=64
+    )
+
+    @_given(_values, _values)
+    def test_ingest_equals_concatenated_observe(self, xs, ys):
+        left, right, together = Histogram(), Histogram(), Histogram()
+        for x in xs:
+            left.observe(x)
+        for y in ys:
+            right.observe(y)
+        left.ingest(right.snapshot())
+        for v in xs + ys:
+            together.observe(v)
+        assert left.counts == together.counts
+        assert left.count == together.count
+        assert math.isclose(left.sum, together.sum, rel_tol=1e-12, abs_tol=1e-12)
+
+    @_given(_values, _values)
+    def test_merged_exposition_equals_concatenated(self, xs, ys):
+        """The equality holds end to end, at the rendered-bucket level."""
+        merged = HistogramFamily("lat", "Latency.")
+        other = HistogramFamily("lat", "Latency.")
+        for x in xs:
+            merged.observe(x)
+        for y in ys:
+            other.observe(y)
+        merged.ingest(other.snapshot())
+        together = HistogramFamily("lat", "Latency.")
+        for v in xs + ys:
+            together.observe(v)
+
+        def buckets(fam):
+            _, samples = parse_exposition(metrics_exposition(histograms=[fam]))
+            return [s for s in samples if s[0].endswith(("_bucket", "_count"))]
+
+        assert buckets(merged) == buckets(together)
 
 
 # ---------------------------------------------------------------------- #

@@ -20,6 +20,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro import obs
 from repro.algorithms import ALGORITHMS
 from repro.jobs import (
     JOB_STATES,
@@ -33,6 +34,7 @@ from repro.jobs import (
     QueueClosedError,
     QueueFullError,
     UnknownJobError,
+    assemble_job_trace,
     parse_job_spec,
 )
 from repro.progress import RunRegistry
@@ -249,7 +251,11 @@ class TestJobQueue:
         job = q.submit({})  # queue not started: job stays queued
         snap = registry.snapshots()[0]
         assert snap["run_id"] == job.id
-        assert snap["meta"] == {"kind": "job", "spec": job.spec.to_dict()}
+        assert snap["meta"] == {
+            "kind": "job",
+            "spec": job.spec.to_dict(),
+            "trace_id": job.trace_id,
+        }
         q.shutdown()
 
     def test_jobs_listing_preserves_submission_order(self):
@@ -529,3 +535,186 @@ class TestRetryAfterClamping:
             _wait_terminal(q, job.id, timeout=10.0)
             assert len(q._job_durations) == 1
             assert q._job_durations[0] >= 0.0
+
+
+# ---------------------------------------------------------------------- #
+# Tracing: trace-id threading, queue histograms, trace assembly
+# ---------------------------------------------------------------------- #
+
+
+class TestTraceThreading:
+    def test_submit_mints_trace_id_when_absent(self):
+        q = JobQueue(capacity=4, workers=1, executor=lambda j: None)
+        job = q.submit({})
+        assert len(job.trace_id) == 32
+        assert job.submit_span_id is None
+        assert job.to_dict()["trace_id"] == job.trace_id
+        assert job.status.meta["trace_id"] == job.trace_id
+        q.shutdown()
+
+    def test_submit_threads_explicit_trace_context(self):
+        q = JobQueue(capacity=4, workers=1, executor=lambda j: None)
+        trace_id = obs.new_trace_id()
+        job = q.submit({}, trace_id=trace_id, parent_span_id="srv:1:1")
+        assert job.trace_id == trace_id
+        assert job.submit_span_id == "srv:1:1"
+        q.shutdown()
+
+    def test_worker_records_wait_and_execute_spans(self):
+        with JobQueue(capacity=4, workers=1, executor=lambda j: None) as q:
+            trace_id = obs.new_trace_id()
+            job = q.submit({}, trace_id=trace_id, parent_span_id="srv:1:1")
+            _wait_terminal(q, job.id)
+        spans = {
+            e["name"]: e for e in job.tracer.events if e["ph"] == "X"
+        }
+        wait, execute = spans["job.queued-wait"], spans["job.execute"]
+        assert wait["args"]["parent"] == "srv:1:1"
+        assert wait["args"]["trace"] == trace_id
+        assert execute["args"]["parent"] == wait["args"]["id"]
+        assert execute["args"]["trace"] == trace_id
+        assert execute["ts"] >= wait["ts"] + wait["dur"] - 1.0  # contiguous (µs slop)
+
+    def test_executor_spans_land_in_job_tracer(self):
+        def traced_executor(job):
+            with obs.span("stage.fake"):
+                pass
+
+        with JobQueue(capacity=4, workers=1, executor=traced_executor) as q:
+            job = q.submit({})
+            _wait_terminal(q, job.id)
+        names = [e["name"] for e in job.tracer.events if e["ph"] == "X"]
+        assert "stage.fake" in names
+        stage = next(
+            e for e in job.tracer.events
+            if e["ph"] == "X" and e["name"] == "stage.fake"
+        )
+        execute = next(
+            e for e in job.tracer.events
+            if e["ph"] == "X" and e["name"] == "job.execute"
+        )
+        assert stage["args"]["parent"] == execute["args"]["id"]
+        assert stage["args"]["trace"] == job.trace_id
+
+    def test_worker_overlay_restored_between_jobs(self):
+        """The worker thread must not leak one job's tracer into the next."""
+        with JobQueue(capacity=4, workers=1, executor=lambda j: None) as q:
+            first = q.submit({})
+            _wait_terminal(q, first.id)
+            second = q.submit({})
+            _wait_terminal(q, second.id)
+        first_ids = {e["args"]["id"] for e in first.tracer.events if e["ph"] == "X"}
+        second_ids = {e["args"]["id"] for e in second.tracer.events if e["ph"] == "X"}
+        assert first_ids and second_ids and not (first_ids & second_ids)
+
+
+class TestQueueHistograms:
+    def test_wait_and_execute_histograms_populated(self):
+        with JobQueue(capacity=4, workers=1, executor=lambda j: None) as q:
+            job = q.submit({})
+            _wait_terminal(q, job.id)
+            families = {f.name: f for f in q.histogram_families()}
+            wait = families["job_queue_wait_seconds"]
+            (labels_and_hist,) = wait.series()
+            assert labels_and_hist[1].count == 1
+            execute = families["job_execute_seconds"]
+            by_state = {labels["state"]: h.count for labels, h in execute.series()}
+            assert by_state == {"done": 1}
+
+    def test_failed_job_counts_under_failed_label(self):
+        def boom(job):
+            raise RuntimeError("kaput")
+
+        with JobQueue(capacity=4, workers=1, executor=boom) as q:
+            job = q.submit({})
+            _wait_terminal(q, job.id)
+            execute = next(
+                f for f in q.histogram_families() if f.name == "job_execute_seconds"
+            )
+            by_state = {labels["state"]: h.count for labels, h in execute.series()}
+            assert by_state == {"failed": 1}
+
+    def test_stage_snapshots_fold_finished_jobs(self):
+        def traced_executor(job):
+            with obs.span("stage.fake"):
+                pass
+
+        with JobQueue(capacity=4, workers=2, executor=traced_executor) as q:
+            jobs = [q.submit({}) for _ in range(3)]
+            for job in jobs:
+                _wait_terminal(q, job.id)
+            snaps = q.stage_snapshots()
+        assert snaps["stage.fake"]["count"] == 3
+        # The bookkeeping spans stay out of the per-stage family.
+        assert "job.queued-wait" not in snaps
+        assert "job.execute" not in snaps
+
+
+class TestAssembleJobTrace:
+    def _run_job(self, *, trace_id=None, parent_span_id=None, executor=None):
+        executor = executor or (lambda j: None)
+        with JobQueue(capacity=4, workers=1, executor=executor) as q:
+            job = q.submit({}, trace_id=trace_id, parent_span_id=parent_span_id)
+            _wait_terminal(q, job.id)
+        return job
+
+    def test_single_rooted_tree_with_no_orphans(self):
+        job = self._run_job()
+        doc = assemble_job_trace(job)
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        by_id = {e["args"]["id"]: e for e in spans}
+        roots = [e for e in spans if "parent" not in e["args"]]
+        assert len(roots) == 1 and roots[0]["name"] == "job"
+        for e in spans:
+            parent = e["args"].get("parent")
+            assert parent is None or parent in by_id
+        assert doc["otherData"] == {
+            "producer": "repro.obs",
+            "job_id": job.id,
+            "run_id": job.id,
+            "trace_id": job.trace_id,
+            "state": "done",
+        }
+        ts = [e["ts"] for e in doc["traceEvents"]]
+        assert min(ts) == 0.0 and ts == sorted(ts)
+
+    def test_extra_events_filtered_by_trace_id(self):
+        trace_id = obs.new_trace_id()
+        server_tracer = obs.Tracer()
+        with server_tracer.span("http.request", trace_id=trace_id, method="POST"):
+            pass
+        with server_tracer.span("http.request", trace_id=obs.new_trace_id()):
+            pass  # someone else's request: must not leak into this job's trace
+        job = self._run_job(trace_id=trace_id)
+        doc = assemble_job_trace(job, extra_events=server_tracer.events)
+        http = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "http.request"
+        ]
+        assert len(http) == 1
+        assert http[0]["args"]["method"] == "POST"
+
+    def test_orphan_adoption_preserves_client_parent(self):
+        trace_id = obs.new_trace_id()
+        server_tracer = obs.Tracer()
+        with server_tracer.span(
+            "http.request", parent_id="client-span-id", trace_id=trace_id
+        ) as submit_span:
+            pass
+        job = self._run_job(
+            trace_id=trace_id, parent_span_id=submit_span.span_id
+        )
+        doc = assemble_job_trace(job, extra_events=server_tracer.events)
+        spans = {e["args"]["id"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        http = next(e for e in spans.values() if e["name"] == "http.request")
+        # The out-of-document client parent is preserved, not dangled.
+        assert http["args"]["client_parent"] == "client-span-id"
+        assert http["args"]["parent"] in spans
+        # The queue-wait span parents onto the HTTP span that submitted it.
+        wait = next(e for e in spans.values() if e["name"] == "job.queued-wait")
+        assert wait["args"]["parent"] == http["args"]["id"]
+
+    def test_trace_json_serializable(self):
+        job = self._run_job()
+        doc = assemble_job_trace(job)
+        assert json.loads(json.dumps(doc)) == doc

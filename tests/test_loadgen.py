@@ -8,6 +8,7 @@ through the unchanged :func:`repro.bench.compare_bench_docs`.
 """
 
 import copy
+import json
 
 import pytest
 
@@ -23,6 +24,7 @@ from repro.loadgen import (
     render_load_summary,
     render_period_table,
     run_loadgen,
+    skew_warning,
     summarize_latencies,
 )
 from repro.serve import TelemetryServer
@@ -323,3 +325,98 @@ class TestPeriodBucketing:
         # p99 of exactly 100 samples is the 99th smallest, not the max.
         values = [float(v) for v in range(1, 101)]
         assert percentile(values, 0.99) == 99.0
+
+
+# ---------------------------------------------------------------------- #
+# Server-measured latency (satellite: client vs server side by side)
+# ---------------------------------------------------------------------- #
+
+
+class TestServerLatency:
+    def test_scrape_submit_stats_filters_post_jobs_series(self, live_service):
+        from repro.loadgen import _post_job, _scrape_submit_stats
+
+        count0, sum0 = _scrape_submit_stats(live_service.url)
+        for _ in range(3):
+            status, _ = _post_job(live_service.url, {}, 10.0)
+            assert status == 202
+        # A GET must not move the POST /jobs numbers.
+        from repro.loadgen import _http_get
+
+        _http_get(live_service.url, "/healthz", timeout=10.0)
+        count1, sum1 = _scrape_submit_stats(live_service.url)
+        assert count1 - count0 == 3
+        assert sum1 >= sum0
+
+    def test_skew_warning_thresholds(self):
+        def period(client_mean, server_mean):
+            return {
+                "elapsed_s": 5.0,
+                "ops": {"submit": {"count": 5, "mean_s": client_mean}},
+                "server": {"submit": {"count": 5, "mean_s": server_mean}},
+            }
+
+        assert skew_warning(period(0.010, 0.010)) is None
+        assert skew_warning(period(0.0109, 0.010)) is None  # within 10%
+        warning = skew_warning(period(0.020, 0.010))
+        assert warning is not None and "100%" in warning
+        # Either side missing or empty: no verdict, no crash.
+        assert skew_warning({"ops": {}, "server": {}}) is None
+        assert skew_warning(period(0.02, 0.0) | {"server": {"submit": {"count": 0}}}) is None
+
+    def test_period_table_renders_server_row_under_client_row(self):
+        period = {
+            "elapsed_s": 5.0,
+            "ops": {
+                "submit": {
+                    "count": 4, "ops_per_s": 0.8, "mean_s": 0.011,
+                    "p50_s": 0.01, "p90_s": 0.02, "p99_s": 0.02, "max_s": 0.02,
+                },
+            },
+            "server": {"submit": {"count": 4, "mean_s": 0.012}},
+        }
+        table = render_period_table(period, 5.0)
+        lines = table.splitlines()
+        client_idx = next(i for i, l in enumerate(lines) if " submit " in f" {l} " and "(server)" not in l)
+        server_idx = next(i for i, l in enumerate(lines) if "submit (server)" in l)
+        assert server_idx == client_idx + 1
+        assert "12.0" in lines[server_idx]  # server mean in ms
+
+    def test_run_document_carries_server_section(self, live_service):
+        doc = run_loadgen(live_service.url, rate=10.0, duration_s=0.5, period_s=0.25)
+        assert validate_serve_bench_doc(doc) == [], validate_serve_bench_doc(doc)
+        server = doc["server"]["submit"]
+        assert server["count"] == doc["ops"]["submit"]["count"]
+        assert server["mean_s"] >= 0.0
+        assert "skew_vs_client" in server
+
+    def test_server_latency_opt_out(self, live_service):
+        doc = run_loadgen(
+            live_service.url, rate=10.0, duration_s=0.5, period_s=0.25,
+            server_latency=False,
+        )
+        assert "server" not in doc
+        assert validate_serve_bench_doc(doc) == []
+        assert all("server" not in p for p in doc["periods"])
+
+    def test_validator_rejects_malformed_server_section(self):
+        doc = _minimal_doc()
+        doc["server"] = {"submit": {"count": 3, "mean_s": 0.01}}
+        assert validate_serve_bench_doc(doc) == []
+        doc["server"] = {"submit": {"count": 0, "mean_s": 0.01}}
+        assert validate_serve_bench_doc(doc)
+        doc["server"] = {"submit": {"count": 3, "mean_s": float("nan")}}
+        assert validate_serve_bench_doc(doc)
+        doc["server"] = {"submit": "not-a-dict"}
+        assert validate_serve_bench_doc(doc)
+
+    def test_requests_carry_traceparent(self, live_service):
+        """Every submitted job inherits a loadgen-minted trace id."""
+        run_loadgen(live_service.url, rate=6.0, duration_s=0.5, period_s=0.25)
+        from repro.loadgen import _http_get
+
+        jobs = json.loads(_http_get(live_service.url, "/jobs", timeout=10.0))
+        assert jobs
+        trace_ids = {job["trace_id"] for job in jobs}
+        assert all(len(t) == 32 for t in trace_ids)
+        assert len(trace_ids) == len(jobs)  # a fresh trace per request

@@ -52,13 +52,15 @@ def _get(server, path):
         return resp.status, resp.headers, resp.read().decode()
 
 
-def _request_json(server, method, path, doc=None):
+def _request_json(server, method, path, doc=None, headers=None):
     """Issue ``method`` with an optional JSON body; returns (status, headers, doc)."""
     data = None if doc is None else json.dumps(doc).encode()
+    request_headers = {"Content-Type": "application/json"} if data else {}
+    request_headers.update(headers or {})
     request = urllib.request.Request(
         f"{server.url}{path}",
         data=data,
-        headers={"Content-Type": "application/json"} if data else {},
+        headers=request_headers,
         method=method,
     )
     try:
@@ -477,3 +479,214 @@ class TestLifecycle:
             assert kinds[0] == "run.started"
             assert kinds[-1] == "run.finished"
             assert kinds.count("cell.finished") == 2
+
+
+# ---------------------------------------------------------------------- #
+# Distributed tracing across the service boundary (tentpole)
+# ---------------------------------------------------------------------- #
+
+
+def _fetch_status(server, path):
+    """(status, headers) for any path, error responses included."""
+    try:
+        with urllib.request.urlopen(f"{server.url}{path}", timeout=10) as resp:
+            return resp.status, resp.headers
+    except urllib.error.HTTPError as exc:
+        exc.read()
+        return exc.code, exc.headers
+
+
+def _wait_done(server, job_id, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, _, doc = _request_json(server, "GET", f"/jobs/{job_id}")
+        if doc["state"] in ("done", "failed", "cancelled"):
+            return doc
+        time.sleep(0.005)
+    raise AssertionError(f"job {job_id} never reached a terminal state")
+
+
+def _span_events(trace_doc):
+    return [e for e in trace_doc["traceEvents"] if e.get("ph") == "X"]
+
+
+def audit_span_nesting(trace_doc):
+    """Assert the assembled trace is one rooted tree with no orphans.
+
+    Every ``X`` event must carry an id; exactly one event (the synthetic
+    ``job`` root) has no parent; every other event's parent id must
+    exist in the document.  Returns ``{span_id: event}`` for callers.
+    """
+    spans = _span_events(trace_doc)
+    by_id = {}
+    for event in spans:
+        span_id = event["args"].get("id")
+        assert span_id, f"span without an id: {event}"
+        assert span_id not in by_id, f"duplicate span id {span_id}"
+        by_id[span_id] = event
+    roots = [e for e in spans if "parent" not in e["args"]]
+    assert len(roots) == 1, [e["name"] for e in roots]
+    assert roots[0]["name"] == "job"
+    for event in spans:
+        parent = event["args"].get("parent")
+        if parent is not None:
+            assert parent in by_id, (
+                f"orphan span {event['name']} ({event['args']['id']}): "
+                f"parent {parent} not in document"
+            )
+    return by_id
+
+
+class TestTracing:
+    def test_every_response_carries_x_request_id(self, job_server):
+        for path in ("/healthz", "/metrics", "/runs", "/jobs"):
+            _, headers, _ = _get(job_server, path)
+            rid = headers["X-Request-Id"]
+            assert rid and len(rid) == 32 and set(rid) <= set("0123456789abcdef")
+        # Error responses carry one too.
+        status, headers, _ = _request_json(job_server, "GET", "/jobs/nothere")
+        assert status == 404 and headers["X-Request-Id"]
+        status, headers = _fetch_status(job_server, "/nothere")
+        assert status == 404 and headers["X-Request-Id"]
+
+    def test_traceparent_threads_through_job_and_response(self, job_server):
+        trace_id = obs.new_trace_id()
+        header = obs.format_traceparent(trace_id, obs.new_span_id())
+        status, headers, job = _request_json(
+            job_server, "POST", "/jobs", {"preset": "tiny"},
+            headers={"traceparent": header},
+        )
+        assert status == 202
+        assert headers["X-Request-Id"] == trace_id
+        assert job["trace_id"] == trace_id
+        # The trace id rides the run's meta, so /runs can name its trace.
+        _, _, runs_body = _get(job_server, "/runs")
+        runs = {r["run_id"]: r for r in json.loads(runs_body)}
+        assert runs[job["id"]]["meta"]["trace_id"] == trace_id
+
+    def test_malformed_traceparent_starts_fresh_trace(self, job_server):
+        status, headers, job = _request_json(
+            job_server, "POST", "/jobs", {},
+            headers={"traceparent": "not-a-traceparent"},
+        )
+        assert status == 202
+        assert len(headers["X-Request-Id"]) == 32
+        assert job["trace_id"] == headers["X-Request-Id"]
+
+    def test_job_trace_is_one_rooted_chrome_trace(self, job_server):
+        trace_id = obs.new_trace_id()
+        client_span = obs.new_span_id()
+        _, _, job = _request_json(
+            job_server, "POST", "/jobs", {},
+            headers={"traceparent": obs.format_traceparent(trace_id, client_span)},
+        )
+        _wait_done(job_server, job["id"])
+        status, headers, doc = _request_json(
+            job_server, "GET", f"/jobs/{job['id']}/trace"
+        )
+        assert status == 200
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["producer"] == "repro.obs"
+        assert doc["otherData"]["trace_id"] == trace_id
+        assert doc["otherData"]["job_id"] == job["id"]
+        by_id = audit_span_nesting(doc)
+        names = {e["name"] for e in by_id.values()}
+        assert {"job", "http.request", "job.queued-wait", "job.execute"} <= names
+        # Every span belongs to the submitted request's distributed trace.
+        assert {e["args"]["trace"] for e in by_id.values()} == {trace_id}
+        # The submitting HTTP span still remembers its client-side parent.
+        http_spans = [
+            e for e in by_id.values()
+            if e["name"] == "http.request" and e["args"].get("method") == "POST"
+        ]
+        assert any(
+            e["args"].get("client_parent") == client_span or
+            e["args"].get("parent") == client_span
+            for e in http_spans
+        )
+        # The causal chain: queued-wait under the submit, execute under the wait.
+        wait = next(e for e in by_id.values() if e["name"] == "job.queued-wait")
+        execute = next(e for e in by_id.values() if e["name"] == "job.execute")
+        assert execute["args"]["parent"] == wait["args"]["id"]
+        # Timestamps are rebased to the document start.
+        ts = [e["ts"] for e in doc["traceEvents"]]
+        assert min(ts) == 0.0 and ts == sorted(ts)
+
+    def test_job_trace_includes_pipeline_stage_spans(self):
+        queue = JobQueue(capacity=4, workers=1)  # real executor: runs the sweep
+        srv = TelemetryServer(port=0, heartbeat_s=0.1, queue=queue).start()
+        queue.start()
+        try:
+            _, _, job = _request_json(srv, "POST", "/jobs", {"preset": "tiny"})
+            final = _wait_done(srv, job["id"], timeout=60.0)
+            assert final["state"] == "done"
+            _, _, doc = _request_json(srv, "GET", f"/jobs/{job['id']}/trace")
+            by_id = audit_span_nesting(doc)
+            names = {e["name"] for e in by_id.values()}
+            assert "cell" in names  # worker-side pipeline span made it across
+        finally:
+            queue.shutdown()
+            srv.stop()
+
+    def test_job_trace_unknown_id_404(self, job_server):
+        status, _, _ = _request_json(
+            job_server, "GET", "/jobs/job-000000-nothere/trace"
+        )
+        assert status == 404
+
+    def test_job_trace_503_without_queue(self, server):
+        status, _, _ = _request_json(server, "GET", "/jobs/x/trace")
+        assert status == 503
+
+    def test_metrics_expose_latency_histograms(self, job_server):
+        _, _, job = _request_json(job_server, "POST", "/jobs", {})
+        _wait_done(job_server, job["id"])
+        _, _, body = _get(job_server, "/metrics")
+        families, samples = parse_exposition(body)
+        for family in (
+            "grade10_http_request_duration_seconds",
+            "grade10_job_queue_wait_seconds",
+            "grade10_job_execute_seconds",
+        ):
+            assert families[family][0] == "histogram", family
+        by_name = {}
+        for name, labels, value in samples:
+            by_name.setdefault(name, []).append((labels, value))
+        # POST /jobs observations landed in the labelled http family.
+        post_counts = [
+            value for labels, value in
+            by_name["grade10_http_request_duration_seconds_count"]
+            if labels.get("method") == "POST" and labels.get("route") == "/jobs"
+        ]
+        assert sum(post_counts) >= 1
+        # One queue wait and one execution were measured for the job.
+        assert sum(v for _, v in by_name["grade10_job_queue_wait_seconds_count"]) >= 1
+        execute = by_name["grade10_job_execute_seconds_count"]
+        assert any(labels.get("state") == "done" and value >= 1 for labels, value in execute)
+
+    def test_http_histogram_exemplar_names_a_real_span(self, job_server):
+        _, _, job = _request_json(job_server, "POST", "/jobs", {})
+        _wait_done(job_server, job["id"])
+        _, _, body = _get(job_server, "/metrics")
+        _, samples = parse_exposition(body, with_exemplars=True)
+        exemplars = [
+            ex for name, labels, value, ex in samples
+            if name == "grade10_http_request_duration_seconds_bucket" and ex
+        ]
+        assert exemplars, "no exemplar on any http bucket"
+        labels, _value = exemplars[0]
+        assert "span_id" in labels and "trace_id" in labels
+
+    def test_route_template_caps_metric_cardinality(self, job_server):
+        for i in range(3):
+            _request_json(job_server, "GET", f"/jobs/job-{i:06d}-x")
+        _fetch_status(job_server, "/completely/unknown/path")
+        _, _, body = _get(job_server, "/metrics")
+        _, samples = parse_exposition(body)
+        routes = {
+            labels["route"] for name, labels, value in samples
+            if name == "grade10_http_request_duration_seconds_bucket"
+        }
+        assert "/jobs/<id>" in routes
+        assert "<other>" in routes
+        assert not any(route.startswith("/jobs/job-") for route in routes)
