@@ -52,6 +52,11 @@ def main():
     parser.add_argument("--period", type=float, default=5.0)
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--queue-size", type=int, default=32)
+    parser.add_argument(
+        "--live-fraction", type=float, default=0.25,
+        help="fraction of jobs submitted with live incremental analysis, "
+             "so the baseline captures its overhead envelope",
+    )
     parser.add_argument("--out", default="BENCH_serve.json")
     args = parser.parse_args()
 
@@ -79,6 +84,7 @@ def main():
             rate=args.rate,
             duration_s=args.duration,
             period_s=args.period,
+            live_fraction=args.live_fraction,
             echo=print,
         )
         print(render_load_summary(doc))

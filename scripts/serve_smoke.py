@@ -232,6 +232,56 @@ def main():
         assert execute_counts >= 1, "no job execution observed in /metrics"
         print("serve-smoke: latency histogram families conformant")
 
+        # Live incremental analysis: a "live": true job must stream
+        # window.analyzed frames *before* its terminal frame, expose its
+        # rolling state on /runs/<id>/bottlenecks, and populate the
+        # run_bottleneck_seconds_total counter family on /metrics.
+        status, _, live_job = post_json(
+            base, "/jobs", {"preset": "tiny", "live": True}
+        )
+        assert status == 202, f"expected 202 from live POST /jobs, got {status}"
+        live_id = live_job["id"]
+        frames = read_sse_until(
+            "127.0.0.1", port, "run.finished",
+            query=f"run={live_id}&last_id=0",
+        )
+        kinds = [f.get("event") for f in frames]
+        ids = [int(f["id"]) for f in frames]
+        assert ids == list(range(1, len(ids) + 1)), f"gappy live stream: {ids}"
+        assert "window.analyzed" in kinds, f"no window.analyzed frame: {kinds}"
+        assert kinds.index("window.analyzed") < kinds.index("run.finished"), (
+            "window.analyzed did not precede run.finished"
+        )
+        n_windows = kinds.count("window.analyzed")
+        n_bottlenecks = kinds.count("bottleneck.detected")
+        print(f"serve-smoke: live job {live_id} streamed {n_windows} "
+              f"window.analyzed and {n_bottlenecks} bottleneck.detected "
+              "frames mid-run")
+
+        snapshot = json.loads(get(base, f"/runs/{live_id}/bottlenecks"))
+        assert snapshot["windows_analyzed"] >= 1, snapshot
+        assert snapshot["bottleneck_seconds"], snapshot
+        assert snapshot["last_bottleneck"] is not None, snapshot
+        print(f"serve-smoke: /runs/{live_id}/bottlenecks reports "
+              f"{snapshot['windows_analyzed']} windows, "
+              f"{len(snapshot['bottleneck_seconds'])} bottleneck series")
+
+        families, samples = parse_exposition(get(base, "/metrics"))
+        assert families.get("grade10_run_bottleneck_seconds", [None])[0] == (
+            "counter"
+        ), sorted(families)
+        bottleneck_total = sum(
+            value for name, labels, value in samples
+            if name == "grade10_run_bottleneck_seconds_total"
+        )
+        assert bottleneck_total > 0.0, "empty run_bottleneck_seconds_total"
+        gauge_names = {name for name, _, _ in samples}
+        assert "grade10_incremental_window_lag_seconds" in gauge_names, (
+            sorted(gauge_names)
+        )
+        print("serve-smoke: live bottleneck counter and window-lag gauge "
+              "conformant on /metrics")
+
         proc.send_signal(signal.SIGTERM)
         code = proc.wait(timeout=30)
         assert code == 0, f"expected clean exit, got {code}"

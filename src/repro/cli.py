@@ -211,6 +211,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--untuned", action="store_true")
     p_an.add_argument("--slice", type=float, default=0.01, help="timeslice duration (s)")
     p_an.add_argument(
+        "--follow", action="store_true",
+        help="tail events.jsonl through the incremental analyzer, rendering "
+             "a rolling bottleneck table as windows seal (works on logs "
+             "still being written)",
+    )
+    p_an.add_argument(
+        "--follow-timeout", type=float, default=2.0, metavar="S",
+        help="stop following once the log stops growing for this many "
+             "seconds (default: %(default)s)",
+    )
+    p_an.add_argument(
+        "--window", type=float, default=0.08, metavar="S",
+        help="live analysis window width in seconds for --follow "
+             "(default: %(default)s)",
+    )
+    p_an.add_argument(
         "--extended", action="store_true",
         help="include the phase tree, heatmap, and recommendations",
     )
@@ -381,6 +397,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_loadgen.add_argument(
         "--spec", metavar="PATH",
         help="JSON job-spec file posted verbatim; overrides the spec flags",
+    )
+    p_loadgen.add_argument(
+        "--live-fraction", type=float, default=0.0, metavar="F",
+        help="fraction of arrivals submitted as live incremental-analysis "
+             "jobs, measured as separate submit_live/e2e_live ops "
+             "(default: %(default)s)",
     )
     p_loadgen.add_argument(
         "--no-server-latency", action="store_true",
@@ -563,9 +585,118 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze_follow(args: argparse.Namespace) -> int:
+    """``repro analyze --follow``: stream an archive's log as it grows.
+
+    Tails ``events.jsonl`` in raw chunks through
+    :class:`~repro.core.incremental.IncrementalProfile`, printing one
+    table row per sealed analysis window (rolling bottleneck view), and
+    finishes with the exact batch report once the log stops growing for
+    ``--follow-timeout`` seconds.
+    """
+    import time as _time
+    from pathlib import Path
+
+    from .cluster.monitor import read_monitoring_csv
+    from .core.incremental import IncrementalProfile
+    from .core.model_io import load_models
+    from .workloads.archive import ArchiveError, ArchiveNotFoundError
+
+    directory = Path(args.directory)
+    models_path = directory / "models.json"
+    if not models_path.is_file():
+        _LOG.error(f"error: run archive not found (no {models_path})")
+        return 2
+    try:
+        model, resources, rules = load_models(models_path)
+    except (ValueError, KeyError) as exc:
+        _LOG.error(f"error: cannot load models.json: {exc}")
+        return 2
+
+    rows: list[list[str]] = []
+
+    def on_window(summary) -> None:
+        top = max(summary.bottlenecks, key=lambda b: b.duration, default=None)
+        rows.append([
+            str(summary.index),
+            f"{summary.t_start:.2f}-{summary.t_end:.2f}",
+            str(summary.n_rows),
+            str(len(summary.bottlenecks)),
+            f"{top.kind} {top.resource} ({top.duration:.3f}s)" if top else "-",
+            f"{summary.lag_seconds:.2f}",
+        ])
+        print(
+            f"window {summary.index:>4}  [{summary.t_start:8.2f}, {summary.t_end:8.2f})  "
+            f"phases={summary.n_rows:<4} bottlenecks={len(summary.bottlenecks):<3} "
+            f"lag={summary.lag_seconds:.2f}s"
+        )
+
+    inc = IncrementalProfile(
+        model,
+        resources,
+        rules,
+        slice_duration=args.slice,
+        include_gc_phases=not args.untuned,
+        window_slices=max(1, int(args.window / args.slice)),
+        on_window=on_window,
+    )
+    monitoring = directory / "monitoring.csv"
+    if monitoring.is_file():
+        inc.feed_resource_trace(read_monitoring_csv(monitoring))
+
+    events_path = directory / "events.jsonl"
+    deadline = _time.monotonic() + args.follow_timeout
+    fh = None
+    try:
+        while True:
+            if fh is None:
+                if events_path.is_file():
+                    fh = open(events_path, "r")
+                elif _time.monotonic() >= deadline:
+                    _LOG.error(f"error: no event log appeared at {events_path}")
+                    return 2
+                else:
+                    _time.sleep(0.05)
+                    continue
+            chunk = fh.read(65536)
+            if chunk:
+                inc.feed_text(chunk)
+                deadline = _time.monotonic() + args.follow_timeout
+            elif _time.monotonic() >= deadline:
+                break
+            else:
+                _time.sleep(0.05)
+    finally:
+        if fh is not None:
+            fh.close()
+
+    try:
+        profile = inc.finalize()
+    except (ArchiveError, ArchiveNotFoundError, ValueError) as exc:
+        _LOG.error(f"error: incremental analysis failed: {exc}")
+        return 2
+    print(format_table(
+        ["window", "span (s)", "phases", "bottlenecks", "top bottleneck", "lag (s)"],
+        rows,
+        title=f"Live analysis — {inc.windows_analyzed} windows, "
+              f"{inc.events_ingested} events",
+    ))
+    series = sorted(inc.bottleneck_seconds.items())
+    if series:
+        print(format_table(
+            ["resource", "kind", "seconds"],
+            [[resource, kind, f"{seconds:.3f}"] for (resource, kind), seconds in series],
+            title="Cumulative live bottleneck seconds",
+        ))
+    print(render_report(profile, extended=args.extended))
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from .workloads.archive import ArchiveError, characterize_archive
 
+    if args.follow:
+        return _cmd_analyze_follow(args)
     try:
         with _tracing(args.trace):
             profile = characterize_archive(
@@ -872,6 +1003,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             period_s=args.period,
             max_in_flight=args.max_in_flight,
             server_latency=not args.no_server_latency,
+            live_fraction=args.live_fraction,
             echo=print,
         )
     except JobSpecError as exc:

@@ -54,6 +54,12 @@ from .issues import (
 from .outliers import OutlierGroup, OutlierPhase, OutlierReport, find_outliers
 from .phases import ExecutionModel, PhaseType, parent_path, split_path
 from .profile import PROFILE_BACKENDS, Grade10, PerformanceProfile
+from .incremental import (
+    DEFAULT_WINDOW_SLICES,
+    IncrementalProfile,
+    LiveBottleneck,
+    WindowSummary,
+)
 from .report import render_report
 from .resources import BlockingResource, ConsumableResource, ResourceModel
 from .rules import ExactRule, NoneRule, Rule, RuleMatrix, VariableRule
@@ -146,6 +152,10 @@ __all__ = [
     "Grade10",
     "PerformanceProfile",
     "PROFILE_BACKENDS",
+    "DEFAULT_WINDOW_SLICES",
+    "IncrementalProfile",
+    "LiveBottleneck",
+    "WindowSummary",
     "render_report",
     "BlockingResource",
     "ConsumableResource",

@@ -26,6 +26,7 @@ from .arrays import COLUMN_SPECS, ColumnarProfile
 from .pipeline import (
     attributable_activity,
     estimate_demand_columnar,
+    find_bottlenecks_columnar,
     rasterize_rows,
     upsample_columnar,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "ColumnarProfile",
     "attributable_activity",
     "estimate_demand_columnar",
+    "find_bottlenecks_columnar",
     "open_columnar",
     "rasterize_rows",
     "save_columnar",

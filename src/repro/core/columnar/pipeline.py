@@ -27,6 +27,14 @@ from __future__ import annotations
 import numpy as np
 
 from ... import obs
+from ..attribution import AttributionResult
+from ..bottlenecks import (
+    EXACT_CAP_THRESHOLD,
+    SATURATION_THRESHOLD,
+    Bottleneck,
+    BottleneckKind,
+    BottleneckReport,
+)
 from ..demand import DemandEntry, DemandEstimate, ResourceDemand
 from ..resources import ResourceModel
 from ..rules import ExactRule, NoneRule, RuleMatrix, VariableRule
@@ -37,6 +45,7 @@ from ..upsample import UpsampledResource, UpsampledTrace
 __all__ = [
     "attributable_activity",
     "estimate_demand_columnar",
+    "find_bottlenecks_columnar",
     "rasterize_rows",
     "upsample_columnar",
 ]
@@ -182,6 +191,86 @@ def estimate_demand_columnar(
             entries=entries,
         )
     return DemandEstimate(grid=grid, per_resource=per_resource)
+
+
+def find_bottlenecks_columnar(
+    trace: ExecutionTrace,
+    upsampled: UpsampledTrace,
+    attribution: AttributionResult,
+    *,
+    saturation_threshold: float = SATURATION_THRESHOLD,
+    exact_cap_threshold: float = EXACT_CAP_THRESHOLD,
+    min_duration: float = 0.0,
+) -> BottleneckReport:
+    """Array form of :func:`repro.core.bottlenecks.find_bottlenecks` (§III-E).
+
+    The per-row Python loop of the scalar detector becomes whole-matrix
+    masks and one integer reduction per resource; because the per-slice
+    masks and counts are exact (booleans and integers), the emitted
+    report — kinds, order, durations, masks — is bit-identical to the
+    scalar detector's.
+    """
+    with obs.span("bottlenecks"):
+        grid = upsampled.grid
+        report = BottleneckReport(grid=grid)
+        sd = grid.slice_duration
+
+        # Blocking bottlenecks read straight off the trace; the scalar loop
+        # is already minimal (no per-slice work), so it is kept verbatim.
+        for inst in trace.instances():
+            per_resource: dict[str, float] = {}
+            for ev in inst.blocking:
+                per_resource[ev.resource] = per_resource.get(ev.resource, 0.0) + ev.duration
+            for res, dur in per_resource.items():
+                if dur >= max(min_duration, _EPS):
+                    report.bottlenecks.append(
+                        Bottleneck(
+                            BottleneckKind.BLOCKING, inst.instance_id, inst.phase_path, res, dur
+                        )
+                    )
+
+        sat_floor = max(min_duration, sd / 2)
+        for resource in upsampled.resources():
+            if resource not in attribution:
+                continue
+            ra = attribution[resource]
+            if not ra.instance_ids:
+                continue
+            saturated = upsampled[resource].utilization >= saturation_threshold
+            active = ra.demand > _EPS  # (n_instances, n_slices)
+            sat = active & saturated[None, :]
+            sat_times = sat.sum(axis=1).astype(np.float64) * sd
+            capped = (
+                active
+                & (ra.usage >= exact_cap_threshold * ra.demand)
+                & ~saturated[None, :]
+            )
+            cap_times = capped.sum(axis=1).astype(np.float64) * sd
+            for row, iid in enumerate(ra.instance_ids):
+                phase_path = trace[iid].phase_path
+                if sat_times[row] >= sat_floor:
+                    report.bottlenecks.append(
+                        Bottleneck(
+                            BottleneckKind.SATURATION,
+                            iid,
+                            phase_path,
+                            resource,
+                            float(sat_times[row]),
+                            sat[row],
+                        )
+                    )
+                if ra.is_exact[row] and cap_times[row] >= sat_floor:
+                    report.bottlenecks.append(
+                        Bottleneck(
+                            BottleneckKind.EXACT_CAP,
+                            iid,
+                            phase_path,
+                            resource,
+                            float(cap_times[row]),
+                            capped[row],
+                        )
+                    )
+        return report
 
 
 def _water_fill_batch(

@@ -148,19 +148,25 @@ class Grade10:
         if self.profile_backend == "columnar":
             # Imported lazily: repro.core.columnar imports this module for
             # the converters, so a top-level import would be circular.
-            from .columnar import estimate_demand_columnar, upsample_columnar
+            from .columnar import (
+                estimate_demand_columnar,
+                find_bottlenecks_columnar,
+                upsample_columnar,
+            )
 
             with obs.span("demand", n_instances=len(execution_trace)):
                 demand = estimate_demand_columnar(
                     execution_trace, self.resource_model, self.rules, grid
                 )
             upsampled = upsample_columnar(resource_trace, demand, grid)
+            bottleneck_finder = find_bottlenecks_columnar
         else:
             with obs.span("demand", n_instances=len(execution_trace)):
                 demand = estimate_demand(execution_trace, self.resource_model, self.rules, grid)
             upsampled = upsample(resource_trace, demand, grid)
+            bottleneck_finder = find_bottlenecks
         attribution = attribute(upsampled, demand, execution_trace)
-        bottlenecks = find_bottlenecks(
+        bottlenecks = bottleneck_finder(
             execution_trace,
             upsampled,
             attribution,

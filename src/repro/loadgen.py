@@ -21,6 +21,14 @@ Two operations are measured per job:
   checked frame by frame (any id gap is counted, and a stream that ends
   without a terminal frame counts as ``incomplete``).
 
+With ``live_fraction > 0`` a deterministic fraction of arrivals submits
+the same spec with ``"live": true`` — the incremental-characterization
+path that streams ``window.analyzed`` / ``bottleneck.detected`` frames
+mid-run — and those jobs are measured as separate ``submit_live`` /
+``e2e_live`` ops.  Because both variants land in the mirrored
+``systems`` section, ``BENCH_serve.json`` captures the live-analysis
+overhead envelope and ``bench --diff`` gates regressions in it.
+
 Every request carries a fresh W3C ``traceparent`` header
 (:func:`repro.obs.format_traceparent`), so the server opens its
 ``http.request`` span as a child of this client and
@@ -78,8 +86,12 @@ _LOG = get_logger("repro.loadgen")
 #: Default reporting-period length (seconds).
 DEFAULT_PERIOD_S = 5.0
 
-#: The two measured operations.
+#: The two always-measured operations.
 _OPS = ("submit", "e2e")
+
+#: Extra ops measured when ``live_fraction > 0`` (jobs submitted with
+#: ``"live": true``, exercising the incremental-characterization path).
+_LIVE_OPS = ("submit_live", "e2e_live")
 
 #: Relative client-vs-server submit-latency disagreement that triggers a
 #: warning line in the per-period output.
@@ -127,13 +139,16 @@ def summarize_latencies(values: list[float]) -> dict[str, Any]:
 class _Recorder:
     """Thread-safe sample store with per-period drain semantics."""
 
-    def __init__(self) -> None:
+    def __init__(self, ops: tuple[str, ...] = _OPS) -> None:
         self._lock = threading.Lock()
-        self._totals: dict[str, list[float]] = {op: [] for op in _OPS}
-        self._period: dict[str, list[float]] = {op: [] for op in _OPS}
+        self._ops = ops
+        self._totals: dict[str, list[float]] = {op: [] for op in ops}
+        self._period: dict[str, list[float]] = {op: [] for op in ops}
         self.sse_events = 0
         self.sse_gaps = 0
         self.streams = 0
+        self.live_windows = 0
+        self.live_bottlenecks = 0
         self.errors = {"rejected": 0, "http": 0, "overload": 0, "incomplete": 0}
 
     def add(self, op: str, latency_s: float) -> None:
@@ -141,11 +156,16 @@ class _Recorder:
             self._totals[op].append(latency_s)
             self._period[op].append(latency_s)
 
-    def add_stream(self, events: int, gaps: int, complete: bool) -> None:
+    def add_stream(
+        self, events: int, gaps: int, complete: bool,
+        windows: int = 0, bottlenecks: int = 0,
+    ) -> None:
         with self._lock:
             self.streams += 1
             self.sse_events += events
             self.sse_gaps += gaps
+            self.live_windows += windows
+            self.live_bottlenecks += bottlenecks
             if not complete:
                 self.errors["incomplete"] += 1
 
@@ -156,7 +176,7 @@ class _Recorder:
     def drain_period(self) -> dict[str, list[float]]:
         with self._lock:
             drained = self._period
-            self._period = {op: [] for op in _OPS}
+            self._period = {op: [] for op in self._ops}
             return drained
 
     def totals(self) -> dict[str, list[float]]:
@@ -239,16 +259,20 @@ def _scrape_submit_stats(base_url: str, timeout: float = 10.0) -> tuple[int, flo
 
 def _stream_job_events(
     host: str, port: int, run_id: str, deadline: float
-) -> tuple[int, int, bool]:
+) -> tuple[int, int, bool, dict[str, int]]:
     """Stream ``/events?run=...`` until ``run.finished``.
 
-    Returns ``(n_events, id_gaps, saw_terminal)``.  Ids must be the
-    status log's consecutive integers starting at 1; every skip counts
-    as a gap (the zero-dropped-events acceptance check).
+    Returns ``(n_events, id_gaps, saw_terminal, live_counts)``.  Ids
+    must be the status log's consecutive integers starting at 1; every
+    skip counts as a gap (the zero-dropped-events acceptance check).
+    ``live_counts`` tallies the incremental-analysis frame kinds
+    (``windows`` = ``window.analyzed``, ``bottlenecks`` =
+    ``bottleneck.detected``) so live jobs prove their mid-run stream.
     """
     conn = http.client.HTTPConnection(host, port, timeout=max(deadline - time.monotonic(), 1.0))
     events = gaps = 0
     expected = 1
+    live = {"windows": 0, "bottlenecks": 0}
     try:
         conn.request(
             "GET",
@@ -257,7 +281,7 @@ def _stream_job_events(
         )
         resp = conn.getresponse()
         if resp.status != 200:
-            return 0, 0, False
+            return 0, 0, False, live
         current: dict[str, str] = {}
         while time.monotonic() < deadline:
             line = resp.fp.readline().decode("utf-8").rstrip("\n")
@@ -278,11 +302,16 @@ def _stream_job_events(
             if frame_id != expected:
                 gaps += abs(frame_id - expected)
             expected = frame_id + 1
-            if frame.get("event") == "run.finished":
-                return events, gaps, True
-        return events, gaps, False
+            kind = frame.get("event")
+            if kind == "window.analyzed":
+                live["windows"] += 1
+            elif kind == "bottleneck.detected":
+                live["bottlenecks"] += 1
+            if kind == "run.finished":
+                return events, gaps, True, live
+        return events, gaps, False, live
     except OSError:
-        return events, gaps, False
+        return events, gaps, False, live
     finally:
         conn.close()
 
@@ -413,6 +442,13 @@ def render_load_summary(doc: Mapping[str, Any]) -> str:
         f"{sse.get('gaps', 0)} gaps; errors: "
         + ", ".join(f"{k}={v}" for k, v in errors.items())
     )
+    live = doc.get("live")
+    if live:
+        tail += (
+            f"\nlive: fraction {live.get('fraction')}, "
+            f"{live.get('windows', 0)} window.analyzed and "
+            f"{live.get('bottlenecks', 0)} bottleneck.detected frames"
+        )
     return table + "\n" + tail
 
 
@@ -468,6 +504,7 @@ def run_loadgen(
     op_timeout_s: float = 120.0,
     echo: Callable[[str], None] | None = None,
     server_latency: bool = True,
+    live_fraction: float = 0.0,
 ) -> dict[str, Any]:
     """Drive an open-loop load run against a live ``repro serve``.
 
@@ -485,6 +522,13 @@ def run_loadgen(
     :data:`SKEW_WARN_THRESHOLD`; the result document gains a ``server``
     section with the whole-run server-side mean and skew.
 
+    ``live_fraction`` in (0, 1] marks that fraction of arrivals (spread
+    deterministically across the schedule) as ``"live": true`` jobs;
+    their latencies are recorded as the separate ``submit_live`` /
+    ``e2e_live`` ops and the result document gains a ``live`` section
+    counting the ``window.analyzed`` / ``bottleneck.detected`` frames
+    observed mid-run.
+
     Raises :class:`LoadgenError` when the service is unreachable and
     :class:`repro.jobs.JobSpecError` on an invalid ``spec``.
     """
@@ -492,8 +536,13 @@ def run_loadgen(
         raise ValueError(f"rate must be > 0, got {rate}")
     if duration_s <= 0:
         raise ValueError(f"duration_s must be > 0, got {duration_s}")
+    if not (0.0 <= live_fraction <= 1.0):
+        raise ValueError(f"live_fraction must be in [0, 1], got {live_fraction}")
     normalized = parse_job_spec(dict(spec) if spec is not None else {}).to_dict()
     body = json.dumps(normalized).encode("utf-8")
+    body_live = json.dumps(
+        parse_job_spec({**normalized, "live": True}).to_dict()
+    ).encode("utf-8")
 
     parsed = urlparse(url)
     if parsed.scheme not in ("http", ""):
@@ -507,7 +556,7 @@ def run_loadgen(
     except OSError as exc:
         raise LoadgenError(f"service unreachable at {base_url}: {exc}") from exc
 
-    recorder = _Recorder()
+    recorder = _Recorder(_OPS + _LIVE_OPS if live_fraction > 0.0 else _OPS)
     slots = threading.BoundedSemaphore(max_in_flight)
     threads: list[threading.Thread] = []
     periods: list[dict[str, Any]] = []
@@ -541,10 +590,12 @@ def run_loadgen(
 
     t0 = time.monotonic()
 
-    def one_op() -> None:
+    def one_op(is_live: bool = False) -> None:
         try:
             t_start = time.monotonic()
-            code, doc = _post_job(base_url, body, timeout=op_timeout_s)
+            code, doc = _post_job(
+                base_url, body_live if is_live else body, timeout=op_timeout_s
+            )
             submit_latency = time.monotonic() - t_start
             if code == 429:
                 recorder.count_error("rejected")
@@ -553,13 +604,15 @@ def run_loadgen(
                 recorder.count_error("http")
                 _LOG.warning("unexpected submit response", code=code, body=str(doc)[:200])
                 return
-            recorder.add("submit", submit_latency)
-            events, gaps, terminal = _stream_job_events(
+            recorder.add("submit_live" if is_live else "submit", submit_latency)
+            events, gaps, terminal, live = _stream_job_events(
                 host, port, doc["run_id"], deadline=t_start + op_timeout_s
             )
-            recorder.add_stream(events, gaps, terminal)
+            recorder.add_stream(events, gaps, terminal, **live)
             if terminal:
-                recorder.add("e2e", time.monotonic() - t_start)
+                recorder.add(
+                    "e2e_live" if is_live else "e2e", time.monotonic() - t_start
+                )
         except OSError:
             recorder.count_error("http")
         finally:
@@ -598,7 +651,14 @@ def run_loadgen(
             # it never silently shifts the arrival schedule.
             recorder.count_error("overload")
             continue
-        thread = threading.Thread(target=one_op, name=f"loadgen-op-{k}", daemon=True)
+        # Deterministic spread: arrival k is live iff the running target
+        # floor(k·f) ticks up — exactly ~f of the schedule, evenly spaced.
+        is_live = live_fraction > 0.0 and (
+            math.floor((k + 1) * live_fraction) > math.floor(k * live_fraction)
+        )
+        thread = threading.Thread(
+            target=one_op, args=(is_live,), name=f"loadgen-op-{k}", daemon=True
+        )
         thread.start()
         threads.append(thread)
 
@@ -654,6 +714,17 @@ def run_loadgen(
         },
         "errors": dict(recorder.errors),
         "systems": _systems_section(ops_summary, duration_actual),
+        **(
+            {
+                "live": {
+                    "fraction": live_fraction,
+                    "windows": recorder.live_windows,
+                    "bottlenecks": recorder.live_bottlenecks,
+                }
+            }
+            if live_fraction > 0.0
+            else {}
+        ),
         "environment": {
             "python": platform.python_version(),
             "platform": platform.platform(),

@@ -1042,6 +1042,10 @@ _GAUGE_HELP = {
     "run_queue_depth": "Cells submitted but not yet started.",
     "run_eta_seconds": "Estimated seconds until the run completes.",
     "run_throughput_cells_per_second": "Completed cells per elapsed second.",
+    "run_windows_analyzed": "Live analysis windows completed by the incremental profiler.",
+    "incremental_window_lag_seconds": (
+        "How far the incremental analysis frontier trails the newest log event."
+    ),
 }
 
 
@@ -1051,6 +1055,7 @@ def metrics_exposition(
     *,
     gauges: Mapping[str, float] | None = None,
     histograms: Iterable[HistogramFamily] | None = None,
+    families: Iterable[tuple[str, str, str, list[tuple[dict[str, str], float]]]] | None = None,
     labels: Mapping[str, str] | None = None,
     prefix: str = "grade10",
 ) -> str:
@@ -1074,7 +1079,12 @@ def metrics_exposition(
     ``<prefix>_<name>`` gauge family; ``histograms`` an iterable of
     :class:`HistogramFamily` (each rendered as cumulative ``_bucket``/
     ``le`` samples plus ``_sum``/``_count``, with exemplars carrying span
-    ids); ``labels`` attaches constant labels (e.g.
+    ids); ``families`` an iterable of pre-labeled families as
+    ``(name, type, help, [(labels, value), ...])`` tuples — the hook the
+    serving layer uses for the live incremental series
+    (``run_bottleneck_seconds_total{resource,kind}``), which get the same
+    prefixing, base-label merging, and sorted/byte-identical rendering as
+    every built-in family; ``labels`` attaches constant labels (e.g.
     ``workload="giraph/graph500/pr"``) to every sample.
     """
     base = dict(labels or {})
@@ -1253,6 +1263,16 @@ def metrics_exposition(
                 for name, value in sorted(counters.items())
             ],
         )
+
+    if families:
+        for name, mtype, help_text, samples in families:
+            _render_family(
+                out,
+                f"{prefix}_{name}" if prefix else name,
+                mtype,
+                help_text,
+                [(with_base(dict(sample_labels)), value) for sample_labels, value in samples],
+            )
 
     if histograms:
         for family in histograms:

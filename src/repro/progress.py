@@ -65,6 +65,8 @@ EVENT_KINDS = (
     "job.started",
     "job.failed",
     "job.cancelled",
+    "window.analyzed",
+    "bottleneck.detected",
 )
 
 #: States of the per-cell state machine tracked by :class:`RunStatus`.
@@ -189,6 +191,12 @@ class RunStatus:
         self._next_id = 1
         self._finished = False
         self._failed = 0
+        # Live incremental-analysis plane (repro.core.incremental): folded
+        # from window.analyzed / bottleneck.detected events.
+        self._windows_analyzed = 0
+        self._window_lag_s = 0.0
+        self._last_bottleneck: dict[str, Any] | None = None
+        self._bottleneck_seconds: dict[tuple[str, str], float] = {}
 
     # -- recording ------------------------------------------------------ #
     def record(self, event: ProgressEvent) -> None:
@@ -209,6 +217,21 @@ class RunStatus:
                 self._failed += 1
             elif event.kind == "run.finished":
                 self._finished = True
+            elif event.kind == "window.analyzed":
+                self._windows_analyzed += 1
+                lag = event.data.get("lag_seconds")
+                if isinstance(lag, (int, float)):
+                    self._window_lag_s = float(lag)
+            elif event.kind == "bottleneck.detected":
+                resource = str(event.data.get("resource", ""))
+                kind = str(event.data.get("kind", ""))
+                seconds = event.data.get("seconds")
+                if isinstance(seconds, (int, float)):
+                    key = (resource, kind)
+                    self._bottleneck_seconds[key] = (
+                        self._bottleneck_seconds.get(key, 0.0) + float(seconds)
+                    )
+                self._last_bottleneck = dict(event.data)
             counts = self._counts_locked()
             doc = {
                 "id": self._next_id,
@@ -297,7 +320,38 @@ class RunStatus:
         }
         if eta is not None:  # no estimate until the first cell completes
             gauges["run_eta_seconds"] = float(eta)
+        with self._cond:
+            if self._windows_analyzed:
+                gauges["run_windows_analyzed"] = float(self._windows_analyzed)
+                gauges["incremental_window_lag_seconds"] = float(self._window_lag_s)
         return gauges
+
+    def bottleneck_series(self) -> dict[tuple[str, str], float]:
+        """Cumulative live bottleneck seconds keyed ``(resource, kind)``.
+
+        The backing store of the ``run_bottleneck_seconds_total`` counter
+        family — monotone within a run, exactly like the exposition
+        requires of a counter.
+        """
+        with self._cond:
+            return dict(self._bottleneck_seconds)
+
+    def bottlenecks_snapshot(self) -> dict[str, Any]:
+        """JSON payload of ``GET /runs/<id>/bottlenecks``."""
+        with self._cond:
+            series = [
+                {"resource": resource, "kind": kind, "seconds": seconds}
+                for (resource, kind), seconds in sorted(self._bottleneck_seconds.items())
+            ]
+            return {
+                "run_id": self.run_id,
+                "windows_analyzed": self._windows_analyzed,
+                "window_lag_seconds": self._window_lag_s,
+                "last_bottleneck": dict(self._last_bottleneck)
+                if self._last_bottleneck is not None
+                else None,
+                "bottleneck_seconds": series,
+            }
 
     def snapshot(self) -> dict[str, Any]:
         """JSON-native copy of the whole model (the ``/runs`` payload)."""
@@ -306,8 +360,14 @@ class RunStatus:
             counts = self._counts_locked()
             finished = self._finished
             last_id = self._next_id - 1
+            windows_analyzed = self._windows_analyzed
+            last_bottleneck = (
+                dict(self._last_bottleneck) if self._last_bottleneck is not None else None
+            )
         eta = self.eta_s()
         return {
+            "windows_analyzed": windows_analyzed,
+            "last_bottleneck": last_bottleneck,
             "run_id": self.run_id,
             "meta": dict(self.meta) if self.meta is not None else None,
             "jobs": self.jobs,

@@ -154,6 +154,10 @@ def _route_template(path: str) -> str:
             return "/jobs/<id>/trace"
         if "/" not in rest:
             return "/jobs/<id>"
+    if path.startswith("/runs/"):
+        rest = path[len("/runs/"):]
+        if rest.endswith("/bottlenecks") and "/" in rest:
+            return "/runs/<id>/bottlenecks"
     return "<other>"
 
 
@@ -253,6 +257,8 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
                 self._get_metrics()
             elif parsed.path == "/runs":
                 self._get_runs()
+            elif parsed.path.startswith("/runs/") and parsed.path.endswith("/bottlenecks"):
+                self._get_bottlenecks(parsed.path[len("/runs/"):-len("/bottlenecks")])
             elif parsed.path == "/events":
                 self._get_events(parse_qs(parsed.query))
             elif parsed.path == "/jobs" or parsed.path.startswith("/jobs/"):
@@ -386,10 +392,26 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
         stage_family = obs.stage_histogram_family(stage_sources)
         if stage_family.series():
             histograms.append(stage_family)
+        families = []
+        if active is not None:
+            series = active.bottleneck_series()
+            if series:
+                families.append(
+                    (
+                        "run_bottleneck_seconds",
+                        "counter",
+                        "Cumulative live bottleneck seconds per resource and kind.",
+                        [
+                            ({"resource": resource, "kind": kind}, seconds)
+                            for (resource, kind), seconds in sorted(series.items())
+                        ],
+                    )
+                )
         text = obs.metrics_exposition(
             counters=counters,
             gauges=gauges or None,
             histograms=histograms,
+            families=families or None,
             labels=server.labels,
         )
         self._respond(200, OPENMETRICS_CONTENT_TYPE, text.encode("utf-8"))
@@ -398,6 +420,15 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
         server: TelemetryServer = self.server.telemetry  # type: ignore[attr-defined]
         body = json.dumps(server.registry.snapshots(), indent=2, default=str)
         self._respond(200, "application/json", body.encode("utf-8"))
+
+    def _get_bottlenecks(self, run_id: str) -> None:
+        """Live incremental bottleneck state of one run (empty id: active)."""
+        server: TelemetryServer = self.server.telemetry  # type: ignore[attr-defined]
+        status = server.registry.get(run_id) if run_id else server.registry.active()
+        if status is None:
+            self._respond_json(404, {"error": f"unknown run {run_id!r}"})
+            return
+        self._respond_json(200, status.bottlenecks_snapshot())
 
     def _resolve_run(self, query: dict[str, list[str]]) -> RunStatus | None:
         server: TelemetryServer = self.server.telemetry  # type: ignore[attr-defined]

@@ -12,9 +12,14 @@ critical events (paper §III-C).  Event kinds:
   from which a *tuned* model derives GC phases and blocking events.
 
 :class:`EventLog` is the in-memory collector; :func:`write_jsonl` /
-:func:`read_jsonl` persist it.  The adapters in :mod:`repro.adapters`
-parse these events into Grade10 traces — the same decoupling the real tool
-has from the systems it measures.
+:func:`read_jsonl` persist it.  :func:`iter_jsonl` is the streaming
+variant (events are yielded as they are read, tolerating a mid-write
+partial trailing line), and :class:`JsonlStream` is the chunk-level
+decoder it is built on — the entry point for feeding a log to the
+incremental pipeline (:mod:`repro.core.incremental`) as raw text chunks
+arrive.  The adapters in :mod:`repro.adapters` parse these events into
+Grade10 traces — the same decoupling the real tool has from the systems
+it measures.
 """
 
 from __future__ import annotations
@@ -24,9 +29,16 @@ import itertools
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator
 
-__all__ = ["PhaseHandle", "EventLog", "write_jsonl", "read_jsonl"]
+__all__ = [
+    "PhaseHandle",
+    "EventLog",
+    "JsonlStream",
+    "write_jsonl",
+    "read_jsonl",
+    "iter_jsonl",
+]
 
 
 @dataclass(frozen=True)
@@ -132,16 +144,111 @@ def write_jsonl(log: EventLog | Iterable[dict[str, Any]], path: str | Path | io.
             fh.close()
 
 
-def read_jsonl(path: str | Path | io.TextIOBase) -> EventLog:
-    """Load a JSON-lines event log."""
-    own = isinstance(path, (str, Path))
-    fh = open(path, "r") if own else path
-    log = EventLog()
-    try:
-        for line in fh:
+class JsonlStream:
+    """Incremental JSON-lines decoder for arbitrarily split text chunks.
+
+    :meth:`feed` accepts any slicing of a JSONL stream — including chunks
+    that split a record mid-byte — buffers the unterminated tail, and
+    returns the newly completed events.  Only newline-terminated lines
+    are ever parsed, so a fragment is never mistaken for a corrupt
+    record; a *terminated* line that fails to parse raises, exactly like
+    :func:`read_jsonl` on an interior malformed line.
+    """
+
+    def __init__(self) -> None:
+        self._tail = ""
+
+    @property
+    def pending(self) -> str:
+        """The buffered unterminated fragment (empty between records)."""
+        return self._tail
+
+    def feed(self, chunk: str | bytes) -> list[dict[str, Any]]:
+        """Decode one chunk; returns the events it completed (maybe none)."""
+        if isinstance(chunk, bytes):
+            chunk = chunk.decode("utf-8")
+        buf = self._tail + chunk
+        lines = buf.split("\n")
+        self._tail = lines.pop()  # "" when the chunk ended on a newline
+        events = []
+        for line in lines:
             line = line.strip()
             if line:
-                log.events.append(json.loads(line))
+                events.append(json.loads(line))
+        return events
+
+    def close(self) -> list[dict[str, Any]]:
+        """Flush the buffer at end of stream.
+
+        A leftover fragment that parses as JSON (the writer omitted the
+        final newline) is returned; one that does not (the write was torn
+        mid-record) is dropped — the same tolerance as
+        :func:`read_jsonl`.
+        """
+        tail, self._tail = self._tail.strip(), ""
+        if not tail:
+            return []
+        try:
+            return [json.loads(tail)]
+        except json.JSONDecodeError:
+            return []
+
+
+def iter_jsonl(path: str | Path | io.TextIOBase, *, chunk_size: int = 65536) -> Iterator[dict[str, Any]]:
+    """Stream events from a JSON-lines log as they are read.
+
+    Unlike :func:`read_jsonl` nothing is materialized: events are yielded
+    one at a time, so a follower can consume a log that is still being
+    written.  A partial trailing line (a torn mid-write tail) is
+    tolerated — buffered by the underlying :class:`JsonlStream` and
+    dropped at end of stream unless it parses as a complete record.
+    """
+    own = isinstance(path, (str, Path))
+    fh = open(path, "r") if own else path
+    stream = JsonlStream()
+    try:
+        while True:
+            chunk = fh.read(chunk_size)
+            if not chunk:
+                break
+            yield from stream.feed(chunk)
+        yield from stream.close()
+    finally:
+        if own:
+            fh.close()
+
+
+def read_jsonl(path: str | Path | io.TextIOBase, *, strict: bool = False) -> EventLog:
+    """Load a JSON-lines event log.
+
+    Interior malformed lines raise (silent data loss would corrupt the
+    analysis), but a *partial trailing line* — what a reader sees when it
+    races a writer mid-record — is dropped instead: only
+    newline-terminated lines are required to parse.
+
+    With ``strict=True`` an unparseable torn tail raises ``ValueError``
+    instead of being dropped.  :func:`write_jsonl` always terminates the
+    final record, so in a sealed archive a torn tail is not a racing
+    writer — it is byte-level truncation, and dropping it would silently
+    analyze a different run.
+    """
+    log = EventLog()
+    own = isinstance(path, (str, Path))
+    fh = open(path, "r") if own else path
+    stream = JsonlStream()
+    try:
+        while True:
+            chunk = fh.read(65536)
+            if not chunk:
+                break
+            log.events.extend(stream.feed(chunk))
+        pending = stream.pending
+        flushed = stream.close()
+        if strict and pending and not flushed:
+            raise ValueError(
+                f"truncated JSONL log: unterminated trailing line {pending[:80]!r}"
+            )
+        log.events.extend(flushed)
     finally:
         if own:
             fh.close()

@@ -156,7 +156,9 @@ def load_run(
         )
     try:
         meta = json.loads((directory / _META).read_text())
-        log = read_jsonl(directory / _EVENTS)
+        # strict: an archive is a sealed write — a torn tail here is
+        # byte-level truncation, not a racing writer, and must surface.
+        log = read_jsonl(directory / _EVENTS, strict=True)
         models = load_models(directory / _MODELS)
         resource_trace = read_monitoring_csv(directory / _MONITORING)
     except (json.JSONDecodeError, KeyError, ValueError) as exc:

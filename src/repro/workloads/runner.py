@@ -56,6 +56,7 @@ __all__ = [
     "WorkloadSpec",
     "WorkloadRun",
     "run_workload",
+    "analysis_inputs",
     "characterize_run",
     "effective_powergraph_config",
     "processing_time",
@@ -232,6 +233,35 @@ def processing_time(run: GiraphRun | PowerGraphRun | SparkLikeRun) -> float:
     return run.makespan
 
 
+def analysis_inputs(
+    run: WorkloadRun | GiraphRun | PowerGraphRun | SparkLikeRun,
+    *,
+    tuned: bool = True,
+):
+    """The expert-model triple ``(execution model, resource model, rules)``.
+
+    One lookup shared by the batch path (:func:`characterize_run`), the
+    live job executor, and ``repro analyze --follow`` — anything that
+    needs the per-system models without re-running the selection logic.
+    """
+    system_run = run.system_run if isinstance(run, WorkloadRun) else run
+    if isinstance(system_run, GiraphRun):
+        model = giraph_execution_model()
+        resources = giraph_resource_model(system_run.config, system_run.machine_names)
+        rules = giraph_tuned_rules(system_run.config) if tuned else giraph_untuned_rules()
+    elif isinstance(system_run, PowerGraphRun):
+        model = powergraph_execution_model()
+        resources = powergraph_resource_model(system_run.config, system_run.machine_names)
+        rules = powergraph_tuned_rules(system_run.config) if tuned else powergraph_untuned_rules()
+    elif isinstance(system_run, SparkLikeRun):
+        model = sparklike_execution_model()
+        resources = sparklike_resource_model(system_run.config, system_run.machine_names)
+        rules = sparklike_tuned_rules(system_run.config) if tuned else RuleMatrix()
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unknown run type {type(system_run).__name__}")
+    return model, resources, rules
+
+
 def characterize_run(
     run: WorkloadRun | GiraphRun | PowerGraphRun | SparkLikeRun,
     *,
@@ -250,21 +280,7 @@ def characterize_run(
     (equivalent outputs; see docs/columnar.md).
     """
     system_run = run.system_run if isinstance(run, WorkloadRun) else run
-
-    if isinstance(system_run, GiraphRun):
-        model = giraph_execution_model()
-        resources = giraph_resource_model(system_run.config, system_run.machine_names)
-        rules = giraph_tuned_rules(system_run.config) if tuned else giraph_untuned_rules()
-    elif isinstance(system_run, PowerGraphRun):
-        model = powergraph_execution_model()
-        resources = powergraph_resource_model(system_run.config, system_run.machine_names)
-        rules = powergraph_tuned_rules(system_run.config) if tuned else powergraph_untuned_rules()
-    elif isinstance(system_run, SparkLikeRun):
-        model = sparklike_execution_model()
-        resources = sparklike_resource_model(system_run.config, system_run.machine_names)
-        rules = sparklike_tuned_rules(system_run.config) if tuned else RuleMatrix()
-    else:  # pragma: no cover - defensive
-        raise TypeError(f"unknown run type {type(system_run).__name__}")
+    model, resources, rules = analysis_inputs(system_run, tuned=tuned)
 
     execution_trace = parse_execution_trace(
         system_run.log,

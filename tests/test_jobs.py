@@ -117,6 +117,18 @@ class TestParseJobSpec:
             parse_job_spec({"preset": "huge"})
         json.dumps(exc.value.to_doc())  # must not raise
 
+    def test_live_defaults_false_and_round_trips(self):
+        assert parse_job_spec({}).live is False
+        spec = parse_job_spec({"live": True})
+        assert spec.live is True
+        assert spec.to_dict()["live"] is True
+        assert parse_job_spec(spec.to_dict()) == spec
+
+    def test_live_must_be_boolean(self):
+        with pytest.raises(JobSpecError) as exc:
+            parse_job_spec({"live": "yes"})
+        assert exc.value.to_doc().get("field") == "live"
+
 
 # ---------------------------------------------------------------------- #
 # Hypothesis properties
@@ -388,6 +400,21 @@ class TestJobQueue:
         assert done.state == "done"
         counts = done.status.snapshot()["counts"]
         assert counts["done"] + counts["cached"] == 1
+
+    def test_real_executor_runs_live_job(self):
+        """A "live": true job streams window.analyzed frames before its
+        terminal event and fills the bottlenecks snapshot."""
+        with JobQueue(capacity=2, workers=1) as q:
+            job = q.submit({"preset": "tiny", "live": True})
+            done = _wait_terminal(q, job.id, timeout=60.0)
+        assert done.state == "done"
+        kinds = [e["kind"] for e in done.status.events_since(0)]
+        assert "window.analyzed" in kinds
+        assert kinds.index("window.analyzed") < kinds.index("run.finished")
+        snapshot = done.status.bottlenecks_snapshot()
+        assert snapshot["windows_analyzed"] >= 1
+        assert snapshot["bottleneck_seconds"]
+        assert done.status.snapshot()["windows_analyzed"] >= 1
 
 
 # ---------------------------------------------------------------------- #

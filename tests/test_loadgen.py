@@ -216,6 +216,40 @@ class TestRunLoadgen:
         assert not bad_cmp.ok
         assert len(bad_cmp.regressions) >= 2  # both ops tripped
 
+    def test_live_fraction_validation(self):
+        with pytest.raises(ValueError):
+            run_loadgen("http://127.0.0.1:9", live_fraction=1.5)
+        with pytest.raises(ValueError):
+            run_loadgen("http://127.0.0.1:9", live_fraction=-0.1)
+
+    def test_no_live_ops_without_fraction(self, live_service):
+        doc = run_loadgen(live_service.url, rate=10.0, duration_s=0.5, period_s=0.25)
+        assert set(doc["ops"]) == {"submit", "e2e"}
+        assert "live" not in doc
+
+    def test_live_fraction_splits_ops(self, live_service):
+        """Half the arrivals go live: both variants measured separately,
+        both mirrored into the gateable systems section."""
+        doc = run_loadgen(
+            live_service.url,
+            rate=20.0,
+            duration_s=1.0,
+            period_s=0.5,
+            live_fraction=0.5,
+        )
+        assert validate_serve_bench_doc(doc) == [], validate_serve_bench_doc(doc)
+        assert doc["ops"]["submit"]["count"] == 10
+        assert doc["ops"]["submit_live"]["count"] == 10
+        assert doc["ops"]["e2e"]["count"] == 10
+        assert doc["ops"]["e2e_live"]["count"] == 10
+        assert set(doc["systems"]) == {"submit", "e2e", "submit_live", "e2e_live"}
+        # The injected instant executor emits no incremental frames, but
+        # the live section still records the fraction and frame tallies.
+        assert doc["live"]["fraction"] == 0.5
+        assert doc["live"]["windows"] == 0
+        summary = render_load_summary(doc)
+        assert "live: fraction 0.5" in summary
+
     def test_overload_counted_not_blocking(self, live_service):
         """With max_in_flight=1 and slow streams the client drops
         arrivals as overload instead of stretching the schedule."""

@@ -195,6 +195,108 @@ class TestEndpoints:
 
 
 # ---------------------------------------------------------------------- #
+# Live incremental bottleneck surfaces
+# ---------------------------------------------------------------------- #
+
+
+def _live_run(server):
+    """Register a run and feed it one window plus two bottleneck events."""
+    run = RunStatus(["a"])
+    server.register(run)
+    # Built directly: the data payload's own "kind" key would collide
+    # with the helper's positional event-kind argument.
+    run.record(ProgressEvent(kind="bottleneck.detected", label="a", data={
+        "kind": "blocking", "resource": "queue@m0", "seconds": 0.25,
+        "instance_id": "/P#0", "phase_path": "/P", "duration": 0.25,
+        "window": 0,
+    }))
+    run.record(ProgressEvent(kind="bottleneck.detected", label="a", data={
+        "kind": "saturation", "resource": "cpu@m1", "seconds": 0.5,
+        "instance_id": "/P#1", "phase_path": "/P", "duration": 0.5,
+        "window": 0,
+    }))
+    run.record(_event(
+        "window.analyzed", "a",
+        index=0, t_start=0.0, t_end=0.64, n_rows=3,
+        n_bottlenecks=2, lag_seconds=0.12,
+    ))
+    return run
+
+
+class TestBottlenecks:
+    def test_snapshot_endpoint(self, server):
+        run = _live_run(server)
+        status, _, body = _get(server, f"/runs/{run.run_id}/bottlenecks")
+        doc = json.loads(body)
+        assert status == 200
+        assert doc["run_id"] == run.run_id
+        assert doc["windows_analyzed"] == 1
+        assert doc["window_lag_seconds"] == pytest.approx(0.12)
+        assert doc["last_bottleneck"]["resource"] == "cpu@m1"
+        assert doc["bottleneck_seconds"] == [
+            {"resource": "cpu@m1", "kind": "saturation", "seconds": 0.5},
+            {"resource": "queue@m0", "kind": "blocking", "seconds": 0.25},
+        ]
+
+    def test_snapshot_unknown_run_404(self, server):
+        server.register(RunStatus(["a"]))
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _get(server, "/runs/nope/bottlenecks")
+        assert exc.value.code == 404
+
+    def test_snapshot_bare_path_uses_active_run(self, server):
+        run = _live_run(server)
+        _, _, body = _get(server, "/runs//bottlenecks")
+        assert json.loads(body)["run_id"] == run.run_id
+
+    def test_runs_listing_carries_live_fields(self, server):
+        _live_run(server)
+        _, _, body = _get(server, "/runs")
+        doc = json.loads(body)[0]
+        assert doc["windows_analyzed"] == 1
+        assert doc["last_bottleneck"]["kind"] == "saturation"
+
+    def test_metrics_expose_bottleneck_counter_family(self, server):
+        _live_run(server)
+        _, _, body = _get(server, "/metrics")
+        families, samples = parse_exposition(body)
+        assert families["grade10_run_bottleneck_seconds"][0] == "counter"
+        series = {
+            (labels.get("resource"), labels.get("kind")): value
+            for name, labels, value in samples
+            if name == "grade10_run_bottleneck_seconds_total"
+        }
+        assert series[("queue@m0", "blocking")] == 0.25
+        assert series[("cpu@m1", "saturation")] == 0.5
+        values = {name: value for name, labels, value in samples}
+        assert values["grade10_run_windows_analyzed"] == 1.0
+        assert values["grade10_incremental_window_lag_seconds"] == pytest.approx(0.12)
+
+    def test_two_scrapes_of_identical_state_byte_equal(self, server):
+        # The conformance contract extends to the new families: they are
+        # a pure function of the run state, so two scrapes with nothing
+        # in between render byte-identical blocks.  (The scrape itself
+        # feeds the http-latency histogram, so only the incremental
+        # families can be compared whole.)
+        def live_lines(body):
+            return [
+                line for line in body.splitlines()
+                if "run_bottleneck_seconds" in line
+                or "run_windows_analyzed" in line
+                or "incremental_window_lag_seconds" in line
+            ]
+
+        _live_run(server)
+        _, _, first = _get(server, "/metrics")
+        _, _, second = _get(server, "/metrics")
+        assert live_lines(first) == live_lines(second)
+        assert any(
+            line.startswith("grade10_run_bottleneck_seconds_total")
+            for line in live_lines(first)
+        )
+
+
+# ---------------------------------------------------------------------- #
 # SSE streaming
 # ---------------------------------------------------------------------- #
 
